@@ -1,0 +1,71 @@
+//! Micro-benchmarks for the degree-array operations: node creation,
+//! cloning (the stack/worklist copy), vertex and neighborhood removal,
+//! and the find-max reduction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parvc_core::ops::Kernel;
+use parvc_core::TreeNode;
+use parvc_graph::gen;
+use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::{CostModel, KernelVariant};
+
+fn bench_node_lifecycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tree_node");
+    for n in [300u32, 1000, 10_000] {
+        let graph = gen::gnp(n, (4.0 / n as f64).min(1.0), 9);
+        g.bench_with_input(BenchmarkId::new("root", n), &graph, |b, graph| {
+            b.iter(|| std::hint::black_box(TreeNode::root(graph)));
+        });
+        let node = TreeNode::root(&graph);
+        g.bench_with_input(BenchmarkId::new("clone", n), &node, |b, node| {
+            b.iter(|| std::hint::black_box(node.clone()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_graph_ops(c: &mut Criterion) {
+    let cost = CostModel::default();
+    let graph = gen::p_hat_complement(300, 2, 11);
+    let kernel = Kernel {
+        graph: &graph,
+        cost: &cost,
+        block_size: 128,
+        variant: KernelVariant::SharedMem,
+        ext: parvc_core::Extensions::NONE,
+    };
+    let root = TreeNode::root(&graph);
+
+    let mut g = c.benchmark_group("graph_ops_phat300");
+    g.bench_function("find_max_degree", |b| {
+        let mut counters = BlockCounters::new(0);
+        b.iter(|| std::hint::black_box(kernel.find_max_degree(&root, &mut counters)));
+    });
+    g.bench_function("remove_vertex", |b| {
+        let mut counters = BlockCounters::new(0);
+        b.iter_batched(
+            || root.clone(),
+            |mut node| {
+                kernel.remove_vertex(&mut node, 0, Activity::RemoveMaxVertex, &mut counters);
+                std::hint::black_box(node)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("remove_neighbors_of_max", |b| {
+        let mut counters = BlockCounters::new(0);
+        let vmax = kernel.find_max_degree(&root, &mut counters).unwrap();
+        b.iter_batched(
+            || root.clone(),
+            |mut node| {
+                kernel.remove_neighbors(&mut node, vmax, Activity::RemoveNeighbors, &mut counters);
+                std::hint::black_box(node)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_node_lifecycle, bench_graph_ops);
+criterion_main!(benches);

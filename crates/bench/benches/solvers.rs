@@ -1,0 +1,63 @@
+//! End-to-end solver benchmarks on small instances of each family —
+//! the criterion-tracked regression companion to the table harnesses.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parvc_core::{Algorithm, Solver};
+use parvc_graph::gen;
+use parvc_simgpu::DeviceSpec;
+
+fn solver(algorithm: Algorithm) -> Solver {
+    Solver::builder()
+        .algorithm(algorithm)
+        .device(DeviceSpec::scaled(4))
+        .grid_limit(Some(8))
+        .build()
+}
+
+fn bench_mvc(c: &mut Criterion) {
+    let cases = [
+        ("p_hat_comp_100_2", gen::p_hat_complement(100, 2, 21)),
+        ("ba_120_8", gen::barabasi_albert(120, 8, 21)),
+        ("ws_200", gen::watts_strogatz(200, 4, 0.1, 21)),
+    ];
+    let mut g = c.benchmark_group("solve_mvc");
+    g.sample_size(10);
+    for (name, graph) in &cases {
+        for (label, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("stackonly", Algorithm::StackOnly { start_depth: 6 }),
+            ("hybrid", Algorithm::Hybrid),
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new(*name, label),
+                graph,
+                |b, graph| {
+                    let s = solver(algorithm);
+                    b.iter(|| std::hint::black_box(s.solve_mvc(graph).size));
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_pvc(c: &mut Criterion) {
+    let graph = gen::p_hat_complement(100, 2, 21);
+    let min = solver(Algorithm::Sequential).solve_mvc(&graph).size;
+    let mut g = c.benchmark_group("solve_pvc_phat100");
+    g.sample_size(10);
+    for (label, k) in [("k_min_minus_1", min - 1), ("k_min", min), ("k_min_plus_1", min + 1)] {
+        for (alg_label, algorithm) in
+            [("sequential", Algorithm::Sequential), ("hybrid", Algorithm::Hybrid)]
+        {
+            g.bench_with_input(BenchmarkId::new(label, alg_label), &graph, |b, graph| {
+                let s = solver(algorithm);
+                b.iter(|| std::hint::black_box(s.solve_pvc(graph, k).found()));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mvc, bench_pvc);
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Micro-benchmarks for the Broker Work Distributor: uncontended
+//! latency, MPMC throughput under contention, and the termination
+//! protocol's overhead.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use parvc_worklist::{BrokerQueue, LocalStack, PopOutcome, Worklist};
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker_uncontended");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_pop", |b| {
+        let q = BrokerQueue::with_capacity(1024);
+        b.iter(|| {
+            q.try_push(std::hint::black_box(42u64)).unwrap();
+            std::hint::black_box(q.try_pop().unwrap());
+        });
+    });
+    g.bench_function("stack_push_pop", |b| {
+        let mut s = LocalStack::with_depth_bound(1024);
+        b.iter(|| {
+            s.push(std::hint::black_box(42u64)).unwrap();
+            std::hint::black_box(s.pop().unwrap());
+        });
+    });
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("broker_mpmc");
+    g.sample_size(10);
+    for &threads in &[2u32, 4] {
+        g.throughput(Throughput::Elements(20_000));
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
+            b.iter_custom(|iters| {
+                let mut total = std::time::Duration::ZERO;
+                for _ in 0..iters {
+                    let q = Arc::new(BrokerQueue::with_capacity(256));
+                    let per_thread = 20_000 / threads as u64;
+                    let start = Instant::now();
+                    std::thread::scope(|s| {
+                        for _ in 0..threads {
+                            let q = Arc::clone(&q);
+                            s.spawn(move || {
+                                for i in 0..per_thread {
+                                    let mut item = i;
+                                    loop {
+                                        match q.try_push(item) {
+                                            Ok(()) => break,
+                                            Err(back) => {
+                                                item = back;
+                                                let _ = q.try_pop();
+                                            }
+                                        }
+                                    }
+                                    let _ = q.try_pop();
+                                }
+                            });
+                        }
+                    });
+                    total += start.elapsed();
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_termination(c: &mut Criterion) {
+    c.bench_function("worklist_drain_tree_2workers", |b| {
+        b.iter_custom(|iters| {
+            let mut total = std::time::Duration::ZERO;
+            for _ in 0..iters {
+                let wl = Arc::new(Worklist::<u32>::with_capacity(512));
+                wl.seed(12); // binary tree of depth 12
+                let start = Instant::now();
+                std::thread::scope(|s| {
+                    for _ in 0..2 {
+                        let wl = Arc::clone(&wl);
+                        s.spawn(move || {
+                            let mut h = wl.handle();
+                            let mut local = Vec::new();
+                            loop {
+                                let node = match local.pop() {
+                                    Some(n) => n,
+                                    None => match h.pop() {
+                                        PopOutcome::Item(n) => n,
+                                        PopOutcome::Done => break,
+                                    },
+                                };
+                                if node > 0 {
+                                    if h.len_hint() < 64 {
+                                        if let Err(back) = h.add(node - 1) {
+                                            local.push(back);
+                                        }
+                                    } else {
+                                        local.push(node - 1);
+                                    }
+                                    local.push(node - 1);
+                                }
+                            }
+                        });
+                    }
+                });
+                total += start.elapsed();
+            }
+            total
+        });
+    });
+}
+
+criterion_group!(benches, bench_uncontended, bench_contended, bench_termination);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Ablation of the Hybrid donation policy: never-donate vs hybrid vs
+//! always-donate, quantifying the §IV-A trade-off.
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::ablation(&args);
+    reports::extensions_ablation(&args);
+}

@@ -1,0 +1,17 @@
+//! Runs every table and figure in sequence — the full evaluation.
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let grid = reports::run_grid(&args);
+    reports::table1(&args, &grid);
+    reports::table2(&grid);
+    reports::table3(&args);
+    reports::fig5(&args);
+    reports::fig6(&args);
+    reports::sensitivity(&args);
+    reports::ablation(&args);
+    reports::extensions_ablation(&args);
+}

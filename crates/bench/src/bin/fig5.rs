@@ -1,0 +1,9 @@
+//! Regenerates the paper's **Figure 5** (per-SM load distribution).
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::fig5(&args);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's **Figure 6** (Hybrid MVC time breakdown).
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::fig6(&args);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's §V-A in-text sensitivity numbers
+//! (block size, StackOnly start depth, Hybrid worklist size/threshold).
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::sensitivity(&args);
+}

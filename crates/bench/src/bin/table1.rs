@@ -1,0 +1,12 @@
+//! Regenerates the paper's **Table I** (and prints Table II from the
+//! same grid, since the aggregation is free once the grid has run).
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let grid = reports::run_grid(&args);
+    reports::table1(&args, &grid);
+    reports::table2(&grid);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's **Table II** (aggregate geomean speedups).
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    let grid = reports::run_grid(&args);
+    reports::table2(&grid);
+}

@@ -1,0 +1,10 @@
+//! Regenerates the paper's **Table III** (PVC k=min on the p_hat
+//! suite, with prior work's published numbers quoted for context).
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::table3(&args);
+}

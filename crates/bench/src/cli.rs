@@ -1,0 +1,120 @@
+//! Minimal CLI argument parsing shared by the bench binaries.
+
+use std::time::Duration;
+
+use crate::suite::Scale;
+
+/// Common harness options.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Instance scale (`--scale small|paper`).
+    pub scale: Scale,
+    /// Per-solve wall-clock budget (`--deadline <secs>`); the paper
+    /// used 2 hours.
+    pub deadline: Duration,
+    /// Budget for the one-off exact MVC that establishes `min` for the
+    /// PVC instances (`--min-budget <secs>`).
+    pub min_budget: Duration,
+    /// Thread blocks per launch (`--blocks <n>`).
+    pub grid: u32,
+    /// Virtual SMs on the simulated device (`--sms <n>`).
+    pub sms: u32,
+    /// StackOnly sub-tree starting depth (`--depth <n>`).
+    pub start_depth: u32,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        BenchArgs {
+            scale: Scale::Small,
+            deadline: Duration::from_secs(5),
+            min_budget: Duration::from_secs(30),
+            grid: 16,
+            sms: 8,
+            start_depth: 8,
+        }
+    }
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, panicking with usage on bad input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = BenchArgs::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = |what: &str| {
+                it.next().unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+            };
+            match flag.as_str() {
+                "--scale" => {
+                    out.scale = match value("small|paper").as_str() {
+                        "small" => Scale::Small,
+                        "paper" => Scale::Paper,
+                        other => panic!("unknown scale '{other}' (small|paper)"),
+                    }
+                }
+                "--deadline" => {
+                    out.deadline = Duration::from_secs_f64(
+                        value("seconds").parse().expect("--deadline takes seconds"),
+                    )
+                }
+                "--min-budget" => {
+                    out.min_budget = Duration::from_secs_f64(
+                        value("seconds").parse().expect("--min-budget takes seconds"),
+                    )
+                }
+                "--blocks" => out.grid = value("count").parse().expect("--blocks takes a count"),
+                "--sms" => out.sms = value("count").parse().expect("--sms takes a count"),
+                "--depth" => {
+                    out.start_depth = value("depth").parse().expect("--depth takes a depth")
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --scale small|paper  --deadline <secs>  --min-budget <secs>  \
+                         --blocks <n>  --sms <n>  --depth <n>"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag '{other}' (try --help)"),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> BenchArgs {
+        BenchArgs::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.grid, 16);
+    }
+
+    #[test]
+    fn overrides() {
+        let a = parse("--scale paper --deadline 2.5 --blocks 64 --sms 20 --depth 12");
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.deadline, Duration::from_secs_f64(2.5));
+        assert_eq!(a.grid, 64);
+        assert_eq!(a.sms, 20);
+        assert_eq!(a.start_depth, 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        parse("--bogus");
+    }
+}

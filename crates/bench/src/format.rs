@@ -1,0 +1,131 @@
+//! Plain-text table rendering and aggregate math.
+
+/// Geometric mean of strictly positive values (0.0 for an empty slice).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = xs.iter().map(|&x| x.max(f64::MIN_POSITIVE).ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+/// Formats a duration in seconds the way the paper's tables do.
+pub fn fmt_seconds(secs: f64, timed_out: bool) -> String {
+    if timed_out {
+        ">budget".to_string()
+    } else if secs >= 100.0 {
+        format!("{secs:.0}")
+    } else if secs >= 1.0 {
+        format!("{secs:.2}")
+    } else {
+        format!("{secs:.3}")
+    }
+}
+
+/// A column-aligned plain-text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.headers.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Appends a horizontal separator row.
+    pub fn separator(&mut self) {
+        self.rows.push(vec!["—".to_string(); 0]);
+    }
+
+    /// Renders to a string (first column left-aligned, rest right).
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    out.push_str(&format!("{cell:<w$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>w$}"));
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            if row.is_empty() {
+                out.push_str(&"-".repeat(total));
+                out.push('\n');
+            } else {
+                emit(&mut out, row);
+            }
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean(&[]), 0.0);
+        assert!((geomean(&[4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_formatting() {
+        assert_eq!(fmt_seconds(0.0213, false), "0.021");
+        assert_eq!(fmt_seconds(1.657, false), "1.66");
+        assert_eq!(fmt_seconds(1018.898, false), "1019");
+        assert_eq!(fmt_seconds(5.0, true), ">budget");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["long-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].chars().count();
+        assert!(lines.iter().all(|l| l.chars().count() == width || l.starts_with('-')));
+    }
+
+    #[test]
+    fn separator_draws_rule() {
+        let mut t = Table::new(vec!["a"]);
+        t.row(vec!["1"]);
+        t.separator();
+        t.row(vec!["2"]);
+        assert_eq!(t.render().lines().filter(|l| l.starts_with('-')).count(), 2);
+    }
+}

@@ -1,0 +1,509 @@
+//! Report generators: one function per table/figure of the paper.
+
+use parvc_core::{Algorithm, Extensions, Solver};
+use parvc_simgpu::counters::{Activity, SmLoad};
+use parvc_simgpu::occupancy::{candidate_block_sizes, LaunchRequest};
+use parvc_simgpu::DeviceSpec;
+
+use crate::cli::BenchArgs;
+use crate::format::{fmt_seconds, geomean, Table};
+use crate::runner::{compute_min, make_solver, run_instance, Impl, InstanceRow, Problem};
+use crate::suite::{fig5_pair, phat_suite, suite, Instance};
+
+/// Runs the full Table I grid once (shared by `table1` and `table2`).
+pub fn run_grid(args: &BenchArgs) -> Vec<(Instance, InstanceRow)> {
+    suite(args.scale)
+        .into_iter()
+        .map(|inst| {
+            eprintln!("[grid] {} ...", inst.name);
+            let row = run_instance(&inst, args);
+            (inst, row)
+        })
+        .collect()
+}
+
+/// **Table I** — execution time (seconds) of each implementation for
+/// MVC and the three PVC instances across the suite.
+pub fn table1(args: &BenchArgs, grid: &[(Instance, InstanceRow)]) {
+    println!("\n=== Table I: execution time (seconds) ===");
+    println!(
+        "scale={:?}  budget={:.1}s/solve  blocks={}  sms={}  StackOnly depth={}",
+        args.scale,
+        args.deadline.as_secs_f64(),
+        args.grid,
+        args.sms,
+        args.start_depth
+    );
+    let mut headers = vec![
+        "graph".to_string(),
+        "|V|".to_string(),
+        "|E|".to_string(),
+        "|E|/|V|".to_string(),
+        "min".to_string(),
+    ];
+    for p in Problem::ALL {
+        for i in Impl::ALL {
+            headers.push(format!("{}:{}", short_problem(p), short_impl(i)));
+        }
+    }
+    let mut t = Table::new(headers);
+    let mut last_class = None;
+    for (inst, row) in grid {
+        if last_class != Some(inst.class) {
+            t.separator();
+            last_class = Some(inst.class);
+        }
+        let mut cells = vec![
+            inst.name.clone(),
+            inst.graph.num_vertices().to_string(),
+            inst.graph.num_edges().to_string(),
+            format!("{:.2}", inst.ratio()),
+            row.min.map_or("?".into(), |m| m.to_string()),
+        ];
+        for pi in 0..Problem::ALL.len() {
+            for ii in 0..Impl::ALL.len() {
+                let c = &row.cells[pi][ii];
+                cells.push(fmt_seconds(c.seconds, c.timed_out));
+            }
+        }
+        t.row(cells);
+    }
+    t.print();
+    println!(
+        "(>budget = wall-clock budget hit, the analogue of the paper's \">2 hrs\" cells; \
+         min '?' = exact MVC unknown within --min-budget)"
+    );
+}
+
+/// **Table II** — aggregate geometric-mean speedups by degree class.
+pub fn table2(grid: &[(Instance, InstanceRow)]) {
+    println!("\n=== Table II: aggregate speedup (geometric mean, wall-clock) ===");
+    println!("Timed-out cells are scored at the budget — a lower bound on the true speedup.");
+    let mut t = Table::new(vec![
+        "category",
+        "Hyb/Stack MVC",
+        "Hyb/Stack k=min-1",
+        "Hyb/Stack k=min",
+        "Hyb/Stack k=min+1",
+        "Hyb/Seq MVC",
+        "Hyb/Seq k=min-1",
+        "Hyb/Seq k=min",
+        "Hyb/Seq k=min+1",
+    ]);
+    for split in [
+        Some(parvc_graph::analysis::DegreeClass::High),
+        Some(parvc_graph::analysis::DegreeClass::Low),
+        None,
+    ] {
+        let rows: Vec<&(Instance, InstanceRow)> =
+            grid.iter().filter(|(i, _)| split.is_none() || Some(i.class) == split).collect();
+        let mut cells =
+            vec![split.map_or("Overall".to_string(), |c| c.to_string())];
+        for base in [Impl::StackOnly, Impl::Sequential] {
+            for (pi, _) in Problem::ALL.iter().enumerate() {
+                let ratios: Vec<f64> = rows
+                    .iter()
+                    .map(|(_, r)| {
+                        let hybrid = &r.cells[pi][impl_index(Impl::Hybrid)];
+                        let baseline = &r.cells[pi][impl_index(base)];
+                        (baseline.seconds / hybrid.seconds.max(1e-6)).max(1e-6)
+                    })
+                    .collect();
+                cells.push(format!("{:.2}x", geomean(&ratios)));
+            }
+        }
+        t.row(cells);
+    }
+    t.print();
+}
+
+fn impl_index(i: Impl) -> usize {
+    Impl::ALL.iter().position(|&x| x == i).expect("impl in ALL")
+}
+
+fn short_problem(p: Problem) -> &'static str {
+    match p {
+        Problem::Mvc => "MVC",
+        Problem::PvcMinMinus1 => "k-1",
+        Problem::PvcMin => "k0",
+        Problem::PvcMinPlus1 => "k+1",
+    }
+}
+
+fn short_impl(i: Impl) -> &'static str {
+    match i {
+        Impl::Sequential => "Seq",
+        Impl::StackOnly => "Stk",
+        Impl::Hybrid => "Hyb",
+    }
+}
+
+/// **Table III** — PVC k=min on the p_hat suite: our three
+/// implementations, with the paper's published numbers for context.
+pub fn table3(args: &BenchArgs) {
+    println!("\n=== Table III: PVC k=min on the p_hat suite (seconds) ===");
+    println!(
+        "Prior-work column quotes Abu-Khzam et al. [15] as reported by the paper \
+         (different hardware and full-size instances — context only)."
+    );
+    // The paper's Table III numbers for the full-size instances.
+    let prior: &[(&str, f64)] = &[
+        ("p_hat_300_1", 4.4),
+        ("p_hat_300_2", 5.0),
+        ("p_hat_300_3", 2.8),
+        ("p_hat_500_1", 10.7),
+        ("p_hat_500_2", 10.1),
+        ("p_hat_500_3", 6.0),
+        ("p_hat_700_1", 21.0),
+        ("p_hat_700_2", 14.8),
+        ("p_hat_1000_1", 48.3),
+        ("p_hat_1000_2", 30.8),
+    ];
+    let mut t = Table::new(vec![
+        "graph",
+        "Sequential",
+        "StackOnly",
+        "Hybrid",
+        "paper: Abu-Khzam et al. [15]",
+    ]);
+    for inst in phat_suite(args.scale) {
+        let Some(min) = compute_min(&inst, args) else {
+            t.row(vec![inst.name.clone(), "?".into(), "?".into(), "?".into(), String::new()]);
+            continue;
+        };
+        let mut cells = vec![inst.name.clone()];
+        for imp in Impl::ALL {
+            let solver = make_solver(imp, args, Some(args.deadline));
+            let r = solver.solve_pvc(&inst.graph, min);
+            cells.push(fmt_seconds(r.stats.seconds(), r.stats.timed_out));
+        }
+        cells.push(
+            prior
+                .iter()
+                .find(|(n, _)| *n == inst.name)
+                .map_or(String::from("-"), |(_, s)| format!("{s:.1}")),
+        );
+        t.row(cells);
+    }
+    t.print();
+}
+
+/// **Figure 5** — distribution of load (tree nodes visited per SM,
+/// normalized to the mean) for StackOnly vs Hybrid on the suite's two
+/// degree extremes × the four problem instances.
+pub fn fig5(args: &BenchArgs) {
+    println!("\n=== Figure 5: per-SM load distribution (normalized to mean) ===");
+    println!(
+        "blocks={} on {} SMs; load = tree nodes visited per SM / mean",
+        args.grid, args.sms
+    );
+    let (high, low) = fig5_pair(args.scale);
+    let mut t = Table::new(vec![
+        "graph", "problem", "impl", "min", "q25", "median", "q75", "max", "imbalance",
+    ]);
+    for inst in [&high, &low] {
+        let Some(min) = compute_min(inst, args) else {
+            eprintln!("[fig5] {}: exact MVC unknown, skipping", inst.name);
+            continue;
+        };
+        for p in Problem::ALL {
+            for imp in [Impl::StackOnly, Impl::Hybrid] {
+                let solver = make_solver(imp, args, Some(args.deadline));
+                let report = match p.k(min) {
+                    None => solver.solve_mvc(&inst.graph).stats.report,
+                    Some(k) => solver.solve_pvc(&inst.graph, k).stats.report,
+                };
+                let load: &SmLoad = &report.sm_load;
+                t.row(vec![
+                    inst.name.clone(),
+                    p.label().to_string(),
+                    imp.label().to_string(),
+                    format!("{:.2}", load.min()),
+                    format!("{:.2}", load.quantile(0.25)),
+                    format!("{:.2}", load.quantile(0.5)),
+                    format!("{:.2}", load.quantile(0.75)),
+                    format!("{:.2}", load.max()),
+                    format!("{:.3}", load.imbalance()),
+                ]);
+            }
+        }
+        t.separator();
+    }
+    t.print();
+    println!("(imbalance = coefficient of variation across SMs; 0 = perfectly balanced)");
+}
+
+/// **Figure 6** — breakdown of the Hybrid MVC kernel's time across the
+/// eleven activities, per graph, with the cross-graph mean.
+pub fn fig6(args: &BenchArgs) {
+    println!("\n=== Figure 6: breakdown of Hybrid MVC execution time ===");
+    let instances = suite(args.scale);
+    let mut per_graph: Vec<(String, Vec<(Activity, f64)>)> = Vec::new();
+    for inst in &instances {
+        let solver = make_solver(Impl::Hybrid, args, Some(args.deadline));
+        let r = solver.solve_mvc(&inst.graph);
+        per_graph.push((inst.name.clone(), r.stats.report.activity_breakdown()));
+    }
+    let mut headers = vec!["activity".to_string()];
+    headers.extend(per_graph.iter().map(|(n, _)| shorten(n)));
+    headers.push("Mean".to_string());
+    let mut t = Table::new(headers);
+    for (ai, a) in Activity::ALL.iter().enumerate() {
+        let mut cells = vec![a.label().to_string()];
+        let mut sum = 0.0;
+        for (_, shares) in &per_graph {
+            let s = shares[ai].1;
+            sum += s;
+            cells.push(format!("{:.1}%", s * 100.0));
+        }
+        cells.push(format!("{:.1}%", sum / per_graph.len().max(1) as f64 * 100.0));
+        t.row(cells);
+    }
+    // Family subtotals, matching the paper's three groups.
+    t.separator();
+    for family in [
+        parvc_simgpu::counters::ActivityFamily::WorkDistribution,
+        parvc_simgpu::counters::ActivityFamily::Reducing,
+        parvc_simgpu::counters::ActivityFamily::Branching,
+    ] {
+        let mut cells = vec![format!("[{}]", family.label())];
+        let mut sum = 0.0;
+        for (_, shares) in &per_graph {
+            let s: f64 =
+                shares.iter().filter(|(a, _)| a.family() == family).map(|(_, s)| s).sum();
+            sum += s;
+            cells.push(format!("{:.1}%", s * 100.0));
+        }
+        cells.push(format!("{:.1}%", sum / per_graph.len().max(1) as f64 * 100.0));
+        t.row(cells);
+    }
+    t.print();
+}
+
+fn shorten(name: &str) -> String {
+    name.replace("p_hat_", "ph")
+        .replace("_like", "")
+        .replace("wiki_link_", "wiki_")
+        .replace("vc_exact_", "vce_")
+        .replace("power_grid", "pgrid")
+        .replace("sister_cities", "sister")
+}
+
+/// **§V-A sensitivity** — robustness to sub-optimal block size,
+/// StackOnly start depth, and Hybrid worklist size/threshold. Reported
+/// as geomean and worst-case slowdown of the worst configuration vs the
+/// best, mirroring the paper's in-text numbers.
+pub fn sensitivity(args: &BenchArgs) {
+    println!("\n=== §V-A sensitivity analysis ===");
+    let reps = representative_subset(args);
+    println!(
+        "subset: {}",
+        reps.iter().map(|i| i.name.as_str()).collect::<Vec<_>>().join(", ")
+    );
+
+    // (a) Block size: affects model device time via ceil(n/B); the
+    // metric is simulated device cycles.
+    for (label, imp) in [("StackOnly", Impl::StackOnly), ("Hybrid", Impl::Hybrid)] {
+        let mut worst_over_best = Vec::new();
+        let mut worst_case: f64 = 0.0;
+        for inst in &reps {
+            let req = LaunchRequest {
+                num_vertices: inst.graph.num_vertices(),
+                stack_depth: 32,
+                worklist_entries: 0,
+                force_variant: None,
+                force_block_size: None,
+            };
+            let device = DeviceSpec::scaled(args.sms);
+            let mut cycles = Vec::new();
+            for bs in candidate_block_sizes(&device, &req) {
+                let solver = solver_with(imp, args, |b| b.block_size(bs));
+                let r = solver.solve_mvc(&inst.graph);
+                if !r.stats.timed_out {
+                    cycles.push(r.stats.device_cycles.max(1) as f64);
+                }
+            }
+            if cycles.len() >= 2 {
+                let best = cycles.iter().cloned().fold(f64::INFINITY, f64::min);
+                let worst = cycles.iter().cloned().fold(0.0, f64::max);
+                worst_over_best.push(worst / best);
+                worst_case = worst_case.max(worst / best);
+            }
+        }
+        println!(
+            "block size ({label}): worst-config slowdown geomean {:.2}x, worst case {:.2}x \
+             (paper: {} avg / {} worst)",
+            geomean(&worst_over_best),
+            worst_case,
+            if imp == Impl::StackOnly { "1.55x" } else { "1.39x" },
+            if imp == Impl::StackOnly { "2.40x" } else { "1.80x" },
+        );
+    }
+
+    // (b) StackOnly start depth (wall time, like the paper).
+    {
+        let mut ratios = Vec::new();
+        let mut worst: f64 = 0.0;
+        for inst in &reps {
+            let mut times = Vec::new();
+            for depth in [4u32, 8, 12] {
+                let solver = Solver::builder()
+                    .algorithm(Algorithm::StackOnly { start_depth: depth })
+                    .device(DeviceSpec::scaled(args.sms))
+                    .grid_limit(Some(args.grid))
+                    .deadline(Some(args.deadline))
+                    .build();
+                let r = solver.solve_mvc(&inst.graph);
+                if !r.stats.timed_out {
+                    times.push(r.stats.seconds().max(1e-4));
+                }
+            }
+            if times.len() >= 2 {
+                let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+                let worst_t = times.iter().cloned().fold(0.0, f64::max);
+                ratios.push(worst_t / best);
+                worst = worst.max(worst_t / best);
+            }
+        }
+        println!(
+            "StackOnly start depth {{4,8,12}}: worst-config slowdown geomean {:.2}x, worst case \
+             {:.2}x (paper: 1.18x avg / 1.37x worst)",
+            geomean(&ratios),
+            worst
+        );
+    }
+
+    // (c) Hybrid worklist capacity × threshold (wall time).
+    {
+        let mut ratios = Vec::new();
+        let mut worst: f64 = 0.0;
+        for inst in &reps {
+            let mut times = Vec::new();
+            for cap in [1usize << 10, 1 << 12, 1 << 14] {
+                for frac in [0.25, 0.5, 0.75, 1.0] {
+                    let solver = solver_with(Impl::Hybrid, args, |b| {
+                        b.worklist_capacity(cap).threshold_frac(frac)
+                    });
+                    let r = solver.solve_mvc(&inst.graph);
+                    if !r.stats.timed_out {
+                        times.push(r.stats.seconds().max(1e-4));
+                    }
+                }
+            }
+            if times.len() >= 2 {
+                let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+                let worst_t = times.iter().cloned().fold(0.0, f64::max);
+                ratios.push(worst_t / best);
+                worst = worst.max(worst_t / best);
+            }
+        }
+        println!(
+            "Hybrid worklist size x threshold: worst-config slowdown geomean {:.2}x, worst case \
+             {:.2}x (paper: 1.18x avg / 1.32x worst)",
+            geomean(&ratios),
+            worst
+        );
+    }
+}
+
+fn solver_with(
+    imp: Impl,
+    args: &BenchArgs,
+    f: impl FnOnce(parvc_core::SolverBuilder) -> parvc_core::SolverBuilder,
+) -> Solver {
+    let algorithm = match imp {
+        Impl::Sequential => Algorithm::Sequential,
+        Impl::StackOnly => Algorithm::StackOnly { start_depth: args.start_depth },
+        Impl::Hybrid => Algorithm::Hybrid,
+    };
+    f(Solver::builder()
+        .algorithm(algorithm)
+        .device(DeviceSpec::scaled(args.sms))
+        .grid_limit(Some(args.grid))
+        .deadline(Some(args.deadline)))
+    .build()
+}
+
+/// Medium-hard instances used for sweeps (hard enough to measure,
+/// finishing well within the budget).
+fn representative_subset(args: &BenchArgs) -> Vec<Instance> {
+    let names = ["p_hat_150_3", "p_hat_200_2", "wiki_link_lo_like", "sister_cities_like"];
+    suite(args.scale).into_iter().filter(|i| names.contains(&i.name.as_str())).collect()
+}
+
+/// **Extensions ablation** — the paper-faithful rule set vs the two
+/// optional strengthenings (domination rule, matching lower bound):
+/// how much smaller does the search tree get, and at what overhead?
+pub fn extensions_ablation(args: &BenchArgs) {
+    println!("\n=== Ablation: optional extensions beyond the paper's rules ===");
+    let reps = representative_subset(args);
+    let mut t = Table::new(vec!["graph", "extensions", "time(s)", "tree nodes", "vs baseline"]);
+    for inst in &reps {
+        let mut baseline_nodes = 0u64;
+        for (label, ext) in [
+            ("none (paper-faithful)", Extensions::NONE),
+            ("+domination", Extensions { domination_rule: true, matching_lower_bound: false }),
+            ("+matching LB", Extensions { domination_rule: false, matching_lower_bound: true }),
+            ("+both", Extensions::ALL),
+        ] {
+            let solver = solver_with(Impl::Hybrid, args, |b| b.extensions(ext));
+            let r = solver.solve_mvc(&inst.graph);
+            if ext == Extensions::NONE {
+                baseline_nodes = r.stats.tree_nodes.max(1);
+            }
+            t.row(vec![
+                inst.name.clone(),
+                label.to_string(),
+                fmt_seconds(r.stats.seconds(), r.stats.timed_out),
+                r.stats.tree_nodes.to_string(),
+                format!("{:.2}x nodes", r.stats.tree_nodes as f64 / baseline_nodes as f64),
+            ]);
+        }
+        t.separator();
+    }
+    t.print();
+}
+
+/// **Ablation** — the Hybrid scheme vs its two degenerate extremes,
+/// quantifying §IV-A's trade-off: a pure global worklist explodes and
+/// serializes on the queue; pure local stacks starve idle blocks.
+pub fn ablation(args: &BenchArgs) {
+    println!("\n=== Ablation: donation policy (threshold) extremes ===");
+    let reps = representative_subset(args);
+    let mut t = Table::new(vec![
+        "graph",
+        "policy",
+        "time(s)",
+        "device cycles",
+        "tree nodes",
+        "donated",
+        "bounced",
+        "imbalance",
+    ]);
+    for inst in &reps {
+        for (label, frac, cap) in [
+            ("never-donate (pure stacks)", 0.0, 1usize << 14),
+            ("hybrid (0.25 x 16K)", 0.25, 1 << 14),
+            ("hybrid (0.75 x 16K)", 0.75, 1 << 14),
+            ("always-donate (pure worklist)", 1.0, 1 << 20),
+        ] {
+            let solver =
+                solver_with(Impl::Hybrid, args, |b| b.worklist_capacity(cap).threshold_frac(frac));
+            let r = solver.solve_mvc(&inst.graph);
+            let donated: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
+            let bounced: u64 = r.stats.report.blocks.iter().map(|b| b.donations_bounced).sum();
+            t.row(vec![
+                inst.name.clone(),
+                label.to_string(),
+                fmt_seconds(r.stats.seconds(), r.stats.timed_out),
+                r.stats.device_cycles.to_string(),
+                r.stats.tree_nodes.to_string(),
+                donated.to_string(),
+                bounced.to_string(),
+                format!("{:.3}", r.stats.report.sm_load.imbalance()),
+            ]);
+        }
+        t.separator();
+    }
+    t.print();
+}

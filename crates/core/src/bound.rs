@@ -1,0 +1,122 @@
+//! Search bounds: the MVC/PVC stopping conditions and the high-degree
+//! rule threshold (§II-B).
+
+use crate::node::TreeNode;
+
+/// The bound driving pruning and the high-degree rule. MVC and PVC
+/// differ only here (§II-B): MVC prunes against the best cover found so
+/// far, PVC against the fixed parameter `k`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchBound {
+    /// Minimum vertex cover: beat `best` (a snapshot of the global
+    /// atomic best at node-visit time, exactly like a kernel reading it
+    /// from global memory).
+    Mvc {
+        /// Size of the best cover known when the node was visited.
+        best: u32,
+    },
+    /// Parameterized vertex cover: find any cover of size ≤ `k`.
+    Pvc {
+        /// The parameter `k`.
+        k: u32,
+    },
+}
+
+impl SearchBound {
+    /// The high-degree rule threshold: a live vertex with degree
+    /// strictly greater than this must join the cover. `None` when the
+    /// budget is already spent (the node will be pruned by
+    /// [`prune`](Self::prune); applying the rule with a negative
+    /// threshold would meaninglessly consume the whole graph).
+    pub fn high_degree_threshold(&self, cover_size: u32) -> Option<i64> {
+        let t = match *self {
+            SearchBound::Mvc { best } => best as i64 - cover_size as i64 - 1,
+            SearchBound::Pvc { k } => k as i64 - cover_size as i64,
+        };
+        (t >= 0).then_some(t)
+    }
+
+    /// The stopping condition (Figure 1 line 5 / Figure 4 line 12): no
+    /// better/feasible solution can exist at this node or below.
+    ///
+    /// Sub-condition 1: the cover budget is spent. Sub-condition 2: the
+    /// high-degree rule capped every live degree at the threshold `t`,
+    /// and at most `t` more vertices may be added, so at most `t²` edges
+    /// can still be covered — more live edges than that is hopeless.
+    pub fn prune(&self, node: &TreeNode) -> bool {
+        match *self {
+            SearchBound::Mvc { best } => {
+                if node.cover_size() >= best {
+                    return true;
+                }
+                let budget = (best - node.cover_size() - 1) as u64;
+                node.num_edges() > budget * budget
+            }
+            SearchBound::Pvc { k } => {
+                if node.cover_size() > k {
+                    return true;
+                }
+                let budget = (k - node.cover_size()) as u64;
+                node.num_edges() > budget * budget
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parvc_graph::gen;
+
+    fn node_with(g: &parvc_graph::CsrGraph, removed: &[u32]) -> TreeNode {
+        let mut n = TreeNode::root(g);
+        for &v in removed {
+            n.remove_into_cover(g, v);
+        }
+        n
+    }
+
+    #[test]
+    fn mvc_prunes_when_budget_spent() {
+        let g = gen::complete(5);
+        let n = node_with(&g, &[0, 1]); // |S| = 2
+        assert!(SearchBound::Mvc { best: 2 }.prune(&n));
+        assert!(SearchBound::Mvc { best: 1 }.prune(&n));
+        assert!(!SearchBound::Mvc { best: 5 }.prune(&n));
+    }
+
+    #[test]
+    fn mvc_edge_test() {
+        // K5 minus nothing: 10 edges. With best = 4 and |S| = 0 the edge
+        // budget is (4-0-1)² = 9 < 10 → prune even though |S| < best.
+        let g = gen::complete(5);
+        let n = TreeNode::root(&g);
+        assert!(SearchBound::Mvc { best: 4 }.prune(&n));
+        assert!(!SearchBound::Mvc { best: 5 }.prune(&n));
+    }
+
+    #[test]
+    fn pvc_allows_exactly_k() {
+        let g = gen::complete(4);
+        let n = node_with(&g, &[0, 1, 2]); // edgeless, |S| = 3
+        assert!(!SearchBound::Pvc { k: 3 }.prune(&n), "|S| == k with no edges is a solution");
+        assert!(SearchBound::Pvc { k: 2 }.prune(&n));
+    }
+
+    #[test]
+    fn pvc_edge_test_uses_k_budget() {
+        let g = gen::complete(5); // 10 edges
+        let n = TreeNode::root(&g);
+        assert!(SearchBound::Pvc { k: 3 }.prune(&n)); // 3² = 9 < 10
+        assert!(!SearchBound::Pvc { k: 4 }.prune(&n)); // 4² = 16 ≥ 10
+    }
+
+    #[test]
+    fn thresholds() {
+        assert_eq!(SearchBound::Mvc { best: 10 }.high_degree_threshold(3), Some(6));
+        assert_eq!(SearchBound::Pvc { k: 10 }.high_degree_threshold(3), Some(7));
+        assert_eq!(SearchBound::Mvc { best: 3 }.high_degree_threshold(3), None);
+        assert_eq!(SearchBound::Mvc { best: 4 }.high_degree_threshold(3), Some(0));
+        assert_eq!(SearchBound::Pvc { k: 2 }.high_degree_threshold(5), None);
+    }
+}

@@ -1,0 +1,79 @@
+//! Exhaustive exact MVC — the test oracle.
+//!
+//! Enumerates all `2^n` vertex subsets (so only for small `n`) and
+//! returns a minimum vertex cover. Used throughout the test suites to
+//! validate the branch-and-reduce solvers and the reduction rules.
+
+use parvc_graph::{CsrGraph, VertexId};
+
+/// Exact minimum vertex cover by subset enumeration. Panics for graphs
+/// with more than 24 vertices (the oracle is for tests).
+pub fn brute_force_mvc(g: &CsrGraph) -> (u32, Vec<VertexId>) {
+    let n = g.num_vertices();
+    assert!(n <= 24, "brute force oracle limited to 24 vertices, got {n}");
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    if edges.is_empty() {
+        return (0, Vec::new());
+    }
+    let mut best_mask = (1u32 << n) - 1;
+    let mut best_size = n;
+    for mask in 0u32..(1u32 << n) {
+        let size = mask.count_ones();
+        if size >= best_size {
+            continue;
+        }
+        if edges.iter().all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0) {
+            best_size = size;
+            best_mask = mask;
+        }
+    }
+    let cover = (0..n).filter(|&v| best_mask & (1 << v) != 0).collect();
+    (best_size, cover)
+}
+
+/// Whether a cover of size ≤ `k` exists (the PVC oracle).
+pub fn brute_force_pvc(g: &CsrGraph, k: u32) -> bool {
+    brute_force_mvc(g).0 <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::is_vertex_cover;
+    use parvc_graph::gen;
+
+    #[test]
+    fn known_optima() {
+        assert_eq!(brute_force_mvc(&gen::path(6)).0, 3);
+        assert_eq!(brute_force_mvc(&gen::cycle(5)).0, 3);
+        assert_eq!(brute_force_mvc(&gen::cycle(6)).0, 3);
+        assert_eq!(brute_force_mvc(&gen::complete(6)).0, 5);
+        assert_eq!(brute_force_mvc(&gen::star(8)).0, 1);
+        assert_eq!(brute_force_mvc(&gen::petersen()).0, 6);
+        assert_eq!(brute_force_mvc(&gen::paper_example()).0, 3);
+    }
+
+    #[test]
+    fn witness_is_a_cover() {
+        for seed in 0..5 {
+            let g = gen::gnp(10, 0.4, seed);
+            let (size, cover) = brute_force_mvc(&g);
+            assert_eq!(cover.len() as u32, size);
+            assert!(is_vertex_cover(&g, &cover));
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_has_empty_cover() {
+        let g = CsrGraph::from_edges(5, &[]).unwrap();
+        assert_eq!(brute_force_mvc(&g), (0, vec![]));
+    }
+
+    #[test]
+    fn pvc_oracle_thresholds() {
+        let g = gen::cycle(5); // MVC = 3
+        assert!(!brute_force_pvc(&g, 2));
+        assert!(brute_force_pvc(&g, 3));
+        assert!(brute_force_pvc(&g, 4));
+    }
+}

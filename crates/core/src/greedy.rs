@@ -1,0 +1,141 @@
+//! The greedy MVC approximation (§II-B).
+//!
+//! Runs on the CPU before every kernel launch, serving two roles:
+//! it initializes the global `best` (Figure 1 line 1), and its size
+//! bounds the search depth, sizing the pre-allocated per-block stacks
+//! (§IV-E) — no branch ever covers more vertices than `best`.
+
+use parvc_graph::{CsrGraph, VertexId};
+use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::CostModel;
+
+use crate::bound::SearchBound;
+use crate::ops::Kernel;
+use crate::TreeNode;
+
+/// Greedy approximate minimum vertex cover: apply all reduction rules,
+/// remove the max-degree vertex, repeat until edgeless. Returns the
+/// cover size and the cover itself.
+pub fn greedy_mvc(g: &CsrGraph) -> (u32, Vec<VertexId>) {
+    let cost = CostModel::default();
+    let kernel = Kernel::sequential(g, &cost);
+    let mut counters = BlockCounters::new(u32::MAX);
+    let mut node = TreeNode::root(g);
+    // No `best` exists yet, so the high-degree rule is inert
+    // (`u32::MAX` budget); degree-one and degree-two-triangle do fire.
+    let bound = SearchBound::Mvc { best: u32::MAX };
+    loop {
+        kernel.reduce(&mut node, bound, &mut counters);
+        if node.is_edgeless() {
+            break;
+        }
+        let vmax = kernel
+            .find_max_degree(&node, &mut counters)
+            .expect("non-edgeless graph has vertices");
+        kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, &mut counters);
+    }
+    (node.cover_size(), node.cover_vertices())
+}
+
+/// The classic maximal-matching 2-approximation (Gavril/Yannakakis):
+/// both endpoints of every edge of a maximal matching. Guaranteed
+/// within 2× of the optimum in linear time — the paper's §I cites this
+/// approximation line of work; it also provides an independent sanity
+/// band for the exact solvers (`opt ∈ [|cover|/2, |cover|]`).
+pub fn two_approx_mvc(g: &CsrGraph) -> Vec<VertexId> {
+    let matching = parvc_graph::matching::greedy_maximal_matching(g);
+    let mut cover = Vec::with_capacity(matching.len() * 2);
+    for (u, v) in matching {
+        cover.push(u);
+        cover.push(v);
+    }
+    cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_mvc;
+    use crate::verify::is_vertex_cover;
+    use parvc_graph::gen;
+
+    #[test]
+    fn greedy_returns_a_valid_cover() {
+        for seed in 0..8 {
+            let g = gen::gnp(40, 0.15, seed);
+            let (size, cover) = greedy_mvc(&g);
+            assert_eq!(size as usize, cover.len());
+            assert!(is_vertex_cover(&g, &cover), "seed {seed} produced a non-cover");
+        }
+    }
+
+    #[test]
+    fn greedy_is_at_least_optimal() {
+        for seed in 0..8 {
+            let g = gen::gnp(12, 0.3, seed);
+            let (greedy, _) = greedy_mvc(&g);
+            let (opt, _) = brute_force_mvc(&g);
+            assert!(greedy >= opt, "seed {seed}: greedy {greedy} below optimum {opt}");
+        }
+    }
+
+    #[test]
+    fn greedy_exact_on_easy_shapes() {
+        // Reductions alone solve paths, stars, and trees optimally.
+        assert_eq!(greedy_mvc(&gen::path(9)).0, 4);
+        assert_eq!(greedy_mvc(&gen::star(10)).0, 1);
+        assert_eq!(greedy_mvc(&gen::paper_example()).0, 3);
+    }
+
+    #[test]
+    fn greedy_on_clique() {
+        // K_n: every step removes one vertex; cover of n-1 is optimal.
+        assert_eq!(greedy_mvc(&gen::complete(7)).0, 6);
+    }
+
+    #[test]
+    fn greedy_on_edgeless_is_empty() {
+        let g = parvc_graph::CsrGraph::from_edges(6, &[]).unwrap();
+        assert_eq!(greedy_mvc(&g), (0, vec![]));
+    }
+
+    #[test]
+    fn two_approx_is_a_cover_within_factor_two() {
+        for seed in 0..10 {
+            let g = gen::gnp(14, 0.3, seed + 40);
+            let cover = two_approx_mvc(&g);
+            assert!(is_vertex_cover(&g, &cover), "seed {seed}");
+            let (opt, _) = brute_force_mvc(&g);
+            assert!(
+                cover.len() as u32 <= 2 * opt,
+                "seed {seed}: {} > 2 x {opt}",
+                cover.len()
+            );
+            // Lower-bound side: |matching| = |cover|/2 <= opt.
+            assert!(cover.len() as u32 / 2 <= opt);
+        }
+    }
+
+    #[test]
+    fn two_approx_tight_on_perfect_matchings() {
+        // Disjoint edges: 2-approx takes both endpoints (2x optimal).
+        let edges: Vec<(u32, u32)> = (0..8).map(|i| (2 * i, 2 * i + 1)).collect();
+        let g = parvc_graph::CsrGraph::from_edges(16, &edges).unwrap();
+        assert_eq!(two_approx_mvc(&g).len(), 16);
+        assert_eq!(brute_force_mvc(&g).0, 8);
+    }
+
+    #[test]
+    fn two_approx_on_regular_graphs() {
+        // The hard family: no structure for greedy rules to exploit,
+        // but the matching bound still brackets the optimum.
+        let g = gen::random_regular(40, 3, 8);
+        let approx = two_approx_mvc(&g).len() as u32;
+        let exact = crate::Solver::builder()
+            .algorithm(crate::Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g)
+            .size;
+        assert!(approx / 2 <= exact && exact <= approx);
+    }
+}

@@ -1,0 +1,230 @@
+//! The Hybrid traversal — the paper's contribution (Figure 4, §IV-A).
+//!
+//! Every thread block traverses a sub-tree depth-first with its local
+//! stack, **but** on each branching it first looks at the global
+//! worklist: below the threshold, the remove-`N(vmax)` child is donated
+//! there for any starving block to pick up; at or above it, the child
+//! goes onto the local stack as usual. Blocks that run out of local work
+//! pull a new sub-tree root from the worklist, and the §IV-C protocol
+//! detects when the whole traversal is finished.
+//!
+//! The threshold is the whole trick: it caps the worklist population, so
+//! the breadth-first explosion and the queue contention of a pure
+//! worklist scheme never materialize, while still keeping *just enough*
+//! shareable work around that no block sits idle.
+
+use parvc_graph::{CsrGraph, VertexId};
+use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::runtime::run_blocks;
+use parvc_simgpu::{CostModel, DeviceSpec, LaunchConfig};
+use parvc_worklist::{LocalStack, PopOutcome, Worklist};
+
+use crate::extensions::Extensions;
+use crate::ops::Kernel;
+use crate::shared::{BoundKind, BoundSrc, Deadline, GlobalBest, PvcFound, RawParallel, RawParallelPvc};
+use crate::TreeNode;
+
+/// Hybrid tuning knobs. The paper sweeps worklist sizes of 128K–512K
+/// entries and thresholds of 0.25–1.0× the size.
+#[derive(Debug, Clone)]
+pub struct HybridParams {
+    /// Global worklist capacity, in tree-node entries.
+    pub worklist_capacity: usize,
+    /// Donation threshold, as a fraction of capacity: donate only while
+    /// `numEntries < threshold_frac * capacity` (Figure 4 line 23).
+    pub threshold_frac: f64,
+    /// Starved-block poll sleep (§IV-C "sleep for some time").
+    pub poll_sleep: std::time::Duration,
+}
+
+impl Default for HybridParams {
+    fn default() -> Self {
+        HybridParams {
+            worklist_capacity: 1 << 14,
+            threshold_frac: 0.75,
+            poll_sleep: std::time::Duration::from_micros(50),
+        }
+    }
+}
+
+impl HybridParams {
+    /// The absolute entry-count threshold.
+    pub fn threshold_entries(&self) -> usize {
+        ((self.worklist_capacity as f64) * self.threshold_frac).ceil() as usize
+    }
+}
+
+/// Parallel MVC with the Hybrid scheme (Figure 4).
+pub fn solve_mvc(
+    g: &CsrGraph,
+    device: &DeviceSpec,
+    config: &LaunchConfig,
+    cost: &CostModel,
+    params: &HybridParams,
+    initial: (u32, Vec<VertexId>),
+    deadline: &Deadline,
+    ext: Extensions,
+) -> RawParallel {
+    let best = GlobalBest::new(initial.0, initial.1);
+    let depth_bound = initial.0 as usize + 2;
+    let bound_src = BoundSrc { kind: BoundKind::Mvc(&best), deadline };
+    let blocks = launch(g, device, config, cost, params, depth_bound, bound_src, ext);
+    let (best_size, best_cover) = best.into_result();
+    RawParallel { best_size, best_cover, blocks }
+}
+
+/// Parallel PVC with the Hybrid scheme.
+pub fn solve_pvc(
+    g: &CsrGraph,
+    device: &DeviceSpec,
+    config: &LaunchConfig,
+    cost: &CostModel,
+    params: &HybridParams,
+    k: u32,
+    deadline: &Deadline,
+    ext: Extensions,
+) -> RawParallelPvc {
+    let found = PvcFound::new();
+    let depth_bound = (k as usize).min(g.num_vertices() as usize) + 2;
+    let bound_src = BoundSrc { kind: BoundKind::Pvc { k, found: &found }, deadline };
+    let blocks = launch(g, device, config, cost, params, depth_bound, bound_src, ext);
+    RawParallelPvc { cover: found.into_result(), blocks }
+}
+
+fn launch(
+    g: &CsrGraph,
+    device: &DeviceSpec,
+    config: &LaunchConfig,
+    cost: &CostModel,
+    params: &HybridParams,
+    depth_bound: usize,
+    bound_src: BoundSrc<'_>,
+    ext: Extensions,
+) -> Vec<BlockCounters> {
+    let mut worklist = Worklist::with_capacity(params.worklist_capacity);
+    worklist.set_poll_sleep(params.poll_sleep);
+    worklist.seed(TreeNode::root(g));
+    let threshold = params.threshold_entries();
+
+    run_blocks(device, config, |ctx, counters| {
+        let kernel =
+            Kernel { graph: g, cost, block_size: ctx.block_size, variant: config.variant, ext };
+        block_main(&kernel, bound_src, &worklist, threshold, depth_bound, counters);
+    })
+}
+
+/// One block's execution of the Figure 4 loop.
+fn block_main(
+    kernel: &Kernel<'_>,
+    bound_src: BoundSrc<'_>,
+    worklist: &Worklist<TreeNode>,
+    threshold: usize,
+    depth_bound: usize,
+    counters: &mut BlockCounters,
+) {
+    let mut handle = worklist.handle();
+    let mut stack: LocalStack<TreeNode> = LocalStack::with_depth_bound(depth_bound);
+    let mut current: Option<TreeNode> = None;
+
+    loop {
+        // PVC found-flag / deadline check before taking new work
+        // (§IV-A). Signal done so starving peers wake promptly.
+        if bound_src.should_abort() {
+            worklist.signal_done();
+            counters.charge(Activity::Terminate, kernel.cost.atomic_op);
+            break;
+        }
+        // Figure 4 lines 4–10: current child, else stack, else worklist.
+        let mut node = match current.take() {
+            Some(n) => n,
+            None => match stack.pop() {
+                Some(n) => {
+                    kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
+                    n
+                }
+                None => {
+                    let (outcome, pop_stats) = handle.pop_with_stats();
+                    counters.charge(
+                        Activity::RemoveFromWorklist,
+                        pop_stats.attempts * kernel.cost.queue_op
+                            + pop_stats.sleeps * kernel.cost.poll_sleep,
+                    );
+                    match outcome {
+                        PopOutcome::Item(n) => {
+                            counters.nodes_from_worklist += 1;
+                            kernel.charge_node_copy(
+                                n.len(),
+                                Activity::RemoveFromWorklist,
+                                counters,
+                            );
+                            n
+                        }
+                        PopOutcome::Done => {
+                            counters.charge(Activity::Terminate, kernel.cost.queue_op);
+                            break;
+                        }
+                    }
+                }
+            },
+        };
+
+        // Figure 4 line 11 onward: reduce, check, branch.
+        counters.tree_nodes_visited += 1;
+        kernel.reduce(&mut node, bound_src.bound(), counters);
+        if kernel.prune(&node, bound_src.bound()) {
+            continue;
+        }
+        let Some(vmax) = kernel.find_max_degree(&node, counters) else {
+            if bound_src.on_solution(&node) {
+                // PVC: end the search — wake starving peers too.
+                worklist.signal_done();
+                break;
+            }
+            continue;
+        };
+        if node.degree(vmax) == 0 {
+            // New solution (Figure 4 lines 17–19).
+            if bound_src.on_solution(&node) {
+                worklist.signal_done();
+                break;
+            }
+            continue;
+        }
+
+        // Branch (lines 20–29): build the remove-N(vmax) child …
+        let mut left = node.clone();
+        kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, counters);
+        // … donate it if the worklist is hungry, else stack it …
+        if handle.len_hint() >= threshold {
+            kernel.charge_node_copy(left.len(), Activity::PushToStack, counters);
+            push_local(&mut stack, left);
+        } else {
+            let len = left.len();
+            match handle.add(left) {
+                Ok(()) => {
+                    counters.nodes_donated += 1;
+                    kernel.charge_node_copy(len, Activity::AddToWorklist, counters);
+                    counters.charge(Activity::AddToWorklist, kernel.cost.queue_op);
+                }
+                Err(back) => {
+                    // Queue filled between the check and the add: fall
+                    // back to the local stack (never drop work).
+                    counters.donations_bounced += 1;
+                    kernel.charge_node_copy(back.len(), Activity::PushToStack, counters);
+                    push_local(&mut stack, back);
+                }
+            }
+        }
+        // … and continue in-place with the remove-vmax child.
+        kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, counters);
+        current = Some(node);
+        counters.max_stack_depth = counters.max_stack_depth.max(stack.len() as u64);
+    }
+    counters.max_stack_depth = counters.max_stack_depth.max(stack.high_water() as u64);
+}
+
+fn push_local(stack: &mut LocalStack<TreeNode>, node: TreeNode) {
+    stack
+        .push(node)
+        .unwrap_or_else(|_| panic!("stack depth bound violated (bound {})", stack.bound()));
+}

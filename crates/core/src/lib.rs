@@ -1,0 +1,46 @@
+//! # parvc-core — branch-and-reduce vertex cover solvers
+//!
+//! The primary contribution of *"Parallel Vertex Cover Algorithms on
+//! GPUs"* (IPDPS 2022), reproduced on the `parvc-simgpu` execution
+//! model:
+//!
+//! * [`TreeNode`] — the degree-array intermediate graph (§IV-B):
+//!   compact and self-contained, so tree nodes can move through the
+//!   global worklist.
+//! * [`ops::Kernel`] — block-cooperative graph operations with Figure 6
+//!   cycle accounting; [`reduce`] adds the three reduction rules with
+//!   the §IV-D parallel conflict-resolution semantics.
+//! * [`sequential`], [`stackonly`], [`hybrid`] — the paper's three code
+//!   versions: the CPU baseline (Figure 1), prior work's fixed-depth
+//!   sub-tree scheme, and the contribution — local stacks plus a
+//!   threshold-gated global worklist (Figure 4).
+//! * [`Solver`] — the public façade: pick an [`Algorithm`], a
+//!   [`parvc_simgpu::DeviceSpec`], and call
+//!   [`solve_mvc`](Solver::solve_mvc) / [`solve_pvc`](Solver::solve_pvc)
+//!   (or [`Solver::solve_mis`] via the MVC↔MIS equivalence).
+//! * [`greedy`] (the initial bound), [`brute`] (the test oracle),
+//!   [`verify`] (solution checking).
+
+#![warn(missing_docs)]
+
+pub mod bound;
+pub mod brute;
+pub mod extensions;
+pub mod greedy;
+pub mod hybrid;
+pub mod mis;
+mod node;
+pub mod ops;
+pub mod reduce;
+pub mod sequential;
+pub mod shared;
+mod solver;
+pub mod stackonly;
+mod stats;
+pub mod verify;
+
+pub use extensions::Extensions;
+pub use node::{TreeNode, REMOVED};
+pub use solver::{Algorithm, Solver, SolverBuilder};
+pub use stats::{MisResult, MvcResult, PvcResult, SolveStats};
+pub use verify::{is_independent_set, is_vertex_cover};

@@ -1,0 +1,70 @@
+//! Maximum independent set via vertex cover (§VI).
+//!
+//! "MIS is equivalent to MVC since the complement of a minimum vertex
+//! cover is a maximum independent set" — the complement being with
+//! respect to the vertex set, not the edge set: `MIS(G) = V ∖ MVC(G)`.
+
+use parvc_graph::CsrGraph;
+
+use crate::stats::MisResult;
+use crate::Solver;
+
+impl Solver {
+    /// Solves MAXIMUM INDEPENDENT SET on `g` by solving MVC and taking
+    /// the complement vertex set.
+    pub fn solve_mis(&self, g: &CsrGraph) -> MisResult {
+        let mvc = self.solve_mvc(g);
+        let mut in_cover = vec![false; g.num_vertices() as usize];
+        for &v in &mvc.cover {
+            in_cover[v as usize] = true;
+        }
+        let set: Vec<u32> = g.vertices().filter(|&v| !in_cover[v as usize]).collect();
+        MisResult { size: g.num_vertices() - mvc.size, set, stats: mvc.stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::verify::is_independent_set;
+    use crate::{Algorithm, Solver};
+    use parvc_graph::gen;
+
+    #[test]
+    fn mis_of_known_graphs() {
+        let solver = Solver::builder().algorithm(Algorithm::Sequential).build();
+        // Petersen: MVC 6 → MIS 4.
+        let r = solver.solve_mis(&gen::petersen());
+        assert_eq!(r.size, 4);
+        assert!(is_independent_set(&gen::petersen(), &r.set));
+        // C5: MVC 3 → MIS 2. K6: MIS 1. Star: MIS n-1.
+        assert_eq!(solver.solve_mis(&gen::cycle(5)).size, 2);
+        assert_eq!(solver.solve_mis(&gen::complete(6)).size, 1);
+        assert_eq!(solver.solve_mis(&gen::star(9)).size, 8);
+    }
+
+    #[test]
+    fn mis_plus_mvc_is_v() {
+        let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(4)).build();
+        for seed in 0..3 {
+            let g = gen::gnp(14, 0.3, seed + 500);
+            let mis = solver.solve_mis(&g);
+            assert_eq!(mis.size as usize, mis.set.len());
+            assert_eq!(mis.size + solver.solve_mvc(&g).size, 14);
+            assert!(is_independent_set(&g, &mis.set));
+        }
+    }
+
+    #[test]
+    fn mis_independence_cross_checked_with_clique_in_complement() {
+        // An independent set of G is a clique of complement(G).
+        let g = gen::gnp(12, 0.4, 9);
+        let comp = parvc_graph::ops::complement(&g);
+        let solver = Solver::builder().algorithm(Algorithm::Sequential).build();
+        let mis = solver.solve_mis(&g);
+        for (i, &u) in mis.set.iter().enumerate() {
+            for &v in &mis.set[i + 1..] {
+                assert!(comp.has_edge(u, v), "MIS members {u},{v} not adjacent in complement");
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Block-cooperative graph operations with cost accounting (§IV-B).
+//!
+//! On the GPU every operation on the intermediate graph is executed
+//! cooperatively by the block's threads: a reduction tree finds the
+//! max-degree vertex, neighborhood updates are spread across threads.
+//! [`Kernel`] bundles what those operations need — the immutable CSR
+//! graph and the "hardware" context (cost model, block size, kernel
+//! variant) — and charges model cycles to the right Figure 6 activity as
+//! it goes.
+
+use parvc_graph::{CsrGraph, VertexId};
+use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::{CostModel, KernelVariant};
+
+use crate::extensions::Extensions;
+
+/// Execution context for one thread block: the shared original graph
+/// plus the cost-model parameters of the launch.
+#[derive(Clone, Copy)]
+pub struct Kernel<'a> {
+    /// The immutable original graph (single copy, all blocks).
+    pub graph: &'a CsrGraph,
+    /// Cycle prices.
+    pub cost: &'a CostModel,
+    /// Threads per block (`B` in `ceil(n/B)`).
+    pub block_size: u32,
+    /// Where the working node lives (shared vs global memory).
+    pub variant: KernelVariant,
+    /// Optional pruning/reduction extensions (off = paper-faithful).
+    pub ext: Extensions,
+}
+
+impl<'a> Kernel<'a> {
+    /// A kernel context for single-thread execution (the Sequential
+    /// baseline): `B = 1`, working state in CPU memory (charged at the
+    /// shared-memory rate; sequential results are reported in wall time,
+    /// the cycles are informational).
+    pub fn sequential(graph: &'a CsrGraph, cost: &'a CostModel) -> Self {
+        Kernel {
+            graph,
+            cost,
+            block_size: 1,
+            variant: KernelVariant::SharedMem,
+            ext: Extensions::NONE,
+        }
+    }
+
+    /// Finds the live vertex with maximum degree (smallest id wins
+    /// ties), via a parallel reduction tree over the degree array.
+    /// Returns `None` only for a zero-vertex graph.
+    pub fn find_max_degree(
+        &self,
+        node: &crate::TreeNode,
+        counters: &mut BlockCounters,
+    ) -> Option<VertexId> {
+        counters.charge(
+            Activity::FindMaxDegree,
+            self.cost.reduction_tree(node.len() as u64, self.block_size, self.variant),
+        );
+        let mut best: Option<(i32, VertexId)> = None;
+        for v in 0..node.len() {
+            let d = node.degree(v);
+            if d < 0 {
+                continue;
+            }
+            match best {
+                Some((bd, _)) if bd >= d => {}
+                _ => best = Some((d, v)),
+            }
+        }
+        best.map(|(_, v)| v)
+    }
+
+    /// Removes a single vertex into the cover (Figure 4 lines 27–28 when
+    /// branching; also the mechanism of the high-degree and degree-one
+    /// rules). One thread writes the sentinel; the neighbors'
+    /// decrements are distributed across the block.
+    pub fn remove_vertex(
+        &self,
+        node: &mut crate::TreeNode,
+        v: VertexId,
+        activity: Activity,
+        counters: &mut BlockCounters,
+    ) {
+        let d = node.remove_into_cover(self.graph, v);
+        counters.charge(
+            activity,
+            self.cost.parallel_op(d as u64 + 1, self.block_size, self.variant)
+                + self.cost.atomic_op,
+        );
+    }
+
+    /// Removes all live neighbors of `v` into the cover (Figure 4 lines
+    /// 21–22). Each neighbor is handled by a thread that walks the
+    /// neighbor's own adjacency to decrement degrees, so the charged
+    /// work is the sum of the removed vertices' original degrees.
+    pub fn remove_neighbors(
+        &self,
+        node: &mut crate::TreeNode,
+        v: VertexId,
+        activity: Activity,
+        counters: &mut BlockCounters,
+    ) {
+        let mut updates = 0u64;
+        for i in 0..self.graph.neighbors(v).len() {
+            let u = self.graph.neighbors(v)[i];
+            if !node.is_removed(u) {
+                updates += node.remove_into_cover(self.graph, u) as u64 + 1;
+            }
+        }
+        counters.charge(
+            activity,
+            self.cost.parallel_op(updates, self.block_size, self.variant) + self.cost.atomic_op,
+        );
+    }
+
+    /// Charges the cost of moving a node between the working area and a
+    /// stack/worklist slot.
+    pub fn charge_node_copy(&self, node_len: u32, activity: Activity, counters: &mut BlockCounters) {
+        counters
+            .charge(activity, self.cost.node_copy(node_len, self.block_size, self.variant));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TreeNode;
+    use parvc_graph::gen;
+
+    fn kernel<'a>(g: &'a CsrGraph, cost: &'a CostModel) -> Kernel<'a> {
+        Kernel {
+            graph: g,
+            cost,
+            block_size: 32,
+            variant: KernelVariant::SharedMem,
+            ext: Extensions::NONE,
+        }
+    }
+
+    #[test]
+    fn find_max_prefers_smallest_id_on_tie() {
+        let g = gen::cycle(6); // all degree 2
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        assert_eq!(k.find_max_degree(&node, &mut c), Some(0));
+        assert!(c.cycles(Activity::FindMaxDegree) > 0);
+    }
+
+    #[test]
+    fn find_max_skips_removed() {
+        let g = gen::star(4);
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let mut node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        k.remove_vertex(&mut node, 0, Activity::RemoveMaxVertex, &mut c);
+        // Only leaves remain, all isolated now.
+        let v = k.find_max_degree(&node, &mut c).unwrap();
+        assert_ne!(v, 0);
+        assert_eq!(node.degree(v), 0);
+    }
+
+    #[test]
+    fn find_max_none_on_empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        assert_eq!(k.find_max_degree(&node, &mut c), None);
+    }
+
+    #[test]
+    fn remove_neighbors_covers_all_incident_edges() {
+        let g = gen::paper_example();
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let mut node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        k.remove_neighbors(&mut node, 2, Activity::RemoveNeighbors, &mut c);
+        // N(c) = {a, b, d, e}: all removed, graph edgeless, c isolated.
+        assert_eq!(node.cover_size(), 4);
+        assert!(node.is_edgeless());
+        assert_eq!(node.degree(2), 0);
+        node.check_consistency(&g).unwrap();
+        assert!(c.cycles(Activity::RemoveNeighbors) > 0);
+    }
+
+    #[test]
+    fn remove_neighbors_skips_already_removed() {
+        let g = gen::path(4); // 0-1-2-3
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let mut node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        k.remove_vertex(&mut node, 1, Activity::RemoveMaxVertex, &mut c);
+        k.remove_neighbors(&mut node, 2, Activity::RemoveNeighbors, &mut c);
+        // N(2) = {1 (already removed), 3}: only 3 joins.
+        assert_eq!(node.cover_size(), 2);
+        assert!(node.is_edgeless());
+        node.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn wider_blocks_charge_fewer_cycles() {
+        let g = gen::complete(64);
+        let cost = CostModel::default();
+        let node = TreeNode::root(&g);
+        let mut narrow = BlockCounters::new(0);
+        let mut wide = BlockCounters::new(1);
+        Kernel {
+            graph: &g,
+            cost: &cost,
+            block_size: 32,
+            variant: KernelVariant::SharedMem,
+            ext: Extensions::NONE,
+        }
+        .find_max_degree(&node, &mut narrow);
+        Kernel {
+            graph: &g,
+            cost: &cost,
+            block_size: 512,
+            variant: KernelVariant::SharedMem,
+            ext: Extensions::NONE,
+        }
+        .find_max_degree(&node, &mut wide);
+        assert!(
+            narrow.cycles(Activity::FindMaxDegree) > wide.cycles(Activity::FindMaxDegree) / 2,
+            "reduction-tree log term keeps wide blocks from being free"
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! The Sequential baseline — Figure 1, iteratively.
+//!
+//! A single CPU thread traverses the search tree depth-first with an
+//! explicit stack (matching the paper's evaluation baseline on the EPYC
+//! host). Child order follows the recursion in Figure 1: the
+//! remove-`vmax` child (line 11) is explored before the
+//! remove-`N(vmax)` child (line 12).
+
+use parvc_graph::{CsrGraph, VertexId};
+use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::CostModel;
+
+use crate::bound::SearchBound;
+use crate::extensions::Extensions;
+use crate::ops::Kernel;
+use crate::shared::Deadline;
+use crate::TreeNode;
+
+/// Outcome of a sequential traversal.
+#[derive(Debug)]
+pub struct SequentialOutcome {
+    /// Best cover size found (MVC) — `u32::MAX` if PVC found nothing.
+    pub best_size: u32,
+    /// Witness cover (empty if PVC found nothing).
+    pub best_cover: Vec<VertexId>,
+    /// Tree nodes visited.
+    pub tree_nodes: u64,
+    /// Cycle accounting (informational for the baseline).
+    pub counters: BlockCounters,
+}
+
+/// Sequential MVC (Figure 1). `initial` is the greedy approximation
+/// `(size, cover)` that seeds `best`.
+pub fn solve_mvc(
+    g: &CsrGraph,
+    cost: &CostModel,
+    initial: (u32, Vec<VertexId>),
+    deadline: &Deadline,
+    ext: Extensions,
+) -> SequentialOutcome {
+    let kernel = Kernel { ext, ..Kernel::sequential(g, cost) };
+    let mut counters = BlockCounters::new(0);
+    let (mut best, mut best_cover) = initial;
+    let mut tree_nodes = 0u64;
+    let mut stack = vec![TreeNode::root(g)];
+
+    while let Some(mut node) = stack.pop() {
+        if deadline.expired() {
+            break;
+        }
+        tree_nodes += 1;
+        let bound = SearchBound::Mvc { best };
+        kernel.reduce(&mut node, bound, &mut counters);
+        let bound = SearchBound::Mvc { best };
+        if kernel.prune(&node, bound) {
+            continue;
+        }
+        match kernel.find_max_degree(&node, &mut counters) {
+            None => {
+                // Zero-vertex graph: the empty set covers it.
+                if node.cover_size() < best {
+                    best = node.cover_size();
+                    best_cover = node.cover_vertices();
+                }
+            }
+            Some(vmax) if node.degree(vmax) == 0 => {
+                // Edgeless: new best (strictly better — prune passed).
+                best = node.cover_size();
+                best_cover = node.cover_vertices();
+            }
+            Some(vmax) => {
+                let mut left = node.clone();
+                kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, &mut counters);
+                kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, &mut counters);
+                stack.push(left);
+                stack.push(node); // popped first: Figure 1's child order
+            }
+        }
+    }
+    SequentialOutcome { best_size: best, best_cover, tree_nodes, counters }
+}
+
+/// Sequential PVC: finds any cover of size ≤ `k`, stopping at the first.
+pub fn solve_pvc(
+    g: &CsrGraph,
+    cost: &CostModel,
+    k: u32,
+    deadline: &Deadline,
+    ext: Extensions,
+) -> SequentialOutcome {
+    let kernel = Kernel { ext, ..Kernel::sequential(g, cost) };
+    let mut counters = BlockCounters::new(0);
+    let mut tree_nodes = 0u64;
+    let mut stack = vec![TreeNode::root(g)];
+    let bound = SearchBound::Pvc { k };
+
+    while let Some(mut node) = stack.pop() {
+        if deadline.expired() {
+            break;
+        }
+        tree_nodes += 1;
+        kernel.reduce(&mut node, bound, &mut counters);
+        if kernel.prune(&node, bound) {
+            continue;
+        }
+        match kernel.find_max_degree(&node, &mut counters) {
+            None => {
+                return SequentialOutcome {
+                    best_size: node.cover_size(),
+                    best_cover: node.cover_vertices(),
+                    tree_nodes,
+                    counters,
+                };
+            }
+            Some(vmax) if node.degree(vmax) == 0 => {
+                // Found a cover of size ≤ k: stop immediately (§II-B).
+                return SequentialOutcome {
+                    best_size: node.cover_size(),
+                    best_cover: node.cover_vertices(),
+                    tree_nodes,
+                    counters,
+                };
+            }
+            Some(vmax) => {
+                let mut left = node.clone();
+                kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, &mut counters);
+                kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, &mut counters);
+                stack.push(left);
+                stack.push(node);
+            }
+        }
+    }
+    SequentialOutcome { best_size: u32::MAX, best_cover: Vec::new(), tree_nodes, counters }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_mvc;
+    use crate::greedy::greedy_mvc;
+    use crate::verify::is_vertex_cover;
+    use parvc_graph::gen;
+
+    fn mvc(g: &CsrGraph) -> SequentialOutcome {
+        solve_mvc(g, &CostModel::default(), greedy_mvc(g), &Deadline::new(None), Extensions::NONE)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..12 {
+            let g = gen::gnp(14, 0.35, seed);
+            let out = mvc(&g);
+            let (opt, _) = brute_force_mvc(&g);
+            assert_eq!(out.best_size, opt, "seed {seed}");
+            assert!(is_vertex_cover(&g, &out.best_cover));
+            assert_eq!(out.best_cover.len() as u32, out.best_size);
+        }
+    }
+
+    #[test]
+    fn known_instances() {
+        assert_eq!(mvc(&gen::petersen()).best_size, 6);
+        assert_eq!(mvc(&gen::cycle(9)).best_size, 5);
+        assert_eq!(mvc(&gen::complete(8)).best_size, 7);
+        assert_eq!(mvc(&gen::paper_example()).best_size, 3);
+        assert_eq!(mvc(&gen::grid2d(4, 4)).best_size, 8);
+    }
+
+    #[test]
+    fn handles_edgeless_and_empty() {
+        let empty = CsrGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(mvc(&empty).best_size, 0);
+        let edgeless = CsrGraph::from_edges(5, &[]).unwrap();
+        assert_eq!(mvc(&edgeless).best_size, 0);
+    }
+
+    #[test]
+    fn pvc_agreement_with_mvc_size() {
+        for seed in 0..6 {
+            let g = gen::gnp(13, 0.3, seed + 100);
+            let min = mvc(&g).best_size;
+            let cost = CostModel::default();
+            // k = min - 1: infeasible (exhaustive search, no solution).
+            if min > 0 {
+                let below = solve_pvc(&g, &cost, min - 1, &Deadline::new(None), Extensions::NONE);
+                assert_eq!(below.best_size, u32::MAX, "seed {seed}: found sub-optimal cover");
+            }
+            // k = min and k = min + 1: feasible, returns a valid cover.
+            for dk in 0..2 {
+                let out = solve_pvc(&g, &cost, min + dk, &Deadline::new(None), Extensions::NONE);
+                assert!(out.best_size <= min + dk, "seed {seed}");
+                assert!(is_vertex_cover(&g, &out.best_cover));
+            }
+        }
+    }
+
+    #[test]
+    fn pvc_large_k_trivially_feasible() {
+        let g = gen::complete(6);
+        let out = solve_pvc(&g, &CostModel::default(), 100, &Deadline::new(None), Extensions::NONE);
+        assert!(out.best_size <= 6);
+        assert!(is_vertex_cover(&g, &out.best_cover));
+    }
+
+    #[test]
+    fn pvc_k_zero_on_nonempty_graph_fails() {
+        let g = gen::path(4);
+        let out = solve_pvc(&g, &CostModel::default(), 0, &Deadline::new(None), Extensions::NONE);
+        assert_eq!(out.best_size, u32::MAX);
+    }
+
+    #[test]
+    fn greedy_optimum_is_confirmed_not_degraded() {
+        // When greedy is already optimal the search must return it.
+        let g = gen::star(12);
+        let out = mvc(&g);
+        assert_eq!(out.best_size, 1);
+        assert!(is_vertex_cover(&g, &out.best_cover));
+    }
+
+    #[test]
+    fn visits_fewer_nodes_with_tighter_initial_bound() {
+        let g = gen::gnp(18, 0.4, 3);
+        let greedy = greedy_mvc(&g);
+        let loose = solve_mvc(&g, &CostModel::default(), (u32::MAX, (0..18).collect()), &Deadline::new(None), Extensions::NONE);
+        let tight = solve_mvc(&g, &CostModel::default(), greedy, &Deadline::new(None), Extensions::NONE);
+        assert_eq!(loose.best_size, tight.best_size);
+        assert!(
+            tight.tree_nodes <= loose.tree_nodes,
+            "greedy seeding must not increase work ({} > {})",
+            tight.tree_nodes,
+            loose.tree_nodes
+        );
+    }
+}

@@ -1,0 +1,557 @@
+//! The public solver façade.
+//!
+//! ```
+//! use parvc_core::{Algorithm, Solver};
+//! use parvc_graph::gen;
+//!
+//! let g = gen::petersen();
+//! let solver = Solver::builder().algorithm(Algorithm::Hybrid).build();
+//! let result = solver.solve_mvc(&g);
+//! assert_eq!(result.size, 6);
+//! ```
+
+use std::time::Instant;
+
+use parvc_graph::CsrGraph;
+use parvc_simgpu::counters::LaunchReport;
+use parvc_simgpu::occupancy::{select_launch, LaunchRequest};
+use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
+
+use crate::extensions::Extensions;
+use crate::greedy::greedy_mvc;
+use crate::hybrid::HybridParams;
+use crate::shared::{Deadline, RawParallel, RawParallelPvc};
+use crate::stats::{MvcResult, PvcResult, SolveStats};
+use crate::stackonly::StackOnlyParams;
+use crate::{hybrid, sequential, stackonly};
+
+/// Which traversal scheme to run — the three code versions of §V-A.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Single-CPU-thread branch-and-reduce (the reference baseline).
+    Sequential,
+    /// Prior work's fixed-depth sub-tree distribution with per-block
+    /// local stacks.
+    StackOnly {
+        /// Depth of the sub-tree roots (`2^start_depth` sub-trees).
+        start_depth: u32,
+    },
+    /// The paper's hybrid local-stack + global-worklist scheme.
+    Hybrid,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Sequential => write!(f, "Sequential"),
+            Algorithm::StackOnly { start_depth } => write!(f, "StackOnly(d={start_depth})"),
+            Algorithm::Hybrid => write!(f, "Hybrid"),
+        }
+    }
+}
+
+/// Builder for [`Solver`].
+#[derive(Debug, Clone)]
+pub struct SolverBuilder {
+    algorithm: Algorithm,
+    device: DeviceSpec,
+    cost: CostModel,
+    hybrid: HybridParams,
+    force_variant: Option<KernelVariant>,
+    force_block_size: Option<u32>,
+    grid_limit: Option<u32>,
+    deadline: Option<std::time::Duration>,
+    ext: Extensions,
+    record_trace: bool,
+}
+
+impl Default for SolverBuilder {
+    fn default() -> Self {
+        SolverBuilder {
+            algorithm: Algorithm::Hybrid,
+            // 8 SMs keeps a resident grid a sane number of OS threads on
+            // laptop-class hosts; use DeviceSpec::v100() to model the
+            // paper's full device.
+            device: DeviceSpec::scaled(8),
+            cost: CostModel::default(),
+            hybrid: HybridParams::default(),
+            force_variant: None,
+            force_block_size: None,
+            grid_limit: Some(32),
+            deadline: None,
+            ext: Extensions::NONE,
+            record_trace: false,
+        }
+    }
+}
+
+impl SolverBuilder {
+    /// Selects the traversal scheme (default: Hybrid).
+    pub fn algorithm(mut self, a: Algorithm) -> Self {
+        self.algorithm = a;
+        self
+    }
+
+    /// Selects the simulated device (default: an 8-SM V100 slice).
+    pub fn device(mut self, d: DeviceSpec) -> Self {
+        self.device = d;
+        self
+    }
+
+    /// Overrides the cycle cost model.
+    pub fn cost_model(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Global worklist capacity in entries (Hybrid; default 16384).
+    pub fn worklist_capacity(mut self, entries: usize) -> Self {
+        self.hybrid.worklist_capacity = entries;
+        self
+    }
+
+    /// Donation threshold as a fraction of capacity (Hybrid;
+    /// default 0.75).
+    pub fn threshold_frac(mut self, frac: f64) -> Self {
+        assert!((0.0..=1.0).contains(&frac), "threshold fraction must be in [0,1]");
+        self.hybrid.threshold_frac = frac;
+        self
+    }
+
+    /// Starved-block poll sleep (Hybrid; default 50µs).
+    pub fn poll_sleep(mut self, d: std::time::Duration) -> Self {
+        self.hybrid.poll_sleep = d;
+        self
+    }
+
+    /// Forces the shared- or global-memory kernel variant instead of
+    /// the §IV-E automatic choice.
+    pub fn kernel_variant(mut self, v: KernelVariant) -> Self {
+        self.force_variant = Some(v);
+        self
+    }
+
+    /// Forces a block size instead of the §IV-E automatic choice.
+    pub fn block_size(mut self, threads: u32) -> Self {
+        self.force_block_size = Some(threads);
+        self
+    }
+
+    /// Caps the number of thread blocks (OS threads) per launch.
+    /// `None` launches the device's full resident capacity.
+    pub fn grid_limit(mut self, limit: Option<u32>) -> Self {
+        self.grid_limit = limit;
+        self
+    }
+
+    /// Wall-clock budget per solve. When it expires the solve returns
+    /// best-so-far with [`SolveStats::timed_out`] set — the mechanism
+    /// behind the paper's ">2 hrs" table cells.
+    pub fn deadline(mut self, limit: Option<std::time::Duration>) -> Self {
+        self.deadline = limit;
+        self
+    }
+
+    /// Records per-charge activity spans during parallel launches for
+    /// timeline rendering with [`parvc_simgpu::trace`].
+    pub fn record_trace(mut self, on: bool) -> Self {
+        self.record_trace = on;
+        self
+    }
+
+    /// Enables the optional extensions beyond the paper's rules
+    /// (see [`Extensions`]); default: all off (paper-faithful).
+    pub fn extensions(mut self, ext: Extensions) -> Self {
+        self.ext = ext;
+        self
+    }
+
+    /// Enables the domination reduction rule.
+    pub fn domination_rule(mut self, on: bool) -> Self {
+        self.ext.domination_rule = on;
+        self
+    }
+
+    /// Enables maximal-matching lower-bound pruning.
+    pub fn matching_lower_bound(mut self, on: bool) -> Self {
+        self.ext.matching_lower_bound = on;
+        self
+    }
+
+    /// Finalizes the solver.
+    pub fn build(self) -> Solver {
+        Solver { cfg: self }
+    }
+}
+
+/// A configured vertex-cover solver. See [`Solver::builder`].
+pub struct Solver {
+    cfg: SolverBuilder,
+}
+
+impl Solver {
+    /// Starts building a solver.
+    pub fn builder() -> SolverBuilder {
+        SolverBuilder::default()
+    }
+
+    /// The configured algorithm.
+    pub fn algorithm(&self) -> Algorithm {
+        self.cfg.algorithm
+    }
+
+    /// The launch configuration this solver would use for `g` with the
+    /// given search-depth bound (exposed for the evaluation harness).
+    pub fn plan_launch(&self, g: &CsrGraph, stack_depth: u32) -> LaunchConfig {
+        let mut cfg = select_launch(&self.cfg.device, &self.launch_request(g, stack_depth))
+            .unwrap_or_else(|e| panic!("cannot launch on {}: {e}", self.cfg.device.name));
+        if let Some(limit) = self.cfg.grid_limit {
+            cfg.grid_blocks = cfg.grid_blocks.min(limit.max(1));
+        }
+        cfg.record_trace = self.cfg.record_trace;
+        cfg
+    }
+
+    fn launch_request(&self, g: &CsrGraph, stack_depth: u32) -> LaunchRequest {
+        LaunchRequest {
+            num_vertices: g.num_vertices(),
+            stack_depth,
+            worklist_entries: match self.cfg.algorithm {
+                Algorithm::Hybrid => self.cfg.hybrid.worklist_capacity as u64,
+                _ => 0,
+            },
+            force_variant: self.cfg.force_variant,
+            force_block_size: self.cfg.force_block_size,
+        }
+    }
+
+    /// Solves MINIMUM VERTEX COVER on `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph's per-block state cannot fit the simulated
+    /// device's global memory (the §III-C limit; use a larger
+    /// [`DeviceSpec`]).
+    pub fn solve_mvc(&self, g: &CsrGraph) -> MvcResult {
+        let start = Instant::now();
+        let deadline = Deadline::new(self.cfg.deadline);
+        let greedy = greedy_mvc(g);
+        let greedy_size = greedy.0;
+
+        if g.num_edges() == 0 {
+            return MvcResult {
+                size: 0,
+                cover: Vec::new(),
+                stats: self.trivial_stats(start, greedy_size),
+            };
+        }
+
+        match self.cfg.algorithm {
+            Algorithm::Sequential => {
+                let out = sequential::solve_mvc(g, &self.cfg.cost, greedy, &deadline, self.cfg.ext);
+                let report = LaunchReport::new(&DeviceSpec::scaled(1), vec![out.counters]);
+                MvcResult {
+                    size: out.best_size,
+                    cover: out.best_cover,
+                    stats: SolveStats {
+                        wall_time: start.elapsed(),
+                        tree_nodes: out.tree_nodes,
+                        device_cycles: report.device_cycles,
+                        launch: None,
+                        report,
+                        greedy_size,
+                        timed_out: deadline.was_hit(),
+                    },
+                }
+            }
+            Algorithm::StackOnly { start_depth } => {
+                let launch = self.plan_launch(g, greedy_size + 2);
+                let raw = stackonly::solve_mvc(
+                    g,
+                    &self.cfg.device,
+                    &launch,
+                    &self.cfg.cost,
+                    StackOnlyParams { start_depth },
+                    greedy,
+                    &deadline,
+                    self.cfg.ext,
+                );
+                self.assemble_mvc(start, greedy_size, launch, raw, &deadline)
+            }
+            Algorithm::Hybrid => {
+                let launch = self.plan_launch(g, greedy_size + 2);
+                let raw = hybrid::solve_mvc(
+                    g,
+                    &self.cfg.device,
+                    &launch,
+                    &self.cfg.cost,
+                    &self.cfg.hybrid,
+                    greedy,
+                    &deadline,
+                    self.cfg.ext,
+                );
+                self.assemble_mvc(start, greedy_size, launch, raw, &deadline)
+            }
+        }
+    }
+
+    /// Solves PARAMETERIZED VERTEX COVER on `g` with parameter `k`.
+    ///
+    /// # Panics
+    ///
+    /// Same memory-capacity panic as [`solve_mvc`](Self::solve_mvc).
+    pub fn solve_pvc(&self, g: &CsrGraph, k: u32) -> PvcResult {
+        let start = Instant::now();
+        let deadline = Deadline::new(self.cfg.deadline);
+
+        if g.num_edges() == 0 {
+            return PvcResult {
+                k,
+                cover: Some(Vec::new()),
+                stats: self.trivial_stats(start, 0),
+            };
+        }
+
+        let depth = k.min(g.num_vertices()) + 2;
+        match self.cfg.algorithm {
+            Algorithm::Sequential => {
+                let out = sequential::solve_pvc(g, &self.cfg.cost, k, &deadline, self.cfg.ext);
+                let found = out.best_size != u32::MAX;
+                let report = LaunchReport::new(&DeviceSpec::scaled(1), vec![out.counters]);
+                PvcResult {
+                    k,
+                    cover: found.then_some(out.best_cover),
+                    stats: SolveStats {
+                        wall_time: start.elapsed(),
+                        tree_nodes: out.tree_nodes,
+                        device_cycles: report.device_cycles,
+                        launch: None,
+                        report,
+                        greedy_size: 0,
+                        timed_out: deadline.was_hit(),
+                    },
+                }
+            }
+            Algorithm::StackOnly { start_depth } => {
+                let launch = self.plan_launch(g, depth);
+                let raw = stackonly::solve_pvc(
+                    g,
+                    &self.cfg.device,
+                    &launch,
+                    &self.cfg.cost,
+                    StackOnlyParams { start_depth },
+                    k,
+                    &deadline,
+                    self.cfg.ext,
+                );
+                self.assemble_pvc(start, k, launch, raw, &deadline)
+            }
+            Algorithm::Hybrid => {
+                let launch = self.plan_launch(g, depth);
+                let raw = hybrid::solve_pvc(
+                    g,
+                    &self.cfg.device,
+                    &launch,
+                    &self.cfg.cost,
+                    &self.cfg.hybrid,
+                    k,
+                    &deadline,
+                    self.cfg.ext,
+                );
+                self.assemble_pvc(start, k, launch, raw, &deadline)
+            }
+        }
+    }
+
+    fn assemble_mvc(
+        &self,
+        start: Instant,
+        greedy_size: u32,
+        launch: LaunchConfig,
+        raw: RawParallel,
+        deadline: &Deadline,
+    ) -> MvcResult {
+        let report = LaunchReport::new(&self.cfg.device, raw.blocks);
+        MvcResult {
+            size: raw.best_size,
+            cover: raw.best_cover,
+            stats: SolveStats {
+                wall_time: start.elapsed(),
+                tree_nodes: report.total_tree_nodes,
+                device_cycles: report.device_cycles,
+                launch: Some(launch),
+                report,
+                greedy_size,
+                timed_out: deadline.was_hit(),
+            },
+        }
+    }
+
+    fn assemble_pvc(
+        &self,
+        start: Instant,
+        k: u32,
+        launch: LaunchConfig,
+        raw: RawParallelPvc,
+        deadline: &Deadline,
+    ) -> PvcResult {
+        let report = LaunchReport::new(&self.cfg.device, raw.blocks);
+        PvcResult {
+            k,
+            cover: raw.cover,
+            stats: SolveStats {
+                wall_time: start.elapsed(),
+                tree_nodes: report.total_tree_nodes,
+                device_cycles: report.device_cycles,
+                launch: Some(launch),
+                report,
+                greedy_size: 0,
+                timed_out: deadline.was_hit(),
+            },
+        }
+    }
+
+    fn trivial_stats(&self, start: Instant, greedy_size: u32) -> SolveStats {
+        SolveStats {
+            wall_time: start.elapsed(),
+            tree_nodes: 0,
+            device_cycles: 0,
+            launch: None,
+            report: LaunchReport::new(&DeviceSpec::scaled(1), Vec::new()),
+            greedy_size,
+            timed_out: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_mvc;
+    use crate::verify::is_vertex_cover;
+    use parvc_graph::gen;
+
+    fn solvers() -> Vec<Solver> {
+        vec![
+            Solver::builder().algorithm(Algorithm::Sequential).build(),
+            Solver::builder()
+                .algorithm(Algorithm::StackOnly { start_depth: 4 })
+                .grid_limit(Some(8))
+                .build(),
+            Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build(),
+        ]
+    }
+
+    #[test]
+    fn all_algorithms_agree_with_brute_force() {
+        for seed in 0..4 {
+            let g = gen::gnp(13, 0.35, seed);
+            let (opt, _) = brute_force_mvc(&g);
+            for solver in solvers() {
+                let r = solver.solve_mvc(&g);
+                assert_eq!(r.size, opt, "{} seed {seed}", solver.algorithm());
+                assert!(is_vertex_cover(&g, &r.cover), "{} seed {seed}", solver.algorithm());
+                assert_eq!(r.cover.len() as u32, r.size);
+            }
+        }
+    }
+
+    #[test]
+    fn pvc_three_instances_all_algorithms() {
+        let g = gen::gnp(14, 0.3, 77);
+        let min = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g)
+            .size;
+        assert!(min >= 1);
+        for solver in solvers() {
+            let below = solver.solve_pvc(&g, min - 1);
+            assert!(!below.found(), "{}: found below-optimal cover", solver.algorithm());
+            for dk in 0..2 {
+                let r = solver.solve_pvc(&g, min + dk);
+                let cover = r.cover.unwrap_or_else(|| {
+                    panic!("{}: no cover at k = min + {dk}", solver.algorithm())
+                });
+                assert!(cover.len() as u32 <= min + dk);
+                assert!(is_vertex_cover(&g, &cover));
+            }
+        }
+    }
+
+    #[test]
+    fn edgeless_and_empty_graphs() {
+        for solver in solvers() {
+            let empty = CsrGraph::from_edges(0, &[]).unwrap();
+            assert_eq!(solver.solve_mvc(&empty).size, 0);
+            let edgeless = CsrGraph::from_edges(7, &[]).unwrap();
+            assert_eq!(solver.solve_mvc(&edgeless).size, 0);
+            assert_eq!(solver.solve_pvc(&edgeless, 0).cover, Some(vec![]));
+        }
+    }
+
+    #[test]
+    fn hybrid_on_denser_graph() {
+        let g = gen::p_hat_complement(40, 3, 5);
+        let seq = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g);
+        let hyb = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build();
+        let r = hyb.solve_mvc(&g);
+        assert_eq!(r.size, seq.size);
+        assert!(is_vertex_cover(&g, &r.cover));
+        assert!(r.stats.tree_nodes > 0);
+    }
+
+    #[test]
+    fn stats_are_populated_for_parallel_runs() {
+        let g = gen::gnp(30, 0.25, 9);
+        let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(4)).build();
+        let r = solver.solve_mvc(&g);
+        assert!(r.stats.launch.is_some());
+        assert!(r.stats.device_cycles > 0);
+        assert!(r.stats.tree_nodes > 0);
+        assert_eq!(r.stats.report.blocks.len(), 4);
+        let total: f64 = r.stats.report.activity_breakdown().iter().map(|(_, s)| s).sum();
+        assert!((total - 1.0).abs() < 1e-6, "breakdown sums to {total}");
+    }
+
+    #[test]
+    fn pvc_k_zero_and_k_huge() {
+        let g = gen::cycle(6);
+        for solver in solvers() {
+            assert!(!solver.solve_pvc(&g, 0).found(), "{}", solver.algorithm());
+            let r = solver.solve_pvc(&g, 100);
+            assert!(r.found());
+            assert!(is_vertex_cover(&g, &r.cover.unwrap()));
+        }
+    }
+
+    #[test]
+    fn threshold_zero_and_one_still_correct() {
+        // threshold 0 → never donate (degenerates toward StackOnly-ish
+        // single-consumer); threshold 1.0 → donate until full.
+        let g = gen::gnp(16, 0.4, 21);
+        let (opt, _) = brute_force_mvc(&g);
+        for frac in [0.0, 1.0] {
+            let solver = Solver::builder()
+                .algorithm(Algorithm::Hybrid)
+                .threshold_frac(frac)
+                .grid_limit(Some(4))
+                .build();
+            assert_eq!(solver.solve_mvc(&g).size, opt, "frac {frac}");
+        }
+    }
+
+    #[test]
+    fn forced_variants_agree() {
+        let g = gen::gnp(15, 0.3, 33);
+        let (opt, _) = brute_force_mvc(&g);
+        for v in [KernelVariant::SharedMem, KernelVariant::GlobalMem] {
+            let solver = Solver::builder()
+                .algorithm(Algorithm::Hybrid)
+                .kernel_variant(v)
+                .grid_limit(Some(4))
+                .build();
+            assert_eq!(solver.solve_mvc(&g).size, opt, "variant {v}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Solve statistics: everything the evaluation harness reports.
+
+use std::time::Duration;
+
+use parvc_simgpu::counters::LaunchReport;
+use parvc_simgpu::LaunchConfig;
+
+/// Statistics attached to every solve result.
+#[derive(Debug)]
+pub struct SolveStats {
+    /// End-to-end wall time, including the greedy approximation and
+    /// (for the parallel algorithms) the launch.
+    pub wall_time: Duration,
+    /// Total search-tree nodes visited (including StackOnly's redundant
+    /// descent revisits).
+    pub tree_nodes: u64,
+    /// Simulated device time: the busiest SM's model-cycle total.
+    pub device_cycles: u64,
+    /// The launch configuration (None for Sequential).
+    pub launch: Option<LaunchConfig>,
+    /// Per-block / per-SM instrumentation for Figures 5 and 6.
+    pub report: LaunchReport,
+    /// Size of the greedy approximation that seeded the search.
+    pub greedy_size: u32,
+    /// Whether the solve hit its wall-clock deadline; if so, MVC results
+    /// are best-so-far (not proven optimal) and PVC results are
+    /// inconclusive when `cover` is `None`.
+    pub timed_out: bool,
+}
+
+impl SolveStats {
+    /// Wall time in seconds, as the paper's tables report.
+    pub fn seconds(&self) -> f64 {
+        self.wall_time.as_secs_f64()
+    }
+}
+
+/// Result of a minimum-vertex-cover solve.
+#[derive(Debug)]
+pub struct MvcResult {
+    /// Minimum cover size.
+    pub size: u32,
+    /// A minimum vertex cover.
+    pub cover: Vec<u32>,
+    /// Instrumentation.
+    pub stats: SolveStats,
+}
+
+/// Result of a parameterized-vertex-cover solve.
+#[derive(Debug)]
+pub struct PvcResult {
+    /// The parameter the solve ran with.
+    pub k: u32,
+    /// A cover of size ≤ k, or `None` if none exists.
+    pub cover: Option<Vec<u32>>,
+    /// Instrumentation.
+    pub stats: SolveStats,
+}
+
+impl PvcResult {
+    /// Whether a cover of size ≤ k was found.
+    pub fn found(&self) -> bool {
+        self.cover.is_some()
+    }
+}
+
+/// Result of a maximum-independent-set solve (see [`crate::mis`]).
+#[derive(Debug)]
+pub struct MisResult {
+    /// Maximum independent set size (`|V| − MVC`).
+    pub size: u32,
+    /// A maximum independent set.
+    pub set: Vec<u32>,
+    /// Instrumentation from the underlying MVC solve.
+    pub stats: SolveStats,
+}

@@ -1,0 +1,71 @@
+//! Solution verification against the original graph.
+
+use parvc_graph::{CsrGraph, VertexId};
+
+/// Whether `cover` is a vertex cover of `g`: every edge has at least one
+/// endpoint in the set. `O(|V| + |E|)`.
+pub fn is_vertex_cover(g: &CsrGraph, cover: &[VertexId]) -> bool {
+    let mut in_cover = vec![false; g.num_vertices() as usize];
+    for &v in cover {
+        if v >= g.num_vertices() {
+            return false;
+        }
+        in_cover[v as usize] = true;
+    }
+    g.edges().all(|(u, v)| in_cover[u as usize] || in_cover[v as usize])
+}
+
+/// Whether `set` is an independent set of `g`: no edge joins two of its
+/// members. (The complement of a vertex cover; see [`crate::mis`].)
+pub fn is_independent_set(g: &CsrGraph, set: &[VertexId]) -> bool {
+    let mut in_set = vec![false; g.num_vertices() as usize];
+    for &v in set {
+        if v >= g.num_vertices() {
+            return false;
+        }
+        in_set[v as usize] = true;
+    }
+    g.edges().all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parvc_graph::gen;
+
+    #[test]
+    fn accepts_valid_cover() {
+        let g = gen::cycle(4);
+        assert!(is_vertex_cover(&g, &[0, 2]));
+        assert!(is_vertex_cover(&g, &[0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn rejects_uncovered_edge() {
+        let g = gen::cycle(4);
+        assert!(!is_vertex_cover(&g, &[0]));
+        assert!(!is_vertex_cover(&g, &[]));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let g = gen::path(3);
+        assert!(!is_vertex_cover(&g, &[7]));
+    }
+
+    #[test]
+    fn empty_cover_ok_for_edgeless() {
+        let g = parvc_graph::CsrGraph::from_edges(4, &[]).unwrap();
+        assert!(is_vertex_cover(&g, &[]));
+    }
+
+    #[test]
+    fn independence_is_cover_complement() {
+        let g = gen::petersen();
+        let cover = crate::brute::brute_force_mvc(&g).1;
+        let rest: Vec<u32> = (0..10).filter(|v| !cover.contains(v)).collect();
+        assert!(is_vertex_cover(&g, &cover));
+        assert!(is_independent_set(&g, &rest));
+        assert!(!is_independent_set(&g, &[0, 1])); // adjacent on outer ring
+    }
+}

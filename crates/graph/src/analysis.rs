@@ -1,0 +1,151 @@
+//! Degree statistics and the paper's high/low-degree categorization.
+
+use crate::CsrGraph;
+
+/// The two instance categories of Tables I and II. The paper aggregates
+/// speedups separately for graphs with high average degree (the
+/// complemented DIMACS instances plus the denser KONECT graphs,
+/// `|E|/|V| >= 22`) and low average degree (`|E|/|V| <= 4.82`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegreeClass {
+    /// High average degree — imbalanced search trees, the Hybrid
+    /// scheme's best case.
+    High,
+    /// Low average degree — flatter trees, moderate Hybrid advantage.
+    Low,
+}
+
+impl std::fmt::Display for DegreeClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegreeClass::High => write!(f, "high-degree"),
+            DegreeClass::Low => write!(f, "low-degree"),
+        }
+    }
+}
+
+/// Classification threshold on `|E|/|V|`. The paper's two groups are
+/// separated by a wide gap (4.82 vs 22); 10 splits it cleanly.
+pub const DEGREE_CLASS_THRESHOLD: f64 = 10.0;
+
+/// Classifies a graph into the paper's high/low-degree category.
+pub fn degree_class(g: &CsrGraph) -> DegreeClass {
+    if edge_vertex_ratio(g) >= DEGREE_CLASS_THRESHOLD {
+        DegreeClass::High
+    } else {
+        DegreeClass::Low
+    }
+}
+
+/// `|E| / |V|` — the ratio Table I reports per graph.
+pub fn edge_vertex_ratio(g: &CsrGraph) -> f64 {
+    if g.num_vertices() == 0 {
+        0.0
+    } else {
+        g.num_edges() as f64 / g.num_vertices() as f64
+    }
+}
+
+/// Summary degree statistics for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: u32,
+    /// Maximum degree `Δ(G)`.
+    pub max: u32,
+    /// Mean degree `2|E|/|V|`.
+    pub mean: f64,
+    /// Population standard deviation of the degree sequence.
+    pub std_dev: f64,
+}
+
+/// Computes [`DegreeStats`] for `g`. Returns zeros for the empty graph.
+pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 };
+    }
+    let degs: Vec<u32> = (0..n).map(|v| g.degree(v)).collect();
+    let mean = degs.iter().map(|&d| d as f64).sum::<f64>() / n as f64;
+    let var = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    DegreeStats {
+        min: *degs.iter().min().expect("n > 0"),
+        max: *degs.iter().max().expect("n > 0"),
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of vertices with degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<u32> {
+    let mut hist = vec![0u32; g.max_degree() as usize + 1];
+    for v in g.vertices() {
+        hist[g.degree(v) as usize] += 1;
+    }
+    hist
+}
+
+/// Number of triangles in `g` (each counted once). Used to sanity-check
+/// the degree-two-triangle reduction rule's applicability on a graph.
+pub fn triangle_count(g: &CsrGraph) -> u64 {
+    let mut count = 0u64;
+    for u in g.vertices() {
+        let adj = g.neighbors(u);
+        for (i, &v) in adj.iter().enumerate() {
+            if v <= u {
+                continue;
+            }
+            for &w in &adj[i + 1..] {
+                if g.has_edge(v, w) {
+                    count += 1;
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn classes_split_the_paper_families() {
+        let dense = gen::p_hat_complement(100, 1, 1);
+        let sparse = gen::power_grid_like(200, 60, 1);
+        assert_eq!(degree_class(&dense), DegreeClass::High);
+        assert_eq!(degree_class(&sparse), DegreeClass::Low);
+    }
+
+    #[test]
+    fn stats_on_star() {
+        let s = gen::star(5);
+        let st = degree_stats(&s);
+        assert_eq!(st.min, 1);
+        assert_eq!(st.max, 4);
+        assert!((st.mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = gen::gnp(80, 0.1, 2);
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<u32>(), 80);
+    }
+
+    #[test]
+    fn triangle_counts() {
+        assert_eq!(triangle_count(&gen::complete(4)), 4);
+        assert_eq!(triangle_count(&gen::cycle(5)), 0);
+        assert_eq!(triangle_count(&gen::paper_example()), 2);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = crate::CsrGraph::from_edges(0, &[]).unwrap();
+        let st = degree_stats(&g);
+        assert_eq!(st.max, 0);
+        assert_eq!(edge_vertex_ratio(&g), 0.0);
+    }
+}

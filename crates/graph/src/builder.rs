@@ -1,0 +1,160 @@
+//! Incremental graph construction.
+
+use crate::{CsrGraph, GraphError, VertexId};
+
+/// Incremental builder for [`CsrGraph`].
+///
+/// Accepts edges in any order and orientation, deduplicates, and produces
+/// a sorted CSR graph in `O(|E| log |E|)`.
+///
+/// # Examples
+///
+/// ```
+/// use parvc_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(4);
+/// b.add_edge(0, 1).unwrap();
+/// b.add_edge(3, 2).unwrap();
+/// b.add_edge(1, 0).unwrap(); // duplicate, ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    num_vertices: u32,
+    /// Normalized `(min, max)` endpoint pairs.
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` vertices and no edges.
+    pub fn new(n: u32) -> Self {
+        GraphBuilder { num_vertices: n, edges: Vec::new() }
+    }
+
+    /// Creates a builder with capacity for `m` edges.
+    pub fn with_capacity(n: u32, m: usize) -> Self {
+        GraphBuilder { num_vertices: n, edges: Vec::with_capacity(m) }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> u32 {
+        self.num_vertices
+    }
+
+    /// Adds the undirected edge `{u, v}`.
+    ///
+    /// Duplicates are tolerated (removed at [`build`](Self::build) time);
+    /// self loops and out-of-range endpoints are errors.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        if u == v {
+            return Err(GraphError::SelfLoop(u));
+        }
+        for w in [u, v] {
+            if w >= self.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: w,
+                    num_vertices: self.num_vertices,
+                });
+            }
+        }
+        self.edges.push(if u < v { (u, v) } else { (v, u) });
+        Ok(())
+    }
+
+    /// Current number of (possibly duplicated) staged edges.
+    pub fn staged_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether `{u, v}` has already been staged (linear scan; intended
+    /// for generators that must avoid duplicates cheaply — prefer their
+    /// own sets for hot paths).
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Finalizes into a [`CsrGraph`], deduplicating staged edges.
+    pub fn build(mut self) -> CsrGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.num_vertices as usize;
+
+        // Count directed degrees, then prefix-sum into row_ptr.
+        let mut row_ptr = vec![0usize; n + 1];
+        for &(u, v) in &self.edges {
+            row_ptr[u as usize + 1] += 1;
+            row_ptr[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+
+        let mut cursor = row_ptr.clone();
+        let mut col_idx = vec![0 as VertexId; self.edges.len() * 2];
+        for &(u, v) in &self.edges {
+            col_idx[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            col_idx[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sorting the normalized edge list ascending makes each row's
+        // second-endpoint entries ascending, but entries written as the
+        // *first* endpoint interleave; sort each row to guarantee order.
+        for v in 0..n {
+            col_idx[row_ptr[v]..row_ptr[v + 1]].sort_unstable();
+        }
+        CsrGraph::from_parts(row_ptr, col_idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_sorted_rows() {
+        let mut b = GraphBuilder::new(5);
+        for &(u, v) in &[(4, 0), (2, 0), (0, 3), (0, 1)] {
+            b.add_edge(u, v).unwrap();
+        }
+        let g = b.build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn dedup_across_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(2, 1).unwrap();
+        b.add_edge(1, 2).unwrap();
+        assert_eq!(b.staged_edges(), 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn contains_edge_checks_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 2).unwrap();
+        assert!(b.contains_edge(2, 0));
+        assert!(!b.contains_edge(0, 1));
+    }
+
+    #[test]
+    fn zero_vertex_builder() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn with_capacity_matches_new() {
+        let mut a = GraphBuilder::new(4);
+        let mut b = GraphBuilder::with_capacity(4, 16);
+        for &(u, v) in &[(0, 1), (2, 3)] {
+            a.add_edge(u, v).unwrap();
+            b.add_edge(u, v).unwrap();
+        }
+        assert_eq!(a.build(), b.build());
+    }
+}

@@ -1,0 +1,259 @@
+//! Compressed Sparse Row graph representation.
+//!
+//! The CSR graph is the paper's *original graph* (§IV-B): a single
+//! immutable copy shared by all thread blocks. Intermediate graphs are
+//! never materialized in CSR form — they live as degree arrays layered on
+//! top of this structure (see `parvc-core::node`).
+
+use crate::{GraphError, VertexId};
+
+/// An immutable, simple, undirected graph in Compressed Sparse Row form.
+///
+/// Each undirected edge `{u, v}` is stored twice (once in each endpoint's
+/// adjacency list). Adjacency lists are sorted ascending, enabling
+/// `O(log d)` adjacency tests — the degree-two-triangle reduction rule
+/// relies on this.
+///
+/// Memory: `O(|V| + |E|)`, matching the paper's requirement that the
+/// baseline representation stay compact.
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `row_ptr[v]..row_ptr[v+1]` indexes `col_idx` for vertex `v`.
+    row_ptr: Vec<usize>,
+    /// Concatenated, per-vertex-sorted adjacency lists.
+    col_idx: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph with `n` vertices from an undirected edge list.
+    ///
+    /// Duplicate edges (in either orientation) are deduplicated. Self
+    /// loops and out-of-range endpoints are rejected.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parvc_graph::CsrGraph;
+    /// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (1, 0)]).unwrap();
+    /// assert_eq!(g.num_edges(), 2);
+    /// assert_eq!(g.degree(1), 2);
+    /// ```
+    pub fn from_edges(n: u32, edges: &[(VertexId, VertexId)]) -> Result<Self, GraphError> {
+        let mut builder = crate::GraphBuilder::new(n);
+        for &(u, v) in edges {
+            builder.add_edge(u, v)?;
+        }
+        Ok(builder.build())
+    }
+
+    /// Builds directly from pre-validated CSR arrays.
+    ///
+    /// Used by [`crate::GraphBuilder`] and the generators; callers must
+    /// guarantee symmetry, sortedness, and absence of self loops —
+    /// violations are caught by a debug assertion.
+    pub(crate) fn from_parts(row_ptr: Vec<usize>, col_idx: Vec<VertexId>) -> Self {
+        let g = CsrGraph { row_ptr, col_idx };
+        debug_assert!(g.validate().is_ok(), "invalid CSR parts");
+        g
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        (self.row_ptr.len() - 1) as u32
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        (self.col_idx.len() / 2) as u64
+    }
+
+    /// Degree of `v` in the original graph.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u32 {
+        let v = v as usize;
+        (self.row_ptr[v + 1] - self.row_ptr[v]) as u32
+    }
+
+    /// Sorted adjacency list of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.col_idx[self.row_ptr[v]..self.row_ptr[v + 1]]
+    }
+
+    /// Whether the edge `{u, v}` exists. `O(log d(u))`.
+    #[inline]
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Maximum degree `Δ(G)`.
+    pub fn max_degree(&self) -> u32 {
+        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|` (0.0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.col_idx.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`, in lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices()
+    }
+
+    /// Checks structural invariants: monotone `row_ptr`, sorted + unique
+    /// adjacency lists, no self loops, symmetric edges, endpoints in range.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if *self.row_ptr.first().unwrap_or(&1) != 0 {
+            return Err("row_ptr[0] != 0".into());
+        }
+        if *self.row_ptr.last().unwrap() != self.col_idx.len() {
+            return Err("row_ptr[n] != col_idx.len()".into());
+        }
+        for v in 0..n as usize {
+            if self.row_ptr[v] > self.row_ptr[v + 1] {
+                return Err(format!("row_ptr not monotone at {v}"));
+            }
+        }
+        for u in 0..n {
+            let adj = self.neighbors(u);
+            for w in adj.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {u} not sorted/unique"));
+                }
+            }
+            for &v in adj {
+                if v >= n {
+                    return Err(format!("edge ({u},{v}) out of range"));
+                }
+                if v == u {
+                    return Err(format!("self loop on {u}"));
+                }
+                if self.neighbors(v).binary_search(&u).is_err() {
+                    return Err(format!("asymmetric edge ({u},{v})"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate heap footprint in bytes — the quantity the paper's
+    /// memory-capacity reasoning (§III-C) cares about.
+    pub fn memory_bytes(&self) -> usize {
+        self.row_ptr.len() * std::mem::size_of::<usize>()
+            + self.col_idx.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CsrGraph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn builds_triangle() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn deduplicates_edges() {
+        let g = CsrGraph::from_edges(2, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        assert_eq!(CsrGraph::from_edges(2, &[(1, 1)]).unwrap_err(), GraphError::SelfLoop(1));
+    }
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(matches!(
+            CsrGraph::from_edges(2, &[(0, 5)]).unwrap_err(),
+            GraphError::VertexOutOfRange { vertex: 5, num_vertices: 2 }
+        ));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn edgeless_graph_with_vertices() {
+        let g = CsrGraph::from_edges(4, &[]).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle();
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        let g2 = CsrGraph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(!g2.has_edge(0, 2));
+        assert!(!g2.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edge_iterator_yields_each_once() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn degree_and_max_degree() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type shared by graph construction and IO.
+
+use std::fmt;
+
+/// Errors produced while building or parsing graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint referenced a vertex id `>= num_vertices`.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// Number of vertices in the graph under construction.
+        num_vertices: u32,
+    },
+    /// A self loop `(v, v)` was supplied; the suite handles simple graphs
+    /// only (§II-A assumes finite, simple, undirected graphs).
+    SelfLoop(
+        /// The vertex with the loop.
+        u32,
+    ),
+    /// Input text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// An IO error surfaced while reading or writing a graph file.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+            GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} (simple graphs only)"),
+            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,28 @@
+//! Deterministic instance generators.
+//!
+//! The paper evaluates on graphs from four collections (DIMACS [22],
+//! KONECT [23], SNAP [24], PACE 2019 [25]) that cannot be redistributed
+//! with this reproduction. Each generator here reproduces the *family
+//! trait* that matters to the vertex-cover search tree: the density
+//! regime and degree spread, which drive search-tree imbalance (§V-B).
+//! All generators are deterministic given a seed.
+//!
+//! | paper family | stand-in |
+//! |---|---|
+//! | `p_hat*` complements | [`p_hat`] + [`crate::ops::complement`] |
+//! | KONECT link graphs | [`barabasi_albert`], [`bipartite_gnp`] |
+//! | US power grid | [`power_grid_like`] |
+//! | LastFM Asia (SNAP) | [`barabasi_albert`] |
+//! | Sister Cities | [`sparse_components`] |
+//! | PACE 2019 `vc-exact_*` | [`pace_like`] |
+
+mod named;
+mod random;
+mod structured;
+
+pub use named::{complete, cycle, grid2d, paper_example, path, petersen, star};
+pub use random::{bipartite_gnp, gnp, p_hat, p_hat_complement};
+pub use structured::{
+    barabasi_albert, pace_like, power_grid_like, random_geometric, random_regular,
+    sparse_components, watts_strogatz,
+};

@@ -1,0 +1,151 @@
+//! Small named graphs with known minimum vertex covers — used throughout
+//! the test suites as oracles.
+
+use crate::{CsrGraph, GraphBuilder};
+
+/// Path graph `P_n` on `n` vertices (`n-1` edges). MVC size is
+/// `floor(n/2)`.
+pub fn path(n: u32) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(v - 1, v).expect("path endpoints in range");
+    }
+    b.build()
+}
+
+/// Cycle graph `C_n` (`n >= 3`). MVC size is `ceil(n/2)`.
+pub fn cycle(n: u32) -> CsrGraph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v, (v + 1) % n).expect("cycle endpoints in range");
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`. MVC size is `n - 1`.
+pub fn complete(n: u32) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u, v).expect("complete endpoints in range");
+        }
+    }
+    b.build()
+}
+
+/// Star `K_{1,n-1}`: vertex 0 joined to all others. MVC size is 1.
+pub fn star(n: u32) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v).expect("star endpoints in range");
+    }
+    b.build()
+}
+
+/// The Petersen graph (10 vertices, 15 edges, 3-regular). MVC size is 6.
+pub fn petersen() -> CsrGraph {
+    let mut b = GraphBuilder::new(10);
+    // Outer 5-cycle, inner 5-cycle with step 2, and spokes.
+    for i in 0..5 {
+        b.add_edge(i, (i + 1) % 5).expect("in range");
+        b.add_edge(5 + i, 5 + (i + 2) % 5).expect("in range");
+        b.add_edge(i, 5 + i).expect("in range");
+    }
+    b.build()
+}
+
+/// The 5-vertex example graph of the paper's Figure 2 (two triangles
+/// sharing vertex `c = 2`): edges ab, ac, bc, cd, ce, de. Its minimum
+/// vertex cover has size 3 (e.g. `{b, c, d}` or `{a, c, e}`).
+pub fn paper_example() -> CsrGraph {
+    CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (2, 4), (3, 4)])
+        .expect("static edge list is valid")
+}
+
+/// `w × h` 2D grid graph. A bipartite mesh: MVC equals the smaller side
+/// of the bipartition by Kőnig's theorem.
+pub fn grid2d(w: u32, h: u32) -> CsrGraph {
+    let id = |x: u32, y: u32| y * w + x;
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y)).expect("in range");
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1)).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_counts() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn cycle_is_two_regular() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 7);
+        assert!((0..7).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert_eq!(g.max_degree(), 5);
+    }
+
+    #[test]
+    fn star_center() {
+        let g = star(8);
+        assert_eq!(g.degree(0), 7);
+        assert_eq!(g.num_edges(), 7);
+    }
+
+    #[test]
+    fn petersen_is_cubic() {
+        let g = petersen();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_edges(), 15);
+        assert!((0..10).all(|v| g.degree(v) == 3));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_example_shape() {
+        let g = paper_example();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(2), 4); // c is the max-degree vertex
+    }
+
+    #[test]
+    fn grid_counts() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        assert_eq!(g.num_edges(), (3 - 1) * 4 + 3 * (4 - 1));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degenerate_small_cases() {
+        assert_eq!(path(0).num_vertices(), 0);
+        assert_eq!(path(1).num_edges(), 0);
+        assert_eq!(star(1).num_edges(), 0);
+        assert_eq!(complete(1).num_edges(), 0);
+        assert_eq!(grid2d(1, 1).num_edges(), 0);
+    }
+}

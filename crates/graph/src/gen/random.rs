@@ -1,0 +1,173 @@
+//! Random graph models: G(n,p), the DIMACS `p_hat` model, bipartite.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{CsrGraph, GraphBuilder};
+
+/// Erdős–Rényi `G(n, p)`: every pair becomes an edge independently with
+/// probability `p`.
+pub fn gnp(n: u32, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let expected = (n as f64 * (n as f64 - 1.0) / 2.0 * p) as usize;
+    let mut b = GraphBuilder::with_capacity(n, expected + 16);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// The `p_hat` generator of Gendreau, Soriano & Salvail, used to produce
+/// the DIMACS `p_hat*` maximum-clique benchmarks the paper evaluates on.
+///
+/// Unlike `G(n,p)`, each vertex draws its own attachment weight
+/// `w_v ~ U[p_lo, p_hi]` and the pair `{u, v}` becomes an edge with
+/// probability `(w_u + w_v) / 2`. The resulting *spread* in the degree
+/// distribution is what makes these instances hard: after complementing,
+/// branching removes wildly different neighborhood sizes, so the search
+/// tree is highly imbalanced — the regime where the paper's Hybrid scheme
+/// shines (§V-B observation 1).
+///
+/// DIMACS parameters: `p_hat*-1` ≈ `[0.0, 0.5]`, `p_hat*-2` ≈
+/// `[0.25, 0.75]`, `p_hat*-3` ≈ `[0.5, 1.0]`.
+pub fn p_hat(n: u32, p_lo: f64, p_hi: f64, seed: u64) -> CsrGraph {
+    assert!(
+        (0.0..=1.0).contains(&p_lo) && (0.0..=1.0).contains(&p_hi) && p_lo <= p_hi,
+        "need 0 <= p_lo <= p_hi <= 1, got [{p_lo}, {p_hi}]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<f64> = (0..n).map(|_| rng.gen_range(p_lo..=p_hi)).collect();
+    let expected = (n as f64 * (n as f64 - 1.0) / 4.0 * (p_lo + p_hi)) as usize;
+    let mut b = GraphBuilder::with_capacity(n, expected + 16);
+    for u in 0..n as usize {
+        for v in (u + 1)..n as usize {
+            if rng.gen::<f64>() < (weights[u] + weights[v]) / 2.0 {
+                b.add_edge(u as u32, v as u32).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Convenience: a `p_hat` clique instance, complemented into a
+/// vertex-cover instance — exactly how the paper prepares its DIMACS
+/// graphs ("we take the edge complements of graphs in the DIMACS
+/// collection like in prior work", §V-A).
+///
+/// `class` is 1, 2 or 3, matching the `p_hat<n>-<class>` naming.
+pub fn p_hat_complement(n: u32, class: u8, seed: u64) -> CsrGraph {
+    let (lo, hi) = match class {
+        1 => (0.0, 0.5),
+        2 => (0.25, 0.75),
+        3 => (0.5, 1.0),
+        other => panic!("p_hat class must be 1, 2 or 3, got {other}"),
+    };
+    crate::ops::complement(&p_hat(n, lo, hi, seed))
+}
+
+/// Bipartite `G(n_left, n_right, p)`: left vertices are `0..n_left`,
+/// right vertices `n_left..n_left+n_right`; each cross pair is an edge
+/// with probability `p`. Models the KONECT rating graphs
+/// (movielens-100k) in the suite.
+pub fn bipartite_gnp(n_left: u32, n_right: u32, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n_left + n_right);
+    for u in 0..n_left {
+        for v in n_left..(n_left + n_right) {
+            if rng.gen::<f64>() < p {
+                b.add_edge(u, v).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp(50, 0.2, 7);
+        let b = gnp(50, 0.2, 7);
+        let c = gnp(50, 0.2, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        assert_eq!(gnp(20, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(20, 1.0, 1).num_edges(), 190);
+    }
+
+    #[test]
+    fn gnp_density_near_p() {
+        let g = gnp(200, 0.3, 42);
+        let density = g.num_edges() as f64 / (200.0 * 199.0 / 2.0);
+        assert!((density - 0.3).abs() < 0.05, "density {density} too far from 0.3");
+    }
+
+    #[test]
+    fn p_hat_density_matches_mean_weight() {
+        // Mean edge probability is (p_lo + p_hi) / 2 = 0.25 for class 1.
+        let g = p_hat(300, 0.0, 0.5, 1);
+        let density = g.num_edges() as f64 / (300.0 * 299.0 / 2.0);
+        assert!((density - 0.25).abs() < 0.05, "density {density} too far from 0.25");
+    }
+
+    #[test]
+    fn p_hat_has_wider_degree_spread_than_gnp() {
+        // The defining trait of the family: per-vertex weights widen the
+        // degree distribution relative to a same-density G(n,p).
+        let n = 300;
+        let ph = p_hat(n, 0.0, 0.5, 3);
+        let er = gnp(n, 0.25, 3);
+        let spread = |g: &CsrGraph| {
+            let degs: Vec<f64> = (0..n).map(|v| g.degree(v) as f64).collect();
+            let mean = degs.iter().sum::<f64>() / n as f64;
+            (degs.iter().map(|d| (d - mean).powi(2)).sum::<f64>() / n as f64).sqrt()
+        };
+        assert!(
+            spread(&ph) > 2.0 * spread(&er),
+            "p_hat spread {} should dwarf gnp spread {}",
+            spread(&ph),
+            spread(&er)
+        );
+    }
+
+    #[test]
+    fn p_hat_complement_density_classes() {
+        // Complement densities ≈ 0.75 / 0.5 / 0.25 for classes 1/2/3,
+        // matching Table I's |E| for p_hat300-{1,2,3} within a few %.
+        let full = 300.0 * 299.0 / 2.0;
+        for (class, want) in [(1u8, 0.75), (2, 0.50), (3, 0.25)] {
+            let g = p_hat_complement(300, class, 11);
+            let density = g.num_edges() as f64 / full;
+            assert!(
+                (density - want).abs() < 0.05,
+                "class {class}: density {density}, want ~{want}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "class must be 1, 2 or 3")]
+    fn p_hat_complement_rejects_bad_class() {
+        let _ = p_hat_complement(10, 4, 0);
+    }
+
+    #[test]
+    fn bipartite_has_no_intra_side_edges() {
+        let g = bipartite_gnp(10, 15, 0.5, 5);
+        for (u, v) in g.edges() {
+            assert!(u < 10 && v >= 10, "edge ({u},{v}) crosses sides");
+        }
+    }
+}

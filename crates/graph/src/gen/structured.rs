@@ -1,0 +1,368 @@
+//! Structured sparse models standing in for the paper's KONECT / SNAP /
+//! PACE low-degree instances.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+use crate::{CsrGraph, GraphBuilder, VertexId};
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices with probability proportional to degree.
+/// Produces the power-law degree distribution of social graphs (the
+/// paper's LastFM Asia and wikipedia link graphs).
+pub fn barabasi_albert(n: u32, m: u32, seed: u64) -> CsrGraph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need n > m, got n={n}, m={m}");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, (n as usize) * m as usize);
+    // Repeated-endpoint list: sampling uniformly from it is sampling
+    // proportional to degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n as usize * m as usize);
+
+    // Seed clique on the first m+1 vertices keeps early sampling sane.
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            b.add_edge(u, v).expect("in range");
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    for v in (m + 1)..n {
+        let mut targets = BTreeSet::new();
+        while (targets.len() as u32) < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            targets.insert(t);
+        }
+        for &t in &targets {
+            b.add_edge(v, t).expect("in range");
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+/// Mesh-like infrastructure network: a uniform random spanning tree plus
+/// `extra_edges` random chords. With `extra_edges ≈ n/3` this reproduces
+/// the US power grid's average degree of ~2.7 and its long induced paths
+/// (which exercise the degree-one and degree-two reduction rules heavily,
+/// as the paper's Figure 6 shows for low-degree graphs).
+pub fn power_grid_like(n: u32, extra_edges: u32, seed: u64) -> CsrGraph {
+    assert!(n >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, (n + extra_edges) as usize);
+
+    // Random spanning tree: attach each vertex (in random order) to a
+    // uniformly random already-attached vertex.
+    let mut order: Vec<VertexId> = (0..n).collect();
+    order.shuffle(&mut rng);
+    for i in 1..n as usize {
+        let parent = order[rng.gen_range(0..i)];
+        b.add_edge(order[i], parent).expect("in range");
+    }
+
+    let mut added = 0;
+    let mut attempts = 0;
+    let mut seen: BTreeSet<(u32, u32)> = BTreeSet::new();
+    while added < extra_edges && attempts < extra_edges as u64 * 50 + 100 {
+        attempts += 1;
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if seen.insert(key) {
+            b.add_edge(u, v).expect("in range");
+            added += 1;
+        }
+    }
+    b.build()
+}
+
+/// Watts–Strogatz small world: ring lattice of even degree `k`, each edge
+/// rewired with probability `beta`.
+pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k % 2 == 0 && k >= 2, "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    let norm = |u: u32, v: u32| (u.min(v), u.max(v));
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            edges.insert(norm(v, (v + j) % n));
+        }
+    }
+    let ring: Vec<(u32, u32)> = edges.iter().copied().collect();
+    for (u, v) in ring {
+        if rng.gen::<f64>() < beta {
+            // Rewire {u,v} to {u,w} for a uniform non-duplicate w.
+            for _ in 0..32 {
+                let w = rng.gen_range(0..n);
+                if w != u && !edges.contains(&norm(u, w)) {
+                    edges.remove(&(u.min(v), u.max(v)));
+                    edges.insert(norm(u, w));
+                    break;
+                }
+            }
+        }
+    }
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("in range");
+    }
+    b.build()
+}
+
+/// Random geometric graph: `n` points in the unit square, edge when
+/// within Euclidean distance `radius`.
+pub fn random_geometric(n: u32, radius: f64, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let r2 = radius * radius;
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as usize {
+        for v in (u + 1)..n as usize {
+            let dx = pts[u].0 - pts[v].0;
+            let dy = pts[u].1 - pts[v].1;
+            if dx * dx + dy * dy <= r2 {
+                b.add_edge(u as u32, v as u32).expect("in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Random `d`-regular graph via the edge-switching Markov chain:
+/// start from a deterministic circulant (ring) `d`-regular graph, then
+/// apply random degree-preserving 2-opt switches
+/// (`{a,b},{c,d} → {a,c},{b,d}`) that keep the graph simple.
+///
+/// Regular graphs are the canonical *hard* vertex-cover family: no
+/// vertex is distinguished, so the degree-one/two rules never fire at
+/// the root and the high-degree rule has no outliers to grab.
+///
+/// Requires `n * d` even and `d < n`.
+pub fn random_regular(n: u32, d: u32, seed: u64) -> CsrGraph {
+    assert!(d < n, "degree must be below n");
+    assert!((n as u64 * d as u64) % 2 == 0, "n*d must be even");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let norm = |u: u32, v: u32| (u.min(v), u.max(v));
+
+    // Circulant start: i ~ i±1..±floor(d/2), plus the diametric
+    // matching when d is odd (n is even then, since n*d is even).
+    let mut edges: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for v in 0..n {
+        for j in 1..=(d / 2) {
+            edges.insert(norm(v, (v + j) % n));
+        }
+    }
+    if d % 2 == 1 {
+        for v in 0..n / 2 {
+            edges.insert(norm(v, v + n / 2));
+        }
+    }
+
+    // Randomize with degree-preserving switches.
+    let mut list: Vec<(u32, u32)> = edges.iter().copied().collect();
+    let attempts = list.len() as u64 * 10;
+    for _ in 0..attempts {
+        let i = rng.gen_range(0..list.len());
+        let j = rng.gen_range(0..list.len());
+        if i == j {
+            continue;
+        }
+        let (a, b) = list[i];
+        let (c, dd) = list[j];
+        // Orient the second edge both ways at random for mixing.
+        let (c, dd) = if rng.gen::<bool>() { (c, dd) } else { (dd, c) };
+        if a == c || a == dd || b == c || b == dd {
+            continue;
+        }
+        let new1 = norm(a, c);
+        let new2 = norm(b, dd);
+        if edges.contains(&new1) || edges.contains(&new2) {
+            continue;
+        }
+        edges.remove(&norm(a, b));
+        edges.remove(&norm(c, dd));
+        edges.insert(new1);
+        edges.insert(new2);
+        list[i] = new1;
+        list[j] = new2;
+    }
+
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for (u, v) in edges {
+        b.add_edge(u, v).expect("in range");
+    }
+    b.build()
+}
+
+/// Many small dense-ish communities with almost no inter-community
+/// edges — the component-rich shape of the KONECT "Sister Cities" graph.
+pub fn sparse_components(n: u32, num_components: u32, intra_p: f64, seed: u64) -> CsrGraph {
+    assert!(num_components >= 1 && num_components <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let size = n / num_components;
+    for c in 0..num_components {
+        let lo = c * size;
+        let hi = if c + 1 == num_components { n } else { lo + size };
+        for u in lo..hi {
+            for v in (u + 1)..hi {
+                if rng.gen::<f64>() < intra_p {
+                    b.add_edge(u, v).expect("in range");
+                }
+            }
+        }
+    }
+    b.build()
+}
+
+/// PACE-2019-style exact-track instance: a union of moderately dense
+/// communities overlaid with a sparse global `G(n, p)` background, then
+/// degree-one pendants planted to exercise the reduction rules. Mirrors
+/// the structure that makes `vc-exact_*` instances reducible but not
+/// trivial.
+pub fn pace_like(n: u32, communities: u32, seed: u64) -> CsrGraph {
+    assert!(communities >= 1 && communities <= n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let size = (n / communities).max(2);
+
+    // Communities: random assignment, denser inside.
+    let comm: Vec<u32> = (0..n).map(|_| rng.gen_range(0..communities)).collect();
+    let intra_p = (6.0 / size as f64).min(1.0);
+    for c in 0..communities {
+        let members: Vec<u32> = (0..n).filter(|&v| comm[v as usize] == c).collect();
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if rng.gen::<f64>() < intra_p {
+                    b.add_edge(members[i], members[j]).expect("in range");
+                }
+            }
+        }
+    }
+    // Sparse background joining communities.
+    let background = n as usize / 2;
+    for _ in 0..background {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            b.add_edge(u, v).expect("in range");
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn ba_edge_count() {
+        let g = barabasi_albert(100, 3, 1);
+        // Seed clique C(4,2)=6 plus 3 per each of the 96 later vertices.
+        assert_eq!(g.num_edges(), 6 + 96 * 3);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn ba_is_deterministic() {
+        assert_eq!(barabasi_albert(80, 2, 9), barabasi_albert(80, 2, 9));
+    }
+
+    #[test]
+    fn ba_has_hubs() {
+        let g = barabasi_albert(300, 2, 4);
+        // Power-law graphs have max degree far above the average.
+        assert!(g.max_degree() as f64 > 4.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn power_grid_like_is_connected_and_sparse() {
+        let g = power_grid_like(500, 160, 2);
+        assert!(crate::ops::is_connected(&g));
+        let avg = g.avg_degree();
+        assert!((2.0..3.6).contains(&avg), "avg degree {avg} outside power-grid regime");
+    }
+
+    #[test]
+    fn power_grid_like_exact_tree_when_no_extras() {
+        let g = power_grid_like(64, 0, 3);
+        assert_eq!(g.num_edges(), 63);
+        assert!(crate::ops::is_connected(&g));
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count() {
+        let g = watts_strogatz(100, 4, 0.3, 5);
+        // Rewiring replaces edges 1:1 (unless no candidate found, which
+        // is vanishingly rare at this density).
+        assert_eq!(g.num_edges(), 200);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn geometric_radius_monotone() {
+        let small = random_geometric(120, 0.05, 6);
+        let large = random_geometric(120, 0.2, 6);
+        assert!(large.num_edges() > small.num_edges());
+    }
+
+    #[test]
+    fn random_regular_is_exactly_regular() {
+        for (n, d, seed) in [(20u32, 3u32, 1u64), (30, 4, 2), (24, 5, 3), (50, 6, 4)] {
+            let g = random_regular(n, d, seed);
+            g.validate().unwrap();
+            assert!(
+                (0..n).all(|v| g.degree(v) == d),
+                "({n},{d}) seed {seed}: not {d}-regular"
+            );
+        }
+    }
+
+    #[test]
+    fn random_regular_is_deterministic_and_seed_sensitive() {
+        assert_eq!(random_regular(40, 3, 9), random_regular(40, 3, 9));
+        assert_ne!(random_regular(40, 3, 9), random_regular(40, 3, 10));
+    }
+
+    #[test]
+    fn random_regular_actually_randomizes() {
+        // The switched graph must differ from the circulant start.
+        let g = random_regular(60, 4, 5);
+        let circulant_edge_count =
+            (0..60u32).filter(|&v| g.has_edge(v, (v + 1) % 60)).count();
+        assert!(circulant_edge_count < 55, "barely any switches happened");
+    }
+
+    #[test]
+    #[should_panic(expected = "n*d must be even")]
+    fn random_regular_rejects_odd_product() {
+        let _ = random_regular(5, 3, 0);
+    }
+
+    #[test]
+    fn sparse_components_disconnected() {
+        let g = sparse_components(120, 12, 0.8, 7);
+        let (_, count) = crate::ops::connected_components(&g);
+        assert!(count >= 12, "expected >= 12 components, got {count}");
+    }
+
+    #[test]
+    fn pace_like_is_low_degree_class() {
+        let g = pace_like(600, 20, 8);
+        assert!(
+            analysis::degree_class(&g) == analysis::DegreeClass::Low,
+            "pace-like instances belong to the low-degree category (avg {})",
+            g.avg_degree()
+        );
+        g.validate().unwrap();
+    }
+}

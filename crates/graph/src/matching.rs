@@ -1,0 +1,300 @@
+//! Matchings: greedy maximal, Hopcroft–Karp maximum bipartite, and the
+//! Kőnig cover construction.
+//!
+//! Role in the suite: a *maximal* matching lower-bounds every vertex
+//! cover (each matched edge needs its own cover vertex), giving the
+//! branch-and-reduce solvers an optional pruning bound beyond the
+//! paper's rules. On *bipartite* graphs, Kőnig's theorem upgrades a
+//! *maximum* matching into an exact minimum vertex cover — an
+//! independent polynomial-time oracle the tests use to validate the
+//! exponential solvers on instances far beyond brute-force range
+//! (the movielens-style rows of Table I are bipartite).
+
+use crate::{CsrGraph, VertexId};
+
+/// A greedy maximal matching: scan edges in order, take every edge with
+/// two unmatched endpoints. `O(|V| + |E|)`. The number of edges
+/// returned is a lower bound on the size of any vertex cover.
+pub fn greedy_maximal_matching(g: &CsrGraph) -> Vec<(VertexId, VertexId)> {
+    let mut matched = vec![false; g.num_vertices() as usize];
+    let mut matching = Vec::new();
+    for u in g.vertices() {
+        if matched[u as usize] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if v > u && !matched[v as usize] {
+                matched[u as usize] = true;
+                matched[v as usize] = true;
+                matching.push((u, v));
+                break;
+            }
+        }
+    }
+    matching
+}
+
+/// A proper 2-coloring of `g` (`colors[v] ∈ {false, true}`), or `None`
+/// if `g` has an odd cycle (is not bipartite). Isolated vertices get
+/// `false`.
+pub fn bipartition(g: &CsrGraph) -> Option<Vec<bool>> {
+    let n = g.num_vertices() as usize;
+    let mut color = vec![u8::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n as u32 {
+        if color[start as usize] != u8::MAX {
+            continue;
+        }
+        color[start as usize] = 0;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in g.neighbors(v) {
+                if color[w as usize] == u8::MAX {
+                    color[w as usize] = 1 - color[v as usize];
+                    queue.push_back(w);
+                } else if color[w as usize] == color[v as usize] {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(color.into_iter().map(|c| c == 1).collect())
+}
+
+/// Maximum matching of a bipartite graph by Hopcroft–Karp,
+/// `O(|E| √|V|)`. Returns `mate[v] = Some(partner)` per vertex.
+///
+/// `side[v] = false` for left vertices, `true` for right (as produced
+/// by [`bipartition`]); edges must only join opposite sides.
+pub fn hopcroft_karp(g: &CsrGraph, side: &[bool]) -> Vec<Option<VertexId>> {
+    let n = g.num_vertices() as usize;
+    assert_eq!(side.len(), n, "side length must match |V|");
+    debug_assert!(
+        g.edges().all(|(u, v)| side[u as usize] != side[v as usize]),
+        "graph is not bipartite under the given sides"
+    );
+    let mut mate: Vec<Option<VertexId>> = vec![None; n];
+    let lefts: Vec<VertexId> = (0..n as u32).filter(|&v| !side[v as usize]).collect();
+
+    const INF: u32 = u32::MAX;
+    let mut dist = vec![INF; n];
+    loop {
+        // BFS from unmatched left vertices, layering by alternating paths.
+        let mut queue = std::collections::VecDeque::new();
+        for &u in &lefts {
+            if mate[u as usize].is_none() {
+                dist[u as usize] = 0;
+                queue.push_back(u);
+            } else {
+                dist[u as usize] = INF;
+            }
+        }
+        let mut found_augmenting = false;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                match mate[v as usize] {
+                    None => found_augmenting = true,
+                    Some(next) if dist[next as usize] == INF => {
+                        dist[next as usize] = dist[u as usize] + 1;
+                        queue.push_back(next);
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: vertex-disjoint shortest augmenting paths.
+        for &u in &lefts {
+            if mate[u as usize].is_none() {
+                augment(g, u, &mut mate, &mut dist);
+            }
+        }
+    }
+    mate
+}
+
+fn augment(g: &CsrGraph, u: VertexId, mate: &mut [Option<VertexId>], dist: &mut [u32]) -> bool {
+    for &v in g.neighbors(u) {
+        match mate[v as usize] {
+            None => {
+                mate[v as usize] = Some(u);
+                mate[u as usize] = Some(v);
+                return true;
+            }
+            Some(next) => {
+                if dist[next as usize] == dist[u as usize] + 1
+                    && augment(g, next, mate, dist)
+                {
+                    mate[v as usize] = Some(u);
+                    mate[u as usize] = Some(v);
+                    return true;
+                }
+            }
+        }
+    }
+    dist[u as usize] = u32::MAX; // dead end: prune this layer
+    false
+}
+
+/// Exact minimum vertex cover of a **bipartite** graph via Kőnig's
+/// theorem, or `None` if `g` is not bipartite. Polynomial time — the
+/// oracle companion to the exponential solvers.
+pub fn konig_cover(g: &CsrGraph) -> Option<Vec<VertexId>> {
+    let side = bipartition(g)?;
+    let mate = hopcroft_karp(g, &side);
+
+    // Alternating reachability Z from unmatched left vertices:
+    // left → right over NON-matching edges, right → left over matching
+    // edges. Cover = (L ∖ Z) ∪ (R ∩ Z).
+    let n = g.num_vertices() as usize;
+    let mut in_z = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for v in 0..n as u32 {
+        if !side[v as usize] && mate[v as usize].is_none() {
+            in_z[v as usize] = true;
+            queue.push_back(v);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        if !side[u as usize] {
+            // Left vertex: cross non-matching edges.
+            for &v in g.neighbors(u) {
+                if mate[u as usize] != Some(v) && !in_z[v as usize] {
+                    in_z[v as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        } else if let Some(m) = mate[u as usize] {
+            // Right vertex: cross its matching edge.
+            if !in_z[m as usize] {
+                in_z[m as usize] = true;
+                queue.push_back(m);
+            }
+        }
+    }
+    let cover = (0..n as u32)
+        .filter(|&v| {
+            let left = !side[v as usize];
+            (left && !in_z[v as usize]) || (!left && in_z[v as usize])
+        })
+        .collect();
+    Some(cover)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn matching_size(mate: &[Option<VertexId>]) -> usize {
+        mate.iter().flatten().count() / 2
+    }
+
+    fn is_matching(g: &CsrGraph, mate: &[Option<VertexId>]) -> bool {
+        mate.iter().enumerate().all(|(v, m)| match m {
+            None => true,
+            Some(u) => g.has_edge(v as u32, *u) && mate[*u as usize] == Some(v as u32),
+        })
+    }
+
+    #[test]
+    fn greedy_matching_is_maximal() {
+        for seed in 0..6 {
+            let g = gen::gnp(40, 0.12, seed);
+            let m = greedy_maximal_matching(&g);
+            let mut matched = vec![false; 40];
+            for &(u, v) in &m {
+                assert!(g.has_edge(u, v));
+                assert!(!matched[u as usize] && !matched[v as usize], "vertex reused");
+                matched[u as usize] = true;
+                matched[v as usize] = true;
+            }
+            // Maximality: no edge with two unmatched endpoints remains.
+            for (u, v) in g.edges() {
+                assert!(matched[u as usize] || matched[v as usize], "edge {u}-{v} extendable");
+            }
+        }
+    }
+
+    #[test]
+    fn bipartition_detects_odd_cycles() {
+        assert!(bipartition(&gen::cycle(6)).is_some());
+        assert!(bipartition(&gen::cycle(5)).is_none());
+        assert!(bipartition(&gen::complete(3)).is_none());
+        assert!(bipartition(&gen::grid2d(3, 3)).is_some());
+    }
+
+    #[test]
+    fn hk_perfect_matching_on_even_cycle() {
+        let g = gen::cycle(8);
+        let side = bipartition(&g).unwrap();
+        let mate = hopcroft_karp(&g, &side);
+        assert!(is_matching(&g, &mate));
+        assert_eq!(matching_size(&mate), 4);
+    }
+
+    #[test]
+    fn hk_on_stars_and_paths() {
+        let star = gen::star(7);
+        let side = bipartition(&star).unwrap();
+        assert_eq!(matching_size(&hopcroft_karp(&star, &side)), 1);
+
+        let path = gen::path(7);
+        let side = bipartition(&path).unwrap();
+        assert_eq!(matching_size(&hopcroft_karp(&path, &side)), 3);
+    }
+
+    #[test]
+    fn konig_matches_brute_force_shapes() {
+        // Known optima: grid 4x4 → 8, path(9) → 4, star(10) → 1,
+        // even cycle C8 → 4.
+        assert_eq!(konig_cover(&gen::grid2d(4, 4)).unwrap().len(), 8);
+        assert_eq!(konig_cover(&gen::path(9)).unwrap().len(), 4);
+        assert_eq!(konig_cover(&gen::star(10)).unwrap().len(), 1);
+        assert_eq!(konig_cover(&gen::cycle(8)).unwrap().len(), 4);
+        assert!(konig_cover(&gen::petersen()).is_none(), "Petersen has odd cycles");
+    }
+
+    #[test]
+    fn konig_cover_is_a_cover_of_matching_size() {
+        for seed in 0..8 {
+            let g = gen::bipartite_gnp(15, 20, 0.2, seed);
+            let side = bipartition(&g).unwrap();
+            let mate = hopcroft_karp(&g, &side);
+            assert!(is_matching(&g, &mate));
+            let cover = konig_cover(&g).unwrap();
+            // Kőnig: |min cover| = |max matching|.
+            assert_eq!(cover.len(), matching_size(&mate), "seed {seed}");
+            // And it actually covers.
+            let mut in_cover = vec![false; g.num_vertices() as usize];
+            for &v in &cover {
+                in_cover[v as usize] = true;
+            }
+            for (u, v) in g.edges() {
+                assert!(in_cover[u as usize] || in_cover[v as usize], "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn matching_lower_bounds_cover() {
+        // |greedy maximal matching| ≤ |max matching| = bipartite MVC.
+        for seed in 0..5 {
+            let g = gen::bipartite_gnp(12, 12, 0.25, seed);
+            let greedy = greedy_maximal_matching(&g).len();
+            let exact = konig_cover(&g).unwrap().len();
+            assert!(greedy <= exact, "seed {seed}: greedy {greedy} > exact cover {exact}");
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_graphs() {
+        let g = CsrGraph::from_edges(0, &[]).unwrap();
+        assert!(greedy_maximal_matching(&g).is_empty());
+        assert_eq!(konig_cover(&g).unwrap(), Vec::<u32>::new());
+        let e = CsrGraph::from_edges(5, &[]).unwrap();
+        assert_eq!(konig_cover(&e).unwrap(), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,173 @@
+//! Whole-graph operations: complement, induced subgraphs, components.
+
+use crate::{CsrGraph, VertexId};
+
+/// Returns the complement graph `G̅`.
+///
+/// The paper evaluates on *edge complements* of the DIMACS `p_hat`
+/// maximum-clique instances (§V-A): a clique in `G` is an independent set
+/// in `G̅`, turning clique benchmarks into vertex-cover benchmarks.
+///
+/// `O(|V|² )` time and `O(|V| + |E(G̅)|)` space.
+///
+/// # Examples
+///
+/// ```
+/// use parvc_graph::{CsrGraph, ops};
+/// let path = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let comp = ops::complement(&path);
+/// assert_eq!(comp.num_edges(), 1); // only {0,2} was missing
+/// assert!(comp.has_edge(0, 2));
+/// ```
+pub fn complement(g: &CsrGraph) -> CsrGraph {
+    let n = g.num_vertices();
+    let full = (n as u64 * (n as u64 - 1)) / 2;
+    let m_comp = (full - g.num_edges()) as usize;
+    let mut b = crate::GraphBuilder::with_capacity(n, m_comp);
+    for u in 0..n {
+        let adj = g.neighbors(u);
+        let mut i = 0usize;
+        for v in (u + 1)..n {
+            while i < adj.len() && adj[i] < v {
+                i += 1;
+            }
+            let adjacent = i < adj.len() && adj[i] == v;
+            if !adjacent {
+                b.add_edge(u, v).expect("complement endpoints in range");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Returns the subgraph induced by `keep`, with vertices relabeled to
+/// `0..keep.len()` in the order given, plus the relabeling map
+/// (`new_id -> old_id` is simply `keep`; the returned vector maps
+/// `old_id -> Option<new_id>` style via `u32::MAX` for dropped vertices).
+pub fn induced_subgraph(g: &CsrGraph, keep: &[VertexId]) -> (CsrGraph, Vec<u32>) {
+    let mut old_to_new = vec![u32::MAX; g.num_vertices() as usize];
+    for (new, &old) in keep.iter().enumerate() {
+        assert!(
+            old_to_new[old as usize] == u32::MAX,
+            "duplicate vertex {old} in induced_subgraph keep-list"
+        );
+        old_to_new[old as usize] = new as u32;
+    }
+    let mut b = crate::GraphBuilder::new(keep.len() as u32);
+    for (new_u, &old_u) in keep.iter().enumerate() {
+        for &old_v in g.neighbors(old_u) {
+            let new_v = old_to_new[old_v as usize];
+            if new_v != u32::MAX && (new_u as u32) < new_v {
+                b.add_edge(new_u as u32, new_v).expect("relabeled endpoints in range");
+            }
+        }
+    }
+    (b.build(), old_to_new)
+}
+
+/// Connected components; returns `(component_id_per_vertex, count)`.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, u32) {
+    let n = g.num_vertices() as usize;
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = Vec::new();
+    for start in 0..n as u32 {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    queue.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Whether `g` is connected (the empty graph counts as connected).
+pub fn is_connected(g: &CsrGraph) -> bool {
+    let (_, count) = connected_components(g);
+    count <= 1
+}
+
+/// Disjoint union of two graphs; vertices of `b` are shifted by
+/// `a.num_vertices()`.
+pub fn disjoint_union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
+    let shift = a.num_vertices();
+    let mut builder =
+        crate::GraphBuilder::with_capacity(shift + b.num_vertices(), (a.num_edges() + b.num_edges()) as usize);
+    for (u, v) in a.edges() {
+        builder.add_edge(u, v).expect("union endpoints in range");
+    }
+    for (u, v) in b.edges() {
+        builder.add_edge(u + shift, v + shift).expect("union endpoints in range");
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complement_of_complete_is_edgeless() {
+        let k4 = crate::gen::complete(4);
+        let c = complement(&k4);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.num_vertices(), 4);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4), (0, 4)]).unwrap();
+        assert_eq!(complement(&complement(&g)), g);
+    }
+
+    #[test]
+    fn complement_edge_count() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 3), (4, 5)]).unwrap();
+        let c = complement(&g);
+        assert_eq!(c.num_edges() + g.num_edges(), 15);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let (sub, map) = induced_subgraph(&g, &[1, 2, 4]);
+        assert_eq!(sub.num_vertices(), 3);
+        // Only edge {1,2} survives, relabeled {0,1}.
+        assert_eq!(sub.num_edges(), 1);
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(map[1], 0);
+        assert_eq!(map[4], 2);
+        assert_eq!(map[0], u32::MAX);
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]).unwrap();
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn union_shifts_ids() {
+        let a = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let b = CsrGraph::from_edges(3, &[(0, 2)]).unwrap();
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.num_vertices(), 5);
+        assert_eq!(u.num_edges(), 2);
+        assert!(u.has_edge(0, 1));
+        assert!(u.has_edge(2, 4));
+    }
+}

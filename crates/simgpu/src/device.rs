@@ -1,0 +1,123 @@
+//! Device architectural parameters.
+
+/// Architectural parameters of the simulated GPU — every quantity the
+/// paper's §IV-E occupancy reasoning uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSpec {
+    /// Human-readable device name.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Hardware limit on resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Shared memory per SM, bytes.
+    pub shared_mem_per_sm: u64,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// Global memory capacity, bytes.
+    pub global_mem: u64,
+    /// Threads per warp (the granularity block sizes snap to).
+    pub warp_size: u32,
+}
+
+impl DeviceSpec {
+    /// The paper's evaluation GPU: NVIDIA Volta V100 (SXM2, 32 GB).
+    pub fn v100() -> Self {
+        DeviceSpec {
+            name: "V100-sim",
+            num_sms: 80,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 96 * 1024,
+            max_threads_per_block: 1024,
+            global_mem: 32 * 1024 * 1024 * 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// A newer datacenter part for what-if studies: NVIDIA Ampere A100
+    /// (more SMs, bigger shared memory per SM, 40 GB HBM2e).
+    pub fn a100() -> Self {
+        DeviceSpec {
+            name: "A100-sim",
+            num_sms: 108,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm: 32,
+            shared_mem_per_sm: 164 * 1024,
+            max_threads_per_block: 1024,
+            global_mem: 40 * 1024 * 1024 * 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// A scaled-down device for running the full benchmark suite on a
+    /// small CPU host: same per-SM shape as the V100, fewer SMs so that
+    /// a resident grid is a sane number of OS threads.
+    pub fn scaled(num_sms: u32) -> Self {
+        DeviceSpec { name: "scaled-sim", num_sms, ..Self::v100() }
+    }
+
+    /// A tiny device for unit tests (2 SMs, small shared memory) so
+    /// occupancy edge cases are reachable with tiny graphs.
+    pub fn test_tiny() -> Self {
+        DeviceSpec {
+            name: "tiny-sim",
+            num_sms: 2,
+            max_threads_per_sm: 128,
+            max_blocks_per_sm: 4,
+            shared_mem_per_sm: 4 * 1024,
+            max_threads_per_block: 64,
+            global_mem: 1024 * 1024,
+            warp_size: 32,
+        }
+    }
+
+    /// Threads needed per SM for full occupancy.
+    pub fn full_occupancy_threads(&self) -> u32 {
+        self.max_threads_per_sm
+    }
+
+    /// The virtual SM a block is resident on. Blocks are assigned
+    /// round-robin, matching how a persistent grid fills the device.
+    pub fn sm_of_block(&self, block_id: u32) -> u32 {
+        block_id % self.num_sms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn v100_matches_paper_hardware() {
+        let d = DeviceSpec::v100();
+        assert_eq!(d.num_sms, 80);
+        assert_eq!(d.global_mem, 32 * 1024 * 1024 * 1024);
+        assert_eq!(d.max_threads_per_block, 1024);
+    }
+
+    #[test]
+    fn a100_exceeds_v100() {
+        let (a, v) = (DeviceSpec::a100(), DeviceSpec::v100());
+        assert!(a.num_sms > v.num_sms);
+        assert!(a.shared_mem_per_sm > v.shared_mem_per_sm);
+        assert!(a.global_mem > v.global_mem);
+    }
+
+    #[test]
+    fn scaled_keeps_per_sm_shape() {
+        let d = DeviceSpec::scaled(8);
+        assert_eq!(d.num_sms, 8);
+        assert_eq!(d.max_threads_per_sm, DeviceSpec::v100().max_threads_per_sm);
+    }
+
+    #[test]
+    fn sm_mapping_is_round_robin() {
+        let d = DeviceSpec::scaled(4);
+        assert_eq!(d.sm_of_block(0), 0);
+        assert_eq!(d.sm_of_block(5), 1);
+        assert_eq!(d.sm_of_block(11), 3);
+    }
+}

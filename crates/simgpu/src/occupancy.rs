@@ -1,0 +1,339 @@
+//! Block-size and kernel-variant selection — the paper's §IV-E procedure.
+//!
+//! The tension §IV-E resolves: large graphs need big intermediate-graph
+//! state per block, which squeezes (a) how many per-block stacks fit in
+//! global memory and (b) how many blocks' working nodes fit in shared
+//! memory per SM. Both caps push toward *fewer, larger* blocks; full
+//! occupancy needs enough total threads. The procedure below mirrors the
+//! paper's: compute an upper block-size limit (hardware, and no more
+//! threads than vertices), a lower limit (full-occupancy threads divided
+//! by the block-count cap), pick a power of two in range, and fall back
+//! to the global-memory kernel when shared memory makes full occupancy
+//! impossible.
+
+use crate::DeviceSpec;
+
+/// Which memory holds the intermediate graph a block is working on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelVariant {
+    /// Working node in shared memory: fast accesses, but the node's
+    /// `O(|V|)` bytes count against the SM's shared-memory budget.
+    SharedMem,
+    /// Working node in global memory: slower accesses, no shared-memory
+    /// occupancy pressure. The fallback for large graphs.
+    GlobalMem,
+}
+
+impl std::fmt::Display for KernelVariant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KernelVariant::SharedMem => write!(f, "shared"),
+            KernelVariant::GlobalMem => write!(f, "global"),
+        }
+    }
+}
+
+/// A resolved kernel launch: block size, grid size, variant, and the
+/// memory arithmetic that produced them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Threads per block.
+    pub block_size: u32,
+    /// Number of thread blocks in the (persistent) grid — the device's
+    /// resident-block capacity at this block size.
+    pub grid_blocks: u32,
+    /// Selected kernel variant.
+    pub variant: KernelVariant,
+    /// Resident blocks per SM under this configuration.
+    pub blocks_per_sm: u32,
+    /// Whether full SM thread occupancy is achieved.
+    pub full_occupancy: bool,
+    /// Bytes of global memory one per-block stack reserves.
+    pub stack_bytes_per_block: u64,
+    /// Total global memory reserved (stacks + worklist entries).
+    pub total_global_bytes: u64,
+    /// Record per-charge [`crate::counters::Span`]s during the launch
+    /// (timeline profiling, see [`crate::trace`]). Off by default.
+    pub record_trace: bool,
+}
+
+/// Inputs to the launch selection.
+#[derive(Debug, Clone)]
+pub struct LaunchRequest {
+    /// `|V(G)|` — bounds useful threads per block and sizes the
+    /// intermediate graph.
+    pub num_vertices: u32,
+    /// Maximum search depth (greedy cover size for MVC, `k+1` for PVC);
+    /// sizes each pre-allocated stack.
+    pub stack_depth: u32,
+    /// Global worklist capacity in entries (each `O(|V|)` bytes).
+    pub worklist_entries: u64,
+    /// Force a specific variant (the evaluation sweeps both); `None`
+    /// applies the paper's shared-first-then-fallback rule.
+    pub force_variant: Option<KernelVariant>,
+    /// Force a specific block size (the evaluation tries all legal
+    /// powers of two and reports the best; `None` picks the smallest
+    /// legal one, maximizing block count).
+    pub force_block_size: Option<u32>,
+}
+
+/// Bytes of one intermediate graph (degree array + counters): one `i32`
+/// per vertex plus cover-size / edge-count / bookkeeping words.
+pub fn node_bytes(num_vertices: u32) -> u64 {
+    num_vertices as u64 * 4 + 16
+}
+
+/// Errors from launch selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaunchError {
+    /// Even one block's stack (plus the worklist) exceeds global memory.
+    GlobalMemoryExhausted {
+        /// Bytes required for a single block plus the worklist.
+        required: u64,
+        /// Device capacity.
+        available: u64,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::GlobalMemoryExhausted { required, available } => write!(
+                f,
+                "graph too large: one block needs {required} B of global memory, device has {available} B"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// Selects block size, grid size, and kernel variant per §IV-E.
+pub fn select_launch(device: &DeviceSpec, req: &LaunchRequest) -> Result<LaunchConfig, LaunchError> {
+    let variants: &[KernelVariant] = match req.force_variant {
+        Some(KernelVariant::SharedMem) => &[KernelVariant::SharedMem],
+        Some(KernelVariant::GlobalMem) => &[KernelVariant::GlobalMem],
+        // Paper's rule: prefer shared memory; if its occupancy lower
+        // limit exceeds the upper limit, relax by falling back to the
+        // global-memory kernel.
+        None => &[KernelVariant::SharedMem, KernelVariant::GlobalMem],
+    };
+
+    let mut last: Option<LaunchConfig> = None;
+    for (i, &variant) in variants.iter().enumerate() {
+        let cfg = select_for_variant(device, req, variant)?;
+        let is_last_option = i + 1 == variants.len();
+        if cfg.full_occupancy || is_last_option {
+            if cfg.full_occupancy || last.is_none() {
+                return Ok(cfg);
+            }
+            // Neither variant reaches full occupancy: prefer the one
+            // with more resident parallelism, tie-break to shared.
+            let prev = last.take().expect("checked is_none");
+            return Ok(if cfg.grid_blocks > prev.grid_blocks { cfg } else { prev });
+        }
+        last = Some(cfg);
+    }
+    unreachable!("loop always returns on the last variant")
+}
+
+fn select_for_variant(
+    device: &DeviceSpec,
+    req: &LaunchRequest,
+    variant: KernelVariant,
+) -> Result<LaunchConfig, LaunchError> {
+    let node = node_bytes(req.num_vertices);
+    let stack_bytes = node * (req.stack_depth as u64 + 1);
+    let worklist_bytes = node * req.worklist_entries;
+
+    // ---- Upper limit on block size (§IV-E): hardware, and |V| ----
+    // "it is not useful to have more threads in the block than the
+    // number of vertices"; snap to a power of two, at least one warp.
+    let useful = req.num_vertices.max(1).next_power_of_two().min(device.max_threads_per_block);
+    let upper_block = useful.max(device.warp_size).min(device.max_threads_per_block);
+
+    // ---- Upper limit on simultaneous blocks ----
+    // (a) hardware resident-block limit,
+    let hw_blocks_total = device.max_blocks_per_sm as u64 * device.num_sms as u64;
+    // (b) shared-memory limit (shared variant only),
+    let shared_blocks_per_sm = match variant {
+        KernelVariant::SharedMem => (device.shared_mem_per_sm / node).max(0),
+        KernelVariant::GlobalMem => u64::MAX,
+    };
+    let shared_blocks_total = shared_blocks_per_sm.saturating_mul(device.num_sms as u64);
+    // (c) global-memory limit on the number of stacks.
+    let mem_for_stacks = device.global_mem.saturating_sub(worklist_bytes);
+    let global_blocks_total = mem_for_stacks / stack_bytes.max(1);
+    if global_blocks_total == 0 || (matches!(variant, KernelVariant::SharedMem) && shared_blocks_per_sm == 0) {
+        if matches!(variant, KernelVariant::GlobalMem) || req.force_variant.is_some() {
+            return Err(LaunchError::GlobalMemoryExhausted {
+                required: stack_bytes + worklist_bytes,
+                available: device.global_mem,
+            });
+        }
+        // Shared variant impossible at any size; caller falls back.
+        return select_for_variant(device, req, KernelVariant::GlobalMem);
+    }
+    let max_blocks_total = hw_blocks_total.min(shared_blocks_total).min(global_blocks_total);
+    let max_blocks_per_sm = (max_blocks_total / device.num_sms as u64)
+        .clamp(1, device.max_blocks_per_sm as u64) as u32;
+
+    // ---- Lower limit on block size: full occupancy across the caps ----
+    let lower_block = device.full_occupancy_threads().div_ceil(max_blocks_per_sm);
+    let lower_block = round_up_pow2(lower_block).max(device.warp_size);
+
+    let (block_size, full_occupancy) = match req.force_block_size {
+        Some(forced) => {
+            let fo = forced >= lower_block && forced <= upper_block;
+            (forced.min(device.max_threads_per_block), fo)
+        }
+        None if lower_block <= upper_block => (lower_block, true),
+        // Impossible to reach full occupancy: take the largest legal
+        // block size and run under-occupied (§IV-E last resort).
+        None => (upper_block, false),
+    };
+
+    // Resident blocks per SM at this block size.
+    let by_threads = device.max_threads_per_sm / block_size.max(1);
+    let blocks_per_sm = by_threads.min(max_blocks_per_sm).max(1);
+    let grid_blocks = (blocks_per_sm as u64 * device.num_sms as u64)
+        .min(global_blocks_total)
+        .max(1) as u32;
+
+    Ok(LaunchConfig {
+        block_size,
+        grid_blocks,
+        variant,
+        blocks_per_sm,
+        full_occupancy,
+        stack_bytes_per_block: stack_bytes,
+        total_global_bytes: stack_bytes * grid_blocks as u64 + worklist_bytes,
+        record_trace: false,
+    })
+}
+
+fn round_up_pow2(x: u32) -> u32 {
+    x.max(1).next_power_of_two()
+}
+
+/// All block sizes the paper's sweep would try for this request:
+/// powers of two between the occupancy lower limit and the upper limit
+/// (falling back to just the upper limit when the range is empty).
+pub fn candidate_block_sizes(device: &DeviceSpec, req: &LaunchRequest) -> Vec<u32> {
+    let upper = req
+        .num_vertices
+        .max(1)
+        .next_power_of_two()
+        .min(device.max_threads_per_block)
+        .max(device.warp_size);
+    let mut sizes = Vec::new();
+    let mut b = device.warp_size;
+    while b <= upper {
+        sizes.push(b);
+        b *= 2;
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(v: u32, depth: u32) -> LaunchRequest {
+        LaunchRequest {
+            num_vertices: v,
+            stack_depth: depth,
+            worklist_entries: 1024,
+            force_variant: None,
+            force_block_size: None,
+        }
+    }
+
+    #[test]
+    fn small_dense_graph_selects_shared() {
+        // 300 vertices → 1216 B nodes; 96 KB/SM holds ~80 of them, so
+        // the shared variant reaches full occupancy easily.
+        let cfg = select_launch(&DeviceSpec::v100(), &req(300, 20)).unwrap();
+        assert_eq!(cfg.variant, KernelVariant::SharedMem);
+        assert!(cfg.full_occupancy);
+        assert!(cfg.block_size.is_power_of_two());
+        assert!(cfg.block_size >= 64, "2048 threads / 32 blocks = 64 minimum");
+    }
+
+    #[test]
+    fn huge_graph_falls_back_to_global() {
+        // 40k vertices → 160 KB node: cannot fit even one in 96 KB of
+        // shared memory → the paper's global-memory fallback.
+        let cfg = select_launch(&DeviceSpec::v100(), &req(40_000, 100)).unwrap();
+        assert_eq!(cfg.variant, KernelVariant::GlobalMem);
+    }
+
+    #[test]
+    fn shared_limit_raises_block_size() {
+        // Node of ~24 KB → 4 blocks/SM in shared memory → full occupancy
+        // needs blocks of 2048/4 = 512 threads.
+        let cfg = select_launch(&DeviceSpec::v100(), &req(6_000, 50)).unwrap();
+        if cfg.variant == KernelVariant::SharedMem {
+            assert!(cfg.block_size >= 512);
+            assert!(cfg.blocks_per_sm <= 4);
+        }
+    }
+
+    #[test]
+    fn grid_respects_global_memory() {
+        // Tiny device, deep stacks: the stack storage cap must bound the
+        // grid. 1 MB global, node = 416 B at v=100, depth 50 → stack =
+        // ~21 KB → at most ~48 blocks minus worklist share.
+        let mut r = req(100, 50);
+        r.worklist_entries = 16;
+        let cfg = select_launch(&DeviceSpec::test_tiny(), &r).unwrap();
+        assert!(cfg.total_global_bytes <= DeviceSpec::test_tiny().global_mem);
+    }
+
+    #[test]
+    fn graph_too_large_for_device_errors() {
+        let mut r = req(1_000_000, 1000);
+        r.force_variant = Some(KernelVariant::GlobalMem);
+        let err = select_launch(&DeviceSpec::test_tiny(), &r).unwrap_err();
+        assert!(matches!(err, LaunchError::GlobalMemoryExhausted { .. }));
+    }
+
+    #[test]
+    fn forced_block_size_is_respected() {
+        let mut r = req(300, 20);
+        r.force_block_size = Some(128);
+        let cfg = select_launch(&DeviceSpec::v100(), &r).unwrap();
+        assert_eq!(cfg.block_size, 128);
+    }
+
+    #[test]
+    fn block_size_never_exceeds_hw_limit() {
+        let cfg = select_launch(&DeviceSpec::v100(), &req(1 << 20, 10)).unwrap();
+        assert!(cfg.block_size <= 1024);
+    }
+
+    #[test]
+    fn tiny_graph_uses_warp_minimum() {
+        let cfg = select_launch(&DeviceSpec::v100(), &req(5, 5)).unwrap();
+        assert!(cfg.block_size >= 32);
+    }
+
+    #[test]
+    fn candidates_are_powers_of_two_up_to_v() {
+        let c = candidate_block_sizes(&DeviceSpec::v100(), &req(300, 10));
+        assert_eq!(c, vec![32, 64, 128, 256, 512]);
+    }
+
+    #[test]
+    fn grid_blocks_positive_and_bounded() {
+        for v in [10u32, 100, 1000, 10_000] {
+            let cfg = select_launch(&DeviceSpec::v100(), &req(v, 30)).unwrap();
+            assert!(cfg.grid_blocks >= 1);
+            assert!(
+                cfg.grid_blocks <= 32 * 80,
+                "grid {} exceeds resident capacity",
+                cfg.grid_blocks
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Timeline rendering for traced launches.
+//!
+//! The paper instruments its kernels with SM clocks to attribute cycles
+//! to activities (§V-D). With tracing enabled
+//! ([`BlockCounters::enable_tracing`]), every charge also records a
+//! [`Span`] on the block's model-cycle clock; this module renders those
+//! span logs as an ASCII Gantt chart — one row per block, one character
+//! per time bucket showing the bucket's dominant activity. Starvation
+//! (the `RemoveFromWorklist` waits of an imbalanced run) shows up as
+//! long runs of `w`, making load-balance pathologies visible at a
+//! glance.
+
+use crate::counters::{Activity, BlockCounters, Span};
+
+/// Single-character code per activity used in timelines.
+pub fn activity_char(a: Activity) -> char {
+    match a {
+        Activity::AddToWorklist => 'a',
+        Activity::RemoveFromWorklist => 'w',
+        Activity::PushToStack => 's',
+        Activity::PopFromStack => 'p',
+        Activity::Terminate => 'T',
+        Activity::DegreeOneRule => '1',
+        Activity::DegreeTwoTriangleRule => '2',
+        Activity::HighDegreeRule => 'h',
+        Activity::FindMaxDegree => 'm',
+        Activity::RemoveMaxVertex => 'x',
+        Activity::RemoveNeighbors => 'n',
+    }
+}
+
+/// The legend explaining [`activity_char`] codes.
+pub fn legend() -> String {
+    Activity::ALL
+        .iter()
+        .map(|&a| format!("{}={}", activity_char(a), a.label()))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders one block's span log as `width` time buckets over
+/// `[0, horizon)` cycles. Each bucket shows the activity holding the
+/// most cycles in it; `.` marks idle (uncharged) time.
+pub fn render_block(spans: &[Span], horizon: u64, width: usize) -> String {
+    assert!(width > 0, "timeline width must be positive");
+    let horizon = horizon.max(1);
+    let mut buckets = vec![[0u64; Activity::ALL.len()]; width];
+    for span in spans {
+        let end = span.start_cycle + span.cycles;
+        // Distribute the span's cycles across the buckets it overlaps.
+        let first = (span.start_cycle * width as u64 / horizon).min(width as u64 - 1) as usize;
+        let last = ((end.saturating_sub(1)) * width as u64 / horizon).min(width as u64 - 1) as usize;
+        for bucket in first..=last {
+            let b_start = bucket as u64 * horizon / width as u64;
+            let b_end = (bucket as u64 + 1) * horizon / width as u64;
+            let overlap =
+                end.min(b_end).saturating_sub(span.start_cycle.max(b_start));
+            buckets[bucket][span.activity as usize] += overlap;
+        }
+    }
+    buckets
+        .iter()
+        .map(|bucket| {
+            let (best_idx, &best) = bucket
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &c)| c)
+                .expect("activity array is non-empty");
+            if best == 0 {
+                '.'
+            } else {
+                activity_char(Activity::ALL[best_idx])
+            }
+        })
+        .collect()
+}
+
+/// Renders a whole launch: one row per traced block, aligned on a
+/// common horizon (the busiest block's total cycles).
+pub fn render_launch(blocks: &[BlockCounters], width: usize) -> String {
+    let horizon = blocks.iter().map(|b| b.total_cycles()).max().unwrap_or(1);
+    let mut out = String::new();
+    out.push_str(&format!("timeline over {horizon} model cycles ({width} buckets/row)\n"));
+    for b in blocks {
+        match b.trace() {
+            Some(spans) => {
+                out.push_str(&format!("block {:>3} |{}|\n", b.block_id, render_block(spans, horizon, width)));
+            }
+            None => out.push_str(&format!("block {:>3} |{}|\n", b.block_id, " ".repeat(width))),
+        }
+    }
+    out.push_str(&format!("legend: {} (., idle)\n", legend()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chars_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for a in Activity::ALL {
+            assert!(seen.insert(activity_char(a)), "duplicate char for {a:?}");
+        }
+    }
+
+    #[test]
+    fn tracing_records_spans_in_order() {
+        let mut c = BlockCounters::new(0);
+        c.enable_tracing();
+        c.charge(Activity::DegreeOneRule, 10);
+        c.charge(Activity::FindMaxDegree, 5);
+        c.charge(Activity::DegreeOneRule, 3);
+        let spans = c.trace().unwrap();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].start_cycle, 0);
+        assert_eq!(spans[1].start_cycle, 10);
+        assert_eq!(spans[2].start_cycle, 15);
+        assert_eq!(c.cycles(Activity::DegreeOneRule), 13);
+    }
+
+    #[test]
+    fn zero_cycle_charges_not_recorded() {
+        let mut c = BlockCounters::new(0);
+        c.enable_tracing();
+        c.charge(Activity::Terminate, 0);
+        assert!(c.trace().unwrap().is_empty());
+    }
+
+    #[test]
+    fn untraced_counters_record_nothing() {
+        let mut c = BlockCounters::new(0);
+        c.charge(Activity::Terminate, 9);
+        assert!(c.trace().is_none());
+    }
+
+    #[test]
+    fn render_marks_dominant_activity() {
+        let spans = [
+            Span { activity: Activity::DegreeOneRule, start_cycle: 0, cycles: 50 },
+            Span { activity: Activity::RemoveFromWorklist, start_cycle: 50, cycles: 50 },
+        ];
+        let row = render_block(&spans, 100, 10);
+        assert_eq!(row, "11111wwwww");
+    }
+
+    #[test]
+    fn render_handles_idle_tail() {
+        let spans = [Span { activity: Activity::Terminate, start_cycle: 0, cycles: 10 }];
+        let row = render_block(&spans, 100, 10);
+        assert_eq!(row, "T.........");
+    }
+
+    #[test]
+    fn render_launch_has_one_row_per_block() {
+        let mut a = BlockCounters::new(0);
+        a.enable_tracing();
+        a.charge(Activity::DegreeOneRule, 10);
+        let mut b = BlockCounters::new(1);
+        b.enable_tracing();
+        b.charge(Activity::RemoveFromWorklist, 20);
+        let out = render_launch(&[a, b], 8);
+        assert_eq!(out.lines().filter(|l| l.starts_with("block")).count(), 2);
+        assert!(out.contains("legend"));
+    }
+
+    #[test]
+    fn span_overlapping_many_buckets() {
+        let spans = [Span { activity: Activity::HighDegreeRule, start_cycle: 0, cycles: 100 }];
+        let row = render_block(&spans, 100, 4);
+        assert_eq!(row, "hhhh");
+    }
+}

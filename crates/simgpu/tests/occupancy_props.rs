@@ -1,0 +1,97 @@
+//! Property tests for the §IV-E launch selection: whatever the graph
+//! and device shape, the chosen configuration must respect every
+//! hardware limit.
+
+use parvc_simgpu::occupancy::{node_bytes, select_launch, LaunchRequest};
+use parvc_simgpu::{DeviceSpec, KernelVariant};
+use proptest::prelude::*;
+
+fn arb_device() -> impl Strategy<Value = DeviceSpec> {
+    (1u32..=96, 1u32..=32, 9u32..=18, 6u32..=11).prop_map(
+        |(num_sms, max_blocks_per_sm, log_shared, log_block)| DeviceSpec {
+            name: "prop-sim",
+            num_sms,
+            max_threads_per_sm: 2048,
+            max_blocks_per_sm,
+            shared_mem_per_sm: 1 << log_shared,
+            max_threads_per_block: (1 << log_block).min(1024),
+            global_mem: 256 * 1024 * 1024,
+            warp_size: 32,
+        },
+    )
+}
+
+fn arb_request() -> impl Strategy<Value = LaunchRequest> {
+    (1u32..50_000, 1u32..200, 0u64..100_000).prop_map(|(v, depth, wl)| LaunchRequest {
+        num_vertices: v,
+        stack_depth: depth,
+        worklist_entries: wl,
+        force_variant: None,
+        force_block_size: None,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn launch_respects_every_limit(device in arb_device(), req in arb_request()) {
+        let Ok(cfg) = select_launch(&device, &req) else {
+            // Graph too large for this device: a legal outcome.
+            return Ok(());
+        };
+        // Block size: a power of two within hardware limits.
+        prop_assert!(cfg.block_size.is_power_of_two());
+        prop_assert!(cfg.block_size <= device.max_threads_per_block.max(device.warp_size));
+        // Grid: positive, within resident capacity.
+        prop_assert!(cfg.grid_blocks >= 1);
+        prop_assert!(
+            cfg.blocks_per_sm <= device.max_blocks_per_sm,
+            "blocks/SM {} over hw limit {}", cfg.blocks_per_sm, device.max_blocks_per_sm
+        );
+        // Resident threads per SM within limit.
+        prop_assert!(cfg.blocks_per_sm * cfg.block_size <= device.max_threads_per_sm);
+        // Global memory: stacks + worklist fit.
+        prop_assert!(
+            cfg.total_global_bytes <= device.global_mem,
+            "global {} over capacity {}", cfg.total_global_bytes, device.global_mem
+        );
+        // Shared variant: the working node fits the SM budget times
+        // resident blocks.
+        if cfg.variant == KernelVariant::SharedMem {
+            prop_assert!(
+                node_bytes(req.num_vertices) * cfg.blocks_per_sm as u64
+                    <= device.shared_mem_per_sm,
+                "shared-memory budget exceeded"
+            );
+        }
+        // Stack sizing matches the depth bound.
+        prop_assert_eq!(
+            cfg.stack_bytes_per_block,
+            node_bytes(req.num_vertices) * (req.stack_depth as u64 + 1)
+        );
+    }
+
+    #[test]
+    fn full_occupancy_claims_are_honest(device in arb_device(), req in arb_request()) {
+        let Ok(cfg) = select_launch(&device, &req) else { return Ok(()); };
+        if cfg.full_occupancy {
+            prop_assert!(
+                cfg.blocks_per_sm * cfg.block_size == device.max_threads_per_sm
+                    || cfg.blocks_per_sm == device.max_blocks_per_sm,
+                "claimed full occupancy with {} blocks x {} threads on {} thread slots",
+                cfg.blocks_per_sm, cfg.block_size, device.max_threads_per_sm
+            );
+        }
+    }
+
+    #[test]
+    fn forced_variant_is_respected_or_errors(device in arb_device(), mut req in arb_request()) {
+        for variant in [KernelVariant::SharedMem, KernelVariant::GlobalMem] {
+            req.force_variant = Some(variant);
+            if let Ok(cfg) = select_launch(&device, &req) {
+                prop_assert_eq!(cfg.variant, variant);
+            }
+        }
+    }
+}

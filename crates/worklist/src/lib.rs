@@ -1,0 +1,25 @@
+//! # parvc-worklist — GPU-style dynamic work distribution
+//!
+//! The substrate behind the paper's Hybrid traversal (§IV-A, §IV-C):
+//!
+//! * [`BrokerQueue`] — a from-scratch implementation of the Broker Work
+//!   Distributor (Kerbl et al., ICS'18 [21]): a bounded, linearizable
+//!   MPMC ring buffer where producers and consumers first *negotiate* on
+//!   an element count before touching slots, so a failed operation never
+//!   disturbs the ring.
+//! * [`Worklist`] — the paper's §IV-C modification layered on top: a
+//!   `remove` wrapped in a wait loop with exact quiescence detection, so
+//!   blocks keep polling while work may still arrive and all terminate
+//!   together once the traversal is provably finished.
+//! * [`LocalStack`] — the pre-allocated per-block DFS stack whose depth
+//!   bound comes from the greedy approximation (§IV-E).
+
+#![warn(missing_docs)]
+
+mod broker;
+mod stack;
+mod termination;
+
+pub use broker::BrokerQueue;
+pub use stack::LocalStack;
+pub use termination::{PopOutcome, PopStats, WorkerHandle, Worklist};

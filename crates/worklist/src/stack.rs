@@ -1,0 +1,148 @@
+//! Per-block local DFS stacks.
+
+/// A bounded per-block stack holding intermediate tree nodes.
+///
+/// On the GPU these stacks live in global memory, pre-allocated to the
+/// maximum possible search depth (§III-C): dynamic allocation inside a
+/// kernel is too expensive, and the depth bound — the greedy cover size
+/// for MVC, `k + 1` for PVC — is known before launch. We mirror that by
+/// reserving capacity up front and treating overflow as a hard error
+/// rather than growing (growth would mask a wrong depth bound).
+///
+/// # Examples
+///
+/// ```
+/// use parvc_worklist::LocalStack;
+/// let mut s = LocalStack::with_depth_bound(4);
+/// s.push(10).unwrap();
+/// s.push(20).unwrap();
+/// assert_eq!(s.pop(), Some(20));
+/// assert_eq!(s.high_water(), 2);
+/// ```
+#[derive(Debug)]
+pub struct LocalStack<T> {
+    items: Vec<T>,
+    bound: usize,
+    high_water: usize,
+    pushes: u64,
+    pops: u64,
+}
+
+impl<T> LocalStack<T> {
+    /// Creates a stack pre-allocated for at most `bound` entries.
+    pub fn with_depth_bound(bound: usize) -> Self {
+        LocalStack { items: Vec::with_capacity(bound), bound, high_water: 0, pushes: 0, pops: 0 }
+    }
+
+    /// Pushes an entry; fails (returning it) if the depth bound would be
+    /// exceeded — on the GPU that would be writing past the stack's
+    /// reserved global-memory region.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.items.len() >= self.bound {
+            return Err(item);
+        }
+        self.items.push(item);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Pops the most recent entry, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        let item = self.items.pop();
+        if item.is_some() {
+            self.pops += 1;
+        }
+        item
+    }
+
+    /// Whether the stack is empty (Figure 4 line 5).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Current depth.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Configured depth bound.
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Deepest the stack has ever been — validates the §IV-E sizing rule
+    /// in tests (never exceeds greedy size / k).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Total pushes (for the Figure 6 activity accounting).
+    pub fn total_pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Total successful pops.
+    pub fn total_pops(&self) -> u64 {
+        self.pops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = LocalStack::with_depth_bound(3);
+        s.push(1).unwrap();
+        s.push(2).unwrap();
+        s.push(3).unwrap();
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn bound_is_enforced() {
+        let mut s = LocalStack::with_depth_bound(2);
+        s.push('a').unwrap();
+        s.push('b').unwrap();
+        assert_eq!(s.push('c'), Err('c'));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn zero_bound_rejects_everything() {
+        let mut s = LocalStack::with_depth_bound(0);
+        assert_eq!(s.push(1), Err(1));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn statistics_track_traffic() {
+        let mut s = LocalStack::with_depth_bound(8);
+        for i in 0..5 {
+            s.push(i).unwrap();
+        }
+        for _ in 0..3 {
+            s.pop();
+        }
+        s.push(9).unwrap();
+        assert_eq!(s.total_pushes(), 6);
+        assert_eq!(s.total_pops(), 3);
+        assert_eq!(s.high_water(), 5);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn no_allocation_after_construction() {
+        let mut s: LocalStack<u64> = LocalStack::with_depth_bound(100);
+        let cap_before = s.items.capacity();
+        for i in 0..100 {
+            s.push(i).unwrap();
+        }
+        assert_eq!(s.items.capacity(), cap_before, "stack must be pre-allocated");
+    }
+}

@@ -1,0 +1,115 @@
+//! Model-based testing: the BrokerQueue against a reference VecDeque
+//! under arbitrary single-threaded operation sequences, plus worklist
+//! protocol properties.
+
+use std::collections::VecDeque;
+
+use parvc_worklist::{BrokerQueue, LocalStack, PopOutcome, Worklist};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Push(u32),
+    Pop,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![(0u32..1000).prop_map(Op::Push), Just(Op::Pop)],
+        0..200,
+    )
+}
+
+proptest! {
+    /// FIFO equivalence with a reference queue, including full/empty
+    /// boundary behaviour.
+    #[test]
+    fn broker_matches_reference(capacity in 1usize..20, ops in arb_ops()) {
+        let q = BrokerQueue::with_capacity(capacity);
+        let real_cap = q.capacity(); // rounded to a power of two
+        let mut model: VecDeque<u32> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => {
+                    let model_would_accept = model.len() < real_cap;
+                    match q.try_push(v) {
+                        Ok(()) => {
+                            prop_assert!(model_would_accept, "queue accepted beyond capacity");
+                            model.push_back(v);
+                        }
+                        Err(back) => {
+                            prop_assert_eq!(back, v);
+                            prop_assert!(!model_would_accept, "queue rejected despite space");
+                        }
+                    }
+                }
+                Op::Pop => {
+                    prop_assert_eq!(q.try_pop(), model.pop_front());
+                }
+            }
+            prop_assert_eq!(q.len_hint(), model.len());
+        }
+        // Drain: remaining contents must match exactly, in order.
+        while let Some(expect) = model.pop_front() {
+            prop_assert_eq!(q.try_pop(), Some(expect));
+        }
+        prop_assert_eq!(q.try_pop(), None);
+    }
+
+    /// The local stack is an exact bounded LIFO.
+    #[test]
+    fn stack_matches_reference(bound in 0usize..20, ops in arb_ops()) {
+        let mut s = LocalStack::with_depth_bound(bound);
+        let mut model: Vec<u32> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Push(v) => match s.push(v) {
+                    Ok(()) => {
+                        prop_assert!(model.len() < bound);
+                        model.push(v);
+                    }
+                    Err(back) => {
+                        prop_assert_eq!(back, v);
+                        prop_assert_eq!(model.len(), bound);
+                    }
+                },
+                Op::Pop => {
+                    prop_assert_eq!(s.pop(), model.pop());
+                }
+            }
+            prop_assert_eq!(s.len(), model.len());
+            prop_assert_eq!(s.is_empty(), model.is_empty());
+        }
+    }
+
+    /// Single-handle worklist sessions always terminate with exactly
+    /// the seeded + donated items delivered.
+    #[test]
+    fn worklist_delivers_every_item_once(seeds in 1usize..5, donations in 0usize..10) {
+        let wl = Worklist::with_capacity(64);
+        for i in 0..seeds {
+            wl.seed(i as u32);
+        }
+        let mut h = wl.handle();
+        let mut delivered = 0usize;
+        let mut to_donate = donations;
+        loop {
+            match h.pop() {
+                PopOutcome::Item(_) => {
+                    delivered += 1;
+                    // While busy, donate the remaining budget.
+                    while to_donate > 0 {
+                        if h.add(100 + to_donate as u32).is_err() {
+                            break;
+                        }
+                        to_donate -= 1;
+                    }
+                }
+                PopOutcome::Done => break,
+            }
+        }
+        prop_assert_eq!(delivered, seeds + donations);
+        prop_assert!(wl.is_done());
+        prop_assert_eq!(wl.len_hint(), 0);
+    }
+}

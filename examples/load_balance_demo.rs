@@ -1,0 +1,57 @@
+//! Load-balance demonstration: watch the Hybrid scheme's worklist tame
+//! the imbalance that sinks the StackOnly scheme (the paper's Figure 5
+//! in miniature).
+//!
+//! ```text
+//! cargo run --release --example load_balance_demo
+//! ```
+
+use parvc::prelude::*;
+use parvc::graph::gen;
+
+fn main() {
+    // A dense p_hat-style complement: the most imbalanced family in the
+    // paper's evaluation (§V-C).
+    let g = gen::p_hat_complement(150, 3, 99);
+    println!(
+        "instance: |V|={}, |E|={}, |E|/|V|={:.1} (high-degree class)\n",
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_edges() as f64 / g.num_vertices() as f64
+    );
+
+    for (label, algorithm) in [
+        ("StackOnly (prior work)", Algorithm::StackOnly { start_depth: 8 }),
+        ("Hybrid (the paper)", Algorithm::Hybrid),
+    ] {
+        let solver = Solver::builder()
+            .algorithm(algorithm)
+            .device(DeviceSpec::scaled(8))
+            .grid_limit(Some(16))
+            .build();
+        let result = solver.solve_mvc(&g);
+        let load = &result.stats.report.sm_load;
+        println!("{label}: MVC size {} in {:.0} ms", result.size, result.stats.seconds() * 1e3);
+        println!(
+            "  tree nodes {:>8}   device cycles {:>12}",
+            result.stats.tree_nodes, result.stats.device_cycles
+        );
+        println!(
+            "  per-SM load (x mean): min {:.2}  median {:.2}  max {:.2}  (imbalance {:.3})",
+            load.min(),
+            load.quantile(0.5),
+            load.max(),
+            load.imbalance()
+        );
+        // A bar chart of normalized SM loads.
+        for (sm, &norm) in load.normalized.iter().enumerate() {
+            let bar = "#".repeat((norm * 20.0).round() as usize);
+            println!("  SM{sm:<2} {norm:>5.2} {bar}");
+        }
+        let donated: u64 = result.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
+        if donated > 0 {
+            println!("  (blocks donated {donated} sub-trees through the global worklist)");
+        }
+        println!();
+    }
+}

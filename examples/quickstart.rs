@@ -1,0 +1,55 @@
+//! Quickstart: solve MVC and PVC on a small graph with each of the
+//! three traversal schemes.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use parvc::prelude::*;
+use parvc::graph::gen;
+
+fn main() {
+    // The paper's Figure 2 example: two triangles sharing a vertex.
+    let g = gen::paper_example();
+    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+
+    for algorithm in [
+        Algorithm::Sequential,
+        Algorithm::StackOnly { start_depth: 4 },
+        Algorithm::Hybrid,
+    ] {
+        let solver = Solver::builder().algorithm(algorithm).grid_limit(Some(8)).build();
+        let result = solver.solve_mvc(&g);
+        assert!(is_vertex_cover(&g, &result.cover));
+        println!(
+            "{:<16} MVC size {} cover {:?}  ({} tree nodes, {:.1} ms)",
+            algorithm.to_string(),
+            result.size,
+            result.cover,
+            result.stats.tree_nodes,
+            result.stats.seconds() * 1e3,
+        );
+    }
+
+    // PVC: is there a cover of size 2? of size 3?
+    let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build();
+    for k in [2, 3] {
+        match solver.solve_pvc(&g, k).cover {
+            Some(cover) => println!("PVC k={k}: yes, e.g. {cover:?}"),
+            None => println!("PVC k={k}: no cover of size <= {k} exists"),
+        }
+    }
+
+    // A bigger instance: a p_hat-style dense graph, like the paper's
+    // DIMACS complements.
+    let big = gen::p_hat_complement(80, 2, 42);
+    let result = solver.solve_mvc(&big);
+    println!(
+        "\np_hat-style (|V|=80, |E|={}): MVC size {} in {:.1} ms ({} tree nodes)",
+        big.num_edges(),
+        result.size,
+        result.stats.seconds() * 1e3,
+        result.stats.tree_nodes,
+    );
+    assert!(is_vertex_cover(&big, &result.cover));
+}

@@ -1,0 +1,45 @@
+//! Activity timelines: what every thread block was doing, over the
+//! launch's model-cycle horizon — the paper's SM-clock instrumentation
+//! (§V-D) turned into an ASCII Gantt chart.
+//!
+//! Long runs of `w` (waiting on the worklist) on most rows while one
+//! row grinds through rules = starvation; the Hybrid donation keeps all
+//! rows busy.
+//!
+//! ```text
+//! cargo run --release --example timeline
+//! ```
+
+use parvc::prelude::*;
+use parvc::graph::gen;
+use parvc::simgpu::trace;
+
+fn main() {
+    let g = gen::p_hat_complement(120, 3, 5);
+    println!(
+        "instance: |V|={}, |E|={} (dense p_hat-style complement)\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    for (label, algorithm) in [
+        ("StackOnly", Algorithm::StackOnly { start_depth: 8 }),
+        ("Hybrid", Algorithm::Hybrid),
+    ] {
+        let solver = Solver::builder()
+            .algorithm(algorithm)
+            .device(DeviceSpec::scaled(4))
+            .grid_limit(Some(8))
+            .record_trace(true)
+            .build();
+        let r = solver.solve_mvc(&g);
+        println!(
+            "--- {label}: MVC {} in {:.0} ms, {} tree nodes ---",
+            r.size,
+            r.stats.seconds() * 1e3,
+            r.stats.tree_nodes
+        );
+        print!("{}", trace::render_launch(&r.stats.report.blocks, 96));
+        println!();
+    }
+}

@@ -1,0 +1,255 @@
+//! `parvc` — command-line driver for the vertex-cover suite.
+//!
+//! ```text
+//! parvc solve   [--algorithm seq|stack|hybrid] [--k <k>] [--deadline <s>]
+//!               [--extensions] [--format dimacs|edgelist] <file>
+//! parvc generate <family> <args...> [--seed <s>] [--out <file>]
+//! parvc analyze [--format dimacs|edgelist] <file>
+//! parvc demo
+//! ```
+//!
+//! Families for `generate`: `phat n class`, `gnp n p`, `ba n m`,
+//! `ws n k beta`, `geometric n radius`, `pace n communities`,
+//! `components n parts p`, `bipartite left right p`, `grid w h`.
+
+use std::io::BufReader;
+use std::time::Duration;
+
+use parvc::graph::{analysis, gen, io, kcore, matching, ops};
+use parvc::prelude::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("solve") => cmd_solve(&args[1..]),
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: parvc <solve|generate|analyze|demo> [options]\n\
+                 see the crate docs (src/bin/parvc.rs) for details"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+struct Flags {
+    positional: Vec<String>,
+    options: std::collections::BTreeMap<String, String>,
+    switches: std::collections::BTreeSet<String>,
+}
+
+fn parse_flags(args: &[String], value_flags: &[&str]) -> Flags {
+    let mut flags = Flags {
+        positional: Vec::new(),
+        options: Default::default(),
+        switches: Default::default(),
+    };
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if value_flags.contains(&name) {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| {
+                        eprintln!("--{name} requires a value");
+                        std::process::exit(2);
+                    })
+                    .clone();
+                flags.options.insert(name.to_string(), v);
+            } else {
+                flags.switches.insert(name.to_string());
+            }
+        } else {
+            flags.positional.push(a.clone());
+        }
+    }
+    flags
+}
+
+fn load_graph(path: &str, format: Option<&str>) -> CsrGraph {
+    let format = format
+        .map(str::to_string)
+        .unwrap_or_else(|| if path.ends_with(".dimacs") || path.ends_with(".clq") || path.ends_with(".col") {
+            "dimacs".into()
+        } else {
+            "edgelist".into()
+        });
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        std::process::exit(1);
+    });
+    let reader = BufReader::new(file);
+    let result = match format.as_str() {
+        "dimacs" => io::parse_dimacs(reader),
+        "edgelist" => io::parse_edge_list(reader, None),
+        other => {
+            eprintln!("unknown format '{other}' (dimacs|edgelist)");
+            std::process::exit(2);
+        }
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("cannot parse {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_solve(args: &[String]) {
+    let flags = parse_flags(args, &["algorithm", "k", "deadline", "format", "blocks"]);
+    let Some(path) = flags.positional.first() else {
+        eprintln!("solve: missing input file");
+        std::process::exit(2);
+    };
+    let g = load_graph(path, flags.options.get("format").map(String::as_str));
+    let algorithm = match flags.options.get("algorithm").map(String::as_str) {
+        None | Some("hybrid") => Algorithm::Hybrid,
+        Some("seq") | Some("sequential") => Algorithm::Sequential,
+        Some("stack") | Some("stackonly") => Algorithm::StackOnly { start_depth: 8 },
+        Some(other) => {
+            eprintln!("unknown algorithm '{other}' (seq|stack|hybrid)");
+            std::process::exit(2);
+        }
+    };
+    let mut builder = Solver::builder().algorithm(algorithm);
+    if let Some(d) = flags.options.get("deadline") {
+        builder = builder.deadline(Some(Duration::from_secs_f64(
+            d.parse().expect("--deadline takes seconds"),
+        )));
+    }
+    if let Some(b) = flags.options.get("blocks") {
+        builder = builder.grid_limit(Some(b.parse().expect("--blocks takes a count")));
+    }
+    if flags.switches.contains("extensions") {
+        builder = builder.extensions(parvc::core::Extensions::ALL);
+    }
+    let solver = builder.build();
+
+    eprintln!("instance: |V|={}, |E|={}", g.num_vertices(), g.num_edges());
+    match flags.options.get("k") {
+        Some(k) => {
+            let k: u32 = k.parse().expect("--k takes an integer");
+            let r = solver.solve_pvc(&g, k);
+            match &r.cover {
+                Some(cover) => {
+                    assert!(is_vertex_cover(&g, cover));
+                    println!("yes: cover of size {} <= {k}", cover.len());
+                    println!("{:?}", cover);
+                }
+                None if r.stats.timed_out => println!("unknown: budget exhausted"),
+                None => println!("no: no vertex cover of size <= {k} exists"),
+            }
+            eprintln!(
+                "{} tree nodes, {:.3}s",
+                r.stats.tree_nodes,
+                r.stats.seconds()
+            );
+        }
+        None => {
+            let r = solver.solve_mvc(&g);
+            assert!(is_vertex_cover(&g, &r.cover));
+            if r.stats.timed_out {
+                println!("best cover found (NOT proven minimum): {}", r.size);
+            } else {
+                println!("minimum vertex cover: {}", r.size);
+            }
+            println!("{:?}", r.cover);
+            eprintln!(
+                "{} tree nodes, {:.3}s (greedy bound was {})",
+                r.stats.tree_nodes,
+                r.stats.seconds(),
+                r.stats.greedy_size
+            );
+        }
+    }
+}
+
+fn cmd_generate(args: &[String]) {
+    let flags = parse_flags(args, &["seed", "out"]);
+    let seed: u64 =
+        flags.options.get("seed").map(|s| s.parse().expect("--seed takes an integer")).unwrap_or(42);
+    let p = &flags.positional;
+    let get = |i: usize| -> f64 {
+        p.get(i)
+            .unwrap_or_else(|| {
+                eprintln!("generate: missing argument {i} for family {:?}", p.first());
+                std::process::exit(2);
+            })
+            .parse()
+            .expect("numeric argument")
+    };
+    let g = match p.first().map(String::as_str) {
+        Some("phat") => gen::p_hat_complement(get(1) as u32, get(2) as u8, seed),
+        Some("gnp") => gen::gnp(get(1) as u32, get(2), seed),
+        Some("ba") => gen::barabasi_albert(get(1) as u32, get(2) as u32, seed),
+        Some("ws") => gen::watts_strogatz(get(1) as u32, get(2) as u32, get(3), seed),
+        Some("geometric") => gen::random_geometric(get(1) as u32, get(2), seed),
+        Some("pace") => gen::pace_like(get(1) as u32, get(2) as u32, seed),
+        Some("components") => gen::sparse_components(get(1) as u32, get(2) as u32, get(3), seed),
+        Some("bipartite") => gen::bipartite_gnp(get(1) as u32, get(2) as u32, get(3), seed),
+        Some("grid") => gen::grid2d(get(1) as u32, get(2) as u32),
+        other => {
+            eprintln!("unknown family {other:?}");
+            std::process::exit(2);
+        }
+    };
+    match flags.options.get("out") {
+        Some(path) => {
+            let file = std::fs::File::create(path).expect("cannot create output file");
+            io::write_dimacs(&g, "edge", std::io::BufWriter::new(file)).expect("write failed");
+            eprintln!("wrote |V|={}, |E|={} to {path}", g.num_vertices(), g.num_edges());
+        }
+        None => {
+            io::write_dimacs(&g, "edge", std::io::stdout().lock()).expect("write failed");
+        }
+    }
+}
+
+fn cmd_analyze(args: &[String]) {
+    let flags = parse_flags(args, &["format"]);
+    let Some(path) = flags.positional.first() else {
+        eprintln!("analyze: missing input file");
+        std::process::exit(2);
+    };
+    let g = load_graph(path, flags.options.get("format").map(String::as_str));
+    let stats = analysis::degree_stats(&g);
+    let (_, components) = ops::connected_components(&g);
+    println!("vertices:        {}", g.num_vertices());
+    println!("edges:           {}", g.num_edges());
+    println!("|E|/|V|:         {:.3}", analysis::edge_vertex_ratio(&g));
+    println!("degree class:    {}", analysis::degree_class(&g));
+    println!(
+        "degrees:         min {} / mean {:.2} / max {} / stddev {:.2}",
+        stats.min, stats.mean, stats.max, stats.std_dev
+    );
+    println!("components:      {components}");
+    println!("triangles:       {}", analysis::triangle_count(&g));
+    let core = kcore::core_decomposition(&g);
+    let two_core = core.core_number.iter().filter(|&&c| c >= 2).count();
+    println!(
+        "degeneracy:      {} ({} of {} vertices survive the reduction-resistant 2-core)",
+        core.degeneracy,
+        two_core,
+        g.num_vertices()
+    );
+    match matching::bipartition(&g) {
+        Some(_) => {
+            let cover = matching::konig_cover(&g).expect("bipartite");
+            println!("bipartite:       yes — exact MVC by Kőnig: {}", cover.len());
+        }
+        None => {
+            let lb = matching::greedy_maximal_matching(&g).len();
+            let (ub, _) = parvc::core::greedy::greedy_mvc(&g);
+            println!("bipartite:       no — MVC within [{lb}, {ub}] (matching LB, greedy UB)");
+        }
+    }
+}
+
+fn cmd_demo() {
+    let g = gen::paper_example();
+    println!("the paper's Figure 2 graph ({} vertices, {} edges)", g.num_vertices(), g.num_edges());
+    let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(4)).build();
+    let r = solver.solve_mvc(&g);
+    println!("minimum vertex cover: {} = {:?}", r.size, r.cover);
+}

@@ -1,0 +1,41 @@
+//! # parvc — Parallel Vertex Cover on a simulated GPU
+//!
+//! Reproduction of *"Parallel Vertex Cover Algorithms on GPUs"*
+//! (Yamout, Barada, Jaljuli, Mouawad, El Hajj — IPDPS 2022).
+//!
+//! This meta-crate re-exports the workspace crates under one roof:
+//!
+//! * [`graph`] — static CSR graphs, generators, and IO ([`parvc_graph`]).
+//! * [`worklist`] — the Broker Work Distributor global worklist and
+//!   per-block local stacks ([`parvc_worklist`]).
+//! * [`simgpu`] — the GPU execution model: device specs, occupancy,
+//!   cycle cost model, per-activity counters ([`parvc_simgpu`]).
+//! * [`core`] — the branch-and-reduce solvers (Sequential, StackOnly,
+//!   Hybrid) for MVC and PVC ([`parvc_core`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use parvc::prelude::*;
+//!
+//! // A 5-cycle needs 3 vertices to cover all 5 edges.
+//! let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+//! let solver = Solver::builder().algorithm(Algorithm::Hybrid).build();
+//! let result = solver.solve_mvc(&g);
+//! assert_eq!(result.size, 3);
+//! assert!(is_vertex_cover(&g, &result.cover));
+//! ```
+
+pub use parvc_core as core;
+pub use parvc_graph as graph;
+pub use parvc_simgpu as simgpu;
+pub use parvc_worklist as worklist;
+
+/// Convenience re-exports covering the common entry points.
+pub mod prelude {
+    pub use parvc_core::{
+        is_vertex_cover, Algorithm, MvcResult, PvcResult, Solver, SolverBuilder,
+    };
+    pub use parvc_graph::{CsrGraph, GraphBuilder};
+    pub use parvc_simgpu::DeviceSpec;
+}

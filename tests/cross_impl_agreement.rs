@@ -1,0 +1,124 @@
+//! Cross-implementation agreement: Sequential, StackOnly, and Hybrid
+//! must produce identical MVC sizes (and consistent PVC answers) on
+//! randomized instances, all validated against the brute-force oracle.
+
+use parvc::core::brute::brute_force_mvc;
+use parvc::core::{is_vertex_cover, Algorithm, Solver};
+use parvc::graph::{gen, CsrGraph};
+use proptest::prelude::*;
+
+fn solvers() -> Vec<(&'static str, Solver)> {
+    vec![
+        ("sequential", Solver::builder().algorithm(Algorithm::Sequential).build()),
+        (
+            "stackonly",
+            Solver::builder()
+                .algorithm(Algorithm::StackOnly { start_depth: 5 })
+                .grid_limit(Some(6))
+                .build(),
+        ),
+        ("hybrid", Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(6)).build()),
+    ]
+}
+
+/// Arbitrary simple graph on up to 14 vertices.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (4u32..=14).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..40).prop_map(move |pairs| {
+            let edges: Vec<(u32, u32)> =
+                pairs.into_iter().filter(|(u, v)| u != v).collect();
+            CsrGraph::from_edges(n, &edges).expect("filtered edges are valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_implementations_find_the_optimum(g in arb_graph()) {
+        let (opt, _) = brute_force_mvc(&g);
+        for (name, solver) in solvers() {
+            let r = solver.solve_mvc(&g);
+            prop_assert_eq!(r.size, opt, "{} disagrees with brute force", name);
+            prop_assert!(is_vertex_cover(&g, &r.cover), "{} returned a non-cover", name);
+            prop_assert_eq!(r.cover.len() as u32, r.size, "{} cover/size mismatch", name);
+        }
+    }
+
+    #[test]
+    fn pvc_answers_match_the_optimum(g in arb_graph(), dk in 0u32..3) {
+        let (opt, _) = brute_force_mvc(&g);
+        // Query around the optimum: k < opt must fail, k >= opt succeed.
+        let k = (opt + dk).saturating_sub(1);
+        for (name, solver) in solvers() {
+            let r = solver.solve_pvc(&g, k);
+            if k >= opt {
+                let cover = r.cover.expect("feasible k must yield a cover");
+                prop_assert!(cover.len() as u32 <= k, "{} cover exceeds k", name);
+                prop_assert!(is_vertex_cover(&g, &cover), "{} returned a non-cover", name);
+            } else {
+                prop_assert!(r.cover.is_none(), "{} found an impossible cover", name);
+            }
+        }
+    }
+
+    #[test]
+    fn mis_complements_mvc(g in arb_graph()) {
+        let solver = Solver::builder().algorithm(Algorithm::Sequential).build();
+        let mis = solver.solve_mis(&g);
+        let mvc = solver.solve_mvc(&g);
+        prop_assert_eq!(mis.size + mvc.size, g.num_vertices());
+        prop_assert!(parvc::core::is_independent_set(&g, &mis.set));
+    }
+}
+
+#[test]
+fn agreement_on_every_named_family() {
+    let cases: Vec<(&str, CsrGraph)> = vec![
+        ("petersen", gen::petersen()),
+        ("paper_example", gen::paper_example()),
+        ("grid_4x5", gen::grid2d(4, 5)),
+        ("p_hat_comp", gen::p_hat_complement(40, 2, 3)),
+        ("ba", gen::barabasi_albert(60, 3, 3)),
+        ("ws", gen::watts_strogatz(50, 4, 0.2, 3)),
+        ("geometric", gen::random_geometric(50, 0.18, 3)),
+        ("bipartite", gen::bipartite_gnp(15, 20, 0.2, 3)),
+        ("components", gen::sparse_components(48, 6, 0.4, 3)),
+        ("pace", gen::pace_like(60, 4, 3)),
+        ("regular3", gen::random_regular(40, 3, 3)),
+        ("regular4", gen::random_regular(36, 4, 3)),
+    ];
+    for (name, g) in cases {
+        let seq = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g);
+        for (impl_name, solver) in solvers() {
+            let r = solver.solve_mvc(&g);
+            assert_eq!(r.size, seq.size, "{impl_name} vs sequential on {name}");
+            assert!(is_vertex_cover(&g, &r.cover), "{impl_name} non-cover on {name}");
+        }
+    }
+}
+
+#[test]
+fn stackonly_depths_agree() {
+    let g = gen::p_hat_complement(50, 2, 9);
+    let expect = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
+    for depth in [0, 1, 3, 7, 10] {
+        let solver = Solver::builder()
+            .algorithm(Algorithm::StackOnly { start_depth: depth })
+            .grid_limit(Some(4))
+            .build();
+        assert_eq!(solver.solve_mvc(&g).size, expect, "start_depth {depth}");
+    }
+}
+
+#[test]
+fn hybrid_grid_sizes_agree() {
+    let g = gen::barabasi_albert(70, 4, 11);
+    let expect = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
+    for grid in [1, 2, 8, 24] {
+        let solver =
+            Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(grid)).build();
+        assert_eq!(solver.solve_mvc(&g).size, expect, "grid {grid}");
+    }
+}

@@ -1,0 +1,155 @@
+//! End-to-end flows: realistic instances per family, deadline
+//! behaviour, IO round-trips into the solver, and launch planning.
+
+use std::time::Duration;
+
+use parvc::core::{is_vertex_cover, Algorithm, Solver};
+use parvc::graph::{analysis, gen, io, ops};
+use parvc::simgpu::{DeviceSpec, KernelVariant};
+
+fn hybrid() -> Solver {
+    Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build()
+}
+
+#[test]
+fn realistic_instance_per_family() {
+    // One moderate instance per evaluated family, solved and verified.
+    let cases = vec![
+        ("p_hat_complement", gen::p_hat_complement(80, 2, 17)),
+        ("power_law", gen::barabasi_albert(150, 4, 17)),
+        ("small_world", gen::watts_strogatz(150, 4, 0.1, 17)),
+        ("bipartite", gen::bipartite_gnp(40, 80, 0.12, 17)),
+        ("communities", gen::sparse_components(120, 12, 0.4, 17)),
+        ("pace_style", gen::pace_like(100, 5, 17)),
+    ];
+    let solver = hybrid();
+    for (name, g) in cases {
+        let r = solver.solve_mvc(&g);
+        assert!(!r.stats.timed_out, "{name} should not time out");
+        assert!(is_vertex_cover(&g, &r.cover), "{name}: invalid cover");
+        // The greedy bound brackets the optimum.
+        assert!(r.size <= r.stats.greedy_size, "{name}: worse than greedy");
+        // PVC cross-check at the discovered optimum.
+        assert!(solver.solve_pvc(&g, r.size).found(), "{name}: PVC at min failed");
+        if r.size > 0 {
+            assert!(!solver.solve_pvc(&g, r.size - 1).found(), "{name}: PVC below min succeeded");
+        }
+    }
+}
+
+#[test]
+fn deadline_interrupts_and_flags() {
+    // A deliberately hard instance with a tiny budget must return
+    // best-so-far quickly, flagged as timed out — on every algorithm.
+    let g = gen::random_geometric(200, 0.12, 5);
+    for algorithm in
+        [Algorithm::Sequential, Algorithm::StackOnly { start_depth: 8 }, Algorithm::Hybrid]
+    {
+        let solver = Solver::builder()
+            .algorithm(algorithm)
+            .grid_limit(Some(4))
+            .deadline(Some(Duration::from_millis(150)))
+            .build();
+        let start = std::time::Instant::now();
+        let r = solver.solve_mvc(&g);
+        assert!(r.stats.timed_out, "{algorithm}: expected a timeout");
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "{algorithm}: deadline not honored ({:?})",
+            start.elapsed()
+        );
+        // Best-so-far is still a valid cover (greedy at worst).
+        assert!(is_vertex_cover(&g, &r.cover), "{algorithm}: timeout result invalid");
+        assert!(r.size <= r.stats.greedy_size);
+    }
+}
+
+#[test]
+fn dimacs_roundtrip_through_solver() {
+    let g = gen::p_hat_complement(40, 3, 23);
+    let mut buf = Vec::new();
+    io::write_dimacs(&g, "edge", &mut buf).unwrap();
+    let parsed = io::parse_dimacs(std::io::Cursor::new(buf)).unwrap();
+    assert_eq!(parsed, g);
+    let a = hybrid().solve_mvc(&g).size;
+    let b = hybrid().solve_mvc(&parsed).size;
+    assert_eq!(a, b);
+}
+
+#[test]
+fn clique_complement_duality() {
+    // A maximum clique of G is a maximum independent set of comp(G):
+    // MVC(comp(G)) = |V| - clique(G). Check on a known case: the
+    // Petersen graph's maximum clique is an edge (size 2).
+    let g = gen::petersen();
+    let comp = ops::complement(&g);
+    let mvc_comp = hybrid().solve_mvc(&comp);
+    assert_eq!(g.num_vertices() - mvc_comp.size, 2);
+}
+
+#[test]
+fn launch_planning_matches_graph_scale() {
+    let solver = Solver::builder()
+        .algorithm(Algorithm::Hybrid)
+        .device(DeviceSpec::v100())
+        .grid_limit(None)
+        .build();
+    // Small dense graph → shared-memory kernel; huge graph → global.
+    let small = gen::p_hat_complement(300, 1, 1);
+    let plan = solver.plan_launch(&small, 60);
+    assert_eq!(plan.variant, KernelVariant::SharedMem);
+    assert!(plan.full_occupancy);
+    assert!(plan.grid_blocks >= 80, "V100 grid should span all SMs");
+
+    let huge = gen::barabasi_albert(40_000, 2, 1);
+    let plan = solver.plan_launch(&huge, 100);
+    assert_eq!(plan.variant, KernelVariant::GlobalMem);
+    assert!(plan.total_global_bytes <= DeviceSpec::v100().global_mem);
+}
+
+#[test]
+fn degree_classes_match_table_one() {
+    // The classifier must reproduce the paper's split on our stand-ins.
+    assert_eq!(
+        analysis::degree_class(&gen::p_hat_complement(100, 1, 1)),
+        analysis::DegreeClass::High
+    );
+    assert_eq!(
+        analysis::degree_class(&gen::watts_strogatz(200, 4, 0.1, 1)),
+        analysis::DegreeClass::Low
+    );
+    assert_eq!(
+        analysis::degree_class(&gen::pace_like(150, 6, 1)),
+        analysis::DegreeClass::Low
+    );
+}
+
+#[test]
+fn solver_statistics_are_coherent() {
+    let g = gen::p_hat_complement(60, 2, 31);
+    let r = hybrid().solve_mvc(&g);
+    let report = &r.stats.report;
+    // Block-level counts reconcile with the aggregates.
+    let nodes: u64 = report.blocks.iter().map(|b| b.tree_nodes_visited).sum();
+    assert_eq!(nodes, r.stats.tree_nodes);
+    assert_eq!(report.total_tree_nodes, nodes);
+    // Load normalization averages to ~1 across SMs with any work.
+    let mean: f64 =
+        report.sm_load.normalized.iter().sum::<f64>() / report.sm_load.normalized.len() as f64;
+    assert!((mean - 1.0).abs() < 1e-9 || nodes == 0);
+    // Donated nodes were either consumed or the worklist drained empty.
+    let donated: u64 = report.blocks.iter().map(|b| b.nodes_donated).sum();
+    let consumed: u64 = report.blocks.iter().map(|b| b.nodes_from_worklist).sum();
+    assert_eq!(consumed, donated + 1, "every donation plus the seed is consumed exactly once");
+}
+
+#[test]
+fn pvc_extreme_parameters() {
+    let g = gen::cycle(9); // MVC = 5
+    let solver = hybrid();
+    assert!(!solver.solve_pvc(&g, 0).found());
+    assert!(!solver.solve_pvc(&g, 4).found());
+    assert!(solver.solve_pvc(&g, 5).found());
+    assert!(solver.solve_pvc(&g, 9).found());
+    assert!(solver.solve_pvc(&g, u32::MAX - 2).found());
+}

@@ -1,0 +1,142 @@
+//! Heavy concurrency stress for the worklist substrate and failure
+//! injection around its capacity limits.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parvc::core::{is_vertex_cover, Algorithm, Solver};
+use parvc::graph::gen;
+use parvc::worklist::{BrokerQueue, PopOutcome, Worklist};
+
+/// Exhaustive tree drain with many workers and a worklist much smaller
+/// than the tree: every leaf must be counted exactly once, every run.
+#[test]
+fn exact_leaf_count_under_tiny_worklist() {
+    for run in 0..5 {
+        const DEPTH: u32 = 12;
+        let wl = Arc::new(Worklist::<u32>::with_capacity(8)); // tiny!
+        wl.seed(DEPTH);
+        let leaves = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let wl = Arc::clone(&wl);
+                let leaves = Arc::clone(&leaves);
+                s.spawn(move || {
+                    let mut h = wl.handle();
+                    let mut local = Vec::new();
+                    loop {
+                        let node = match local.pop() {
+                            Some(n) => n,
+                            None => match h.pop() {
+                                PopOutcome::Item(n) => n,
+                                PopOutcome::Done => break,
+                            },
+                        };
+                        if node == 0 {
+                            leaves.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        // Donate one child when possible; bounced
+                        // donations must fall back to the local stack.
+                        match h.add(node - 1) {
+                            Ok(()) => {}
+                            Err(back) => local.push(back),
+                        }
+                        local.push(node - 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(leaves.load(Ordering::Relaxed), 1 << DEPTH, "run {run} lost/duplicated work");
+        assert_eq!(wl.len_hint(), 0, "run {run} left entries behind");
+    }
+}
+
+/// The broker queue under rotating producer/consumer roles: the sum of
+/// everything popped must equal the sum of everything pushed.
+#[test]
+fn broker_checksum_under_role_rotation() {
+    let q = Arc::new(BrokerQueue::<u64>::with_capacity(32));
+    let pushed = Arc::new(AtomicU64::new(0));
+    let popped = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            let pushed = Arc::clone(&pushed);
+            let popped = Arc::clone(&popped);
+            s.spawn(move || {
+                for i in 0..10_000u64 {
+                    if (i + t) % 2 == 0 {
+                        let val = t * 1_000_000 + i;
+                        if q.try_push(val).is_ok() {
+                            pushed.fetch_add(val, Ordering::Relaxed);
+                        }
+                    } else if let Some(v) = q.try_pop() {
+                        popped.fetch_add(v, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    // Drain what's left.
+    while let Some(v) = q.try_pop() {
+        popped.fetch_add(v, Ordering::Relaxed);
+    }
+    assert_eq!(pushed.load(Ordering::Relaxed), popped.load(Ordering::Relaxed));
+}
+
+/// A Hybrid solve with a pathologically tiny worklist must still be
+/// correct: donations bounce to local stacks instead of losing work.
+#[test]
+fn hybrid_correct_with_tiny_worklist() {
+    let g = gen::p_hat_complement(50, 2, 41);
+    let expect = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g);
+    let solver = Solver::builder()
+        .algorithm(Algorithm::Hybrid)
+        .worklist_capacity(2) // queue rounds up to 2 — the minimum
+        .threshold_frac(1.0) // try to donate on every branch
+        .grid_limit(Some(8))
+        .build();
+    let r = solver.solve_mvc(&g);
+    assert_eq!(r.size, expect.size);
+    assert!(is_vertex_cover(&g, &r.cover));
+    // Bounces are race-dependent (the queue must fill between the
+    // threshold check and the add), so only the accounting identity is
+    // asserted: donated entries all get consumed, bounced ones do not.
+    let donated: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
+    let consumed: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_from_worklist).sum();
+    assert_eq!(consumed, donated + 1, "donations + seed must be consumed exactly once");
+}
+
+/// Repeated parallel PVC at k = min−1 (exhaustive, no solution) is the
+/// hardest termination-detection case: all blocks must agree the
+/// search is over with no solution, every time.
+#[test]
+fn pvc_exhaustive_termination_is_stable() {
+    let g = gen::p_hat_complement(40, 3, 13);
+    let min = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
+    for run in 0..5 {
+        let solver =
+            Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build();
+        let r = solver.solve_pvc(&g, min - 1);
+        assert!(!r.found(), "run {run}: found an impossible cover");
+        assert!(!r.stats.timed_out, "run {run}: spurious timeout");
+    }
+}
+
+/// PVC early exit: once any block finds a cover, all blocks drain out
+/// promptly even with a large grid.
+#[test]
+fn pvc_early_exit_drains_quickly() {
+    let g = gen::p_hat_complement(60, 1, 19);
+    let min = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
+    let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(16)).build();
+    let start = std::time::Instant::now();
+    let r = solver.solve_pvc(&g, min + 2);
+    assert!(r.found());
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(20),
+        "early exit too slow: {:?}",
+        start.elapsed()
+    );
+}
