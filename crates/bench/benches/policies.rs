@@ -1,0 +1,70 @@
+//! Head-to-head of the four scheduling policies on a fixed instance
+//! set — the criterion companion to the `SchedulePolicy` engine: one
+//! group per instance family, one benchmark per policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parvc_core::{Algorithm, Solver};
+use parvc_graph::{gen, CsrGraph};
+use parvc_simgpu::DeviceSpec;
+
+fn policies() -> [(&'static str, Algorithm); 4] {
+    [
+        ("seq", Algorithm::Sequential),
+        ("stack", Algorithm::StackOnly { start_depth: 6 }),
+        ("hybrid", Algorithm::Hybrid),
+        ("steal", Algorithm::WorkStealing),
+    ]
+}
+
+fn instances() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("p_hat_comp_80_2", gen::p_hat_complement(80, 2, 31)),
+        ("ba_100_6", gen::barabasi_albert(100, 6, 31)),
+        ("grid_9x9", gen::grid2d(9, 9)),
+        ("components_120", gen::sparse_components(120, 10, 0.35, 31)),
+    ]
+}
+
+fn bench_policies_mvc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_mvc");
+    g.sample_size(10);
+    for (name, graph) in &instances() {
+        for (label, algorithm) in policies() {
+            g.bench_with_input(BenchmarkId::new(*name, label), graph, |b, graph| {
+                let solver = Solver::builder()
+                    .algorithm(algorithm)
+                    .device(DeviceSpec::scaled(4))
+                    .grid_limit(Some(8))
+                    .build();
+                b.iter(|| std::hint::black_box(solver.solve_mvc(graph).size));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_policies_pvc_feasible(c: &mut Criterion) {
+    let mut g = c.benchmark_group("policy_pvc_min");
+    g.sample_size(10);
+    for (name, graph) in &instances() {
+        let min = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(graph)
+            .size;
+        for (label, algorithm) in policies() {
+            g.bench_with_input(BenchmarkId::new(*name, label), graph, |b, graph| {
+                let solver = Solver::builder()
+                    .algorithm(algorithm)
+                    .device(DeviceSpec::scaled(4))
+                    .grid_limit(Some(8))
+                    .build();
+                b.iter(|| std::hint::black_box(solver.solve_pvc(graph, min).found()));
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies_mvc, bench_policies_pvc_feasible);
+criterion_main!(benches);

@@ -28,14 +28,10 @@ fn bench_mvc(c: &mut Criterion) {
             ("stackonly", Algorithm::StackOnly { start_depth: 6 }),
             ("hybrid", Algorithm::Hybrid),
         ] {
-            g.bench_with_input(
-                BenchmarkId::new(*name, label),
-                graph,
-                |b, graph| {
-                    let s = solver(algorithm);
-                    b.iter(|| std::hint::black_box(s.solve_mvc(graph).size));
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(*name, label), graph, |b, graph| {
+                let s = solver(algorithm);
+                b.iter(|| std::hint::black_box(s.solve_mvc(graph).size));
+            });
         }
     }
     g.finish();
@@ -46,10 +42,15 @@ fn bench_pvc(c: &mut Criterion) {
     let min = solver(Algorithm::Sequential).solve_mvc(&graph).size;
     let mut g = c.benchmark_group("solve_pvc_phat100");
     g.sample_size(10);
-    for (label, k) in [("k_min_minus_1", min - 1), ("k_min", min), ("k_min_plus_1", min + 1)] {
-        for (alg_label, algorithm) in
-            [("sequential", Algorithm::Sequential), ("hybrid", Algorithm::Hybrid)]
-        {
+    for (label, k) in [
+        ("k_min_minus_1", min - 1),
+        ("k_min", min),
+        ("k_min_plus_1", min + 1),
+    ] {
+        for (alg_label, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("hybrid", Algorithm::Hybrid),
+        ] {
             g.bench_with_input(BenchmarkId::new(label, alg_label), &graph, |b, graph| {
                 let s = solver(algorithm);
                 b.iter(|| std::hint::black_box(s.solve_pvc(graph, k).found()));

@@ -33,38 +33,42 @@ fn bench_contended(c: &mut Criterion) {
     g.sample_size(10);
     for &threads in &[2u32, 4] {
         g.throughput(Throughput::Elements(20_000));
-        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &threads| {
-            b.iter_custom(|iters| {
-                let mut total = std::time::Duration::ZERO;
-                for _ in 0..iters {
-                    let q = Arc::new(BrokerQueue::with_capacity(256));
-                    let per_thread = 20_000 / threads as u64;
-                    let start = Instant::now();
-                    std::thread::scope(|s| {
-                        for _ in 0..threads {
-                            let q = Arc::clone(&q);
-                            s.spawn(move || {
-                                for i in 0..per_thread {
-                                    let mut item = i;
-                                    loop {
-                                        match q.try_push(item) {
-                                            Ok(()) => break,
-                                            Err(back) => {
-                                                item = back;
-                                                let _ = q.try_pop();
+        g.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        let q = Arc::new(BrokerQueue::with_capacity(256));
+                        let per_thread = 20_000 / threads as u64;
+                        let start = Instant::now();
+                        std::thread::scope(|s| {
+                            for _ in 0..threads {
+                                let q = Arc::clone(&q);
+                                s.spawn(move || {
+                                    for i in 0..per_thread {
+                                        let mut item = i;
+                                        loop {
+                                            match q.try_push(item) {
+                                                Ok(()) => break,
+                                                Err(back) => {
+                                                    item = back;
+                                                    let _ = q.try_pop();
+                                                }
                                             }
                                         }
+                                        let _ = q.try_pop();
                                     }
-                                    let _ = q.try_pop();
-                                }
-                            });
-                        }
-                    });
-                    total += start.elapsed();
-                }
-                total
-            });
-        });
+                                });
+                            }
+                        });
+                        total += start.elapsed();
+                    }
+                    total
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -112,5 +116,10 @@ fn bench_termination(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_uncontended, bench_contended, bench_termination);
+criterion_group!(
+    benches,
+    bench_uncontended,
+    bench_contended,
+    bench_termination
+);
 criterion_main!(benches);

@@ -11,7 +11,15 @@ use parvc_bench::suite::suite;
 fn main() {
     let args = BenchArgs::parse();
     let mut table = Table::new(vec![
-        "graph", "|V|", "|E|", "|E|/|V|", "class", "greedy", "min", "seq MVC", "hyb MVC",
+        "graph",
+        "|V|",
+        "|E|",
+        "|E|/|V|",
+        "class",
+        "greedy",
+        "min",
+        "seq MVC",
+        "hyb MVC",
         "nodes(hyb)",
     ]);
     for inst in suite(args.scale) {
@@ -26,7 +34,11 @@ fn main() {
             format!("{:.2}", inst.ratio()),
             inst.class.to_string(),
             hy.stats.greedy_size.to_string(),
-            if hy.stats.timed_out { format!(">{}", hy.size) } else { hy.size.to_string() },
+            if hy.stats.timed_out {
+                format!(">{}", hy.size)
+            } else {
+                hy.size.to_string()
+            },
             fmt_seconds(sq.stats.seconds(), sq.stats.timed_out),
             fmt_seconds(hy.stats.seconds(), hy.stats.timed_out),
             hy.stats.tree_nodes.to_string(),

@@ -10,7 +10,10 @@ use parvc_graph::{gen, CsrGraph};
 fn main() {
     let args = BenchArgs::parse();
     let candidates: Vec<(String, CsrGraph)> = vec![
-        ("phat_100_3".into(), gen::p_hat_complement(100, 3, 0x9a1 + 1003)),
+        (
+            "phat_100_3".into(),
+            gen::p_hat_complement(100, 3, 0x9a1 + 1003),
+        ),
         ("ba_130_12".into(), gen::barabasi_albert(130, 12, 2)),
         ("ba_150_12".into(), gen::barabasi_albert(150, 12, 2)),
         ("ba_160_14".into(), gen::barabasi_albert(160, 14, 2)),
@@ -19,14 +22,27 @@ fn main() {
         ("pace_170_7".into(), gen::pace_like(170, 7, 4)),
         ("pace_180_7".into(), gen::pace_like(180, 7, 4)),
         ("pace_190_8".into(), gen::pace_like(190, 8, 4)),
-        ("comp_260_22".into(), gen::sparse_components(260, 22, 0.32, 7)),
-        ("comp_280_20".into(), gen::sparse_components(280, 20, 0.30, 7)),
+        (
+            "comp_260_22".into(),
+            gen::sparse_components(260, 22, 0.32, 7),
+        ),
+        (
+            "comp_280_20".into(),
+            gen::sparse_components(280, 20, 0.30, 7),
+        ),
         ("ws_250_4_.1".into(), gen::watts_strogatz(250, 4, 0.1, 6)),
         ("ws_350_4_.15".into(), gen::watts_strogatz(350, 4, 0.15, 6)),
     ];
 
     let mut table = Table::new(vec![
-        "candidate", "|V|", "|E|/|V|", "seq", "stack", "hyb", "nodes(hyb)", "min(long)",
+        "candidate",
+        "|V|",
+        "|E|/|V|",
+        "seq",
+        "stack",
+        "hyb",
+        "nodes(hyb)",
+        "min(long)",
     ]);
     for (name, g) in candidates {
         let hy = make_solver(Impl::Hybrid, &args, Some(args.deadline)).solve_mvc(&g);
@@ -41,7 +57,15 @@ fn main() {
             fmt_seconds(so.stats.seconds(), so.stats.timed_out),
             fmt_seconds(hy.stats.seconds(), hy.stats.timed_out),
             hy.stats.tree_nodes.to_string(),
-            if long.stats.timed_out { format!("≥{} (long)", long.size) } else { format!("{} @{}", long.size, fmt_seconds(long.stats.seconds(), false)) },
+            if long.stats.timed_out {
+                format!("≥{} (long)", long.size)
+            } else {
+                format!(
+                    "{} @{}",
+                    long.size,
+                    fmt_seconds(long.stats.seconds(), false)
+                )
+            },
         ]);
     }
     table.print();

@@ -48,7 +48,8 @@ impl BenchArgs {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut value = |what: &str| {
-                it.next().unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
             };
             match flag.as_str() {
                 "--scale" => {
@@ -65,7 +66,9 @@ impl BenchArgs {
                 }
                 "--min-budget" => {
                     out.min_budget = Duration::from_secs_f64(
-                        value("seconds").parse().expect("--min-budget takes seconds"),
+                        value("seconds")
+                            .parse()
+                            .expect("--min-budget takes seconds"),
                     )
                 }
                 "--blocks" => out.grid = value("count").parse().expect("--blocks takes a count"),

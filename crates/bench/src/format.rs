@@ -31,7 +31,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -43,7 +46,7 @@ impl Table {
 
     /// Appends a horizontal separator row.
     pub fn separator(&mut self) {
-        self.rows.push(vec!["—".to_string(); 0]);
+        self.rows.push(Vec::new());
     }
 
     /// Renders to a string (first column left-aligned, rest right).
@@ -117,7 +120,9 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         let width = lines[0].chars().count();
-        assert!(lines.iter().all(|l| l.chars().count() == width || l.starts_with('-')));
+        assert!(lines
+            .iter()
+            .all(|l| l.chars().count() == width || l.starts_with('-')));
     }
 
     #[test]

@@ -95,10 +95,11 @@ pub fn table2(grid: &[(Instance, InstanceRow)]) {
         Some(parvc_graph::analysis::DegreeClass::Low),
         None,
     ] {
-        let rows: Vec<&(Instance, InstanceRow)> =
-            grid.iter().filter(|(i, _)| split.is_none() || Some(i.class) == split).collect();
-        let mut cells =
-            vec![split.map_or("Overall".to_string(), |c| c.to_string())];
+        let rows: Vec<&(Instance, InstanceRow)> = grid
+            .iter()
+            .filter(|(i, _)| split.is_none() || Some(i.class) == split)
+            .collect();
+        let mut cells = vec![split.map_or("Overall".to_string(), |c| c.to_string())];
         for base in [Impl::StackOnly, Impl::Sequential] {
             for (pi, _) in Problem::ALL.iter().enumerate() {
                 let ratios: Vec<f64> = rows
@@ -135,6 +136,7 @@ fn short_impl(i: Impl) -> &'static str {
         Impl::Sequential => "Seq",
         Impl::StackOnly => "Stk",
         Impl::Hybrid => "Hyb",
+        Impl::WorkStealing => "Stl",
     }
 }
 
@@ -164,11 +166,15 @@ pub fn table3(args: &BenchArgs) {
         "Sequential",
         "StackOnly",
         "Hybrid",
+        "WorkSteal",
         "paper: Abu-Khzam et al. [15]",
     ]);
     for inst in phat_suite(args.scale) {
         let Some(min) = compute_min(&inst, args) else {
-            t.row(vec![inst.name.clone(), "?".into(), "?".into(), "?".into(), String::new()]);
+            let mut cells = vec![inst.name.clone()];
+            cells.extend(Impl::ALL.iter().map(|_| "?".to_string()));
+            cells.push(String::new());
+            t.row(cells);
             continue;
         };
         let mut cells = vec![inst.name.clone()];
@@ -199,7 +205,15 @@ pub fn fig5(args: &BenchArgs) {
     );
     let (high, low) = fig5_pair(args.scale);
     let mut t = Table::new(vec![
-        "graph", "problem", "impl", "min", "q25", "median", "q75", "max", "imbalance",
+        "graph",
+        "problem",
+        "impl",
+        "min",
+        "q25",
+        "median",
+        "q75",
+        "max",
+        "imbalance",
     ]);
     for inst in [&high, &low] {
         let Some(min) = compute_min(inst, args) else {
@@ -256,7 +270,10 @@ pub fn fig6(args: &BenchArgs) {
             sum += s;
             cells.push(format!("{:.1}%", s * 100.0));
         }
-        cells.push(format!("{:.1}%", sum / per_graph.len().max(1) as f64 * 100.0));
+        cells.push(format!(
+            "{:.1}%",
+            sum / per_graph.len().max(1) as f64 * 100.0
+        ));
         t.row(cells);
     }
     // Family subtotals, matching the paper's three groups.
@@ -269,12 +286,18 @@ pub fn fig6(args: &BenchArgs) {
         let mut cells = vec![format!("[{}]", family.label())];
         let mut sum = 0.0;
         for (_, shares) in &per_graph {
-            let s: f64 =
-                shares.iter().filter(|(a, _)| a.family() == family).map(|(_, s)| s).sum();
+            let s: f64 = shares
+                .iter()
+                .filter(|(a, _)| a.family() == family)
+                .map(|(_, s)| s)
+                .sum();
             sum += s;
             cells.push(format!("{:.1}%", s * 100.0));
         }
-        cells.push(format!("{:.1}%", sum / per_graph.len().max(1) as f64 * 100.0));
+        cells.push(format!(
+            "{:.1}%",
+            sum / per_graph.len().max(1) as f64 * 100.0
+        ));
         t.row(cells);
     }
     t.print();
@@ -298,7 +321,10 @@ pub fn sensitivity(args: &BenchArgs) {
     let reps = representative_subset(args);
     println!(
         "subset: {}",
-        reps.iter().map(|i| i.name.as_str()).collect::<Vec<_>>().join(", ")
+        reps.iter()
+            .map(|i| i.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
     );
 
     // (a) Block size: affects model device time via ceil(n/B); the
@@ -335,8 +361,16 @@ pub fn sensitivity(args: &BenchArgs) {
              (paper: {} avg / {} worst)",
             geomean(&worst_over_best),
             worst_case,
-            if imp == Impl::StackOnly { "1.55x" } else { "1.39x" },
-            if imp == Impl::StackOnly { "2.40x" } else { "1.80x" },
+            if imp == Impl::StackOnly {
+                "1.55x"
+            } else {
+                "1.39x"
+            },
+            if imp == Impl::StackOnly {
+                "2.40x"
+            } else {
+                "1.80x"
+            },
         );
     }
 
@@ -413,8 +447,11 @@ fn solver_with(
 ) -> Solver {
     let algorithm = match imp {
         Impl::Sequential => Algorithm::Sequential,
-        Impl::StackOnly => Algorithm::StackOnly { start_depth: args.start_depth },
+        Impl::StackOnly => Algorithm::StackOnly {
+            start_depth: args.start_depth,
+        },
         Impl::Hybrid => Algorithm::Hybrid,
+        Impl::WorkStealing => Algorithm::WorkStealing,
     };
     f(Solver::builder()
         .algorithm(algorithm)
@@ -427,8 +464,16 @@ fn solver_with(
 /// Medium-hard instances used for sweeps (hard enough to measure,
 /// finishing well within the budget).
 fn representative_subset(args: &BenchArgs) -> Vec<Instance> {
-    let names = ["p_hat_150_3", "p_hat_200_2", "wiki_link_lo_like", "sister_cities_like"];
-    suite(args.scale).into_iter().filter(|i| names.contains(&i.name.as_str())).collect()
+    let names = [
+        "p_hat_150_3",
+        "p_hat_200_2",
+        "wiki_link_lo_like",
+        "sister_cities_like",
+    ];
+    suite(args.scale)
+        .into_iter()
+        .filter(|i| names.contains(&i.name.as_str()))
+        .collect()
 }
 
 /// **Extensions ablation** — the paper-faithful rule set vs the two
@@ -437,13 +482,31 @@ fn representative_subset(args: &BenchArgs) -> Vec<Instance> {
 pub fn extensions_ablation(args: &BenchArgs) {
     println!("\n=== Ablation: optional extensions beyond the paper's rules ===");
     let reps = representative_subset(args);
-    let mut t = Table::new(vec!["graph", "extensions", "time(s)", "tree nodes", "vs baseline"]);
+    let mut t = Table::new(vec![
+        "graph",
+        "extensions",
+        "time(s)",
+        "tree nodes",
+        "vs baseline",
+    ]);
     for inst in &reps {
         let mut baseline_nodes = 0u64;
         for (label, ext) in [
             ("none (paper-faithful)", Extensions::NONE),
-            ("+domination", Extensions { domination_rule: true, matching_lower_bound: false }),
-            ("+matching LB", Extensions { domination_rule: false, matching_lower_bound: true }),
+            (
+                "+domination",
+                Extensions {
+                    domination_rule: true,
+                    matching_lower_bound: false,
+                },
+            ),
+            (
+                "+matching LB",
+                Extensions {
+                    domination_rule: false,
+                    matching_lower_bound: true,
+                },
+            ),
             ("+both", Extensions::ALL),
         ] {
             let solver = solver_with(Impl::Hybrid, args, |b| b.extensions(ext));
@@ -456,7 +519,10 @@ pub fn extensions_ablation(args: &BenchArgs) {
                 label.to_string(),
                 fmt_seconds(r.stats.seconds(), r.stats.timed_out),
                 r.stats.tree_nodes.to_string(),
-                format!("{:.2}x nodes", r.stats.tree_nodes as f64 / baseline_nodes as f64),
+                format!(
+                    "{:.2}x nodes",
+                    r.stats.tree_nodes as f64 / baseline_nodes as f64
+                ),
             ]);
         }
         t.separator();
@@ -487,11 +553,18 @@ pub fn ablation(args: &BenchArgs) {
             ("hybrid (0.75 x 16K)", 0.75, 1 << 14),
             ("always-donate (pure worklist)", 1.0, 1 << 20),
         ] {
-            let solver =
-                solver_with(Impl::Hybrid, args, |b| b.worklist_capacity(cap).threshold_frac(frac));
+            let solver = solver_with(Impl::Hybrid, args, |b| {
+                b.worklist_capacity(cap).threshold_frac(frac)
+            });
             let r = solver.solve_mvc(&inst.graph);
             let donated: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
-            let bounced: u64 = r.stats.report.blocks.iter().map(|b| b.donations_bounced).sum();
+            let bounced: u64 = r
+                .stats
+                .report
+                .blocks
+                .iter()
+                .map(|b| b.donations_bounced)
+                .sum();
             t.row(vec![
                 inst.name.clone(),
                 label.to_string(),

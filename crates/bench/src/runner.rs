@@ -23,8 +23,12 @@ pub enum Problem {
 
 impl Problem {
     /// All four, in Table I's column order.
-    pub const ALL: [Problem; 4] =
-        [Problem::Mvc, Problem::PvcMinMinus1, Problem::PvcMin, Problem::PvcMinPlus1];
+    pub const ALL: [Problem; 4] = [
+        Problem::Mvc,
+        Problem::PvcMinMinus1,
+        Problem::PvcMin,
+        Problem::PvcMinPlus1,
+    ];
 
     /// Column label.
     pub fn label(self) -> &'static str {
@@ -53,7 +57,8 @@ impl Problem {
     }
 }
 
-/// The three code versions of §V-A.
+/// The three code versions of §V-A, plus the engine's work-stealing
+/// policy (beyond the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Impl {
     /// Single CPU thread.
@@ -62,11 +67,18 @@ pub enum Impl {
     StackOnly,
     /// The paper's contribution.
     Hybrid,
+    /// Per-block work-stealing deques.
+    WorkStealing,
 }
 
 impl Impl {
-    /// All three, in Table I's column order.
-    pub const ALL: [Impl; 3] = [Impl::Sequential, Impl::StackOnly, Impl::Hybrid];
+    /// All four: Table I's column order, then the extension.
+    pub const ALL: [Impl; 4] = [
+        Impl::Sequential,
+        Impl::StackOnly,
+        Impl::Hybrid,
+        Impl::WorkStealing,
+    ];
 
     /// Column label.
     pub fn label(self) -> &'static str {
@@ -74,6 +86,7 @@ impl Impl {
             Impl::Sequential => "Sequential",
             Impl::StackOnly => "StackOnly",
             Impl::Hybrid => "Hybrid",
+            Impl::WorkStealing => "WorkSteal",
         }
     }
 }
@@ -95,8 +108,11 @@ pub struct Cell {
 pub fn make_solver(imp: Impl, args: &BenchArgs, deadline: Option<Duration>) -> Solver {
     let algorithm = match imp {
         Impl::Sequential => Algorithm::Sequential,
-        Impl::StackOnly => Algorithm::StackOnly { start_depth: args.start_depth },
+        Impl::StackOnly => Algorithm::StackOnly {
+            start_depth: args.start_depth,
+        },
         Impl::Hybrid => Algorithm::Hybrid,
+        Impl::WorkStealing => Algorithm::WorkStealing,
     };
     Solver::builder()
         .algorithm(algorithm)
@@ -119,7 +135,13 @@ pub fn compute_min(inst: &Instance, args: &BenchArgs) -> Option<u32> {
 /// Runs one (instance, problem, implementation) cell.
 ///
 /// `min` must be `Some` for the PVC problems; MVC cells ignore it.
-pub fn run_cell(inst: &Instance, problem: Problem, imp: Impl, min: Option<u32>, args: &BenchArgs) -> Cell {
+pub fn run_cell(
+    inst: &Instance,
+    problem: Problem,
+    imp: Impl,
+    min: Option<u32>,
+    args: &BenchArgs,
+) -> Cell {
     let solver = make_solver(imp, args, Some(args.deadline));
     match problem.k(min.unwrap_or(0)) {
         None => cell_from_mvc(solver.solve_mvc(&inst.graph)),

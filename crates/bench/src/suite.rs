@@ -33,7 +33,12 @@ pub struct Instance {
 
 impl Instance {
     fn new(name: &str, paper_name: &'static str, graph: CsrGraph) -> Self {
-        Instance { name: name.to_string(), paper_name, class: degree_class(&graph), graph }
+        Instance {
+            name: name.to_string(),
+            paper_name,
+            class: degree_class(&graph),
+            graph,
+        }
     }
 
     /// `|E| / |V|`, as Table I reports.

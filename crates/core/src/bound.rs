@@ -99,7 +99,10 @@ mod tests {
     fn pvc_allows_exactly_k() {
         let g = gen::complete(4);
         let n = node_with(&g, &[0, 1, 2]); // edgeless, |S| = 3
-        assert!(!SearchBound::Pvc { k: 3 }.prune(&n), "|S| == k with no edges is a solution");
+        assert!(
+            !SearchBound::Pvc { k: 3 }.prune(&n),
+            "|S| == k with no edges is a solution"
+        );
         assert!(SearchBound::Pvc { k: 2 }.prune(&n));
     }
 
@@ -113,10 +116,16 @@ mod tests {
 
     #[test]
     fn thresholds() {
-        assert_eq!(SearchBound::Mvc { best: 10 }.high_degree_threshold(3), Some(6));
+        assert_eq!(
+            SearchBound::Mvc { best: 10 }.high_degree_threshold(3),
+            Some(6)
+        );
         assert_eq!(SearchBound::Pvc { k: 10 }.high_degree_threshold(3), Some(7));
         assert_eq!(SearchBound::Mvc { best: 3 }.high_degree_threshold(3), None);
-        assert_eq!(SearchBound::Mvc { best: 4 }.high_degree_threshold(3), Some(0));
+        assert_eq!(
+            SearchBound::Mvc { best: 4 }.high_degree_threshold(3),
+            Some(0)
+        );
         assert_eq!(SearchBound::Pvc { k: 2 }.high_degree_threshold(5), None);
     }
 }

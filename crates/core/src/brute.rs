@@ -10,7 +10,10 @@ use parvc_graph::{CsrGraph, VertexId};
 /// with more than 24 vertices (the oracle is for tests).
 pub fn brute_force_mvc(g: &CsrGraph) -> (u32, Vec<VertexId>) {
     let n = g.num_vertices();
-    assert!(n <= 24, "brute force oracle limited to 24 vertices, got {n}");
+    assert!(
+        n <= 24,
+        "brute force oracle limited to 24 vertices, got {n}"
+    );
     let edges: Vec<(u32, u32)> = g.edges().collect();
     if edges.is_empty() {
         return (0, Vec::new());
@@ -22,7 +25,10 @@ pub fn brute_force_mvc(g: &CsrGraph) -> (u32, Vec<VertexId>) {
         if size >= best_size {
             continue;
         }
-        if edges.iter().all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0) {
+        if edges
+            .iter()
+            .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+        {
             best_size = size;
             best_mask = mask;
         }

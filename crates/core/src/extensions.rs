@@ -40,12 +40,16 @@ pub struct Extensions {
 
 impl Extensions {
     /// The paper-faithful configuration (no extensions).
-    pub const NONE: Extensions =
-        Extensions { domination_rule: false, matching_lower_bound: false };
+    pub const NONE: Extensions = Extensions {
+        domination_rule: false,
+        matching_lower_bound: false,
+    };
 
     /// Everything on.
-    pub const ALL: Extensions =
-        Extensions { domination_rule: true, matching_lower_bound: true };
+    pub const ALL: Extensions = Extensions {
+        domination_rule: true,
+        matching_lower_bound: true,
+    };
 }
 
 impl<'a> Kernel<'a> {
@@ -141,7 +145,13 @@ mod tests {
     use parvc_simgpu::{CostModel, KernelVariant};
 
     fn kernel<'a>(g: &'a CsrGraph, cost: &'a CostModel, ext: Extensions) -> Kernel<'a> {
-        Kernel { graph: g, cost, block_size: 32, variant: KernelVariant::SharedMem, ext }
+        Kernel {
+            graph: g,
+            cost,
+            block_size: 32,
+            variant: KernelVariant::SharedMem,
+            ext,
+        }
     }
 
     #[test]
@@ -178,7 +188,14 @@ mod tests {
         let node = TreeNode::root(&g);
         let bound = SearchBound::Mvc { best: 4 };
         assert!(!bound.prune(&node), "edge-count test must not fire");
-        let k = kernel(&g, &cost, Extensions { matching_lower_bound: true, ..Extensions::NONE });
+        let k = kernel(
+            &g,
+            &cost,
+            Extensions {
+                matching_lower_bound: true,
+                ..Extensions::NONE
+            },
+        );
         assert!(k.prune(&node, bound), "matching bound must fire");
     }
 

@@ -65,7 +65,10 @@ mod tests {
             let g = gen::gnp(40, 0.15, seed);
             let (size, cover) = greedy_mvc(&g);
             assert_eq!(size as usize, cover.len());
-            assert!(is_vertex_cover(&g, &cover), "seed {seed} produced a non-cover");
+            assert!(
+                is_vertex_cover(&g, &cover),
+                "seed {seed} produced a non-cover"
+            );
         }
     }
 
@@ -75,7 +78,10 @@ mod tests {
             let g = gen::gnp(12, 0.3, seed);
             let (greedy, _) = greedy_mvc(&g);
             let (opt, _) = brute_force_mvc(&g);
-            assert!(greedy >= opt, "seed {seed}: greedy {greedy} below optimum {opt}");
+            assert!(
+                greedy >= opt,
+                "seed {seed}: greedy {greedy} below optimum {opt}"
+            );
         }
     }
 

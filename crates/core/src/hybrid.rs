@@ -1,4 +1,5 @@
-//! The Hybrid traversal — the paper's contribution (Figure 4, §IV-A).
+//! The Hybrid scheme — the paper's contribution (Figure 4, §IV-A) —
+//! as a [`SchedulePolicy`].
 //!
 //! Every thread block traverses a sub-tree depth-first with its local
 //! stack, **but** on each branching it first looks at the global
@@ -13,15 +14,13 @@
 //! worklist scheme never materialize, while still keeping *just enough*
 //! shareable work around that no block sits idle.
 
-use parvc_graph::{CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
-use parvc_simgpu::runtime::run_blocks;
-use parvc_simgpu::{CostModel, DeviceSpec, LaunchConfig};
-use parvc_worklist::{LocalStack, PopOutcome, Worklist};
+use parvc_simgpu::runtime::BlockCtx;
+use parvc_worklist::{LocalStack, PopOutcome, WorkerHandle, Worklist};
 
-use crate::extensions::Extensions;
+use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
 use crate::ops::Kernel;
-use crate::shared::{BoundKind, BoundSrc, Deadline, GlobalBest, PvcFound, RawParallel, RawParallelPvc};
+use crate::shared::BoundSrc;
 use crate::TreeNode;
 
 /// Hybrid tuning knobs. The paper sweeps worklist sizes of 128K–512K
@@ -54,153 +53,88 @@ impl HybridParams {
     }
 }
 
-/// Parallel MVC with the Hybrid scheme (Figure 4).
-pub fn solve_mvc(
-    g: &CsrGraph,
-    device: &DeviceSpec,
-    config: &LaunchConfig,
-    cost: &CostModel,
-    params: &HybridParams,
-    initial: (u32, Vec<VertexId>),
-    deadline: &Deadline,
-    ext: Extensions,
-) -> RawParallel {
-    let best = GlobalBest::new(initial.0, initial.1);
-    let depth_bound = initial.0 as usize + 2;
-    let bound_src = BoundSrc { kind: BoundKind::Mvc(&best), deadline };
-    let blocks = launch(g, device, config, cost, params, depth_bound, bound_src, ext);
-    let (best_size, best_cover) = best.into_result();
-    RawParallel { best_size, best_cover, blocks }
-}
-
-/// Parallel PVC with the Hybrid scheme.
-pub fn solve_pvc(
-    g: &CsrGraph,
-    device: &DeviceSpec,
-    config: &LaunchConfig,
-    cost: &CostModel,
-    params: &HybridParams,
-    k: u32,
-    deadline: &Deadline,
-    ext: Extensions,
-) -> RawParallelPvc {
-    let found = PvcFound::new();
-    let depth_bound = (k as usize).min(g.num_vertices() as usize) + 2;
-    let bound_src = BoundSrc { kind: BoundKind::Pvc { k, found: &found }, deadline };
-    let blocks = launch(g, device, config, cost, params, depth_bound, bound_src, ext);
-    RawParallelPvc { cover: found.into_result(), blocks }
-}
-
-fn launch(
-    g: &CsrGraph,
-    device: &DeviceSpec,
-    config: &LaunchConfig,
-    cost: &CostModel,
-    params: &HybridParams,
-    depth_bound: usize,
-    bound_src: BoundSrc<'_>,
-    ext: Extensions,
-) -> Vec<BlockCounters> {
-    let mut worklist = Worklist::with_capacity(params.worklist_capacity);
-    worklist.set_poll_sleep(params.poll_sleep);
-    worklist.seed(TreeNode::root(g));
-    let threshold = params.threshold_entries();
-
-    run_blocks(device, config, |ctx, counters| {
-        let kernel =
-            Kernel { graph: g, cost, block_size: ctx.block_size, variant: config.variant, ext };
-        block_main(&kernel, bound_src, &worklist, threshold, depth_bound, counters);
-    })
-}
-
-/// One block's execution of the Figure 4 loop.
-fn block_main(
-    kernel: &Kernel<'_>,
-    bound_src: BoundSrc<'_>,
-    worklist: &Worklist<TreeNode>,
+/// Shared state: the §IV-C worklist plus the donation threshold.
+pub struct HybridFactory {
+    worklist: Worklist<TreeNode>,
     threshold: usize,
-    depth_bound: usize,
-    counters: &mut BlockCounters,
-) {
-    let mut handle = worklist.handle();
-    let mut stack: LocalStack<TreeNode> = LocalStack::with_depth_bound(depth_bound);
-    let mut current: Option<TreeNode> = None;
+}
 
-    loop {
-        // PVC found-flag / deadline check before taking new work
-        // (§IV-A). Signal done so starving peers wake promptly.
-        if bound_src.should_abort() {
-            worklist.signal_done();
-            counters.charge(Activity::Terminate, kernel.cost.atomic_op);
-            break;
+impl HybridFactory {
+    /// A fresh factory (one per launch).
+    pub fn new(params: &HybridParams) -> Self {
+        let mut worklist = Worklist::with_capacity(params.worklist_capacity);
+        worklist.set_poll_sleep(params.poll_sleep);
+        HybridFactory {
+            worklist,
+            threshold: params.threshold_entries(),
         }
-        // Figure 4 lines 4–10: current child, else stack, else worklist.
-        let mut node = match current.take() {
-            Some(n) => n,
-            None => match stack.pop() {
-                Some(n) => {
-                    kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
-                    n
-                }
-                None => {
-                    let (outcome, pop_stats) = handle.pop_with_stats();
-                    counters.charge(
-                        Activity::RemoveFromWorklist,
-                        pop_stats.attempts * kernel.cost.queue_op
-                            + pop_stats.sleeps * kernel.cost.poll_sleep,
-                    );
-                    match outcome {
-                        PopOutcome::Item(n) => {
-                            counters.nodes_from_worklist += 1;
-                            kernel.charge_node_copy(
-                                n.len(),
-                                Activity::RemoveFromWorklist,
-                                counters,
-                            );
-                            n
-                        }
-                        PopOutcome::Done => {
-                            counters.charge(Activity::Terminate, kernel.cost.queue_op);
-                            break;
-                        }
-                    }
-                }
-            },
-        };
+    }
+}
 
-        // Figure 4 line 11 onward: reduce, check, branch.
-        counters.tree_nodes_visited += 1;
-        kernel.reduce(&mut node, bound_src.bound(), counters);
-        if kernel.prune(&node, bound_src.bound()) {
-            continue;
+impl PolicyFactory for HybridFactory {
+    fn seed(&self, root: TreeNode) {
+        self.worklist.seed(root);
+    }
+
+    fn block_policy<'s>(
+        &'s self,
+        _ctx: BlockCtx,
+        depth_bound: usize,
+    ) -> Box<dyn SchedulePolicy + 's> {
+        Box::new(HybridPolicy {
+            worklist: &self.worklist,
+            handle: self.worklist.handle(),
+            threshold: self.threshold,
+            stack: LocalStack::with_depth_bound(depth_bound),
+        })
+    }
+}
+
+/// One block's view: local stack first, then the global worklist.
+pub struct HybridPolicy<'a> {
+    worklist: &'a Worklist<TreeNode>,
+    handle: WorkerHandle<'a, TreeNode>,
+    threshold: usize,
+    stack: LocalStack<TreeNode>,
+}
+
+impl SchedulePolicy for HybridPolicy<'_> {
+    fn next(
+        &mut self,
+        kernel: &Kernel<'_>,
+        _bound: BoundSrc<'_>,
+        counters: &mut BlockCounters,
+    ) -> Option<TreeNode> {
+        // Figure 4 lines 5–10: stack, else worklist (with the §IV-C
+        // wait loop inside `pop_with_stats`).
+        if let Some(n) = self.stack.pop() {
+            kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
+            return Some(n);
         }
-        let Some(vmax) = kernel.find_max_degree(&node, counters) else {
-            if bound_src.on_solution(&node) {
-                // PVC: end the search — wake starving peers too.
-                worklist.signal_done();
-                break;
+        let (outcome, pop_stats) = self.handle.pop_with_stats();
+        counters.charge(
+            Activity::RemoveFromWorklist,
+            pop_stats.attempts * kernel.cost.queue_op + pop_stats.sleeps * kernel.cost.poll_sleep,
+        );
+        match outcome {
+            PopOutcome::Item(n) => {
+                counters.nodes_from_worklist += 1;
+                kernel.charge_node_copy(n.len(), Activity::RemoveFromWorklist, counters);
+                Some(n)
             }
-            continue;
-        };
-        if node.degree(vmax) == 0 {
-            // New solution (Figure 4 lines 17–19).
-            if bound_src.on_solution(&node) {
-                worklist.signal_done();
-                break;
-            }
-            continue;
+            PopOutcome::Done => None,
         }
+    }
 
-        // Branch (lines 20–29): build the remove-N(vmax) child …
-        let mut left = node.clone();
-        kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, counters);
-        // … donate it if the worklist is hungry, else stack it …
-        if handle.len_hint() >= threshold {
-            kernel.charge_node_copy(left.len(), Activity::PushToStack, counters);
-            push_local(&mut stack, left);
+    fn dispose(&mut self, child: TreeNode, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        // Figure 4 lines 20–29: donate while the worklist is hungry,
+        // else keep the child on the local stack.
+        if self.handle.len_hint() >= self.threshold {
+            kernel.charge_node_copy(child.len(), Activity::PushToStack, counters);
+            self.push_local(child, counters);
         } else {
-            let len = left.len();
-            match handle.add(left) {
+            let len = child.len();
+            match self.handle.add(child) {
                 Ok(()) => {
                     counters.nodes_donated += 1;
                     kernel.charge_node_copy(len, Activity::AddToWorklist, counters);
@@ -211,20 +145,37 @@ fn block_main(
                     // back to the local stack (never drop work).
                     counters.donations_bounced += 1;
                     kernel.charge_node_copy(back.len(), Activity::PushToStack, counters);
-                    push_local(&mut stack, back);
+                    self.push_local(back, counters);
                 }
             }
         }
-        // … and continue in-place with the remove-vmax child.
-        kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, counters);
-        current = Some(node);
-        counters.max_stack_depth = counters.max_stack_depth.max(stack.len() as u64);
     }
-    counters.max_stack_depth = counters.max_stack_depth.max(stack.high_water() as u64);
+
+    fn on_exit(&mut self, cause: ExitCause, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        match cause {
+            // Deadline / PVC found-flag: wake starving peers promptly.
+            ExitCause::Aborted => {
+                self.worklist.signal_done();
+                counters.charge(Activity::Terminate, kernel.cost.atomic_op);
+            }
+            // The §IV-C protocol already concluded the traversal.
+            ExitCause::Exhausted => {
+                counters.charge(Activity::Terminate, kernel.cost.queue_op);
+            }
+            // Our own PVC solution ends the search for everyone.
+            ExitCause::SolutionFound => {
+                self.worklist.signal_done();
+            }
+        }
+        counters.max_stack_depth = counters.max_stack_depth.max(self.stack.high_water() as u64);
+    }
 }
 
-fn push_local(stack: &mut LocalStack<TreeNode>, node: TreeNode) {
-    stack
-        .push(node)
-        .unwrap_or_else(|_| panic!("stack depth bound violated (bound {})", stack.bound()));
+impl HybridPolicy<'_> {
+    fn push_local(&mut self, node: TreeNode, counters: &mut BlockCounters) {
+        self.stack.push(node).unwrap_or_else(|_| {
+            panic!("stack depth bound violated (bound {})", self.stack.bound())
+        });
+        counters.max_stack_depth = counters.max_stack_depth.max(self.stack.len() as u64);
+    }
 }

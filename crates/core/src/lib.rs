@@ -10,10 +10,16 @@
 //! * [`ops::Kernel`] — block-cooperative graph operations with Figure 6
 //!   cycle accounting; [`reduce`] adds the three reduction rules with
 //!   the §IV-D parallel conflict-resolution semantics.
-//! * [`sequential`], [`stackonly`], [`hybrid`] — the paper's three code
-//!   versions: the CPU baseline (Figure 1), prior work's fixed-depth
-//!   sub-tree scheme, and the contribution — local stacks plus a
-//!   threshold-gated global worklist (Figure 4).
+//! * [`engine`] — the shared branch-and-reduce traversal loop, with
+//!   scheduling delegated to a [`SchedulePolicy`] and MVC/PVC
+//!   termination unified by [`SearchMode`]. Every algorithm is a thin
+//!   policy over this one engine.
+//! * [`sequential`], [`stackonly`], [`hybrid`] — the paper's three
+//!   code versions as policies: the CPU baseline (Figure 1), prior
+//!   work's fixed-depth sub-tree scheme, and the contribution — local
+//!   stacks plus a threshold-gated global worklist (Figure 4).
+//! * [`stealing`] — a fourth policy beyond the paper: per-block
+//!   work-stealing deques, demonstrating the engine's extension seam.
 //! * [`Solver`] — the public façade: pick an [`Algorithm`], a
 //!   [`parvc_simgpu::DeviceSpec`], and call
 //!   [`solve_mvc`](Solver::solve_mvc) / [`solve_pvc`](Solver::solve_pvc)
@@ -25,6 +31,7 @@
 
 pub mod bound;
 pub mod brute;
+pub mod engine;
 pub mod extensions;
 pub mod greedy;
 pub mod hybrid;
@@ -37,8 +44,10 @@ pub mod shared;
 mod solver;
 pub mod stackonly;
 mod stats;
+pub mod stealing;
 pub mod verify;
 
+pub use engine::{Engine, ExitCause, PolicyFactory, SchedulePolicy, SearchMode, SearchOutcome};
 pub use extensions::Extensions;
 pub use node::{TreeNode, REMOVED};
 pub use solver::{Algorithm, Solver, SolverBuilder};

@@ -19,7 +19,11 @@ impl Solver {
             in_cover[v as usize] = true;
         }
         let set: Vec<u32> = g.vertices().filter(|&v| !in_cover[v as usize]).collect();
-        MisResult { size: g.num_vertices() - mvc.size, set, stats: mvc.stats }
+        MisResult {
+            size: g.num_vertices() - mvc.size,
+            set,
+            stats: mvc.stats,
+        }
     }
 }
 
@@ -44,7 +48,10 @@ mod tests {
 
     #[test]
     fn mis_plus_mvc_is_v() {
-        let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(4)).build();
+        let solver = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(4))
+            .build();
         for seed in 0..3 {
             let g = gen::gnp(14, 0.3, seed + 500);
             let mis = solver.solve_mis(&g);
@@ -63,7 +70,10 @@ mod tests {
         let mis = solver.solve_mis(&g);
         for (i, &u) in mis.set.iter().enumerate() {
             for &v in &mis.set[i + 1..] {
-                assert!(comp.has_edge(u, v), "MIS members {u},{v} not adjacent in complement");
+                assert!(
+                    comp.has_edge(u, v),
+                    "MIS members {u},{v} not adjacent in complement"
+                );
             }
         }
     }

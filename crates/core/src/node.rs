@@ -31,9 +31,12 @@ pub struct TreeNode {
 impl TreeNode {
     /// The root node: the whole graph, empty cover.
     pub fn root(g: &CsrGraph) -> Self {
-        let degrees: Box<[i32]> =
-            g.vertices().map(|v| g.degree(v) as i32).collect();
-        TreeNode { degrees, cover_size: 0, num_edges: g.num_edges() }
+        let degrees: Box<[i32]> = g.vertices().map(|v| g.degree(v) as i32).collect();
+        TreeNode {
+            degrees,
+            cover_size: 0,
+            num_edges: g.num_edges(),
+        }
     }
 
     /// Number of vertex slots (original `|V|`).
@@ -102,7 +105,10 @@ impl TreeNode {
 
     /// First live neighbor of `v` (for the degree-one rule), if any.
     pub fn live_neighbor(&self, g: &CsrGraph, v: VertexId) -> Option<VertexId> {
-        g.neighbors(v).iter().copied().find(|&u| !self.is_removed(u))
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .find(|&u| !self.is_removed(u))
     }
 
     /// The (up to `cap`) live neighbors of `v`.
@@ -111,7 +117,10 @@ impl TreeNode {
         g: &'a CsrGraph,
         v: VertexId,
     ) -> impl Iterator<Item = VertexId> + 'a {
-        g.neighbors(v).iter().copied().filter(move |&u| !self.is_removed(u))
+        g.neighbors(v)
+            .iter()
+            .copied()
+            .filter(move |&u| !self.is_removed(u))
     }
 
     /// The cover vertices (every slot holding [`REMOVED`]).
@@ -147,10 +156,17 @@ impl TreeNode {
             edges += live_deg as u64;
         }
         if removed != self.cover_size {
-            return Err(format!("cover_size {} but {removed} sentinels", self.cover_size));
+            return Err(format!(
+                "cover_size {} but {removed} sentinels",
+                self.cover_size
+            ));
         }
         if edges / 2 != self.num_edges {
-            return Err(format!("num_edges {} but recount {}", self.num_edges, edges / 2));
+            return Err(format!(
+                "num_edges {} but recount {}",
+                self.num_edges,
+                edges / 2
+            ));
         }
         Ok(())
     }

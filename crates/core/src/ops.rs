@@ -55,7 +55,8 @@ impl<'a> Kernel<'a> {
     ) -> Option<VertexId> {
         counters.charge(
             Activity::FindMaxDegree,
-            self.cost.reduction_tree(node.len() as u64, self.block_size, self.variant),
+            self.cost
+                .reduction_tree(node.len() as u64, self.block_size, self.variant),
         );
         let mut best: Option<(i32, VertexId)> = None;
         for v in 0..node.len() {
@@ -85,7 +86,8 @@ impl<'a> Kernel<'a> {
         let d = node.remove_into_cover(self.graph, v);
         counters.charge(
             activity,
-            self.cost.parallel_op(d as u64 + 1, self.block_size, self.variant)
+            self.cost
+                .parallel_op(d as u64 + 1, self.block_size, self.variant)
                 + self.cost.atomic_op,
         );
     }
@@ -110,15 +112,24 @@ impl<'a> Kernel<'a> {
         }
         counters.charge(
             activity,
-            self.cost.parallel_op(updates, self.block_size, self.variant) + self.cost.atomic_op,
+            self.cost
+                .parallel_op(updates, self.block_size, self.variant)
+                + self.cost.atomic_op,
         );
     }
 
     /// Charges the cost of moving a node between the working area and a
     /// stack/worklist slot.
-    pub fn charge_node_copy(&self, node_len: u32, activity: Activity, counters: &mut BlockCounters) {
-        counters
-            .charge(activity, self.cost.node_copy(node_len, self.block_size, self.variant));
+    pub fn charge_node_copy(
+        &self,
+        node_len: u32,
+        activity: Activity,
+        counters: &mut BlockCounters,
+    ) {
+        counters.charge(
+            activity,
+            self.cost.node_copy(node_len, self.block_size, self.variant),
+        );
     }
 }
 

@@ -78,7 +78,8 @@ impl<'a> Kernel<'a> {
         // All threads scan the degree array for d(v) == 1 (one wave).
         counters.charge(
             Activity::DegreeOneRule,
-            self.cost.parallel_op(node.len() as u64, self.block_size, self.variant),
+            self.cost
+                .parallel_op(node.len() as u64, self.block_size, self.variant),
         );
         let snapshot: Vec<u32> = (0..node.len()).filter(|&v| node.degree(v) == 1).collect();
         let mut changed = false;
@@ -110,7 +111,8 @@ impl<'a> Kernel<'a> {
     ) -> bool {
         counters.charge(
             Activity::DegreeTwoTriangleRule,
-            self.cost.parallel_op(node.len() as u64, self.block_size, self.variant),
+            self.cost
+                .parallel_op(node.len() as u64, self.block_size, self.variant),
         );
         let snapshot: Vec<u32> = (0..node.len()).filter(|&v| node.degree(v) == 2).collect();
         let mut changed = false;
@@ -119,8 +121,12 @@ impl<'a> Kernel<'a> {
                 continue;
             }
             let mut live = node.live_neighbors(self.graph, v);
-            let u = live.next().expect("degree-two vertex has two live neighbors");
-            let w = live.next().expect("degree-two vertex has two live neighbors");
+            let u = live
+                .next()
+                .expect("degree-two vertex has two live neighbors");
+            let w = live
+                .next()
+                .expect("degree-two vertex has two live neighbors");
             drop(live);
             // Adjacency test against the ORIGINAL graph: u and w are
             // both live, so the edge survives iff it existed originally.
@@ -156,13 +162,15 @@ impl<'a> Kernel<'a> {
     ) -> bool {
         counters.charge(
             Activity::HighDegreeRule,
-            self.cost.parallel_op(node.len() as u64, self.block_size, self.variant),
+            self.cost
+                .parallel_op(node.len() as u64, self.block_size, self.variant),
         );
         let Some(threshold) = bound.high_degree_threshold(node.cover_size()) else {
             return false;
         };
-        let snapshot: Vec<u32> =
-            (0..node.len()).filter(|&v| node.degree(v) as i64 > threshold).collect();
+        let snapshot: Vec<u32> = (0..node.len())
+            .filter(|&v| node.degree(v) as i64 > threshold)
+            .collect();
         let mut changed = false;
         for v in snapshot {
             // The budget shrinks as the rule fires; recompute like the
@@ -229,7 +237,10 @@ mod tests {
         let g = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
         let (node, stats) = run_reduce(&g, SearchBound::Mvc { best: u32::MAX });
         assert_eq!(node.cover_size(), 1);
-        assert!(node.is_removed(1), "vertex 0 acts first, covering its neighbor 1");
+        assert!(
+            node.is_removed(1),
+            "vertex 0 acts first, covering its neighbor 1"
+        );
         assert!(!node.is_removed(0));
         assert_eq!(stats.degree_one, 1);
     }
@@ -255,7 +266,10 @@ mod tests {
         let (node, stats) = run_reduce(&g, SearchBound::Mvc { best: u32::MAX });
         assert!(node.is_edgeless());
         assert!(stats.degree_two_triangle >= 2);
-        assert!(node.is_removed(1) && node.is_removed(2), "triangle partners of 0 join");
+        assert!(
+            node.is_removed(1) && node.is_removed(2),
+            "triangle partners of 0 join"
+        );
     }
 
     #[test]

@@ -1,148 +1,126 @@
-//! The Sequential baseline — Figure 1, iteratively.
+//! The Sequential baseline (Figure 1) as a [`SchedulePolicy`].
 //!
-//! A single CPU thread traverses the search tree depth-first with an
-//! explicit stack (matching the paper's evaluation baseline on the EPYC
-//! host). Child order follows the recursion in Figure 1: the
-//! remove-`vmax` child (line 11) is explored before the
-//! remove-`N(vmax)` child (line 12).
+//! A single block (one CPU thread, `B = 1`) traverses the search tree
+//! depth-first with a plain unbounded stack. Child order follows the
+//! recursion in Figure 1: the remove-`vmax` child (line 11) is
+//! explored before the remove-`N(vmax)` child (line 12). No cycle
+//! costs are charged for stack traffic — the baseline is reported in
+//! wall time and its counters are informational.
 
-use parvc_graph::{CsrGraph, VertexId};
-use parvc_simgpu::counters::{Activity, BlockCounters};
-use parvc_simgpu::CostModel;
+use parvc_simgpu::counters::BlockCounters;
+use parvc_simgpu::runtime::BlockCtx;
 
-use crate::bound::SearchBound;
-use crate::extensions::Extensions;
+use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
 use crate::ops::Kernel;
-use crate::shared::Deadline;
+use crate::shared::BoundSrc;
 use crate::TreeNode;
 
-/// Outcome of a sequential traversal.
-#[derive(Debug)]
-pub struct SequentialOutcome {
-    /// Best cover size found (MVC) — `u32::MAX` if PVC found nothing.
-    pub best_size: u32,
-    /// Witness cover (empty if PVC found nothing).
-    pub best_cover: Vec<VertexId>,
-    /// Tree nodes visited.
-    pub tree_nodes: u64,
-    /// Cycle accounting (informational for the baseline).
-    pub counters: BlockCounters,
+/// The single-thread DFS policy: an unbounded LIFO, nothing shared.
+pub struct SequentialPolicy {
+    stack: Vec<TreeNode>,
 }
 
-/// Sequential MVC (Figure 1). `initial` is the greedy approximation
-/// `(size, cover)` that seeds `best`.
-pub fn solve_mvc(
-    g: &CsrGraph,
-    cost: &CostModel,
-    initial: (u32, Vec<VertexId>),
-    deadline: &Deadline,
-    ext: Extensions,
-) -> SequentialOutcome {
-    let kernel = Kernel { ext, ..Kernel::sequential(g, cost) };
-    let mut counters = BlockCounters::new(0);
-    let (mut best, mut best_cover) = initial;
-    let mut tree_nodes = 0u64;
-    let mut stack = vec![TreeNode::root(g)];
-
-    while let Some(mut node) = stack.pop() {
-        if deadline.expired() {
-            break;
-        }
-        tree_nodes += 1;
-        let bound = SearchBound::Mvc { best };
-        kernel.reduce(&mut node, bound, &mut counters);
-        let bound = SearchBound::Mvc { best };
-        if kernel.prune(&node, bound) {
-            continue;
-        }
-        match kernel.find_max_degree(&node, &mut counters) {
-            None => {
-                // Zero-vertex graph: the empty set covers it.
-                if node.cover_size() < best {
-                    best = node.cover_size();
-                    best_cover = node.cover_vertices();
-                }
-            }
-            Some(vmax) if node.degree(vmax) == 0 => {
-                // Edgeless: new best (strictly better — prune passed).
-                best = node.cover_size();
-                best_cover = node.cover_vertices();
-            }
-            Some(vmax) => {
-                let mut left = node.clone();
-                kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, &mut counters);
-                kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, &mut counters);
-                stack.push(left);
-                stack.push(node); // popped first: Figure 1's child order
-            }
-        }
+impl SchedulePolicy for SequentialPolicy {
+    fn next(
+        &mut self,
+        _kernel: &Kernel<'_>,
+        _bound: BoundSrc<'_>,
+        _counters: &mut BlockCounters,
+    ) -> Option<TreeNode> {
+        self.stack.pop()
     }
-    SequentialOutcome { best_size: best, best_cover, tree_nodes, counters }
+
+    fn dispose(&mut self, child: TreeNode, _kernel: &Kernel<'_>, _counters: &mut BlockCounters) {
+        self.stack.push(child);
+    }
+
+    fn on_exit(&mut self, _cause: ExitCause, _kernel: &Kernel<'_>, _counters: &mut BlockCounters) {}
 }
 
-/// Sequential PVC: finds any cover of size ≤ `k`, stopping at the first.
-pub fn solve_pvc(
-    g: &CsrGraph,
-    cost: &CostModel,
-    k: u32,
-    deadline: &Deadline,
-    ext: Extensions,
-) -> SequentialOutcome {
-    let kernel = Kernel { ext, ..Kernel::sequential(g, cost) };
-    let mut counters = BlockCounters::new(0);
-    let mut tree_nodes = 0u64;
-    let mut stack = vec![TreeNode::root(g)];
-    let bound = SearchBound::Pvc { k };
+/// Factory for [`SequentialPolicy`]: holds the root until the (single)
+/// block claims it.
+pub struct SequentialFactory {
+    root: parking_lot::Mutex<Option<TreeNode>>,
+}
 
-    while let Some(mut node) = stack.pop() {
-        if deadline.expired() {
-            break;
-        }
-        tree_nodes += 1;
-        kernel.reduce(&mut node, bound, &mut counters);
-        if kernel.prune(&node, bound) {
-            continue;
-        }
-        match kernel.find_max_degree(&node, &mut counters) {
-            None => {
-                return SequentialOutcome {
-                    best_size: node.cover_size(),
-                    best_cover: node.cover_vertices(),
-                    tree_nodes,
-                    counters,
-                };
-            }
-            Some(vmax) if node.degree(vmax) == 0 => {
-                // Found a cover of size ≤ k: stop immediately (§II-B).
-                return SequentialOutcome {
-                    best_size: node.cover_size(),
-                    best_cover: node.cover_vertices(),
-                    tree_nodes,
-                    counters,
-                };
-            }
-            Some(vmax) => {
-                let mut left = node.clone();
-                kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, &mut counters);
-                kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, &mut counters);
-                stack.push(left);
-                stack.push(node);
-            }
+impl SequentialFactory {
+    /// A fresh factory (one per solve).
+    pub fn new() -> Self {
+        SequentialFactory {
+            root: parking_lot::Mutex::new(None),
         }
     }
-    SequentialOutcome { best_size: u32::MAX, best_cover: Vec::new(), tree_nodes, counters }
+}
+
+impl Default for SequentialFactory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PolicyFactory for SequentialFactory {
+    fn seed(&self, root: TreeNode) {
+        *self.root.lock() = Some(root);
+    }
+
+    fn block_policy<'s>(
+        &'s self,
+        ctx: BlockCtx,
+        _depth_bound: usize,
+    ) -> Box<dyn SchedulePolicy + 's> {
+        assert_eq!(
+            ctx.block_id, 0,
+            "the Sequential policy is single-block by definition"
+        );
+        let stack = self.root.lock().take().into_iter().collect();
+        Box::new(SequentialPolicy { stack })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::brute::brute_force_mvc;
+    use crate::engine::Engine;
+    use crate::extensions::Extensions;
     use crate::greedy::greedy_mvc;
+    use crate::shared::{Deadline, RawParallel, RawParallelPvc};
     use crate::verify::is_vertex_cover;
-    use parvc_graph::gen;
+    use parvc_graph::{gen, CsrGraph};
+    use parvc_simgpu::{CostModel, DeviceSpec};
 
-    fn mvc(g: &CsrGraph) -> SequentialOutcome {
-        solve_mvc(g, &CostModel::default(), greedy_mvc(g), &Deadline::new(None), Extensions::NONE)
+    fn solve_mvc(g: &CsrGraph, initial: (u32, Vec<u32>)) -> RawParallel {
+        let device = DeviceSpec::scaled(1);
+        let cost = CostModel::default();
+        let deadline = Deadline::new(None);
+        let engine = Engine {
+            graph: g,
+            device: &device,
+            config: None,
+            cost: &cost,
+            deadline: &deadline,
+            ext: Extensions::NONE,
+        };
+        engine.solve_mvc(&SequentialFactory::new(), initial)
+    }
+
+    fn solve_pvc(g: &CsrGraph, k: u32) -> RawParallelPvc {
+        let device = DeviceSpec::scaled(1);
+        let cost = CostModel::default();
+        let deadline = Deadline::new(None);
+        let engine = Engine {
+            graph: g,
+            device: &device,
+            config: None,
+            cost: &cost,
+            deadline: &deadline,
+            ext: Extensions::NONE,
+        };
+        engine.solve_pvc(&SequentialFactory::new(), k)
+    }
+
+    fn mvc(g: &CsrGraph) -> RawParallel {
+        solve_mvc(g, greedy_mvc(g))
     }
 
     #[test]
@@ -179,17 +157,20 @@ mod tests {
         for seed in 0..6 {
             let g = gen::gnp(13, 0.3, seed + 100);
             let min = mvc(&g).best_size;
-            let cost = CostModel::default();
             // k = min - 1: infeasible (exhaustive search, no solution).
             if min > 0 {
-                let below = solve_pvc(&g, &cost, min - 1, &Deadline::new(None), Extensions::NONE);
-                assert_eq!(below.best_size, u32::MAX, "seed {seed}: found sub-optimal cover");
+                let below = solve_pvc(&g, min - 1);
+                assert!(
+                    below.cover.is_none(),
+                    "seed {seed}: found sub-optimal cover"
+                );
             }
             // k = min and k = min + 1: feasible, returns a valid cover.
             for dk in 0..2 {
-                let out = solve_pvc(&g, &cost, min + dk, &Deadline::new(None), Extensions::NONE);
-                assert!(out.best_size <= min + dk, "seed {seed}");
-                assert!(is_vertex_cover(&g, &out.best_cover));
+                let out = solve_pvc(&g, min + dk);
+                let cover = out.cover.expect("feasible k");
+                assert!(cover.len() as u32 <= min + dk, "seed {seed}");
+                assert!(is_vertex_cover(&g, &cover));
             }
         }
     }
@@ -197,16 +178,16 @@ mod tests {
     #[test]
     fn pvc_large_k_trivially_feasible() {
         let g = gen::complete(6);
-        let out = solve_pvc(&g, &CostModel::default(), 100, &Deadline::new(None), Extensions::NONE);
-        assert!(out.best_size <= 6);
-        assert!(is_vertex_cover(&g, &out.best_cover));
+        let out = solve_pvc(&g, 100);
+        let cover = out.cover.unwrap();
+        assert!(cover.len() <= 6);
+        assert!(is_vertex_cover(&g, &cover));
     }
 
     #[test]
     fn pvc_k_zero_on_nonempty_graph_fails() {
         let g = gen::path(4);
-        let out = solve_pvc(&g, &CostModel::default(), 0, &Deadline::new(None), Extensions::NONE);
-        assert_eq!(out.best_size, u32::MAX);
+        assert!(solve_pvc(&g, 0).cover.is_none());
     }
 
     #[test]
@@ -222,14 +203,15 @@ mod tests {
     fn visits_fewer_nodes_with_tighter_initial_bound() {
         let g = gen::gnp(18, 0.4, 3);
         let greedy = greedy_mvc(&g);
-        let loose = solve_mvc(&g, &CostModel::default(), (u32::MAX, (0..18).collect()), &Deadline::new(None), Extensions::NONE);
-        let tight = solve_mvc(&g, &CostModel::default(), greedy, &Deadline::new(None), Extensions::NONE);
+        let loose = solve_mvc(&g, (u32::MAX, (0..18).collect()));
+        let tight = solve_mvc(&g, greedy);
         assert_eq!(loose.best_size, tight.best_size);
+        let nodes = |raw: &RawParallel| raw.blocks[0].tree_nodes_visited;
         assert!(
-            tight.tree_nodes <= loose.tree_nodes,
+            nodes(&tight) <= nodes(&loose),
             "greedy seeding must not increase work ({} > {})",
-            tight.tree_nodes,
-            loose.tree_nodes
+            nodes(&tight),
+            nodes(&loose)
         );
     }
 }

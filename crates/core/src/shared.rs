@@ -19,7 +19,10 @@ pub struct GlobalBest {
 impl GlobalBest {
     /// Starts from the greedy approximation (Figure 1 line 1).
     pub fn new(size: u32, cover: Vec<VertexId>) -> Self {
-        GlobalBest { size: AtomicU32::new(size), witness: Mutex::new((size, cover)) }
+        GlobalBest {
+            size: AtomicU32::new(size),
+            witness: Mutex::new((size, cover)),
+        }
     }
 
     /// Current best size (a relaxed read, like a kernel load of the
@@ -38,7 +41,10 @@ impl GlobalBest {
             if new >= cur {
                 return false;
             }
-            match self.size.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed) {
+            match self
+                .size
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
                 Ok(_) => break,
                 Err(actual) => cur = actual,
             }
@@ -66,7 +72,10 @@ pub struct PvcFound {
 impl PvcFound {
     /// No solution found yet.
     pub fn new() -> Self {
-        PvcFound { flag: AtomicBool::new(false), witness: Mutex::new(None) }
+        PvcFound {
+            flag: AtomicBool::new(false),
+            witness: Mutex::new(None),
+        }
     }
 
     /// Checked at the top of every block iteration (the condition the
@@ -109,7 +118,10 @@ pub struct Deadline {
 impl Deadline {
     /// A deadline `limit` from now; `None` never expires.
     pub fn new(limit: Option<std::time::Duration>) -> Self {
-        Deadline { end: limit.map(|d| std::time::Instant::now() + d), hit: AtomicBool::new(false) }
+        Deadline {
+            end: limit.map(|d| std::time::Instant::now() + d),
+            hit: AtomicBool::new(false),
+        }
     }
 
     /// Whether the budget is spent (sticky once observed).
@@ -119,14 +131,11 @@ impl Deadline {
         }
         match self.end {
             None => false,
-            Some(end) => {
-                if std::time::Instant::now() >= end {
-                    self.hit.store(true, Ordering::Relaxed);
-                    true
-                } else {
-                    false
-                }
+            Some(end) if std::time::Instant::now() >= end => {
+                self.hit.store(true, Ordering::Relaxed);
+                true
             }
+            Some(_) => false,
         }
     }
 
@@ -234,7 +243,10 @@ mod tests {
         let best = GlobalBest::new(6, (0..6).collect());
         assert!(best.try_improve(&node_covering(&g, &[0, 1, 2, 3, 4])));
         assert_eq!(best.load(), 5);
-        assert!(!best.try_improve(&node_covering(&g, &[0, 1, 2, 3, 4])), "equal is not better");
+        assert!(
+            !best.try_improve(&node_covering(&g, &[0, 1, 2, 3, 4])),
+            "equal is not better"
+        );
         let (size, cover) = best.into_result();
         assert_eq!(size, 5);
         assert_eq!(cover.len(), 5);

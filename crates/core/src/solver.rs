@@ -17,15 +17,18 @@ use parvc_simgpu::counters::LaunchReport;
 use parvc_simgpu::occupancy::{select_launch, LaunchRequest};
 use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
 
+use crate::engine::{Engine, PolicyFactory, SearchMode, SearchOutcome};
 use crate::extensions::Extensions;
 use crate::greedy::greedy_mvc;
-use crate::hybrid::HybridParams;
-use crate::shared::{Deadline, RawParallel, RawParallelPvc};
+use crate::hybrid::{HybridFactory, HybridParams};
+use crate::sequential::SequentialFactory;
+use crate::shared::Deadline;
+use crate::stackonly::{StackOnlyFactory, StackOnlyParams};
 use crate::stats::{MvcResult, PvcResult, SolveStats};
-use crate::stackonly::StackOnlyParams;
-use crate::{hybrid, sequential, stackonly};
+use crate::stealing::{StealFactory, StealParams};
 
-/// Which traversal scheme to run — the three code versions of §V-A.
+/// Which scheduling policy drives the engine — the three code versions
+/// of §V-A plus the work-stealing extension.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// Single-CPU-thread branch-and-reduce (the reference baseline).
@@ -38,6 +41,9 @@ pub enum Algorithm {
     },
     /// The paper's hybrid local-stack + global-worklist scheme.
     Hybrid,
+    /// Per-block deques with steal-based balancing (beyond the paper;
+    /// see [`crate::stealing`]).
+    WorkStealing,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -46,6 +52,7 @@ impl std::fmt::Display for Algorithm {
             Algorithm::Sequential => write!(f, "Sequential"),
             Algorithm::StackOnly { start_depth } => write!(f, "StackOnly(d={start_depth})"),
             Algorithm::Hybrid => write!(f, "Hybrid"),
+            Algorithm::WorkStealing => write!(f, "WorkStealing"),
         }
     }
 }
@@ -57,6 +64,7 @@ pub struct SolverBuilder {
     device: DeviceSpec,
     cost: CostModel,
     hybrid: HybridParams,
+    steal: StealParams,
     force_variant: Option<KernelVariant>,
     force_block_size: Option<u32>,
     grid_limit: Option<u32>,
@@ -75,6 +83,7 @@ impl Default for SolverBuilder {
             device: DeviceSpec::scaled(8),
             cost: CostModel::default(),
             hybrid: HybridParams::default(),
+            steal: StealParams::default(),
             force_variant: None,
             force_block_size: None,
             grid_limit: Some(32),
@@ -86,7 +95,7 @@ impl Default for SolverBuilder {
 }
 
 impl SolverBuilder {
-    /// Selects the traversal scheme (default: Hybrid).
+    /// Selects the scheduling policy (default: Hybrid).
     pub fn algorithm(mut self, a: Algorithm) -> Self {
         self.algorithm = a;
         self
@@ -113,14 +122,19 @@ impl SolverBuilder {
     /// Donation threshold as a fraction of capacity (Hybrid;
     /// default 0.75).
     pub fn threshold_frac(mut self, frac: f64) -> Self {
-        assert!((0.0..=1.0).contains(&frac), "threshold fraction must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&frac),
+            "threshold fraction must be in [0,1]"
+        );
         self.hybrid.threshold_frac = frac;
         self
     }
 
-    /// Starved-block poll sleep (Hybrid; default 50µs).
+    /// Starved-block poll sleep (Hybrid and WorkStealing; default
+    /// 50µs).
     pub fn poll_sleep(mut self, d: std::time::Duration) -> Self {
         self.hybrid.poll_sleep = d;
+        self.steal.poll_sleep = d;
         self
     }
 
@@ -234,7 +248,6 @@ impl Solver {
     /// [`DeviceSpec`]).
     pub fn solve_mvc(&self, g: &CsrGraph) -> MvcResult {
         let start = Instant::now();
-        let deadline = Deadline::new(self.cfg.deadline);
         let greedy = greedy_mvc(g);
         let greedy_size = greedy.0;
 
@@ -246,52 +259,24 @@ impl Solver {
             };
         }
 
-        match self.cfg.algorithm {
-            Algorithm::Sequential => {
-                let out = sequential::solve_mvc(g, &self.cfg.cost, greedy, &deadline, self.cfg.ext);
-                let report = LaunchReport::new(&DeviceSpec::scaled(1), vec![out.counters]);
-                MvcResult {
-                    size: out.best_size,
-                    cover: out.best_cover,
-                    stats: SolveStats {
-                        wall_time: start.elapsed(),
-                        tree_nodes: out.tree_nodes,
-                        device_cycles: report.device_cycles,
-                        launch: None,
-                        report,
-                        greedy_size,
-                        timed_out: deadline.was_hit(),
-                    },
-                }
-            }
-            Algorithm::StackOnly { start_depth } => {
-                let launch = self.plan_launch(g, greedy_size + 2);
-                let raw = stackonly::solve_mvc(
-                    g,
-                    &self.cfg.device,
-                    &launch,
-                    &self.cfg.cost,
-                    StackOnlyParams { start_depth },
-                    greedy,
-                    &deadline,
-                    self.cfg.ext,
-                );
-                self.assemble_mvc(start, greedy_size, launch, raw, &deadline)
-            }
-            Algorithm::Hybrid => {
-                let launch = self.plan_launch(g, greedy_size + 2);
-                let raw = hybrid::solve_mvc(
-                    g,
-                    &self.cfg.device,
-                    &launch,
-                    &self.cfg.cost,
-                    &self.cfg.hybrid,
-                    greedy,
-                    &deadline,
-                    self.cfg.ext,
-                );
-                self.assemble_mvc(start, greedy_size, launch, raw, &deadline)
-            }
+        let (outcome, launch, deadline) = self.run_engine(g, SearchMode::Mvc { initial: greedy });
+        let raw = match outcome {
+            SearchOutcome::Mvc(raw) => raw,
+            SearchOutcome::Pvc(_) => unreachable!("MVC mode returns an MVC outcome"),
+        };
+        let report = self.launch_report(launch.is_some(), raw.blocks);
+        MvcResult {
+            size: raw.best_size,
+            cover: raw.best_cover,
+            stats: SolveStats {
+                wall_time: start.elapsed(),
+                tree_nodes: report.total_tree_nodes,
+                device_cycles: report.device_cycles,
+                launch,
+                report,
+                greedy_size,
+                timed_out: deadline.was_hit(),
+            },
         }
     }
 
@@ -302,7 +287,6 @@ impl Solver {
     /// Same memory-capacity panic as [`solve_mvc`](Self::solve_mvc).
     pub fn solve_pvc(&self, g: &CsrGraph, k: u32) -> PvcResult {
         let start = Instant::now();
-        let deadline = Deadline::new(self.cfg.deadline);
 
         if g.num_edges() == 0 {
             return PvcResult {
@@ -312,90 +296,12 @@ impl Solver {
             };
         }
 
-        let depth = k.min(g.num_vertices()) + 2;
-        match self.cfg.algorithm {
-            Algorithm::Sequential => {
-                let out = sequential::solve_pvc(g, &self.cfg.cost, k, &deadline, self.cfg.ext);
-                let found = out.best_size != u32::MAX;
-                let report = LaunchReport::new(&DeviceSpec::scaled(1), vec![out.counters]);
-                PvcResult {
-                    k,
-                    cover: found.then_some(out.best_cover),
-                    stats: SolveStats {
-                        wall_time: start.elapsed(),
-                        tree_nodes: out.tree_nodes,
-                        device_cycles: report.device_cycles,
-                        launch: None,
-                        report,
-                        greedy_size: 0,
-                        timed_out: deadline.was_hit(),
-                    },
-                }
-            }
-            Algorithm::StackOnly { start_depth } => {
-                let launch = self.plan_launch(g, depth);
-                let raw = stackonly::solve_pvc(
-                    g,
-                    &self.cfg.device,
-                    &launch,
-                    &self.cfg.cost,
-                    StackOnlyParams { start_depth },
-                    k,
-                    &deadline,
-                    self.cfg.ext,
-                );
-                self.assemble_pvc(start, k, launch, raw, &deadline)
-            }
-            Algorithm::Hybrid => {
-                let launch = self.plan_launch(g, depth);
-                let raw = hybrid::solve_pvc(
-                    g,
-                    &self.cfg.device,
-                    &launch,
-                    &self.cfg.cost,
-                    &self.cfg.hybrid,
-                    k,
-                    &deadline,
-                    self.cfg.ext,
-                );
-                self.assemble_pvc(start, k, launch, raw, &deadline)
-            }
-        }
-    }
-
-    fn assemble_mvc(
-        &self,
-        start: Instant,
-        greedy_size: u32,
-        launch: LaunchConfig,
-        raw: RawParallel,
-        deadline: &Deadline,
-    ) -> MvcResult {
-        let report = LaunchReport::new(&self.cfg.device, raw.blocks);
-        MvcResult {
-            size: raw.best_size,
-            cover: raw.best_cover,
-            stats: SolveStats {
-                wall_time: start.elapsed(),
-                tree_nodes: report.total_tree_nodes,
-                device_cycles: report.device_cycles,
-                launch: Some(launch),
-                report,
-                greedy_size,
-                timed_out: deadline.was_hit(),
-            },
-        }
-    }
-
-    fn assemble_pvc(
-        &self,
-        start: Instant,
-        k: u32,
-        launch: LaunchConfig,
-        raw: RawParallelPvc,
-        deadline: &Deadline,
-    ) -> PvcResult {
-        let report = LaunchReport::new(&self.cfg.device, raw.blocks);
+        let (outcome, launch, deadline) = self.run_engine(g, SearchMode::Pvc { k });
+        let raw = match outcome {
+            SearchOutcome::Pvc(raw) => raw,
+            SearchOutcome::Mvc(_) => unreachable!("PVC mode returns a PVC outcome"),
+        };
+        let report = self.launch_report(launch.is_some(), raw.blocks);
         PvcResult {
             k,
             cover: raw.cover,
@@ -403,11 +309,66 @@ impl Solver {
                 wall_time: start.elapsed(),
                 tree_nodes: report.total_tree_nodes,
                 device_cycles: report.device_cycles,
-                launch: Some(launch),
+                launch,
                 report,
                 greedy_size: 0,
                 timed_out: deadline.was_hit(),
             },
+        }
+    }
+
+    /// The one parameterized dispatch: builds the policy factory for
+    /// the configured [`Algorithm`] and hands `mode` to the engine.
+    fn run_engine(
+        &self,
+        g: &CsrGraph,
+        mode: SearchMode,
+    ) -> (SearchOutcome, Option<LaunchConfig>, Deadline) {
+        let deadline = Deadline::new(self.cfg.deadline);
+        let depth_bound = mode.depth_bound(g);
+        let launch = match self.cfg.algorithm {
+            Algorithm::Sequential => None,
+            _ => Some(self.plan_launch(g, depth_bound as u32)),
+        };
+        let factory: Box<dyn PolicyFactory> = match self.cfg.algorithm {
+            Algorithm::Sequential => Box::new(SequentialFactory::new()),
+            Algorithm::StackOnly { start_depth } => {
+                Box::new(StackOnlyFactory::new(StackOnlyParams { start_depth }))
+            }
+            Algorithm::Hybrid => Box::new(HybridFactory::new(&self.cfg.hybrid)),
+            Algorithm::WorkStealing => {
+                let workers = launch
+                    .as_ref()
+                    .expect("parallel launch planned")
+                    .grid_blocks;
+                Box::new(StealFactory::new(
+                    workers as usize,
+                    depth_bound,
+                    &self.cfg.steal,
+                ))
+            }
+        };
+        let engine = Engine {
+            graph: g,
+            device: &self.cfg.device,
+            config: launch.as_ref(),
+            cost: &self.cfg.cost,
+            deadline: &deadline,
+            ext: self.cfg.ext,
+        };
+        let outcome = engine.solve(factory.as_ref(), mode);
+        (outcome, launch, deadline)
+    }
+
+    fn launch_report(
+        &self,
+        parallel: bool,
+        blocks: Vec<parvc_simgpu::counters::BlockCounters>,
+    ) -> LaunchReport {
+        if parallel {
+            LaunchReport::new(&self.cfg.device, blocks)
+        } else {
+            LaunchReport::new(&DeviceSpec::scaled(1), blocks)
         }
     }
 
@@ -438,7 +399,14 @@ mod tests {
                 .algorithm(Algorithm::StackOnly { start_depth: 4 })
                 .grid_limit(Some(8))
                 .build(),
-            Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build(),
+            Solver::builder()
+                .algorithm(Algorithm::Hybrid)
+                .grid_limit(Some(8))
+                .build(),
+            Solver::builder()
+                .algorithm(Algorithm::WorkStealing)
+                .grid_limit(Some(8))
+                .build(),
         ]
     }
 
@@ -450,7 +418,11 @@ mod tests {
             for solver in solvers() {
                 let r = solver.solve_mvc(&g);
                 assert_eq!(r.size, opt, "{} seed {seed}", solver.algorithm());
-                assert!(is_vertex_cover(&g, &r.cover), "{} seed {seed}", solver.algorithm());
+                assert!(
+                    is_vertex_cover(&g, &r.cover),
+                    "{} seed {seed}",
+                    solver.algorithm()
+                );
                 assert_eq!(r.cover.len() as u32, r.size);
             }
         }
@@ -467,7 +439,11 @@ mod tests {
         assert!(min >= 1);
         for solver in solvers() {
             let below = solver.solve_pvc(&g, min - 1);
-            assert!(!below.found(), "{}: found below-optimal cover", solver.algorithm());
+            assert!(
+                !below.found(),
+                "{}: found below-optimal cover",
+                solver.algorithm()
+            );
             for dk in 0..2 {
                 let r = solver.solve_pvc(&g, min + dk);
                 let cover = r.cover.unwrap_or_else(|| {
@@ -493,8 +469,14 @@ mod tests {
     #[test]
     fn hybrid_on_denser_graph() {
         let g = gen::p_hat_complement(40, 3, 5);
-        let seq = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g);
-        let hyb = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build();
+        let seq = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
+        let hyb = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(8))
+            .build();
         let r = hyb.solve_mvc(&g);
         assert_eq!(r.size, seq.size);
         assert!(is_vertex_cover(&g, &r.cover));
@@ -502,15 +484,51 @@ mod tests {
     }
 
     #[test]
+    fn work_stealing_on_denser_graph() {
+        // Large enough a tree (~400 nodes) that stealing must engage.
+        let g = gen::p_hat_complement(60, 2, 5);
+        let seq = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
+        let ws = Solver::builder()
+            .algorithm(Algorithm::WorkStealing)
+            .grid_limit(Some(8))
+            .build();
+        let r = ws.solve_mvc(&g);
+        assert_eq!(r.size, seq.size);
+        assert!(is_vertex_cover(&g, &r.cover));
+        // Steals show up in the worklist-consumption counter, proving
+        // the balancing actually engaged.
+        let stolen: u64 = r
+            .stats
+            .report
+            .blocks
+            .iter()
+            .map(|b| b.nodes_from_worklist)
+            .sum();
+        assert!(stolen > 0, "no block ever stole on a non-trivial instance");
+    }
+
+    #[test]
     fn stats_are_populated_for_parallel_runs() {
         let g = gen::gnp(30, 0.25, 9);
-        let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(4)).build();
+        let solver = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(4))
+            .build();
         let r = solver.solve_mvc(&g);
         assert!(r.stats.launch.is_some());
         assert!(r.stats.device_cycles > 0);
         assert!(r.stats.tree_nodes > 0);
         assert_eq!(r.stats.report.blocks.len(), 4);
-        let total: f64 = r.stats.report.activity_breakdown().iter().map(|(_, s)| s).sum();
+        let total: f64 = r
+            .stats
+            .report
+            .activity_breakdown()
+            .iter()
+            .map(|(_, s)| s)
+            .sum();
         assert!((total - 1.0).abs() < 1e-6, "breakdown sums to {total}");
     }
 
@@ -546,12 +564,14 @@ mod tests {
         let g = gen::gnp(15, 0.3, 33);
         let (opt, _) = brute_force_mvc(&g);
         for v in [KernelVariant::SharedMem, KernelVariant::GlobalMem] {
-            let solver = Solver::builder()
-                .algorithm(Algorithm::Hybrid)
-                .kernel_variant(v)
-                .grid_limit(Some(4))
-                .build();
-            assert_eq!(solver.solve_mvc(&g).size, opt, "variant {v}");
+            for algorithm in [Algorithm::Hybrid, Algorithm::WorkStealing] {
+                let solver = Solver::builder()
+                    .algorithm(algorithm)
+                    .kernel_variant(v)
+                    .grid_limit(Some(4))
+                    .build();
+                assert_eq!(solver.solve_mvc(&g).size, opt, "{algorithm} variant {v}");
+            }
         }
     }
 }

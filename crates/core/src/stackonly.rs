@@ -1,26 +1,25 @@
-//! The StackOnly baseline — prior work's traversal ([14], [15], §III).
+//! The StackOnly scheme — prior work's traversal ([14], [15], §III) —
+//! as a [`SchedulePolicy`].
 //!
-//! Sub-trees rooted at a fixed `start_depth` are treated as the units of
-//! parallelism: there are `2^start_depth` of them, indexed by the branch
-//! bits of the path from the root. Blocks grab sub-tree indices from a
-//! shared counter (the GPU's block scheduler draining an oversized
-//! grid), **re-descend from the root to their sub-tree** — the redundant
-//! work the paper's Challenge #1 calls out — and then traverse the
-//! sub-tree depth-first with a per-block local stack. There is no
-//! donation: a block stuck with a monster sub-tree keeps it to the end,
-//! which is exactly the load imbalance Figure 5 shows.
+//! Sub-trees rooted at a fixed `start_depth` are the units of
+//! parallelism: there are `2^start_depth` of them, indexed by the
+//! branch bits of the path from the root. Blocks grab sub-tree indices
+//! from a shared counter (the GPU's block scheduler draining an
+//! oversized grid), **re-descend from the root to their sub-tree** —
+//! the redundant work the paper's Challenge #1 calls out — and then
+//! traverse the sub-tree depth-first with a per-block local stack.
+//! There is no donation: a block stuck with a monster sub-tree keeps
+//! it to the end, which is exactly the load imbalance Figure 5 shows.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parvc_graph::{CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
-use parvc_simgpu::runtime::run_blocks;
-use parvc_simgpu::{CostModel, DeviceSpec, LaunchConfig};
+use parvc_simgpu::runtime::BlockCtx;
 use parvc_worklist::LocalStack;
 
-use crate::extensions::Extensions;
+use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
 use crate::ops::Kernel;
-use crate::shared::{BoundKind, BoundSrc, Deadline, GlobalBest, PvcFound, RawParallel, RawParallelPvc};
+use crate::shared::BoundSrc;
 use crate::TreeNode;
 
 /// StackOnly tuning: the sub-tree starting depth. The paper tries
@@ -37,80 +36,89 @@ impl Default for StackOnlyParams {
     }
 }
 
-/// Parallel MVC with the StackOnly scheme.
-pub fn solve_mvc(
-    g: &CsrGraph,
-    device: &DeviceSpec,
-    config: &LaunchConfig,
-    cost: &CostModel,
+/// Shared state: the sub-tree index dispenser all blocks drain.
+pub struct StackOnlyFactory {
     params: StackOnlyParams,
-    initial: (u32, Vec<VertexId>),
-    deadline: &Deadline,
-    ext: Extensions,
-) -> RawParallel {
-    let best = GlobalBest::new(initial.0, initial.1);
-    let depth_bound = initial.0 as usize + 2;
-    let subtree_counter = AtomicU64::new(0);
-    let blocks = run_blocks(device, config, |ctx, counters| {
-        let kernel =
-            Kernel { graph: g, cost, block_size: ctx.block_size, variant: config.variant, ext };
-        let bound_src = BoundSrc { kind: BoundKind::Mvc(&best), deadline };
-        block_main(&kernel, bound_src, params, depth_bound, &subtree_counter, counters);
-    });
-    let (best_size, best_cover) = best.into_result();
-    RawParallel { best_size, best_cover, blocks }
+    subtree_counter: AtomicU64,
 }
 
-/// Parallel PVC with the StackOnly scheme.
-pub fn solve_pvc(
-    g: &CsrGraph,
-    device: &DeviceSpec,
-    config: &LaunchConfig,
-    cost: &CostModel,
-    params: StackOnlyParams,
-    k: u32,
-    deadline: &Deadline,
-    ext: Extensions,
-) -> RawParallelPvc {
-    let found = PvcFound::new();
-    let depth_bound = (k as usize).min(g.num_vertices() as usize) + 2;
-    let subtree_counter = AtomicU64::new(0);
-    let blocks = run_blocks(device, config, |ctx, counters| {
-        let kernel =
-            Kernel { graph: g, cost, block_size: ctx.block_size, variant: config.variant, ext };
-        let bound_src = BoundSrc { kind: BoundKind::Pvc { k, found: &found }, deadline };
-        block_main(&kernel, bound_src, params, depth_bound, &subtree_counter, counters);
-    });
-    RawParallelPvc { cover: found.into_result(), blocks }
-}
-
-/// One block's whole execution: drain sub-tree indices, descend, DFS.
-/// The shared counter models the GPU scheduler draining an oversized
-/// grid of `2^start_depth` logical blocks through the resident set.
-fn block_main(
-    kernel: &Kernel<'_>,
-    bound_src: BoundSrc<'_>,
-    params: StackOnlyParams,
-    depth_bound: usize,
-    subtree_counter: &AtomicU64,
-    counters: &mut BlockCounters,
-) {
-    let num_subtrees = 1u64 << params.start_depth;
-    let mut stack: LocalStack<TreeNode> = LocalStack::with_depth_bound(depth_bound);
-    loop {
-        if bound_src.should_abort() {
-            break;
-        }
-        let idx = subtree_counter.fetch_add(1, Ordering::Relaxed);
-        if idx >= num_subtrees {
-            break;
-        }
-        if let Some(node) = descend(kernel, bound_src, idx, params.start_depth, counters) {
-            dfs_subtree(kernel, bound_src, node, &mut stack, counters);
+impl StackOnlyFactory {
+    /// A fresh factory (one per launch).
+    pub fn new(params: StackOnlyParams) -> Self {
+        StackOnlyFactory {
+            params,
+            subtree_counter: AtomicU64::new(0),
         }
     }
-    counters.charge(Activity::Terminate, kernel.cost.atomic_op);
-    counters.max_stack_depth = counters.max_stack_depth.max(stack.high_water() as u64);
+}
+
+impl PolicyFactory for StackOnlyFactory {
+    fn seed(&self, _root: TreeNode) {
+        // Roots are re-derived by descending from TreeNode::root —
+        // the scheme's signature redundancy.
+    }
+
+    fn block_policy<'s>(
+        &'s self,
+        _ctx: BlockCtx,
+        depth_bound: usize,
+    ) -> Box<dyn SchedulePolicy + 's> {
+        Box::new(StackOnlyPolicy {
+            subtree_counter: &self.subtree_counter,
+            num_subtrees: 1u64 << self.params.start_depth,
+            start_depth: self.params.start_depth,
+            stack: LocalStack::with_depth_bound(depth_bound),
+        })
+    }
+}
+
+/// One block's view: its local DFS stack plus the shared dispenser.
+pub struct StackOnlyPolicy<'a> {
+    subtree_counter: &'a AtomicU64,
+    num_subtrees: u64,
+    start_depth: u32,
+    stack: LocalStack<TreeNode>,
+}
+
+impl SchedulePolicy for StackOnlyPolicy<'_> {
+    fn next(
+        &mut self,
+        kernel: &Kernel<'_>,
+        bound: BoundSrc<'_>,
+        counters: &mut BlockCounters,
+    ) -> Option<TreeNode> {
+        if let Some(n) = self.stack.pop() {
+            kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
+            return Some(n);
+        }
+        // Local stack empty: the current sub-tree is finished — drain
+        // the dispenser for the next one.
+        loop {
+            if bound.should_abort() {
+                return None;
+            }
+            let idx = self.subtree_counter.fetch_add(1, Ordering::Relaxed);
+            if idx >= self.num_subtrees {
+                return None;
+            }
+            if let Some(node) = descend(kernel, bound, idx, self.start_depth, counters) {
+                return Some(node);
+            }
+        }
+    }
+
+    fn dispose(&mut self, child: TreeNode, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        kernel.charge_node_copy(child.len(), Activity::PushToStack, counters);
+        self.stack.push(child).unwrap_or_else(|_| {
+            panic!("stack depth bound violated (bound {})", self.stack.bound())
+        });
+        counters.max_stack_depth = counters.max_stack_depth.max(self.stack.len() as u64);
+    }
+
+    fn on_exit(&mut self, _cause: ExitCause, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        counters.charge(Activity::Terminate, kernel.cost.atomic_op);
+        counters.max_stack_depth = counters.max_stack_depth.max(self.stack.high_water() as u64);
+    }
 }
 
 /// Re-walks the path from the root to sub-tree `idx` (bit `l` of `idx`
@@ -121,7 +129,7 @@ fn block_main(
 /// so dead paths are counted exactly once.
 fn descend(
     kernel: &Kernel<'_>,
-    bound_src: BoundSrc<'_>,
+    bound: BoundSrc<'_>,
     idx: u64,
     start_depth: u32,
     counters: &mut BlockCounters,
@@ -130,19 +138,19 @@ fn descend(
     for level in 0..start_depth {
         let owns = (idx >> level) == 0;
         counters.tree_nodes_visited += 1;
-        kernel.reduce(&mut node, bound_src.bound(), counters);
-        if kernel.prune(&node, bound_src.bound()) {
+        kernel.reduce(&mut node, bound.bound(), counters);
+        if kernel.prune(&node, bound.bound()) {
             return None;
         }
         let Some(vmax) = kernel.find_max_degree(&node, counters) else {
             if owns {
-                bound_src.on_solution(&node);
+                bound.on_solution(&node);
             }
             return None;
         };
         if node.degree(vmax) == 0 {
             if owns {
-                bound_src.on_solution(&node);
+                bound.on_solution(&node);
             }
             return None;
         }
@@ -153,59 +161,4 @@ fn descend(
         }
     }
     Some(node)
-}
-
-/// Depth-first traversal of one sub-tree with the local stack. Shared
-/// with nothing: this is the whole point of StackOnly — no donation.
-pub(crate) fn dfs_subtree(
-    kernel: &Kernel<'_>,
-    bound_src: BoundSrc<'_>,
-    root: TreeNode,
-    stack: &mut LocalStack<TreeNode>,
-    counters: &mut BlockCounters,
-) {
-    let mut current = Some(root);
-    loop {
-        if bound_src.should_abort() {
-            return;
-        }
-        let mut node = match current.take() {
-            Some(n) => n,
-            None => match stack.pop() {
-                Some(n) => {
-                    kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
-                    n
-                }
-                None => return,
-            },
-        };
-        counters.tree_nodes_visited += 1;
-        kernel.reduce(&mut node, bound_src.bound(), counters);
-        if kernel.prune(&node, bound_src.bound()) {
-            continue;
-        }
-        let Some(vmax) = kernel.find_max_degree(&node, counters) else {
-            if bound_src.on_solution(&node) {
-                return;
-            }
-            continue;
-        };
-        if node.degree(vmax) == 0 {
-            if bound_src.on_solution(&node) {
-                return;
-            }
-            continue;
-        }
-        // Branch: push the remove-N(vmax) child, continue with the
-        // remove-vmax child (Figure 1's order).
-        let mut left = node.clone();
-        kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, counters);
-        kernel.charge_node_copy(left.len(), Activity::PushToStack, counters);
-        stack
-            .push(left)
-            .unwrap_or_else(|_| panic!("stack depth bound violated (bound {})", stack.bound()));
-        kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, counters);
-        current = Some(node);
-        counters.max_stack_depth = counters.max_stack_depth.max(stack.len() as u64);
-    }
 }

@@ -1,0 +1,138 @@
+//! The WorkStealing scheme — per-block deques with steal-based
+//! balancing — as a [`SchedulePolicy`].
+//!
+//! The proof that the engine's policy seam is real: this entire fourth
+//! scheme (beyond the paper's three) is the ~50 lines below plus the
+//! [`StealPool`] substrate. Each block's DFS stack *is* its deque —
+//! every branched child pushed to the back is implicitly donated,
+//! because a starving peer can steal it from the front (the
+//! shallowest, and therefore largest, pending sub-tree). Compared to
+//! the Hybrid worklist there is no donation threshold to tune and no
+//! single queue to contend on; the price is synchronization on the
+//! owner's own push/pop path.
+//!
+//! Counter semantics mirror the other parallel policies so Figures 5
+//! and 6 stay comparable: own-deque traffic is charged as stack
+//! pushes/pops, steals as worklist removes, and successful steals
+//! count toward `nodes_from_worklist`.
+
+use std::time::Duration;
+
+use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::runtime::BlockCtx;
+use parvc_worklist::{StealHandle, StealOutcome, StealPool, StealSource};
+
+use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
+use crate::ops::Kernel;
+use crate::shared::BoundSrc;
+use crate::TreeNode;
+
+/// WorkStealing tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StealParams {
+    /// Starved-block poll sleep between steal scans.
+    pub poll_sleep: Duration,
+}
+
+impl Default for StealParams {
+    fn default() -> Self {
+        StealParams {
+            poll_sleep: Duration::from_micros(50),
+        }
+    }
+}
+
+/// Shared state: one deque per block in the launch grid.
+pub struct StealFactory {
+    pool: StealPool<TreeNode>,
+}
+
+impl StealFactory {
+    /// A fresh factory for a launch of `workers` blocks (one per
+    /// solve). `depth_hint` pre-sizes each deque (§IV-E).
+    pub fn new(workers: usize, depth_hint: usize, params: &StealParams) -> Self {
+        let mut pool = StealPool::new(workers, depth_hint);
+        pool.set_poll_sleep(params.poll_sleep);
+        StealFactory { pool }
+    }
+}
+
+impl PolicyFactory for StealFactory {
+    fn seed(&self, root: TreeNode) {
+        self.pool.seed(0, root);
+    }
+
+    fn block_policy<'s>(
+        &'s self,
+        ctx: BlockCtx,
+        _depth_bound: usize,
+    ) -> Box<dyn SchedulePolicy + 's> {
+        Box::new(StealPolicy {
+            pool: &self.pool,
+            handle: self.pool.handle(ctx.block_id as usize),
+        })
+    }
+}
+
+/// One block's view: its own deque plus its peers as steal targets.
+pub struct StealPolicy<'a> {
+    pool: &'a StealPool<TreeNode>,
+    handle: StealHandle<'a, TreeNode>,
+}
+
+impl SchedulePolicy for StealPolicy<'_> {
+    fn next(
+        &mut self,
+        kernel: &Kernel<'_>,
+        _bound: BoundSrc<'_>,
+        counters: &mut BlockCounters,
+    ) -> Option<TreeNode> {
+        let (outcome, stats) = self.handle.pop_with_stats();
+        match outcome {
+            StealOutcome::Item(n, StealSource::Own) => {
+                kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
+                Some(n)
+            }
+            StealOutcome::Item(n, StealSource::Stolen { .. }) => {
+                // A steal pays like a worklist remove: the scan
+                // attempts, the starvation naps, and the node copy.
+                counters.charge(
+                    Activity::RemoveFromWorklist,
+                    stats.attempts * kernel.cost.queue_op + stats.sleeps * kernel.cost.poll_sleep,
+                );
+                counters.nodes_from_worklist += 1;
+                kernel.charge_node_copy(n.len(), Activity::RemoveFromWorklist, counters);
+                Some(n)
+            }
+            StealOutcome::Done => {
+                counters.charge(
+                    Activity::RemoveFromWorklist,
+                    stats.attempts * kernel.cost.queue_op + stats.sleeps * kernel.cost.poll_sleep,
+                );
+                None
+            }
+        }
+    }
+
+    fn dispose(&mut self, child: TreeNode, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        kernel.charge_node_copy(child.len(), Activity::PushToStack, counters);
+        counters.charge(Activity::PushToStack, kernel.cost.atomic_op);
+        let depth = self.handle.push(child);
+        counters.max_stack_depth = counters.max_stack_depth.max(depth as u64);
+    }
+
+    fn on_exit(&mut self, cause: ExitCause, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        match cause {
+            ExitCause::Aborted => {
+                self.pool.signal_done();
+                counters.charge(Activity::Terminate, kernel.cost.atomic_op);
+            }
+            ExitCause::Exhausted => {
+                counters.charge(Activity::Terminate, kernel.cost.queue_op);
+            }
+            ExitCause::SolutionFound => {
+                self.pool.signal_done();
+            }
+        }
+    }
+}

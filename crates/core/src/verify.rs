@@ -12,7 +12,8 @@ pub fn is_vertex_cover(g: &CsrGraph, cover: &[VertexId]) -> bool {
         }
         in_cover[v as usize] = true;
     }
-    g.edges().all(|(u, v)| in_cover[u as usize] || in_cover[v as usize])
+    g.edges()
+        .all(|(u, v)| in_cover[u as usize] || in_cover[v as usize])
 }
 
 /// Whether `set` is an independent set of `g`: no edge joins two of its
@@ -25,7 +26,8 @@ pub fn is_independent_set(g: &CsrGraph, set: &[VertexId]) -> bool {
         }
         in_set[v as usize] = true;
     }
-    g.edges().all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
+    g.edges()
+        .all(|(u, v)| !(in_set[u as usize] && in_set[v as usize]))
 }
 
 #[cfg(test)]

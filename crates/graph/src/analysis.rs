@@ -63,7 +63,12 @@ pub struct DegreeStats {
 pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     let n = g.num_vertices();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, std_dev: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+        };
     }
     let degs: Vec<u32> = (0..n).map(|v| g.degree(v)).collect();
     let mean = degs.iter().map(|&d| d as f64).sum::<f64>() / n as f64;

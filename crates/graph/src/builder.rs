@@ -28,12 +28,18 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Creates a builder for a graph with `n` vertices and no edges.
     pub fn new(n: u32) -> Self {
-        GraphBuilder { num_vertices: n, edges: Vec::new() }
+        GraphBuilder {
+            num_vertices: n,
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder with capacity for `m` edges.
     pub fn with_capacity(n: u32, m: usize) -> Self {
-        GraphBuilder { num_vertices: n, edges: Vec::with_capacity(m) }
+        GraphBuilder {
+            num_vertices: n,
+            edges: Vec::with_capacity(m),
+        }
     }
 
     /// Number of vertices the built graph will have.

@@ -91,7 +91,10 @@ impl CsrGraph {
 
     /// Maximum degree `Δ(G)`.
     pub fn max_degree(&self) -> u32 {
-        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Average degree `2|E| / |V|` (0.0 for the empty graph).
@@ -203,14 +206,20 @@ mod tests {
 
     #[test]
     fn rejects_self_loop() {
-        assert_eq!(CsrGraph::from_edges(2, &[(1, 1)]).unwrap_err(), GraphError::SelfLoop(1));
+        assert_eq!(
+            CsrGraph::from_edges(2, &[(1, 1)]).unwrap_err(),
+            GraphError::SelfLoop(1)
+        );
     }
 
     #[test]
     fn rejects_out_of_range() {
         assert!(matches!(
             CsrGraph::from_edges(2, &[(0, 5)]).unwrap_err(),
-            GraphError::VertexOutOfRange { vertex: 5, num_vertices: 2 }
+            GraphError::VertexOutOfRange {
+                vertex: 5,
+                num_vertices: 2
+            }
         ));
     }
 

@@ -32,12 +32,17 @@ pub enum GraphError {
 impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            GraphError::VertexOutOfRange { vertex, num_vertices } => write!(
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
                 f,
                 "vertex {vertex} out of range for graph with {num_vertices} vertices"
             ),
             GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} (simple graphs only)"),
-            GraphError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
             GraphError::Io(e) => write!(f, "io error: {e}"),
         }
     }

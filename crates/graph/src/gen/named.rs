@@ -18,7 +18,8 @@ pub fn cycle(n: u32) -> CsrGraph {
     assert!(n >= 3, "cycle needs at least 3 vertices");
     let mut b = GraphBuilder::new(n);
     for v in 0..n {
-        b.add_edge(v, (v + 1) % n).expect("cycle endpoints in range");
+        b.add_edge(v, (v + 1) % n)
+            .expect("cycle endpoints in range");
     }
     b.build()
 }

@@ -111,7 +111,10 @@ mod tests {
     fn gnp_density_near_p() {
         let g = gnp(200, 0.3, 42);
         let density = g.num_edges() as f64 / (200.0 * 199.0 / 2.0);
-        assert!((density - 0.3).abs() < 0.05, "density {density} too far from 0.3");
+        assert!(
+            (density - 0.3).abs() < 0.05,
+            "density {density} too far from 0.3"
+        );
     }
 
     #[test]
@@ -119,7 +122,10 @@ mod tests {
         // Mean edge probability is (p_lo + p_hi) / 2 = 0.25 for class 1.
         let g = p_hat(300, 0.0, 0.5, 1);
         let density = g.num_edges() as f64 / (300.0 * 299.0 / 2.0);
-        assert!((density - 0.25).abs() < 0.05, "density {density} too far from 0.25");
+        assert!(
+            (density - 0.25).abs() < 0.05,
+            "density {density} too far from 0.25"
+        );
     }
 
     #[test]

@@ -85,7 +85,7 @@ pub fn power_grid_like(n: u32, extra_edges: u32, seed: u64) -> CsrGraph {
 /// Watts–Strogatz small world: ring lattice of even degree `k`, each edge
 /// rewired with probability `beta`.
 pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k % 2 == 0 && k >= 2, "k must be even and >= 2");
+    assert!(k.is_multiple_of(2) && k >= 2, "k must be even and >= 2");
     assert!(n > k, "need n > k");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = StdRng::seed_from_u64(seed);
@@ -121,7 +121,9 @@ pub fn watts_strogatz(n: u32, k: u32, beta: f64, seed: u64) -> CsrGraph {
 /// within Euclidean distance `radius`.
 pub fn random_geometric(n: u32, radius: f64, seed: u64) -> CsrGraph {
     let mut rng = StdRng::seed_from_u64(seed);
-    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let pts: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.gen::<f64>(), rng.gen::<f64>()))
+        .collect();
     let r2 = radius * radius;
     let mut b = GraphBuilder::new(n);
     for u in 0..n as usize {
@@ -148,7 +150,7 @@ pub fn random_geometric(n: u32, radius: f64, seed: u64) -> CsrGraph {
 /// Requires `n * d` even and `d < n`.
 pub fn random_regular(n: u32, d: u32, seed: u64) -> CsrGraph {
     assert!(d < n, "degree must be below n");
-    assert!((n as u64 * d as u64) % 2 == 0, "n*d must be even");
+    assert!((n as u64 * d as u64).is_multiple_of(2), "n*d must be even");
     let mut rng = StdRng::seed_from_u64(seed);
     let norm = |u: u32, v: u32| (u.min(v), u.max(v));
 
@@ -211,7 +213,11 @@ pub fn sparse_components(n: u32, num_components: u32, intra_p: f64, seed: u64) -
     let size = n / num_components;
     for c in 0..num_components {
         let lo = c * size;
-        let hi = if c + 1 == num_components { n } else { lo + size };
+        let hi = if c + 1 == num_components {
+            n
+        } else {
+            lo + size
+        };
         for u in lo..hi {
             for v in (u + 1)..hi {
                 if rng.gen::<f64>() < intra_p {
@@ -289,7 +295,10 @@ mod tests {
         let g = power_grid_like(500, 160, 2);
         assert!(crate::ops::is_connected(&g));
         let avg = g.avg_degree();
-        assert!((2.0..3.6).contains(&avg), "avg degree {avg} outside power-grid regime");
+        assert!(
+            (2.0..3.6).contains(&avg),
+            "avg degree {avg} outside power-grid regime"
+        );
     }
 
     #[test]
@@ -337,8 +346,7 @@ mod tests {
     fn random_regular_actually_randomizes() {
         // The switched graph must differ from the circulant start.
         let g = random_regular(60, 4, 5);
-        let circulant_edge_count =
-            (0..60u32).filter(|&v| g.has_edge(v, (v + 1) % 60)).count();
+        let circulant_edge_count = (0..60u32).filter(|&v| g.has_edge(v, (v + 1) % 60)).count();
         assert!(circulant_edge_count < 55, "barely any switches happened");
     }
 

@@ -65,9 +65,10 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
             None => unreachable!("trimmed non-empty line has a token"),
         }
     }
-    builder
-        .map(GraphBuilder::build)
-        .ok_or(GraphError::Parse { line: 0, message: "no problem line found".into() })
+    builder.map(GraphBuilder::build).ok_or(GraphError::Parse {
+        line: 0,
+        message: "no problem line found".into(),
+    })
 }
 
 /// Writes `g` in DIMACS format with the given format token.
@@ -126,8 +127,14 @@ fn parse_token<T: std::str::FromStr>(
     line: usize,
     what: &str,
 ) -> Result<T, GraphError> {
-    let tok = token.ok_or_else(|| GraphError::Parse { line, message: format!("missing {what}") })?;
-    tok.parse().map_err(|_| GraphError::Parse { line, message: format!("bad {what} '{tok}'") })
+    let tok = token.ok_or_else(|| GraphError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| GraphError::Parse {
+        line,
+        message: format!("bad {what} '{tok}'"),
+    })
 }
 
 #[cfg(test)]
@@ -189,7 +196,8 @@ mod tests {
 
     #[test]
     fn edge_list_infers_vertex_count() {
-        let g = parse_edge_list(Cursor::new("# comment\n0 3\n% other comment\n1 2\n"), None).unwrap();
+        let g =
+            parse_edge_list(Cursor::new("# comment\n0 3\n% other comment\n1 2\n"), None).unwrap();
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 2);
     }

@@ -68,13 +68,19 @@ pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
             }
         }
     }
-    CoreDecomposition { core_number, degeneracy, ordering }
+    CoreDecomposition {
+        core_number,
+        degeneracy,
+        ordering,
+    }
 }
 
 /// The vertices of the k-core (possibly empty).
 pub fn k_core(g: &CsrGraph, k: u32) -> Vec<VertexId> {
     let d = core_decomposition(g);
-    (0..g.num_vertices()).filter(|&v| d.core_number[v as usize] >= k).collect()
+    (0..g.num_vertices())
+        .filter(|&v| d.core_number[v as usize] >= k)
+        .collect()
 }
 
 #[cfg(test)]
@@ -126,7 +132,7 @@ mod tests {
     fn ordering_is_a_permutation() {
         let g = gen::gnp(60, 0.1, 3);
         let d = core_decomposition(&g);
-        let mut seen = vec![false; 60];
+        let mut seen = [false; 60];
         for &v in &d.ordering {
             assert!(!seen[v as usize], "vertex {v} repeated");
             seen[v as usize] = true;

@@ -124,9 +124,7 @@ fn augment(g: &CsrGraph, u: VertexId, mate: &mut [Option<VertexId>], dist: &mut 
                 return true;
             }
             Some(next) => {
-                if dist[next as usize] == dist[u as usize] + 1
-                    && augment(g, next, mate, dist)
-                {
+                if dist[next as usize] == dist[u as usize] + 1 && augment(g, next, mate, dist) {
                     mate[v as usize] = Some(u);
                     mate[u as usize] = Some(v);
                     return true;
@@ -204,16 +202,22 @@ mod tests {
         for seed in 0..6 {
             let g = gen::gnp(40, 0.12, seed);
             let m = greedy_maximal_matching(&g);
-            let mut matched = vec![false; 40];
+            let mut matched = [false; 40];
             for &(u, v) in &m {
                 assert!(g.has_edge(u, v));
-                assert!(!matched[u as usize] && !matched[v as usize], "vertex reused");
+                assert!(
+                    !matched[u as usize] && !matched[v as usize],
+                    "vertex reused"
+                );
                 matched[u as usize] = true;
                 matched[v as usize] = true;
             }
             // Maximality: no edge with two unmatched endpoints remains.
             for (u, v) in g.edges() {
-                assert!(matched[u as usize] || matched[v as usize], "edge {u}-{v} extendable");
+                assert!(
+                    matched[u as usize] || matched[v as usize],
+                    "edge {u}-{v} extendable"
+                );
             }
         }
     }
@@ -254,7 +258,10 @@ mod tests {
         assert_eq!(konig_cover(&gen::path(9)).unwrap().len(), 4);
         assert_eq!(konig_cover(&gen::star(10)).unwrap().len(), 1);
         assert_eq!(konig_cover(&gen::cycle(8)).unwrap().len(), 4);
-        assert!(konig_cover(&gen::petersen()).is_none(), "Petersen has odd cycles");
+        assert!(
+            konig_cover(&gen::petersen()).is_none(),
+            "Petersen has odd cycles"
+        );
     }
 
     #[test]
@@ -285,7 +292,10 @@ mod tests {
             let g = gen::bipartite_gnp(12, 12, 0.25, seed);
             let greedy = greedy_maximal_matching(&g).len();
             let exact = konig_cover(&g).unwrap().len();
-            assert!(greedy <= exact, "seed {seed}: greedy {greedy} > exact cover {exact}");
+            assert!(
+                greedy <= exact,
+                "seed {seed}: greedy {greedy} > exact cover {exact}"
+            );
         }
     }
 

@@ -58,7 +58,8 @@ pub fn induced_subgraph(g: &CsrGraph, keep: &[VertexId]) -> (CsrGraph, Vec<u32>)
         for &old_v in g.neighbors(old_u) {
             let new_v = old_to_new[old_v as usize];
             if new_v != u32::MAX && (new_u as u32) < new_v {
-                b.add_edge(new_u as u32, new_v).expect("relabeled endpoints in range");
+                b.add_edge(new_u as u32, new_v)
+                    .expect("relabeled endpoints in range");
             }
         }
     }
@@ -100,13 +101,17 @@ pub fn is_connected(g: &CsrGraph) -> bool {
 /// `a.num_vertices()`.
 pub fn disjoint_union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
     let shift = a.num_vertices();
-    let mut builder =
-        crate::GraphBuilder::with_capacity(shift + b.num_vertices(), (a.num_edges() + b.num_edges()) as usize);
+    let mut builder = crate::GraphBuilder::with_capacity(
+        shift + b.num_vertices(),
+        (a.num_edges() + b.num_edges()) as usize,
+    );
     for (u, v) in a.edges() {
         builder.add_edge(u, v).expect("union endpoints in range");
     }
     for (u, v) in b.edges() {
-        builder.add_edge(u + shift, v + shift).expect("union endpoints in range");
+        builder
+            .add_edge(u + shift, v + shift)
+            .expect("union endpoints in range");
     }
     builder.build()
 }

@@ -178,7 +178,11 @@ impl BlockCounters {
         if let Some(trace) = &mut self.trace {
             if cycles > 0 {
                 let start_cycle = self.cycles.iter().sum();
-                trace.push(Span { activity, start_cycle, cycles });
+                trace.push(Span {
+                    activity,
+                    start_cycle,
+                    cycles,
+                });
             }
         }
         self.cycles[activity as usize] += cycles;
@@ -217,12 +221,18 @@ impl SmLoad {
         } else {
             vec![0.0; nodes_per_sm.len()]
         };
-        SmLoad { nodes_per_sm, normalized }
+        SmLoad {
+            nodes_per_sm,
+            normalized,
+        }
     }
 
     /// Smallest normalized SM load (Figure 5's whisker bottom).
     pub fn min(&self) -> f64 {
-        self.normalized.iter().copied().fold(f64::INFINITY, f64::min)
+        self.normalized
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Largest normalized SM load (the overloaded-SM spike the paper
@@ -253,7 +263,12 @@ impl SmLoad {
         if mean == 0.0 {
             return 0.0;
         }
-        let var = self.normalized.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = self
+            .normalized
+            .iter()
+            .map(|x| (x - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         var.sqrt() / mean
     }
 }
@@ -283,7 +298,12 @@ impl LaunchReport {
         }
         let device_cycles = cycles_per_sm.iter().copied().max().unwrap_or(0);
         let total_tree_nodes = blocks.iter().map(|b| b.tree_nodes_visited).sum();
-        LaunchReport { blocks, sm_load, device_cycles, total_tree_nodes }
+        LaunchReport {
+            blocks,
+            sm_load,
+            device_cycles,
+            total_tree_nodes,
+        }
     }
 
     /// Figure 6's metric: per-activity share of block time, normalized
@@ -308,7 +328,10 @@ impl LaunchReport {
                 *s /= counted as f64;
             }
         }
-        Activity::ALL.iter().map(|&a| (a, shares[a as usize])).collect()
+        Activity::ALL
+            .iter()
+            .map(|&a| (a, shares[a as usize]))
+            .collect()
     }
 }
 
@@ -381,12 +404,20 @@ mod tests {
         // Block A: 100% rule-1. Block B: 50% rule-1, 50% find-max.
         let blocks = vec![
             block(0, 1, &[(Activity::DegreeOneRule, 80)]),
-            block(1, 1, &[(Activity::DegreeOneRule, 10), (Activity::FindMaxDegree, 10)]),
+            block(
+                1,
+                1,
+                &[(Activity::DegreeOneRule, 10), (Activity::FindMaxDegree, 10)],
+            ),
         ];
         let report = LaunchReport::new(&d, blocks);
         let shares = report.activity_breakdown();
         let get = |a: Activity| {
-            shares.iter().find(|(x, _)| *x == a).expect("activity present").1
+            shares
+                .iter()
+                .find(|(x, _)| *x == a)
+                .expect("activity present")
+                .1
         };
         assert!((get(Activity::DegreeOneRule) - 0.75).abs() < 1e-12);
         assert!((get(Activity::FindMaxDegree) - 0.25).abs() < 1e-12);

@@ -56,7 +56,11 @@ impl DeviceSpec {
     /// small CPU host: same per-SM shape as the V100, fewer SMs so that
     /// a resident grid is a sane number of OS threads.
     pub fn scaled(num_sms: u32) -> Self {
-        DeviceSpec { name: "scaled-sim", num_sms, ..Self::v100() }
+        DeviceSpec {
+            name: "scaled-sim",
+            num_sms,
+            ..Self::v100()
+        }
     }
 
     /// A tiny device for unit tests (2 SMs, small shared memory) so

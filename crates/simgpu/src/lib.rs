@@ -27,8 +27,8 @@
 
 #![warn(missing_docs)]
 
-pub mod counters;
 mod cost;
+pub mod counters;
 mod device;
 pub mod occupancy;
 pub mod runtime;

@@ -109,7 +109,10 @@ impl std::fmt::Display for LaunchError {
 impl std::error::Error for LaunchError {}
 
 /// Selects block size, grid size, and kernel variant per §IV-E.
-pub fn select_launch(device: &DeviceSpec, req: &LaunchRequest) -> Result<LaunchConfig, LaunchError> {
+pub fn select_launch(
+    device: &DeviceSpec,
+    req: &LaunchRequest,
+) -> Result<LaunchConfig, LaunchError> {
     let variants: &[KernelVariant] = match req.force_variant {
         Some(KernelVariant::SharedMem) => &[KernelVariant::SharedMem],
         Some(KernelVariant::GlobalMem) => &[KernelVariant::GlobalMem],
@@ -130,7 +133,11 @@ pub fn select_launch(device: &DeviceSpec, req: &LaunchRequest) -> Result<LaunchC
             // Neither variant reaches full occupancy: prefer the one
             // with more resident parallelism, tie-break to shared.
             let prev = last.take().expect("checked is_none");
-            return Ok(if cfg.grid_blocks > prev.grid_blocks { cfg } else { prev });
+            return Ok(if cfg.grid_blocks > prev.grid_blocks {
+                cfg
+            } else {
+                prev
+            });
         }
         last = Some(cfg);
     }
@@ -149,22 +156,30 @@ fn select_for_variant(
     // ---- Upper limit on block size (§IV-E): hardware, and |V| ----
     // "it is not useful to have more threads in the block than the
     // number of vertices"; snap to a power of two, at least one warp.
-    let useful = req.num_vertices.max(1).next_power_of_two().min(device.max_threads_per_block);
-    let upper_block = useful.max(device.warp_size).min(device.max_threads_per_block);
+    let useful = req
+        .num_vertices
+        .max(1)
+        .next_power_of_two()
+        .min(device.max_threads_per_block);
+    let upper_block = useful
+        .max(device.warp_size)
+        .min(device.max_threads_per_block);
 
     // ---- Upper limit on simultaneous blocks ----
     // (a) hardware resident-block limit,
     let hw_blocks_total = device.max_blocks_per_sm as u64 * device.num_sms as u64;
     // (b) shared-memory limit (shared variant only),
     let shared_blocks_per_sm = match variant {
-        KernelVariant::SharedMem => (device.shared_mem_per_sm / node).max(0),
+        KernelVariant::SharedMem => device.shared_mem_per_sm / node,
         KernelVariant::GlobalMem => u64::MAX,
     };
     let shared_blocks_total = shared_blocks_per_sm.saturating_mul(device.num_sms as u64);
     // (c) global-memory limit on the number of stacks.
     let mem_for_stacks = device.global_mem.saturating_sub(worklist_bytes);
     let global_blocks_total = mem_for_stacks / stack_bytes.max(1);
-    if global_blocks_total == 0 || (matches!(variant, KernelVariant::SharedMem) && shared_blocks_per_sm == 0) {
+    if global_blocks_total == 0
+        || (matches!(variant, KernelVariant::SharedMem) && shared_blocks_per_sm == 0)
+    {
         if matches!(variant, KernelVariant::GlobalMem) || req.force_variant.is_some() {
             return Err(LaunchError::GlobalMemoryExhausted {
                 required: stack_bytes + worklist_bytes,
@@ -174,9 +189,11 @@ fn select_for_variant(
         // Shared variant impossible at any size; caller falls back.
         return select_for_variant(device, req, KernelVariant::GlobalMem);
     }
-    let max_blocks_total = hw_blocks_total.min(shared_blocks_total).min(global_blocks_total);
-    let max_blocks_per_sm = (max_blocks_total / device.num_sms as u64)
-        .clamp(1, device.max_blocks_per_sm as u64) as u32;
+    let max_blocks_total = hw_blocks_total
+        .min(shared_blocks_total)
+        .min(global_blocks_total);
+    let max_blocks_per_sm =
+        (max_blocks_total / device.num_sms as u64).clamp(1, device.max_blocks_per_sm as u64) as u32;
 
     // ---- Lower limit on block size: full occupancy across the caps ----
     let lower_block = device.full_occupancy_threads().div_ceil(max_blocks_per_sm);
@@ -257,7 +274,10 @@ mod tests {
         assert_eq!(cfg.variant, KernelVariant::SharedMem);
         assert!(cfg.full_occupancy);
         assert!(cfg.block_size.is_power_of_two());
-        assert!(cfg.block_size >= 64, "2048 threads / 32 blocks = 64 minimum");
+        assert!(
+            cfg.block_size >= 64,
+            "2048 threads / 32 blocks = 64 minimum"
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ where
 {
     let n = config.grid_blocks;
     let mut results: Vec<Option<BlockCounters>> = (0..n).map(|_| None).collect();
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for (block_id, slot) in results.iter_mut().enumerate() {
             let body = &body;
             let ctx = BlockCtx {
@@ -44,7 +44,9 @@ where
                 block_size: config.block_size,
             };
             let record_trace = config.record_trace;
-            s.spawn(move |_| {
+            // A panicking block propagates when the scope joins, like
+            // a faulting kernel aborting the launch.
+            s.spawn(move || {
                 let mut counters = BlockCounters::new(ctx.block_id);
                 if record_trace {
                     counters.enable_tracing();
@@ -53,9 +55,11 @@ where
                 *slot = Some(counters);
             });
         }
-    })
-    .expect("a thread block panicked");
-    results.into_iter().map(|r| r.expect("every block ran")).collect()
+    });
+    results
+        .into_iter()
+        .map(|r| r.expect("every block ran"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -49,13 +49,13 @@ pub fn render_block(spans: &[Span], horizon: u64, width: usize) -> String {
         let end = span.start_cycle + span.cycles;
         // Distribute the span's cycles across the buckets it overlaps.
         let first = (span.start_cycle * width as u64 / horizon).min(width as u64 - 1) as usize;
-        let last = ((end.saturating_sub(1)) * width as u64 / horizon).min(width as u64 - 1) as usize;
-        for bucket in first..=last {
+        let last =
+            ((end.saturating_sub(1)) * width as u64 / horizon).min(width as u64 - 1) as usize;
+        for (bucket, slots) in buckets.iter_mut().enumerate().take(last + 1).skip(first) {
             let b_start = bucket as u64 * horizon / width as u64;
             let b_end = (bucket as u64 + 1) * horizon / width as u64;
-            let overlap =
-                end.min(b_end).saturating_sub(span.start_cycle.max(b_start));
-            buckets[bucket][span.activity as usize] += overlap;
+            let overlap = end.min(b_end).saturating_sub(span.start_cycle.max(b_start));
+            slots[span.activity as usize] += overlap;
         }
     }
     buckets
@@ -80,13 +80,23 @@ pub fn render_block(spans: &[Span], horizon: u64, width: usize) -> String {
 pub fn render_launch(blocks: &[BlockCounters], width: usize) -> String {
     let horizon = blocks.iter().map(|b| b.total_cycles()).max().unwrap_or(1);
     let mut out = String::new();
-    out.push_str(&format!("timeline over {horizon} model cycles ({width} buckets/row)\n"));
+    out.push_str(&format!(
+        "timeline over {horizon} model cycles ({width} buckets/row)\n"
+    ));
     for b in blocks {
         match b.trace() {
             Some(spans) => {
-                out.push_str(&format!("block {:>3} |{}|\n", b.block_id, render_block(spans, horizon, width)));
+                out.push_str(&format!(
+                    "block {:>3} |{}|\n",
+                    b.block_id,
+                    render_block(spans, horizon, width)
+                ));
             }
-            None => out.push_str(&format!("block {:>3} |{}|\n", b.block_id, " ".repeat(width))),
+            None => out.push_str(&format!(
+                "block {:>3} |{}|\n",
+                b.block_id,
+                " ".repeat(width)
+            )),
         }
     }
     out.push_str(&format!("legend: {} (., idle)\n", legend()));
@@ -138,8 +148,16 @@ mod tests {
     #[test]
     fn render_marks_dominant_activity() {
         let spans = [
-            Span { activity: Activity::DegreeOneRule, start_cycle: 0, cycles: 50 },
-            Span { activity: Activity::RemoveFromWorklist, start_cycle: 50, cycles: 50 },
+            Span {
+                activity: Activity::DegreeOneRule,
+                start_cycle: 0,
+                cycles: 50,
+            },
+            Span {
+                activity: Activity::RemoveFromWorklist,
+                start_cycle: 50,
+                cycles: 50,
+            },
         ];
         let row = render_block(&spans, 100, 10);
         assert_eq!(row, "11111wwwww");
@@ -147,7 +165,11 @@ mod tests {
 
     #[test]
     fn render_handles_idle_tail() {
-        let spans = [Span { activity: Activity::Terminate, start_cycle: 0, cycles: 10 }];
+        let spans = [Span {
+            activity: Activity::Terminate,
+            start_cycle: 0,
+            cycles: 10,
+        }];
         let row = render_block(&spans, 100, 10);
         assert_eq!(row, "T.........");
     }
@@ -167,7 +189,11 @@ mod tests {
 
     #[test]
     fn span_overlapping_many_buckets() {
-        let spans = [Span { activity: Activity::HighDegreeRule, start_cycle: 0, cycles: 100 }];
+        let spans = [Span {
+            activity: Activity::HighDegreeRule,
+            start_cycle: 0,
+            cycles: 100,
+        }];
         let row = render_block(&spans, 100, 4);
         assert_eq!(row, "hhhh");
     }

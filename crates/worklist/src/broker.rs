@@ -312,9 +312,17 @@ mod tests {
                 });
             }
         });
-        assert_eq!(overshoot.load(Ordering::Relaxed), 0, "count overshoot exceeded bound");
+        assert_eq!(
+            overshoot.load(Ordering::Relaxed),
+            0,
+            "count overshoot exceeded bound"
+        );
         // Quiescent state: the committed count is exact and within capacity.
-        assert!(q.len_hint() <= 8, "quiescent count {} exceeds capacity", q.len_hint());
+        assert!(
+            q.len_hint() <= 8,
+            "quiescent count {} exceeds capacity",
+            q.len_hint()
+        );
         let mut drained = 0;
         while q.try_pop().is_some() {
             drained += 1;

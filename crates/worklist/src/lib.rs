@@ -13,13 +13,19 @@
 //!   together once the traversal is provably finished.
 //! * [`LocalStack`] — the pre-allocated per-block DFS stack whose depth
 //!   bound comes from the greedy approximation (§IV-E).
+//! * [`StealPool`] — per-block work-stealing deques: each block's DFS
+//!   stack doubles as a steal target (own back LIFO, peers steal the
+//!   front), with the same token-based quiescence protocol. The
+//!   substrate of the engine's fourth scheduling policy.
 
 #![warn(missing_docs)]
 
 mod broker;
 mod stack;
+mod steal;
 mod termination;
 
 pub use broker::BrokerQueue;
 pub use stack::LocalStack;
+pub use steal::{StealHandle, StealOutcome, StealPool, StealSource};
 pub use termination::{PopOutcome, PopStats, WorkerHandle, Worklist};

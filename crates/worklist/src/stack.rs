@@ -31,7 +31,13 @@ pub struct LocalStack<T> {
 impl<T> LocalStack<T> {
     /// Creates a stack pre-allocated for at most `bound` entries.
     pub fn with_depth_bound(bound: usize) -> Self {
-        LocalStack { items: Vec::with_capacity(bound), bound, high_water: 0, pushes: 0, pops: 0 }
+        LocalStack {
+            items: Vec::with_capacity(bound),
+            bound,
+            high_water: 0,
+            pushes: 0,
+            pops: 0,
+        }
     }
 
     /// Pushes an entry; fails (returning it) if the depth bound would be
@@ -143,6 +149,10 @@ mod tests {
         for i in 0..100 {
             s.push(i).unwrap();
         }
-        assert_eq!(s.items.capacity(), cap_before, "stack must be pre-allocated");
+        assert_eq!(
+            s.items.capacity(),
+            cap_before,
+            "stack must be pre-allocated"
+        );
     }
 }

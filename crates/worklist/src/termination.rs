@@ -120,7 +120,10 @@ impl<T> Worklist<T> {
 
     /// Creates the per-block handle. One per thread block.
     pub fn handle(&self) -> WorkerHandle<'_, T> {
-        WorkerHandle { wl: self, holds_token: false }
+        WorkerHandle {
+            wl: self,
+            holds_token: false,
+        }
     }
 }
 

@@ -93,19 +93,14 @@ proptest! {
         let mut h = wl.handle();
         let mut delivered = 0usize;
         let mut to_donate = donations;
-        loop {
-            match h.pop() {
-                PopOutcome::Item(_) => {
-                    delivered += 1;
-                    // While busy, donate the remaining budget.
-                    while to_donate > 0 {
-                        if h.add(100 + to_donate as u32).is_err() {
-                            break;
-                        }
-                        to_donate -= 1;
-                    }
+        while let PopOutcome::Item(_) = h.pop() {
+            delivered += 1;
+            // While busy, donate the remaining budget.
+            while to_donate > 0 {
+                if h.add(100 + to_donate as u32).is_err() {
+                    break;
                 }
-                PopOutcome::Done => break,
+                to_donate -= 1;
             }
         }
         prop_assert_eq!(delivered, seeds + donations);

@@ -51,10 +51,13 @@ fn main() {
     println!("{in_cover} of the 20 highest-degree hubs are in the knockout set");
 
     // Verify the knockout: the residual network must be interaction-free.
-    let survivors: Vec<u32> =
-        ppi.vertices().filter(|v| !mvc.cover.contains(v)).collect();
+    let survivors: Vec<u32> = ppi.vertices().filter(|v| !mvc.cover.contains(v)).collect();
     let (residual, _) = ops::induced_subgraph(&ppi, &survivors);
-    assert_eq!(residual.num_edges(), 0, "knockout must disrupt every interaction");
+    assert_eq!(
+        residual.num_edges(),
+        0,
+        "knockout must disrupt every interaction"
+    );
     println!(
         "residual network: {} proteins, {} interactions (verified edgeless)",
         residual.num_vertices(),
@@ -65,5 +68,8 @@ fn main() {
     // independent set — the largest interaction-free panel for a
     // follow-up assay.
     let mis = solver.solve_mis(&ppi);
-    println!("largest interaction-free protein panel: {} proteins", mis.size);
+    println!(
+        "largest interaction-free protein panel: {} proteins",
+        mis.size
+    );
 }

@@ -6,8 +6,8 @@
 //! cargo run --release --example load_balance_demo
 //! ```
 
-use parvc::prelude::*;
 use parvc::graph::gen;
+use parvc::prelude::*;
 
 fn main() {
     // A dense p_hat-style complement: the most imbalanced family in the
@@ -21,7 +21,10 @@ fn main() {
     );
 
     for (label, algorithm) in [
-        ("StackOnly (prior work)", Algorithm::StackOnly { start_depth: 8 }),
+        (
+            "StackOnly (prior work)",
+            Algorithm::StackOnly { start_depth: 8 },
+        ),
         ("Hybrid (the paper)", Algorithm::Hybrid),
     ] {
         let solver = Solver::builder()
@@ -31,7 +34,11 @@ fn main() {
             .build();
         let result = solver.solve_mvc(&g);
         let load = &result.stats.report.sm_load;
-        println!("{label}: MVC size {} in {:.0} ms", result.size, result.stats.seconds() * 1e3);
+        println!(
+            "{label}: MVC size {} in {:.0} ms",
+            result.size,
+            result.stats.seconds() * 1e3
+        );
         println!(
             "  tree nodes {:>8}   device cycles {:>12}",
             result.stats.tree_nodes, result.stats.device_cycles
@@ -48,7 +55,13 @@ fn main() {
             let bar = "#".repeat((norm * 20.0).round() as usize);
             println!("  SM{sm:<2} {norm:>5.2} {bar}");
         }
-        let donated: u64 = result.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
+        let donated: u64 = result
+            .stats
+            .report
+            .blocks
+            .iter()
+            .map(|b| b.nodes_donated)
+            .sum();
         if donated > 0 {
             println!("  (blocks donated {donated} sub-trees through the global worklist)");
         }

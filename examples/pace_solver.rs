@@ -47,7 +47,10 @@ fn main() {
         .build();
 
     let result = solver.solve_mvc(&graph);
-    assert!(is_vertex_cover(&graph, &result.cover), "solver returned a non-cover");
+    assert!(
+        is_vertex_cover(&graph, &result.cover),
+        "solver returned a non-cover"
+    );
 
     // PACE output format: `s vc <n> <size>`, then the cover, 1-based.
     if result.stats.timed_out {

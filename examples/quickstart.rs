@@ -5,20 +5,27 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use parvc::prelude::*;
 use parvc::graph::gen;
+use parvc::prelude::*;
 
 fn main() {
     // The paper's Figure 2 example: two triangles sharing a vertex.
     let g = gen::paper_example();
-    println!("graph: {} vertices, {} edges", g.num_vertices(), g.num_edges());
+    println!(
+        "graph: {} vertices, {} edges",
+        g.num_vertices(),
+        g.num_edges()
+    );
 
     for algorithm in [
         Algorithm::Sequential,
         Algorithm::StackOnly { start_depth: 4 },
         Algorithm::Hybrid,
     ] {
-        let solver = Solver::builder().algorithm(algorithm).grid_limit(Some(8)).build();
+        let solver = Solver::builder()
+            .algorithm(algorithm)
+            .grid_limit(Some(8))
+            .build();
         let result = solver.solve_mvc(&g);
         assert!(is_vertex_cover(&g, &result.cover));
         println!(
@@ -32,7 +39,10 @@ fn main() {
     }
 
     // PVC: is there a cover of size 2? of size 3?
-    let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build();
+    let solver = Solver::builder()
+        .algorithm(Algorithm::Hybrid)
+        .grid_limit(Some(8))
+        .build();
     for k in [2, 3] {
         match solver.solve_pvc(&g, k).cover {
             Some(cover) => println!("PVC k={k}: yes, e.g. {cover:?}"),

@@ -12,8 +12,8 @@
 //! cargo run --release --example scheduling
 //! ```
 
-use parvc::prelude::*;
 use parvc::graph::GraphBuilder;
+use parvc::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 

@@ -10,8 +10,8 @@
 //! cargo run --release --example timeline
 //! ```
 
-use parvc::prelude::*;
 use parvc::graph::gen;
+use parvc::prelude::*;
 use parvc::simgpu::trace;
 
 fn main() {

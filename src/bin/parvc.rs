@@ -1,12 +1,17 @@
 //! `parvc` — command-line driver for the vertex-cover suite.
 //!
 //! ```text
-//! parvc solve   [--algorithm seq|stack|hybrid] [--k <k>] [--deadline <s>]
-//!               [--extensions] [--format dimacs|edgelist] <file>
+//! parvc solve   [--policy seq|stack|hybrid|steal] [--threads <n>]
+//!               [--k <k>] [--deadline <s>] [--extensions]
+//!               [--format dimacs|edgelist] <file>
 //! parvc generate <family> <args...> [--seed <s>] [--out <file>]
 //! parvc analyze [--format dimacs|edgelist] <file>
 //! parvc demo
 //! ```
+//!
+//! `--policy` selects the scheduling policy the branch-and-reduce
+//! engine runs (`--algorithm` is accepted as an alias); `--threads`
+//! caps the number of thread blocks (`--blocks` is an alias).
 //!
 //! Families for `generate`: `phat n class`, `gnp n p`, `ba n m`,
 //! `ws n k beta`, `geometric n radius`, `pace n communities`,
@@ -70,13 +75,13 @@ fn parse_flags(args: &[String], value_flags: &[&str]) -> Flags {
 }
 
 fn load_graph(path: &str, format: Option<&str>) -> CsrGraph {
-    let format = format
-        .map(str::to_string)
-        .unwrap_or_else(|| if path.ends_with(".dimacs") || path.ends_with(".clq") || path.ends_with(".col") {
+    let format = format.map(str::to_string).unwrap_or_else(|| {
+        if path.ends_with(".dimacs") || path.ends_with(".clq") || path.ends_with(".col") {
             "dimacs".into()
         } else {
             "edgelist".into()
-        });
+        }
+    });
     let file = std::fs::File::open(path).unwrap_or_else(|e| {
         eprintln!("cannot open {path}: {e}");
         std::process::exit(1);
@@ -97,18 +102,36 @@ fn load_graph(path: &str, format: Option<&str>) -> CsrGraph {
 }
 
 fn cmd_solve(args: &[String]) {
-    let flags = parse_flags(args, &["algorithm", "k", "deadline", "format", "blocks"]);
+    let flags = parse_flags(
+        args,
+        &[
+            "policy",
+            "algorithm",
+            "k",
+            "deadline",
+            "format",
+            "blocks",
+            "threads",
+        ],
+    );
     let Some(path) = flags.positional.first() else {
         eprintln!("solve: missing input file");
         std::process::exit(2);
     };
     let g = load_graph(path, flags.options.get("format").map(String::as_str));
-    let algorithm = match flags.options.get("algorithm").map(String::as_str) {
+    // --policy names the engine's SchedulePolicy; --algorithm is the
+    // historical alias.
+    let policy = flags
+        .options
+        .get("policy")
+        .or_else(|| flags.options.get("algorithm"));
+    let algorithm = match policy.map(String::as_str) {
         None | Some("hybrid") => Algorithm::Hybrid,
         Some("seq") | Some("sequential") => Algorithm::Sequential,
         Some("stack") | Some("stackonly") => Algorithm::StackOnly { start_depth: 8 },
+        Some("steal") | Some("worksteal") | Some("workstealing") => Algorithm::WorkStealing,
         Some(other) => {
-            eprintln!("unknown algorithm '{other}' (seq|stack|hybrid)");
+            eprintln!("unknown policy '{other}' (seq|stack|hybrid|steal)");
             std::process::exit(2);
         }
     };
@@ -118,8 +141,14 @@ fn cmd_solve(args: &[String]) {
             d.parse().expect("--deadline takes seconds"),
         )));
     }
-    if let Some(b) = flags.options.get("blocks") {
-        builder = builder.grid_limit(Some(b.parse().expect("--blocks takes a count")));
+    // --threads caps the resident thread blocks (one OS thread each);
+    // --blocks is the historical alias.
+    if let Some(b) = flags
+        .options
+        .get("threads")
+        .or_else(|| flags.options.get("blocks"))
+    {
+        builder = builder.grid_limit(Some(b.parse().expect("--threads takes a count")));
     }
     if flags.switches.contains("extensions") {
         builder = builder.extensions(parvc::core::Extensions::ALL);
@@ -167,8 +196,11 @@ fn cmd_solve(args: &[String]) {
 
 fn cmd_generate(args: &[String]) {
     let flags = parse_flags(args, &["seed", "out"]);
-    let seed: u64 =
-        flags.options.get("seed").map(|s| s.parse().expect("--seed takes an integer")).unwrap_or(42);
+    let seed: u64 = flags
+        .options
+        .get("seed")
+        .map(|s| s.parse().expect("--seed takes an integer"))
+        .unwrap_or(42);
     let p = &flags.positional;
     let get = |i: usize| -> f64 {
         p.get(i)
@@ -198,7 +230,11 @@ fn cmd_generate(args: &[String]) {
         Some(path) => {
             let file = std::fs::File::create(path).expect("cannot create output file");
             io::write_dimacs(&g, "edge", std::io::BufWriter::new(file)).expect("write failed");
-            eprintln!("wrote |V|={}, |E|={} to {path}", g.num_vertices(), g.num_edges());
+            eprintln!(
+                "wrote |V|={}, |E|={} to {path}",
+                g.num_vertices(),
+                g.num_edges()
+            );
         }
         None => {
             io::write_dimacs(&g, "edge", std::io::stdout().lock()).expect("write failed");
@@ -248,8 +284,15 @@ fn cmd_analyze(args: &[String]) {
 
 fn cmd_demo() {
     let g = gen::paper_example();
-    println!("the paper's Figure 2 graph ({} vertices, {} edges)", g.num_vertices(), g.num_edges());
-    let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(4)).build();
+    println!(
+        "the paper's Figure 2 graph ({} vertices, {} edges)",
+        g.num_vertices(),
+        g.num_edges()
+    );
+    let solver = Solver::builder()
+        .algorithm(Algorithm::Hybrid)
+        .grid_limit(Some(4))
+        .build();
     let r = solver.solve_mvc(&g);
     println!("minimum vertex cover: {} = {:?}", r.size, r.cover);
 }

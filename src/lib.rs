@@ -6,12 +6,15 @@
 //! This meta-crate re-exports the workspace crates under one roof:
 //!
 //! * [`graph`] — static CSR graphs, generators, and IO ([`parvc_graph`]).
-//! * [`worklist`] — the Broker Work Distributor global worklist and
-//!   per-block local stacks ([`parvc_worklist`]).
+//! * [`worklist`] — the Broker Work Distributor global worklist,
+//!   per-block local stacks, and work-stealing deques
+//!   ([`parvc_worklist`]).
 //! * [`simgpu`] — the GPU execution model: device specs, occupancy,
 //!   cycle cost model, per-activity counters ([`parvc_simgpu`]).
-//! * [`core`] — the branch-and-reduce solvers (Sequential, StackOnly,
-//!   Hybrid) for MVC and PVC ([`parvc_core`]).
+//! * [`core`] — the shared branch-and-reduce engine and its scheduling
+//!   policies (Sequential, StackOnly, Hybrid, WorkStealing) for MVC
+//!   and PVC ([`parvc_core`]; see [`parvc_core::engine`] for the
+//!   `SchedulePolicy` seam new schemes plug into).
 //!
 //! ## Quickstart
 //!
@@ -33,9 +36,7 @@ pub use parvc_worklist as worklist;
 
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
-    pub use parvc_core::{
-        is_vertex_cover, Algorithm, MvcResult, PvcResult, Solver, SolverBuilder,
-    };
+    pub use parvc_core::{is_vertex_cover, Algorithm, MvcResult, PvcResult, Solver, SolverBuilder};
     pub use parvc_graph::{CsrGraph, GraphBuilder};
     pub use parvc_simgpu::DeviceSpec;
 }

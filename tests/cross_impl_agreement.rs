@@ -1,6 +1,7 @@
-//! Cross-implementation agreement: Sequential, StackOnly, and Hybrid
-//! must produce identical MVC sizes (and consistent PVC answers) on
-//! randomized instances, all validated against the brute-force oracle.
+//! Cross-policy agreement: every scheduling policy of the engine —
+//! Sequential, StackOnly, Hybrid, WorkStealing — must produce
+//! identical MVC sizes (and consistent PVC answers) on randomized
+//! instances, all validated against the brute-force oracle.
 
 use parvc::core::brute::brute_force_mvc;
 use parvc::core::{is_vertex_cover, Algorithm, Solver};
@@ -9,7 +10,10 @@ use proptest::prelude::*;
 
 fn solvers() -> Vec<(&'static str, Solver)> {
     vec![
-        ("sequential", Solver::builder().algorithm(Algorithm::Sequential).build()),
+        (
+            "sequential",
+            Solver::builder().algorithm(Algorithm::Sequential).build(),
+        ),
         (
             "stackonly",
             Solver::builder()
@@ -17,7 +21,20 @@ fn solvers() -> Vec<(&'static str, Solver)> {
                 .grid_limit(Some(6))
                 .build(),
         ),
-        ("hybrid", Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(6)).build()),
+        (
+            "hybrid",
+            Solver::builder()
+                .algorithm(Algorithm::Hybrid)
+                .grid_limit(Some(6))
+                .build(),
+        ),
+        (
+            "worksteal",
+            Solver::builder()
+                .algorithm(Algorithm::WorkStealing)
+                .grid_limit(Some(6))
+                .build(),
+        ),
     ]
 }
 
@@ -25,8 +42,7 @@ fn solvers() -> Vec<(&'static str, Solver)> {
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     (4u32..=14).prop_flat_map(|n| {
         proptest::collection::vec((0..n, 0..n), 0..40).prop_map(move |pairs| {
-            let edges: Vec<(u32, u32)> =
-                pairs.into_iter().filter(|(u, v)| u != v).collect();
+            let edges: Vec<(u32, u32)> = pairs.into_iter().filter(|(u, v)| u != v).collect();
             CsrGraph::from_edges(n, &edges).expect("filtered edges are valid")
         })
     })
@@ -73,6 +89,48 @@ proptest! {
     }
 }
 
+/// A random instance from the generator corpus the engine's policies
+/// must agree on: G(n,p), Barabási–Albert, 2-D grids, and sparse
+/// multi-component graphs (the families with the most dissimilar
+/// search-tree shapes).
+fn arb_corpus_graph() -> impl Strategy<Value = (&'static str, CsrGraph)> {
+    (0u8..4, 0u64..1_000).prop_map(|(family, seed)| match family {
+        0 => ("gnp", gen::gnp(20 + (seed % 15) as u32, 0.25, seed)),
+        1 => ("ba", gen::barabasi_albert(30 + (seed % 20) as u32, 3, seed)),
+        2 => (
+            "grid",
+            gen::grid2d(3 + (seed % 4) as u32, 3 + (seed / 7 % 4) as u32),
+        ),
+        _ => (
+            "components",
+            gen::sparse_components(36 + (seed % 12) as u32, 5, 0.35, seed),
+        ),
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: all four scheduling policies return the
+    /// same optimal MVC size and a verified cover across the corpus,
+    /// using Sequential (itself brute-force-validated above) as the
+    /// reference.
+    #[test]
+    fn all_policies_agree_across_generator_corpus((family, g) in arb_corpus_graph()) {
+        let reference = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
+        prop_assert!(is_vertex_cover(&g, &reference.cover), "sequential non-cover on {}", family);
+        for (name, solver) in solvers() {
+            let r = solver.solve_mvc(&g);
+            prop_assert_eq!(r.size, reference.size, "{} vs sequential on {}", name, family);
+            prop_assert!(is_vertex_cover(&g, &r.cover), "{} non-cover on {}", name, family);
+            prop_assert_eq!(r.cover.len() as u32, r.size, "{} cover/size mismatch", name);
+        }
+    }
+}
+
 #[test]
 fn agreement_on_every_named_family() {
     let cases: Vec<(&str, CsrGraph)> = vec![
@@ -90,11 +148,17 @@ fn agreement_on_every_named_family() {
         ("regular4", gen::random_regular(36, 4, 3)),
     ];
     for (name, g) in cases {
-        let seq = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g);
+        let seq = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
         for (impl_name, solver) in solvers() {
             let r = solver.solve_mvc(&g);
             assert_eq!(r.size, seq.size, "{impl_name} vs sequential on {name}");
-            assert!(is_vertex_cover(&g, &r.cover), "{impl_name} non-cover on {name}");
+            assert!(
+                is_vertex_cover(&g, &r.cover),
+                "{impl_name} non-cover on {name}"
+            );
         }
     }
 }
@@ -102,7 +166,11 @@ fn agreement_on_every_named_family() {
 #[test]
 fn stackonly_depths_agree() {
     let g = gen::p_hat_complement(50, 2, 9);
-    let expect = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
+    let expect = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g)
+        .size;
     for depth in [0, 1, 3, 7, 10] {
         let solver = Solver::builder()
             .algorithm(Algorithm::StackOnly { start_depth: depth })
@@ -115,10 +183,33 @@ fn stackonly_depths_agree() {
 #[test]
 fn hybrid_grid_sizes_agree() {
     let g = gen::barabasi_albert(70, 4, 11);
-    let expect = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
+    let expect = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g)
+        .size;
     for grid in [1, 2, 8, 24] {
-        let solver =
-            Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(grid)).build();
+        let solver = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(grid))
+            .build();
+        assert_eq!(solver.solve_mvc(&g).size, expect, "grid {grid}");
+    }
+}
+
+#[test]
+fn worksteal_grid_sizes_agree() {
+    let g = gen::barabasi_albert(70, 4, 11);
+    let expect = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g)
+        .size;
+    for grid in [1, 2, 8, 24] {
+        let solver = Solver::builder()
+            .algorithm(Algorithm::WorkStealing)
+            .grid_limit(Some(grid))
+            .build();
         assert_eq!(solver.solve_mvc(&g).size, expect, "grid {grid}");
     }
 }

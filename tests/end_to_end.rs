@@ -8,7 +8,10 @@ use parvc::graph::{analysis, gen, io, ops};
 use parvc::simgpu::{DeviceSpec, KernelVariant};
 
 fn hybrid() -> Solver {
-    Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build()
+    Solver::builder()
+        .algorithm(Algorithm::Hybrid)
+        .grid_limit(Some(8))
+        .build()
 }
 
 #[test]
@@ -30,9 +33,15 @@ fn realistic_instance_per_family() {
         // The greedy bound brackets the optimum.
         assert!(r.size <= r.stats.greedy_size, "{name}: worse than greedy");
         // PVC cross-check at the discovered optimum.
-        assert!(solver.solve_pvc(&g, r.size).found(), "{name}: PVC at min failed");
+        assert!(
+            solver.solve_pvc(&g, r.size).found(),
+            "{name}: PVC at min failed"
+        );
         if r.size > 0 {
-            assert!(!solver.solve_pvc(&g, r.size - 1).found(), "{name}: PVC below min succeeded");
+            assert!(
+                !solver.solve_pvc(&g, r.size - 1).found(),
+                "{name}: PVC below min succeeded"
+            );
         }
     }
 }
@@ -42,9 +51,12 @@ fn deadline_interrupts_and_flags() {
     // A deliberately hard instance with a tiny budget must return
     // best-so-far quickly, flagged as timed out — on every algorithm.
     let g = gen::random_geometric(200, 0.12, 5);
-    for algorithm in
-        [Algorithm::Sequential, Algorithm::StackOnly { start_depth: 8 }, Algorithm::Hybrid]
-    {
+    for algorithm in [
+        Algorithm::Sequential,
+        Algorithm::StackOnly { start_depth: 8 },
+        Algorithm::Hybrid,
+        Algorithm::WorkStealing,
+    ] {
         let solver = Solver::builder()
             .algorithm(algorithm)
             .grid_limit(Some(4))
@@ -59,7 +71,10 @@ fn deadline_interrupts_and_flags() {
             start.elapsed()
         );
         // Best-so-far is still a valid cover (greedy at worst).
-        assert!(is_vertex_cover(&g, &r.cover), "{algorithm}: timeout result invalid");
+        assert!(
+            is_vertex_cover(&g, &r.cover),
+            "{algorithm}: timeout result invalid"
+        );
         assert!(r.size <= r.stats.greedy_size);
     }
 }
@@ -140,7 +155,11 @@ fn solver_statistics_are_coherent() {
     // Donated nodes were either consumed or the worklist drained empty.
     let donated: u64 = report.blocks.iter().map(|b| b.nodes_donated).sum();
     let consumed: u64 = report.blocks.iter().map(|b| b.nodes_from_worklist).sum();
-    assert_eq!(consumed, donated + 1, "every donation plus the seed is consumed exactly once");
+    assert_eq!(
+        consumed,
+        donated + 1,
+        "every donation plus the seed is consumed exactly once"
+    );
 }
 
 #[test]

@@ -91,7 +91,10 @@ fn konig_oracle_validates_solvers_on_large_bipartite_graphs() {
     for seed in 0..4 {
         let g = gen::bipartite_gnp(60, 90, 0.08, seed + 11);
         let oracle = matching::konig_cover(&g).expect("bipartite by construction");
-        let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build();
+        let solver = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(8))
+            .build();
         let r = solver.solve_mvc(&g);
         assert_eq!(
             r.size as usize,
@@ -148,7 +151,10 @@ fn domination_solves_threshold_graphs_without_branching() {
         }
     }
     let g = CsrGraph::from_edges(14, &edges).unwrap();
-    let base = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g);
+    let base = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g);
     let dom = Solver::builder()
         .algorithm(Algorithm::Sequential)
         .domination_rule(true)

@@ -69,7 +69,11 @@ fn reduction_rules_dominate_hybrid_time() {
         .filter(|(a, _)| a.family() == ActivityFamily::Reducing)
         .map(|(_, s)| s)
         .sum();
-    assert!(reducing > 0.40, "reducing share fell to {:.1}%", reducing * 100.0);
+    assert!(
+        reducing > 0.40,
+        "reducing share fell to {:.1}%",
+        reducing * 100.0
+    );
 }
 
 #[test]
@@ -79,11 +83,26 @@ fn donations_flow_on_difficult_instances() {
     let g = difficult_instance();
     let r = solver(Algorithm::Hybrid).solve_mvc(&g);
     let donated: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
-    let consumed: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_from_worklist).sum();
-    assert!(donated > 100, "only {donated} donations on a difficult instance");
+    let consumed: u64 = r
+        .stats
+        .report
+        .blocks
+        .iter()
+        .map(|b| b.nodes_from_worklist)
+        .sum();
+    assert!(
+        donated > 100,
+        "only {donated} donations on a difficult instance"
+    );
     assert_eq!(consumed, donated + 1);
     // More than one block must have obtained work (true distribution).
-    let active = r.stats.report.blocks.iter().filter(|b| b.nodes_from_worklist > 0).count();
+    let active = r
+        .stats
+        .report
+        .blocks
+        .iter()
+        .filter(|b| b.nodes_from_worklist > 0)
+        .count();
     assert!(active > 1, "a single block consumed everything");
 }
 
@@ -114,9 +133,11 @@ fn easy_pvc_instances_stay_easy_for_everyone() {
     // Paper observation 2: PVC k=min+1 is fast on all implementations.
     let g = gen::p_hat_complement(100, 1, 0x9a1 + 1001);
     let min = solver(Algorithm::Sequential).solve_mvc(&g).size;
-    for algorithm in
-        [Algorithm::Sequential, Algorithm::StackOnly { start_depth: 8 }, Algorithm::Hybrid]
-    {
+    for algorithm in [
+        Algorithm::Sequential,
+        Algorithm::StackOnly { start_depth: 8 },
+        Algorithm::Hybrid,
+    ] {
         let r = solver(algorithm).solve_pvc(&g, min + 1);
         assert!(r.found(), "{algorithm}");
         assert!(
@@ -133,7 +154,12 @@ fn worklist_wait_cycles_show_up_in_the_breakdown() {
     // the accounting must attribute nonzero cycles there.
     let g = difficult_instance();
     let r = solver(Algorithm::Hybrid).solve_mvc(&g);
-    let remove: u64 =
-        r.stats.report.blocks.iter().map(|b| b.cycles(Activity::RemoveFromWorklist)).sum();
+    let remove: u64 = r
+        .stats
+        .report
+        .blocks
+        .iter()
+        .map(|b| b.cycles(Activity::RemoveFromWorklist))
+        .sum();
     assert!(remove > 0);
 }

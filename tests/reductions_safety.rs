@@ -20,8 +20,10 @@ fn arb_graph(max_n: u32) -> impl Strategy<Value = CsrGraph> {
 }
 
 fn residual(g: &CsrGraph, node: &TreeNode) -> CsrGraph {
-    let edges: Vec<(u32, u32)> =
-        g.edges().filter(|&(u, v)| !node.is_removed(u) && !node.is_removed(v)).collect();
+    let edges: Vec<(u32, u32)> = g
+        .edges()
+        .filter(|&(u, v)| !node.is_removed(u) && !node.is_removed(v))
+        .collect();
     CsrGraph::from_edges(g.num_vertices(), &edges).expect("subset of valid edges")
 }
 
@@ -120,8 +122,13 @@ fn high_degree_budget_shrinks_during_round() {
     }
     let g = CsrGraph::from_edges(next, &edges).unwrap();
     let cost = CostModel::default();
-    let kernel =
-        Kernel { graph: &g, cost: &cost, block_size: 32, variant: KernelVariant::SharedMem, ext: parvc::core::Extensions::NONE };
+    let kernel = Kernel {
+        graph: &g,
+        cost: &cost,
+        block_size: 32,
+        variant: KernelVariant::SharedMem,
+        ext: parvc::core::Extensions::NONE,
+    };
     let mut node = TreeNode::root(&g);
     let mut counters = BlockCounters::new(0);
     kernel.reduce(&mut node, SearchBound::Mvc { best: 4 }, &mut counters);
@@ -129,7 +136,10 @@ fn high_degree_budget_shrinks_during_round() {
     // The optimum is {1,2,3} (size 3): every hub covered; reductions
     // with best=4 may solve it outright or leave a kernel — but they
     // must never overshoot the budget by mass-removal.
-    assert!(node.cover_size() <= 4, "reduction overshot the cover budget");
+    assert!(
+        node.cover_size() <= 4,
+        "reduction overshot the cover budget"
+    );
 }
 
 #[test]
@@ -137,11 +147,20 @@ fn reduce_on_disconnected_components_is_independent() {
     // Two disjoint paths: reductions must solve both independently.
     let g = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]).unwrap();
     let cost = CostModel::default();
-    let kernel =
-        Kernel { graph: &g, cost: &cost, block_size: 32, variant: KernelVariant::SharedMem, ext: parvc::core::Extensions::NONE };
+    let kernel = Kernel {
+        graph: &g,
+        cost: &cost,
+        block_size: 32,
+        variant: KernelVariant::SharedMem,
+        ext: parvc::core::Extensions::NONE,
+    };
     let mut node = TreeNode::root(&g);
     let mut counters = BlockCounters::new(0);
-    kernel.reduce(&mut node, SearchBound::Mvc { best: u32::MAX }, &mut counters);
+    kernel.reduce(
+        &mut node,
+        SearchBound::Mvc { best: u32::MAX },
+        &mut counters,
+    );
     assert!(node.is_edgeless());
     assert_eq!(node.cover_size(), 4); // P4 needs 2 each
 }

@@ -47,7 +47,11 @@ fn exact_leaf_count_under_tiny_worklist() {
                 });
             }
         });
-        assert_eq!(leaves.load(Ordering::Relaxed), 1 << DEPTH, "run {run} lost/duplicated work");
+        assert_eq!(
+            leaves.load(Ordering::Relaxed),
+            1 << DEPTH,
+            "run {run} lost/duplicated work"
+        );
         assert_eq!(wl.len_hint(), 0, "run {run} left entries behind");
     }
 }
@@ -82,7 +86,10 @@ fn broker_checksum_under_role_rotation() {
     while let Some(v) = q.try_pop() {
         popped.fetch_add(v, Ordering::Relaxed);
     }
-    assert_eq!(pushed.load(Ordering::Relaxed), popped.load(Ordering::Relaxed));
+    assert_eq!(
+        pushed.load(Ordering::Relaxed),
+        popped.load(Ordering::Relaxed)
+    );
 }
 
 /// A Hybrid solve with a pathologically tiny worklist must still be
@@ -90,7 +97,10 @@ fn broker_checksum_under_role_rotation() {
 #[test]
 fn hybrid_correct_with_tiny_worklist() {
     let g = gen::p_hat_complement(50, 2, 41);
-    let expect = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g);
+    let expect = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g);
     let solver = Solver::builder()
         .algorithm(Algorithm::Hybrid)
         .worklist_capacity(2) // queue rounds up to 2 — the minimum
@@ -104,8 +114,18 @@ fn hybrid_correct_with_tiny_worklist() {
     // threshold check and the add), so only the accounting identity is
     // asserted: donated entries all get consumed, bounced ones do not.
     let donated: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
-    let consumed: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_from_worklist).sum();
-    assert_eq!(consumed, donated + 1, "donations + seed must be consumed exactly once");
+    let consumed: u64 = r
+        .stats
+        .report
+        .blocks
+        .iter()
+        .map(|b| b.nodes_from_worklist)
+        .sum();
+    assert_eq!(
+        consumed,
+        donated + 1,
+        "donations + seed must be consumed exactly once"
+    );
 }
 
 /// Repeated parallel PVC at k = min−1 (exhaustive, no solution) is the
@@ -114,10 +134,16 @@ fn hybrid_correct_with_tiny_worklist() {
 #[test]
 fn pvc_exhaustive_termination_is_stable() {
     let g = gen::p_hat_complement(40, 3, 13);
-    let min = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
+    let min = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g)
+        .size;
     for run in 0..5 {
-        let solver =
-            Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(8)).build();
+        let solver = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(8))
+            .build();
         let r = solver.solve_pvc(&g, min - 1);
         assert!(!r.found(), "run {run}: found an impossible cover");
         assert!(!r.stats.timed_out, "run {run}: spurious timeout");
@@ -129,8 +155,15 @@ fn pvc_exhaustive_termination_is_stable() {
 #[test]
 fn pvc_early_exit_drains_quickly() {
     let g = gen::p_hat_complement(60, 1, 19);
-    let min = Solver::builder().algorithm(Algorithm::Sequential).build().solve_mvc(&g).size;
-    let solver = Solver::builder().algorithm(Algorithm::Hybrid).grid_limit(Some(16)).build();
+    let min = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g)
+        .size;
+    let solver = Solver::builder()
+        .algorithm(Algorithm::Hybrid)
+        .grid_limit(Some(16))
+        .build();
     let start = std::time::Instant::now();
     let r = solver.solve_pvc(&g, min + 2);
     assert!(r.found());
