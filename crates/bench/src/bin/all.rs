@@ -10,6 +10,7 @@ fn main() {
     reports::table2(&grid);
     reports::table3(&args);
     reports::fig5(&args);
+    reports::steal_locality(&args);
     reports::fig6(&args);
     reports::sensitivity(&args);
     reports::ablation(&args);

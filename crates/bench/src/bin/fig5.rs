@@ -1,4 +1,6 @@
-//! Regenerates the paper's **Figure 5** (per-SM load distribution).
+//! Regenerates the paper's **Figure 5** (per-SM load distribution),
+//! plus the steal-locality companion table (per-victim steal traffic
+//! of the WorkStealing policy, aggregated onto SMs).
 
 use parvc_bench::cli::BenchArgs;
 use parvc_bench::reports;
@@ -6,4 +8,5 @@ use parvc_bench::reports;
 fn main() {
     let args = BenchArgs::parse();
     reports::fig5(&args);
+    reports::steal_locality(&args);
 }

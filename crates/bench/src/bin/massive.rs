@@ -1,0 +1,11 @@
+//! Runs the **Scale::Massive** report: kernelization + component
+//! decomposition vs the unpreprocessed baseline on ≥100k-vertex sparse
+//! instances (`--scale` is ignored; this tier is always massive).
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::massive(&args);
+}

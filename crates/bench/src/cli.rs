@@ -53,10 +53,11 @@ impl BenchArgs {
             };
             match flag.as_str() {
                 "--scale" => {
-                    out.scale = match value("small|paper").as_str() {
+                    out.scale = match value("small|paper|massive").as_str() {
                         "small" => Scale::Small,
                         "paper" => Scale::Paper,
-                        other => panic!("unknown scale '{other}' (small|paper)"),
+                        "massive" => Scale::Massive,
+                        other => panic!("unknown scale '{other}' (small|paper|massive)"),
                     }
                 }
                 "--deadline" => {
@@ -78,8 +79,8 @@ impl BenchArgs {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --scale small|paper  --deadline <secs>  --min-budget <secs>  \
-                         --blocks <n>  --sms <n>  --depth <n>"
+                        "options: --scale small|paper|massive  --deadline <secs>  \
+                         --min-budget <secs>  --blocks <n>  --sms <n>  --depth <n>"
                     );
                     std::process::exit(0);
                 }

@@ -7,11 +7,12 @@
 //! | `table1` | Table I — execution times, 3 implementations × 4 problem instances |
 //! | `table2` | Table II — aggregate geometric-mean speedups by degree class |
 //! | `table3` | Table III — PVC k=min on the p_hat suite vs prior work |
-//! | `fig5` | Figure 5 — per-SM load distribution, StackOnly vs Hybrid |
+//! | `fig5` | Figure 5 — per-SM load distribution, StackOnly vs Hybrid, plus the WorkStealing per-victim steal-locality table |
 //! | `fig6` | Figure 6 — breakdown of Hybrid kernel time by activity |
 //! | `sensitivity` | §V-A in-text robustness numbers (block size, depth, worklist) |
 //! | `ablation` | hybrid vs its two degenerate extremes (pure stacks / pure worklist) |
-//! | `all` | everything above in sequence |
+//! | `massive` | `Scale::Massive` — kernelization + component decomposition vs the unpreprocessed baseline on ≥100k-vertex sparse instances |
+//! | `all` | everything above (except `massive`) in sequence |
 //!
 //! Run e.g. `cargo run -p parvc-bench --release --bin table1 -- --scale small --deadline 5`.
 

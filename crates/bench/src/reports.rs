@@ -1,6 +1,6 @@
 //! Report generators: one function per table/figure of the paper.
 
-use parvc_core::{Algorithm, Extensions, Solver};
+use parvc_core::{is_vertex_cover, Algorithm, Extensions, PrepConfig, Solver};
 use parvc_simgpu::counters::{Activity, SmLoad};
 use parvc_simgpu::occupancy::{candidate_block_sizes, LaunchRequest};
 use parvc_simgpu::DeviceSpec;
@@ -8,7 +8,7 @@ use parvc_simgpu::DeviceSpec;
 use crate::cli::BenchArgs;
 use crate::format::{fmt_seconds, geomean, Table};
 use crate::runner::{compute_min, make_solver, run_instance, Impl, InstanceRow, Problem};
-use crate::suite::{fig5_pair, phat_suite, suite, Instance};
+use crate::suite::{fig5_pair, phat_suite, suite, Instance, Scale};
 
 /// Runs the full Table I grid once (shared by `table1` and `table2`).
 pub fn run_grid(args: &BenchArgs) -> Vec<(Instance, InstanceRow)> {
@@ -301,6 +301,127 @@ pub fn fig6(args: &BenchArgs) {
         t.row(cells);
     }
     t.print();
+}
+
+/// **Steal locality** — the per-victim steal counters of the
+/// WorkStealing policy, aggregated onto SMs as a Figure-5-style
+/// locality table: row = thief SM, column = victim SM, cell = steals.
+/// A heavy column is an SM whose blocks' sub-trees fed the rest of the
+/// device; the same-SM share on the diagonal is the locality the
+/// paper's Figure 5 load histogram cannot show.
+pub fn steal_locality(args: &BenchArgs) {
+    println!("\n=== Steal locality: per-victim steal traffic (WorkStealing) ===");
+    println!(
+        "blocks={} on {} SMs; cell = steals by a thief on SM (row) from a victim on SM (col)",
+        args.grid, args.sms
+    );
+    let device = DeviceSpec::scaled(args.sms);
+    let (high, low) = fig5_pair(args.scale);
+    for inst in [&high, &low] {
+        let solver = make_solver(Impl::WorkStealing, args, Some(args.deadline));
+        let r = solver.solve_mvc(&inst.graph);
+        let sms = args.sms as usize;
+        let mut matrix = vec![vec![0u64; sms]; sms];
+        let mut total = 0u64;
+        let mut same_sm = 0u64;
+        for b in &r.stats.report.blocks {
+            let thief = device.sm_of_block(b.block_id) as usize;
+            for (&victim, &count) in &b.steals_by_victim {
+                let victim = device.sm_of_block(victim) as usize;
+                matrix[thief][victim] += count;
+                total += count;
+                if thief == victim {
+                    same_sm += count;
+                }
+            }
+        }
+        let mut headers = vec![format!("{}: thief\\victim", inst.name)];
+        headers.extend((0..sms).map(|s| format!("SM{s}")));
+        headers.push("total".into());
+        let mut t = Table::new(headers);
+        for (thief, row) in matrix.iter().enumerate() {
+            let mut cells = vec![format!("SM{thief}")];
+            cells.extend(row.iter().map(u64::to_string));
+            cells.push(row.iter().sum::<u64>().to_string());
+            t.row(cells);
+        }
+        t.separator();
+        let mut victims = vec!["[victim total]".to_string()];
+        victims.extend((0..sms).map(|v| matrix.iter().map(|r| r[v]).sum::<u64>().to_string()));
+        victims.push(total.to_string());
+        t.row(victims);
+        t.print();
+        println!(
+            "{}: {} steals, {:.1}% same-SM (locality), load imbalance {:.3}",
+            inst.name,
+            total,
+            if total > 0 {
+                same_sm as f64 / total as f64 * 100.0
+            } else {
+                0.0
+            },
+            r.stats.report.sm_load.imbalance()
+        );
+    }
+}
+
+/// **Scale::Massive** — the reduction-heavy regime (arXiv 1509.05870):
+/// kernelize + decompose + per-component sub-searches vs the
+/// unpreprocessed baseline under the same wall-clock budget. The
+/// unpreprocessed *parallel* paths cannot even be planned at this
+/// scale (per-block state exceeds the simulated device's memory, the
+/// §III-C limit), so the baseline is Sequential.
+pub fn massive(args: &BenchArgs) {
+    println!(
+        "\n=== Scale::Massive: kernelized vs unpreprocessed (budget {:.1}s) ===",
+        args.deadline.as_secs_f64()
+    );
+    let mut t = Table::new(vec![
+        "graph",
+        "|V|",
+        "|E|",
+        "elim%",
+        "comps",
+        "largest",
+        "prep+steal",
+        "proven",
+        "seq (no prep)",
+    ]);
+    for inst in suite(Scale::Massive) {
+        eprintln!("[massive] {} ...", inst.name);
+        let prep_solver = solver_with(Impl::WorkStealing, args, |b| {
+            b.preprocess(PrepConfig::default())
+        });
+        let r = prep_solver.solve_mvc(&inst.graph);
+        assert!(
+            is_vertex_cover(&inst.graph, &r.cover),
+            "{}: kernelized path returned a non-cover",
+            inst.name
+        );
+        let prep = r.stats.prep.as_ref().expect("prep stats present");
+        let base = solver_with(Impl::Sequential, args, |b| b).solve_mvc(&inst.graph);
+        t.row(vec![
+            inst.name.clone(),
+            inst.graph.num_vertices().to_string(),
+            inst.graph.num_edges().to_string(),
+            format!("{:.1}%", prep.elimination() * 100.0),
+            prep.components.to_string(),
+            prep.largest_component.to_string(),
+            fmt_seconds(r.stats.seconds(), r.stats.timed_out),
+            if r.stats.timed_out {
+                "no (budget)"
+            } else {
+                "yes"
+            }
+            .to_string(),
+            fmt_seconds(base.stats.seconds(), base.stats.timed_out),
+        ]);
+    }
+    t.print();
+    println!(
+        "(proven = cover verified and optimality proven within budget; \
+         seq column is expected to hit the budget — that is the point)"
+    );
 }
 
 fn shorten(name: &str) -> String {

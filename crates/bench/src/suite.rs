@@ -17,6 +17,12 @@ pub enum Scale {
     Small,
     /// The paper's |V| / densities. Slow by design.
     Paper,
+    /// The reduction-heavy regime of arXiv 1509.05870: ≥100k-vertex
+    /// sparse instances where per-node search is hopeless and only the
+    /// kernelized path (`SolverBuilder::preprocess`) finishes. Used by
+    /// the `massive` report; the classic tables are not meaningful at
+    /// this scale.
+    Massive,
 }
 
 /// One benchmark instance.
@@ -52,7 +58,10 @@ impl Instance {
 pub fn phat_suite(scale: Scale) -> Vec<Instance> {
     let sizes: &[(u32, &[u8])] = match scale {
         Scale::Small => &[(100, &[1, 2, 3]), (150, &[2, 3]), (200, &[2, 3])],
-        Scale::Paper => &[
+        // Dense p_hat complements have no massive-sparse analogue; the
+        // Massive tier reuses the paper sizes so `table3 --scale
+        // massive` still means something.
+        Scale::Paper | Scale::Massive => &[
             (300, &[1, 2, 3]),
             (500, &[1, 2, 3]),
             (700, &[1, 2]),
@@ -84,8 +93,12 @@ fn phat_paper_name(class: u8) -> &'static str {
 /// The full Table I suite: p_hat complements plus the KONECT / SNAP /
 /// PACE stand-ins, high-degree group first (the paper's row order).
 pub fn suite(scale: Scale) -> Vec<Instance> {
+    if scale == Scale::Massive {
+        return massive_suite();
+    }
     let mut out = phat_suite(scale);
     match scale {
+        Scale::Massive => unreachable!("handled above"),
         Scale::Small => {
             // Parameters and seeds below were tuned with `--bin tune`
             // so each row lands in its paper counterpart's hardness
@@ -177,14 +190,42 @@ pub fn suite(scale: Scale) -> Vec<Instance> {
     out
 }
 
+/// The `Scale::Massive` tier: sparse generator instances of ≥100k
+/// vertices. `massive_ba_tree` is fully kernelizable (the ≥90%
+/// elimination family), `massive_components` shatters into thousands
+/// of tiny independent sub-searches, and `massive_power_grid` keeps a
+/// cyclic 2-core that stresses partial reduction. All three are far
+/// beyond the unpreprocessed per-node search (the greedy seed alone is
+/// `O(best · |V|)`), and their per-block state exceeds the simulated
+/// device's memory, so only the kernelized path completes.
+pub fn massive_suite() -> Vec<Instance> {
+    vec![
+        Instance::new(
+            "massive_ba_tree",
+            "preferential-attachment tree (reduction-heavy regime)",
+            gen::barabasi_albert(150_000, 1, 0xfee1),
+        ),
+        Instance::new(
+            "massive_power_grid",
+            "US power grid (KONECT, scaled 24x)",
+            gen::power_grid_like(120_000, 18_000, 0xfee2),
+        ),
+        Instance::new(
+            "massive_components",
+            "Sister Cities (KONECT, scaled 8x)",
+            gen::sparse_components(120_000, 6_000, 0.3, 0xfee3),
+        ),
+    ]
+}
+
 /// Figure 5's two picks: the highest-average-degree instance and the
 /// power-grid stand-in (the paper uses p_hat_1000_1 and US power grid).
 pub fn fig5_pair(scale: Scale) -> (Instance, Instance) {
     let mut all = suite(scale);
     let grid_at = all
         .iter()
-        .position(|i| i.name == "power_grid_like")
-        .expect("suite contains the power-grid stand-in");
+        .position(|i| i.name.contains("power_grid"))
+        .expect("suite contains a power-grid stand-in");
     let low = all.remove(grid_at);
     let high = all
         .into_iter()
@@ -229,6 +270,26 @@ mod tests {
         let d = |i: &Instance| i.ratio();
         assert!(d(&s[0]) > d(&s[1]));
         assert!(d(&s[1]) > d(&s[2]));
+    }
+
+    #[test]
+    fn massive_suite_is_large_and_sparse() {
+        let s = suite(Scale::Massive);
+        assert_eq!(s.len(), 3);
+        for inst in &s {
+            assert!(
+                inst.graph.num_vertices() >= 100_000,
+                "{} below the Massive floor",
+                inst.name
+            );
+            assert!(
+                inst.ratio() < 4.0,
+                "{} too dense for the reduction-heavy regime",
+                inst.name
+            );
+            assert!(inst.graph.num_edges() > 0);
+        }
+        assert!(s.iter().any(|i| i.name == "massive_ba_tree"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Optional solver extensions beyond the paper's three rules.
 //!
-//! The paper's related work (Akiba & Iwata [38], the PACE solvers [37])
+//! The paper's related work (Akiba & Iwata \[38\], the PACE solvers \[37\])
 //! builds on richer reduction/pruning portfolios; two of the classic
 //! ones are compatible with the degree-array representation (they only
 //! ever *remove* vertices, never merge them, unlike e.g. degree-two

@@ -17,6 +17,21 @@ use crate::TreeNode;
 /// remove the max-degree vertex, repeat until edgeless. Returns the
 /// cover size and the cover itself.
 pub fn greedy_mvc(g: &CsrGraph) -> (u32, Vec<VertexId>) {
+    let deadline = crate::shared::Deadline::new(None);
+    greedy_mvc_bounded(g, &deadline)
+}
+
+/// [`greedy_mvc`] under a wall-clock budget. The greedy loop is
+/// `O(best · |V|)`, which on `Scale::Massive` instances can exceed the
+/// whole solve budget before the engine even launches; when `deadline`
+/// expires mid-loop the remaining positive-degree vertices are swept
+/// into the cover wholesale — still a valid cover, just a weak bound —
+/// and the solve reports `timed_out` through the deadline's sticky
+/// flag.
+pub fn greedy_mvc_bounded(
+    g: &CsrGraph,
+    deadline: &crate::shared::Deadline,
+) -> (u32, Vec<VertexId>) {
     let cost = CostModel::default();
     let kernel = Kernel::sequential(g, &cost);
     let mut counters = BlockCounters::new(u32::MAX);
@@ -25,6 +40,16 @@ pub fn greedy_mvc(g: &CsrGraph) -> (u32, Vec<VertexId>) {
     // (`u32::MAX` budget); degree-one and degree-two-triangle do fire.
     let bound = SearchBound::Mvc { best: u32::MAX };
     loop {
+        if deadline.expired() {
+            // Budget spent: cover every remaining live edge by taking
+            // its (currently) positive-degree endpoints.
+            for v in g.vertices() {
+                if node.degree(v) > 0 {
+                    node.remove_into_cover(g, v);
+                }
+            }
+            break;
+        }
         kernel.reduce(&mut node, bound, &mut counters);
         if node.is_edgeless() {
             break;

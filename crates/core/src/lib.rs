@@ -24,6 +24,10 @@
 //!   [`parvc_simgpu::DeviceSpec`], and call
 //!   [`solve_mvc`](Solver::solve_mvc) / [`solve_pvc`](Solver::solve_pvc)
 //!   (or [`Solver::solve_mis`] via the MVC↔MIS equivalence).
+//!   [`SolverBuilder::preprocess`] additionally runs the `parvc-prep`
+//!   kernelization + component-decomposition pipeline up front and
+//!   schedules each kernel component as an independent engine
+//!   sub-search under any of the policies.
 //! * [`greedy`] (the initial bound), [`brute`] (the test oracle),
 //!   [`verify`] (solution checking).
 
@@ -50,6 +54,7 @@ pub mod verify;
 pub use engine::{Engine, ExitCause, PolicyFactory, SchedulePolicy, SearchMode, SearchOutcome};
 pub use extensions::Extensions;
 pub use node::{TreeNode, REMOVED};
+pub use parvc_prep::{PrepConfig, PrepStats};
 pub use solver::{Algorithm, Solver, SolverBuilder};
 pub use stats::{MisResult, MvcResult, PvcResult, SolveStats};
 pub use verify::{is_independent_set, is_vertex_cover};

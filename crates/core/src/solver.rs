@@ -13,19 +13,26 @@
 use std::time::Instant;
 
 use parvc_graph::CsrGraph;
-use parvc_simgpu::counters::LaunchReport;
+use parvc_prep::PrepConfig;
+use parvc_simgpu::counters::{BlockCounters, LaunchReport};
 use parvc_simgpu::occupancy::{select_launch, LaunchRequest};
 use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
 
 use crate::engine::{Engine, PolicyFactory, SearchMode, SearchOutcome};
 use crate::extensions::Extensions;
-use crate::greedy::greedy_mvc;
+use crate::greedy::greedy_mvc_bounded;
 use crate::hybrid::{HybridFactory, HybridParams};
 use crate::sequential::SequentialFactory;
 use crate::shared::Deadline;
 use crate::stackonly::{StackOnlyFactory, StackOnlyParams};
 use crate::stats::{MvcResult, PvcResult, SolveStats};
 use crate::stealing::{StealFactory, StealParams};
+
+/// Kernel components smaller than this run inline on the calling
+/// thread (single block, same scheduling policy): spawning a resident
+/// grid of OS threads per 20-vertex component would cost more than the
+/// whole sub-search.
+const PREP_INLINE_BELOW: u32 = 64;
 
 /// Which scheduling policy drives the engine — the three code versions
 /// of §V-A plus the work-stealing extension.
@@ -71,6 +78,7 @@ pub struct SolverBuilder {
     deadline: Option<std::time::Duration>,
     ext: Extensions,
     record_trace: bool,
+    prep: Option<PrepConfig>,
 }
 
 impl Default for SolverBuilder {
@@ -90,6 +98,7 @@ impl Default for SolverBuilder {
             deadline: None,
             ext: Extensions::NONE,
             record_trace: false,
+            prep: None,
         }
     }
 }
@@ -180,6 +189,20 @@ impl SolverBuilder {
         self
     }
 
+    /// Runs the `parvc-prep` kernelization + component-decomposition
+    /// pipeline before every solve: the instance is shrunk once, the
+    /// residual split into connected components, and each component
+    /// scheduled as an independent [`Engine::solve`] sub-search under
+    /// the configured policy and the shared wall-clock budget. The
+    /// per-component results are lifted back to a cover of the
+    /// original graph (optimal when every sub-search finished).
+    ///
+    /// Default: off (paper-faithful per-node reduction only).
+    pub fn preprocess(mut self, cfg: PrepConfig) -> Self {
+        self.prep = Some(cfg);
+        self
+    }
+
     /// Enables the domination reduction rule.
     pub fn domination_rule(mut self, on: bool) -> Self {
         self.ext.domination_rule = on;
@@ -217,13 +240,24 @@ impl Solver {
     /// The launch configuration this solver would use for `g` with the
     /// given search-depth bound (exposed for the evaluation harness).
     pub fn plan_launch(&self, g: &CsrGraph, stack_depth: u32) -> LaunchConfig {
-        let mut cfg = select_launch(&self.cfg.device, &self.launch_request(g, stack_depth))
-            .unwrap_or_else(|e| panic!("cannot launch on {}: {e}", self.cfg.device.name));
+        self.try_plan_launch(g, stack_depth)
+            .unwrap_or_else(|e| panic!("cannot launch on {}: {e}", self.cfg.device.name))
+    }
+
+    /// [`plan_launch`](Self::plan_launch) without the panic: `Err`
+    /// when the graph's per-block state cannot fit the device (the
+    /// §III-C limit the engine degrades to inline execution on).
+    fn try_plan_launch(
+        &self,
+        g: &CsrGraph,
+        stack_depth: u32,
+    ) -> Result<LaunchConfig, parvc_simgpu::occupancy::LaunchError> {
+        let mut cfg = select_launch(&self.cfg.device, &self.launch_request(g, stack_depth))?;
         if let Some(limit) = self.cfg.grid_limit {
             cfg.grid_blocks = cfg.grid_blocks.min(limit.max(1));
         }
         cfg.record_trace = self.cfg.record_trace;
-        cfg
+        Ok(cfg)
     }
 
     fn launch_request(&self, g: &CsrGraph, stack_depth: u32) -> LaunchRequest {
@@ -241,25 +275,30 @@ impl Solver {
 
     /// Solves MINIMUM VERTEX COVER on `g`.
     ///
-    /// # Panics
-    ///
-    /// Panics if the graph's per-block state cannot fit the simulated
-    /// device's global memory (the §III-C limit; use a larger
-    /// [`DeviceSpec`]).
+    /// When the graph's per-block state cannot fit the simulated
+    /// device's global memory (the §III-C limit) no resident grid can
+    /// be launched and the solve degrades to single-block inline
+    /// execution — enable [`SolverBuilder::preprocess`] (or use a
+    /// larger [`DeviceSpec`]) for instances of that scale.
     pub fn solve_mvc(&self, g: &CsrGraph) -> MvcResult {
         let start = Instant::now();
-        let greedy = greedy_mvc(g);
-        let greedy_size = greedy.0;
-
         if g.num_edges() == 0 {
             return MvcResult {
                 size: 0,
                 cover: Vec::new(),
-                stats: self.trivial_stats(start, greedy_size),
+                stats: self.trivial_stats(start, 0),
             };
         }
+        let deadline = Deadline::new(self.cfg.deadline);
 
-        let (outcome, launch, deadline) = self.run_engine(g, SearchMode::Mvc { initial: greedy });
+        if let Some(prep_cfg) = &self.cfg.prep {
+            return self.solve_mvc_prep(g, prep_cfg, start, &deadline);
+        }
+
+        let greedy = greedy_mvc_bounded(g, &deadline);
+        let greedy_size = greedy.0;
+        let (outcome, launch) =
+            self.run_engine(g, SearchMode::Mvc { initial: greedy }, &deadline, false);
         let raw = match outcome {
             SearchOutcome::Mvc(raw) => raw,
             SearchOutcome::Pvc(_) => unreachable!("MVC mode returns an MVC outcome"),
@@ -276,15 +315,15 @@ impl Solver {
                 report,
                 greedy_size,
                 timed_out: deadline.was_hit(),
+                prep: None,
             },
         }
     }
 
     /// Solves PARAMETERIZED VERTEX COVER on `g` with parameter `k`.
     ///
-    /// # Panics
-    ///
-    /// Same memory-capacity panic as [`solve_mvc`](Self::solve_mvc).
+    /// Degrades to inline execution on over-sized graphs exactly like
+    /// [`solve_mvc`](Self::solve_mvc).
     pub fn solve_pvc(&self, g: &CsrGraph, k: u32) -> PvcResult {
         let start = Instant::now();
 
@@ -295,8 +334,13 @@ impl Solver {
                 stats: self.trivial_stats(start, 0),
             };
         }
+        let deadline = Deadline::new(self.cfg.deadline);
 
-        let (outcome, launch, deadline) = self.run_engine(g, SearchMode::Pvc { k });
+        if let Some(prep_cfg) = &self.cfg.prep {
+            return self.solve_pvc_prep(g, prep_cfg, k, start, &deadline);
+        }
+
+        let (outcome, launch) = self.run_engine(g, SearchMode::Pvc { k }, &deadline, false);
         let raw = match outcome {
             SearchOutcome::Pvc(raw) => raw,
             SearchOutcome::Mvc(_) => unreachable!("PVC mode returns a PVC outcome"),
@@ -313,22 +357,147 @@ impl Solver {
                 report,
                 greedy_size: 0,
                 timed_out: deadline.was_hit(),
+                prep: None,
             },
         }
     }
 
+    /// MVC through the kernelization pipeline: preprocess once, solve
+    /// each kernel component as an independent engine sub-search under
+    /// the shared deadline, and lift the sub-covers back to the
+    /// original graph.
+    fn solve_mvc_prep(
+        &self,
+        g: &CsrGraph,
+        prep_cfg: &PrepConfig,
+        start: Instant,
+        deadline: &Deadline,
+    ) -> MvcResult {
+        let kernel = parvc_prep::preprocess(g, prep_cfg);
+        let (sub_covers, agg) = self.solve_components(&kernel, deadline);
+        let cover = kernel.lift(&sub_covers);
+        let report = self.launch_report(agg.launch.is_some(), agg.blocks);
+        MvcResult {
+            size: cover.len() as u32,
+            cover,
+            stats: SolveStats {
+                wall_time: start.elapsed(),
+                tree_nodes: report.total_tree_nodes,
+                device_cycles: report.device_cycles,
+                launch: agg.launch,
+                report,
+                greedy_size: agg.greedy_total,
+                timed_out: deadline.was_hit(),
+                prep: Some(kernel.stats),
+            },
+        }
+    }
+
+    /// PVC through the kernelization pipeline. The rules preserve the
+    /// optimum, so `forced > k` is a conclusive *no*; otherwise the
+    /// component optima (each a per-component MVC sub-search) are
+    /// summed against the remaining budget.
+    fn solve_pvc_prep(
+        &self,
+        g: &CsrGraph,
+        prep_cfg: &PrepConfig,
+        k: u32,
+        start: Instant,
+        deadline: &Deadline,
+    ) -> PvcResult {
+        let kernel = parvc_prep::preprocess(g, prep_cfg);
+        let forced = kernel.trace.forced.len() as u32;
+        if forced > k {
+            let mut stats = self.trivial_stats(start, forced);
+            stats.prep = Some(kernel.stats);
+            return PvcResult {
+                k,
+                cover: None,
+                stats,
+            };
+        }
+        let (sub_covers, agg) = self.solve_components(&kernel, deadline);
+        let total = forced as u64 + sub_covers.iter().map(|c| c.len() as u64).sum::<u64>();
+        let cover = (total <= k as u64).then(|| kernel.lift(&sub_covers));
+        let report = self.launch_report(agg.launch.is_some(), agg.blocks);
+        PvcResult {
+            k,
+            cover,
+            stats: SolveStats {
+                wall_time: start.elapsed(),
+                tree_nodes: report.total_tree_nodes,
+                device_cycles: report.device_cycles,
+                launch: agg.launch,
+                report,
+                greedy_size: agg.greedy_total,
+                timed_out: deadline.was_hit(),
+                prep: Some(kernel.stats),
+            },
+        }
+    }
+
+    /// Solves every kernel component's MVC under the shared deadline —
+    /// the budget coordination that makes the per-component bests sum
+    /// into a global bound. Components below [`PREP_INLINE_BELOW`]
+    /// vertices run inline (single block, same policy); larger ones get
+    /// a full resident-grid launch.
+    fn solve_components(
+        &self,
+        kernel: &parvc_prep::Kernel,
+        deadline: &Deadline,
+    ) -> (Vec<Vec<u32>>, ComponentAggregate) {
+        let mut agg = ComponentAggregate {
+            blocks: Vec::new(),
+            launch: None,
+            greedy_total: kernel.trace.forced.len() as u32,
+        };
+        let mut sub_covers = Vec::with_capacity(kernel.components.len());
+        for inst in &kernel.components {
+            let greedy = greedy_mvc_bounded(&inst.graph, deadline);
+            agg.greedy_total += greedy.0;
+            if inst.graph.num_edges() == 0 {
+                sub_covers.push(Vec::new());
+                continue;
+            }
+            let mode = SearchMode::Mvc { initial: greedy };
+            let inline = inst.graph.num_vertices() < PREP_INLINE_BELOW;
+            let (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline);
+            let raw = match outcome {
+                SearchOutcome::Mvc(raw) => raw,
+                SearchOutcome::Pvc(_) => unreachable!("MVC mode returns an MVC outcome"),
+            };
+            if agg.launch.is_none() {
+                agg.launch = launch;
+            }
+            agg.blocks.extend(raw.blocks);
+            sub_covers.push(raw.best_cover);
+        }
+        (sub_covers, agg)
+    }
+
     /// The one parameterized dispatch: builds the policy factory for
     /// the configured [`Algorithm`] and hands `mode` to the engine.
+    /// `inline` forces single-block execution on the calling thread
+    /// (used for small kernel components); Sequential always runs
+    /// inline.
     fn run_engine(
         &self,
         g: &CsrGraph,
         mode: SearchMode,
-    ) -> (SearchOutcome, Option<LaunchConfig>, Deadline) {
-        let deadline = Deadline::new(self.cfg.deadline);
+        deadline: &Deadline,
+        inline: bool,
+    ) -> (SearchOutcome, Option<LaunchConfig>) {
         let depth_bound = mode.depth_bound(g);
         let launch = match self.cfg.algorithm {
             Algorithm::Sequential => None,
-            _ => Some(self.plan_launch(g, depth_bound as u32)),
+            _ if inline => None,
+            // §III-C: when the per-block state cannot fit the device's
+            // memory, a resident grid cannot be planned — degrade to
+            // single-block inline execution instead of failing the
+            // whole solve (the occupancy-aware memory planner is
+            // follow-on work; the kernelized path avoids this entirely
+            // by shrinking the instance first).
+            _ => self.try_plan_launch(g, depth_bound as u32).ok(),
         };
         let factory: Box<dyn PolicyFactory> = match self.cfg.algorithm {
             Algorithm::Sequential => Box::new(SequentialFactory::new()),
@@ -337,10 +506,7 @@ impl Solver {
             }
             Algorithm::Hybrid => Box::new(HybridFactory::new(&self.cfg.hybrid)),
             Algorithm::WorkStealing => {
-                let workers = launch
-                    .as_ref()
-                    .expect("parallel launch planned")
-                    .grid_blocks;
+                let workers = launch.as_ref().map_or(1, |l| l.grid_blocks);
                 Box::new(StealFactory::new(
                     workers as usize,
                     depth_bound,
@@ -353,11 +519,11 @@ impl Solver {
             device: &self.cfg.device,
             config: launch.as_ref(),
             cost: &self.cfg.cost,
-            deadline: &deadline,
+            deadline,
             ext: self.cfg.ext,
         };
         let outcome = engine.solve(factory.as_ref(), mode);
-        (outcome, launch, deadline)
+        (outcome, launch)
     }
 
     fn launch_report(
@@ -381,8 +547,17 @@ impl Solver {
             report: LaunchReport::new(&DeviceSpec::scaled(1), Vec::new()),
             greedy_size,
             timed_out: false,
+            prep: None,
         }
     }
+}
+
+/// Accumulated instrumentation across the per-component sub-searches of
+/// a preprocessed solve.
+struct ComponentAggregate {
+    blocks: Vec<BlockCounters>,
+    launch: Option<LaunchConfig>,
+    greedy_total: u32,
 }
 
 #[cfg(test)]
@@ -557,6 +732,79 @@ mod tests {
                 .build();
             assert_eq!(solver.solve_mvc(&g).size, opt, "frac {frac}");
         }
+    }
+
+    #[test]
+    fn preprocessed_solves_agree_with_brute_force() {
+        for seed in 0..4 {
+            let g = gen::gnp(13, 0.35, seed);
+            let (opt, _) = brute_force_mvc(&g);
+            for solver in solvers() {
+                let solver = Solver {
+                    cfg: solver.cfg.preprocess(PrepConfig::default()),
+                };
+                let r = solver.solve_mvc(&g);
+                assert_eq!(r.size, opt, "{} seed {seed} (prep)", solver.algorithm());
+                assert!(is_vertex_cover(&g, &r.cover));
+                assert_eq!(r.cover.len() as u32, r.size);
+                assert!(r.stats.prep.is_some(), "prep stats must be reported");
+            }
+        }
+    }
+
+    #[test]
+    fn preprocessed_pvc_is_exact() {
+        let g = gen::gnp(14, 0.3, 77);
+        let min = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g)
+            .size;
+        let solver = Solver::builder()
+            .algorithm(Algorithm::WorkStealing)
+            .grid_limit(Some(4))
+            .preprocess(PrepConfig::default())
+            .build();
+        assert!(!solver.solve_pvc(&g, min - 1).found());
+        let r = solver.solve_pvc(&g, min);
+        let cover = r.cover.expect("k = min is feasible");
+        assert!(cover.len() as u32 <= min);
+        assert!(is_vertex_cover(&g, &cover));
+    }
+
+    #[test]
+    fn preprocessing_splits_component_instances() {
+        // Many independent communities: the kernel must split, and the
+        // lifted cover must match the unpreprocessed optimum.
+        let g = gen::sparse_components(120, 12, 0.5, 3);
+        let plain = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
+        let solver = Solver::builder()
+            .algorithm(Algorithm::WorkStealing)
+            .grid_limit(Some(4))
+            .preprocess(PrepConfig::default())
+            .build();
+        let r = solver.solve_mvc(&g);
+        assert_eq!(r.size, plain.size);
+        assert!(is_vertex_cover(&g, &r.cover));
+        let prep = r.stats.prep.expect("prep stats present");
+        assert!(prep.elimination() > 0.0);
+    }
+
+    #[test]
+    fn preprocessing_with_rules_disabled_still_exact() {
+        let g = gen::gnp(12, 0.3, 5);
+        let (opt, _) = brute_force_mvc(&g);
+        let solver = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(4))
+            .preprocess(PrepConfig::split_only())
+            .build();
+        let r = solver.solve_mvc(&g);
+        assert_eq!(r.size, opt);
+        assert!(is_vertex_cover(&g, &r.cover));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The StackOnly scheme — prior work's traversal ([14], [15], §III) —
+//! The StackOnly scheme — prior work's traversal (\[14\], \[15\], §III) —
 //! as a [`SchedulePolicy`].
 //!
 //! Sub-trees rooted at a fixed `start_depth` are the units of

@@ -20,12 +20,16 @@ pub struct SolveStats {
     pub launch: Option<LaunchConfig>,
     /// Per-block / per-SM instrumentation for Figures 5 and 6.
     pub report: LaunchReport,
-    /// Size of the greedy approximation that seeded the search.
+    /// Size of the greedy approximation that seeded the search (for
+    /// preprocessed solves: forced vertices plus per-component seeds).
     pub greedy_size: u32,
     /// Whether the solve hit its wall-clock deadline; if so, MVC results
     /// are best-so-far (not proven optimal) and PVC results are
     /// inconclusive when `cover` is `None`.
     pub timed_out: bool,
+    /// Kernelization statistics, when the solver ran with
+    /// [`SolverBuilder::preprocess`](crate::SolverBuilder::preprocess).
+    pub prep: Option<parvc_prep::PrepStats>,
 }
 
 impl SolveStats {

@@ -93,7 +93,7 @@ impl SchedulePolicy for StealPolicy<'_> {
                 kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
                 Some(n)
             }
-            StealOutcome::Item(n, StealSource::Stolen { .. }) => {
+            StealOutcome::Item(n, StealSource::Stolen { victim }) => {
                 // A steal pays like a worklist remove: the scan
                 // attempts, the starvation naps, and the node copy.
                 counters.charge(
@@ -101,6 +101,7 @@ impl SchedulePolicy for StealPolicy<'_> {
                     stats.attempts * kernel.cost.queue_op + stats.sleeps * kernel.cost.poll_sleep,
                 );
                 counters.nodes_from_worklist += 1;
+                counters.record_steal(victim as u32);
                 kernel.charge_node_copy(n.len(), Activity::RemoveFromWorklist, counters);
                 Some(n)
             }

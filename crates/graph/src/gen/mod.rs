@@ -1,7 +1,7 @@
 //! Deterministic instance generators.
 //!
-//! The paper evaluates on graphs from four collections (DIMACS [22],
-//! KONECT [23], SNAP [24], PACE 2019 [25]) that cannot be redistributed
+//! The paper evaluates on graphs from four collections (DIMACS \[22\],
+//! KONECT \[23\], SNAP \[24\], PACE 2019 \[25\]) that cannot be redistributed
 //! with this reproduction. Each generator here reproduces the *family
 //! trait* that matters to the vertex-cover search tree: the density
 //! regime and degree spread, which drive search-tree imbalance (§V-B).

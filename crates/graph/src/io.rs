@@ -1,6 +1,6 @@
 //! Graph serialization: DIMACS and whitespace edge-list formats.
 //!
-//! The paper's instances come from DIMACS [22] (`.clq`, `p edge` header,
+//! The paper's instances come from DIMACS \[22\] (`.clq`, `p edge` header,
 //! 1-based `e u v` lines), KONECT/SNAP (plain edge lists), and PACE 2019
 //! (`p td n m` header, 1-based edge lines). These parsers let real
 //! downloads drop straight into the benchmark suite in place of the

@@ -115,24 +115,47 @@ pub fn hopcroft_karp(g: &CsrGraph, side: &[bool]) -> Vec<Option<VertexId>> {
     mate
 }
 
-fn augment(g: &CsrGraph, u: VertexId, mate: &mut [Option<VertexId>], dist: &mut [u32]) -> bool {
-    for &v in g.neighbors(u) {
-        match mate[v as usize] {
-            None => {
-                mate[v as usize] = Some(u);
-                mate[u as usize] = Some(v);
-                return true;
-            }
-            Some(next) => {
-                if dist[next as usize] == dist[u as usize] + 1 && augment(g, next, mate, dist) {
+/// The DFS phase of Hopcroft–Karp, iterative so that augmenting paths
+/// of length `O(|V|)` (which arise on the massive double-cover graphs
+/// the kernelization pipeline builds) cannot overflow the call stack.
+/// Frames are `(left vertex, next neighbor index, edge taken downward)`.
+fn augment(g: &CsrGraph, root: VertexId, mate: &mut [Option<VertexId>], dist: &mut [u32]) -> bool {
+    let mut frames: Vec<(VertexId, usize, VertexId)> = vec![(root, 0, u32::MAX)];
+    while let Some(&(u, idx, _)) = frames.last() {
+        let nbrs = g.neighbors(u);
+        let mut i = idx;
+        let mut descended = false;
+        while i < nbrs.len() {
+            let v = nbrs[i];
+            i += 1;
+            match mate[v as usize] {
+                None => {
+                    // Free right vertex: flip the whole path to matched.
                     mate[v as usize] = Some(u);
                     mate[u as usize] = Some(v);
+                    frames.pop();
+                    while let Some((pu, _, via)) = frames.pop() {
+                        mate[via as usize] = Some(pu);
+                        mate[pu as usize] = Some(via);
+                    }
                     return true;
                 }
+                Some(next) if dist[next as usize] == dist[u as usize] + 1 => {
+                    let top = frames.last_mut().expect("frame for u is on the stack");
+                    top.1 = i;
+                    top.2 = v;
+                    frames.push((next, 0, u32::MAX));
+                    descended = true;
+                    break;
+                }
+                Some(_) => {}
             }
         }
+        if !descended {
+            dist[u as usize] = u32::MAX; // dead end: prune this layer
+            frames.pop();
+        }
     }
-    dist[u as usize] = u32::MAX; // dead end: prune this layer
     false
 }
 

@@ -1,0 +1,375 @@
+//! # parvc-prep — kernelization and component decomposition
+//!
+//! The engine in `parvc-core` applies its reduction rules *per tree
+//! node*; on massive sparse graphs the winning move is to shrink the
+//! instance **once, up front**. Kernelization is what makes MVC
+//! tractable on real-world massive graphs (arXiv 1509.05870), and
+//! splitting the remainder into connected components multiplies
+//! parallelism: each component is an independent sub-search whose
+//! optima simply add up (arXiv 2512.18334).
+//!
+//! The pipeline is a list of [`ReduceRule`] stages, each individually
+//! toggleable through [`PrepConfig`] and reporting into [`PrepStats`]:
+//!
+//! 1. [`LowDegreeRule`] — exhaustive degree-0/1/2 elimination with the
+//!    §IV-D conflict-resolution semantics of `parvc_core::reduce`;
+//! 2. [`CrownRule`] — crown decomposition via the LP / Nemhauser–
+//!    Trotter relaxation, built on the Hopcroft–Karp / Kőnig machinery
+//!    in [`parvc_graph::matching`];
+//! 3. [`HighDegreeRule`] — Buss-style elimination against a greedy
+//!    upper bound.
+//!
+//! The stages run round-robin until none of them changes the instance,
+//! then the residual is split into connected components
+//! ([`ReducedInstance`]s, relabeled to `0..n` via
+//! [`parvc_graph::ops::induced_subgraph`]). The resulting [`Kernel`]
+//! carries a [`LiftTrace`]; [`Kernel::lift`] turns one sub-cover per
+//! component back into a cover of the original graph, optimal whenever
+//! the sub-covers are.
+//!
+//! Every stage is **optimum-preserving**:
+//! `opt(G) = |forced| + Σ_c opt(component_c)`, which the workspace
+//! property tests check against brute force for every rule subset.
+//!
+//! ```
+//! use parvc_graph::gen;
+//! use parvc_prep::{preprocess, PrepConfig};
+//!
+//! // A star is fully solved by preprocessing alone.
+//! let g = gen::star(10);
+//! let kernel = preprocess(&g, &PrepConfig::default());
+//! assert!(kernel.is_fully_reduced());
+//! assert_eq!(kernel.lift(&[]), vec![0]); // the hub
+//! ```
+
+#![warn(missing_docs)]
+
+mod kernel;
+mod rules;
+mod state;
+
+pub use kernel::{Kernel, LiftTrace, ReducedInstance};
+pub use rules::{CrownRule, HighDegreeRule, LowDegreeRule, ReduceRule, RuleStats};
+pub use state::{PrepState, VertexState};
+
+use parvc_graph::CsrGraph;
+
+/// Which pipeline stages run, and how long the fixpoint may iterate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrepConfig {
+    /// Stage 1: exhaustive degree-0/1/2 elimination.
+    pub low_degree: bool,
+    /// Stage 2: crown decomposition / LP-based Nemhauser–Trotter.
+    pub crown: bool,
+    /// Stage 3: high-degree rule against a greedy upper bound.
+    pub high_degree: bool,
+    /// Stage 4: split the kernel into connected components.
+    pub split_components: bool,
+    /// Safety valve on the outer fixpoint (rarely reached: the rules
+    /// monotonically shrink the instance).
+    pub max_rounds: u32,
+}
+
+impl Default for PrepConfig {
+    fn default() -> Self {
+        PrepConfig {
+            low_degree: true,
+            crown: true,
+            high_degree: true,
+            split_components: true,
+            max_rounds: 64,
+        }
+    }
+}
+
+impl PrepConfig {
+    /// A config with every stage disabled except component splitting —
+    /// useful as a baseline and in rule-subset tests.
+    pub fn split_only() -> Self {
+        PrepConfig {
+            low_degree: false,
+            crown: false,
+            high_degree: false,
+            split_components: true,
+            max_rounds: 1,
+        }
+    }
+}
+
+/// Statistics from one [`preprocess`] run.
+#[derive(Debug, Clone)]
+pub struct PrepStats {
+    /// `|V|` of the input graph.
+    pub original_vertices: u32,
+    /// `|E|` of the input graph.
+    pub original_edges: u64,
+    /// Total vertices across the kernel components.
+    pub kernel_vertices: u32,
+    /// Total edges across the kernel components.
+    pub kernel_edges: u64,
+    /// Vertices forced into the cover by the rules.
+    pub forced: u32,
+    /// Vertices proven avoidable by the rules (plus edgeless residual
+    /// vertices dropped at the split, which no cover needs).
+    pub excluded: u32,
+    /// Number of kernel components.
+    pub components: u32,
+    /// Vertices in the largest kernel component.
+    pub largest_component: u32,
+    /// Outer fixpoint rounds executed.
+    pub rounds: u32,
+    /// Per-rule fire counts, in pipeline order.
+    pub rules: Vec<RuleStats>,
+}
+
+impl PrepStats {
+    /// Fraction of the original vertices eliminated before search
+    /// (1.0 = the rules solved the instance outright).
+    pub fn elimination(&self) -> f64 {
+        if self.original_vertices == 0 {
+            return 1.0;
+        }
+        1.0 - self.kernel_vertices as f64 / self.original_vertices as f64
+    }
+}
+
+/// Runs the staged preprocessing pipeline on `g`.
+pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
+    let mut st = PrepState::new(g);
+    let mut rules: Vec<Box<dyn ReduceRule>> = Vec::new();
+    if cfg.low_degree {
+        rules.push(Box::new(LowDegreeRule));
+    }
+    if cfg.crown {
+        rules.push(Box::new(CrownRule));
+    }
+    if cfg.high_degree {
+        rules.push(Box::new(HighDegreeRule));
+    }
+    let mut rule_stats: Vec<RuleStats> = rules.iter().map(|r| RuleStats::new(r.name())).collect();
+
+    let mut rounds = 0;
+    while !rules.is_empty() {
+        rounds += 1;
+        let mut changed = false;
+        for (rule, stats) in rules.iter_mut().zip(rule_stats.iter_mut()) {
+            stats.passes += 1;
+            if rule.apply(&mut st, stats) {
+                changed = true;
+            }
+        }
+        if !changed || rounds >= cfg.max_rounds {
+            break;
+        }
+    }
+    debug_assert!(st.check_consistency().is_ok());
+
+    let live = st.live_ids();
+    let components = kernel::split_residual(g, &live, cfg.split_components);
+    let (forced, excluded) = st.into_decisions();
+    let kernel_vertices: u32 = components.iter().map(|c| c.graph.num_vertices()).sum();
+    let kernel_edges: u64 = components.iter().map(|c| c.graph.num_edges()).sum();
+    let stats = PrepStats {
+        original_vertices: g.num_vertices(),
+        original_edges: g.num_edges(),
+        kernel_vertices,
+        kernel_edges,
+        forced: forced.len() as u32,
+        excluded: g.num_vertices() - kernel_vertices - forced.len() as u32,
+        components: components.len() as u32,
+        largest_component: components
+            .iter()
+            .map(|c| c.graph.num_vertices())
+            .max()
+            .unwrap_or(0),
+        rounds,
+        rules: rule_stats,
+    };
+    Kernel {
+        components,
+        trace: LiftTrace {
+            forced,
+            excluded,
+            original_vertices: g.num_vertices(),
+        },
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parvc_graph::gen;
+
+    /// Bitmask brute force for the safety oracle (n ≤ 20).
+    fn brute_opt(g: &CsrGraph) -> u32 {
+        let n = g.num_vertices();
+        assert!(n <= 20, "brute force oracle limited to 20 vertices");
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let mut best = n;
+        for mask in 0u32..(1 << n) {
+            let size = mask.count_ones();
+            if size >= best {
+                continue;
+            }
+            if edges
+                .iter()
+                .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+            {
+                best = size;
+            }
+        }
+        best
+    }
+
+    fn is_cover(g: &CsrGraph, cover: &[u32]) -> bool {
+        let mut in_cover = vec![false; g.num_vertices() as usize];
+        for &v in cover {
+            in_cover[v as usize] = true;
+        }
+        g.edges()
+            .all(|(u, v)| in_cover[u as usize] || in_cover[v as usize])
+    }
+
+    /// Exhaustively solve the kernel components and lift.
+    fn solve_via_prep(g: &CsrGraph, cfg: &PrepConfig) -> Vec<u32> {
+        let kernel = preprocess(g, cfg);
+        let subs: Vec<Vec<u32>> = kernel
+            .components
+            .iter()
+            .map(|inst| {
+                let opt = brute_opt(&inst.graph);
+                // Recover a witness of that size.
+                let n = inst.graph.num_vertices();
+                let edges: Vec<(u32, u32)> = inst.graph.edges().collect();
+                (0u32..(1 << n))
+                    .find(|mask| {
+                        mask.count_ones() == opt
+                            && edges
+                                .iter()
+                                .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+                    })
+                    .map(|mask| (0..n).filter(|&v| mask & (1 << v) != 0).collect())
+                    .expect("a witness of optimal size exists")
+            })
+            .collect();
+        kernel.lift(&subs)
+    }
+
+    #[test]
+    fn preprocessing_preserves_the_optimum_for_every_rule_subset() {
+        let graphs: Vec<(String, CsrGraph)> = (0..4u64)
+            .flat_map(|seed| {
+                vec![
+                    (format!("gnp-{seed}"), gen::gnp(13, 0.3, seed)),
+                    (format!("ba-{seed}"), gen::barabasi_albert(14, 2, seed)),
+                    (format!("grid-{seed}"), gen::grid2d(3, 4)),
+                    (
+                        format!("comp-{seed}"),
+                        gen::sparse_components(15, 3, 0.5, seed),
+                    ),
+                ]
+            })
+            .collect();
+        for (name, g) in &graphs {
+            let opt = brute_opt(g);
+            for mask in 0..8u32 {
+                let cfg = PrepConfig {
+                    low_degree: mask & 1 != 0,
+                    crown: mask & 2 != 0,
+                    high_degree: mask & 4 != 0,
+                    split_components: true,
+                    max_rounds: 64,
+                };
+                let cover = solve_via_prep(g, &cfg);
+                assert!(is_cover(g, &cover), "{name} mask {mask}: not a cover");
+                assert_eq!(
+                    cover.len() as u32,
+                    opt,
+                    "{name} mask {mask}: lifted cover not optimal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn full_pipeline_solves_trees_outright() {
+        let g = gen::barabasi_albert(200, 1, 5); // BA with m=1 is a tree
+        let kernel = preprocess(&g, &PrepConfig::default());
+        assert!(kernel.is_fully_reduced());
+        assert!(kernel.stats.elimination() >= 0.999);
+        let cover = kernel.lift(&[]);
+        assert!(is_cover(&g, &cover));
+    }
+
+    #[test]
+    fn tree_elimination_scales_to_large_instances() {
+        // The Scale::Massive acceptance family in miniature: ≥90%
+        // elimination on tree-like graphs, at any size.
+        let g = gen::barabasi_albert(50_000, 1, 9);
+        let kernel = preprocess(&g, &PrepConfig::default());
+        assert!(
+            kernel.stats.elimination() >= 0.9,
+            "only {:.1}% eliminated",
+            kernel.stats.elimination() * 100.0
+        );
+        assert!(is_cover(
+            &g,
+            &kernel.lift(&vec![Vec::new(); kernel.components.len()])
+        ));
+    }
+
+    #[test]
+    fn component_split_produces_independent_instances() {
+        let g = gen::sparse_components(60, 6, 0.6, 3);
+        let kernel = preprocess(
+            &g,
+            &PrepConfig {
+                low_degree: false,
+                crown: false,
+                high_degree: false,
+                ..PrepConfig::default()
+            },
+        );
+        assert!(kernel.components.len() >= 6);
+        assert_eq!(kernel.stats.components as usize, kernel.components.len());
+        // Relabelings are disjoint and in range.
+        let mut seen = vec![false; g.num_vertices() as usize];
+        for inst in &kernel.components {
+            for &old in &inst.old_ids {
+                assert!(!seen[old as usize], "vertex {old} in two components");
+                seen[old as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn stats_account_for_every_vertex() {
+        for seed in 0..4 {
+            let g = gen::pace_like(80, 4, seed);
+            let kernel = preprocess(&g, &PrepConfig::default());
+            let s = &kernel.stats;
+            assert_eq!(
+                s.forced + s.excluded + s.kernel_vertices,
+                s.original_vertices,
+                "seed {seed}"
+            );
+            assert_eq!(s.forced as usize, kernel.trace.forced.len());
+            assert!(s.elimination() >= 0.0 && s.elimination() <= 1.0);
+        }
+    }
+
+    #[test]
+    fn empty_and_edgeless_inputs() {
+        let empty = CsrGraph::from_edges(0, &[]).unwrap();
+        let kernel = preprocess(&empty, &PrepConfig::default());
+        assert!(kernel.is_fully_reduced());
+        assert_eq!(kernel.lift(&[]), Vec::<u32>::new());
+        assert_eq!(kernel.stats.elimination(), 1.0);
+
+        let edgeless = CsrGraph::from_edges(9, &[]).unwrap();
+        let kernel = preprocess(&edgeless, &PrepConfig::default());
+        assert!(kernel.is_fully_reduced());
+        assert_eq!(kernel.lift(&[]), Vec::<u32>::new());
+    }
+}

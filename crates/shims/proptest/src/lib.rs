@@ -8,7 +8,7 @@
 pub mod strategy;
 
 pub mod test_runner {
-    //! Runner configuration and per-case plumbing used by [`proptest!`].
+    //! Runner configuration and per-case plumbing used by the `proptest!` macro.
 
     /// Error carried out of a failing property body.
     #[derive(Debug, Clone)]
@@ -97,7 +97,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

@@ -143,6 +143,10 @@ pub struct BlockCounters {
     pub donations_bounced: u64,
     /// Deepest local-stack depth observed.
     pub max_stack_depth: u64,
+    /// For steal-based policies: successful steals by this block,
+    /// keyed by the victim block id (the Figure-5-style locality
+    /// breakdown; empty for non-stealing policies).
+    pub steals_by_victim: std::collections::BTreeMap<u32, u64>,
 }
 
 impl BlockCounters {
@@ -157,7 +161,13 @@ impl BlockCounters {
             nodes_from_worklist: 0,
             donations_bounced: 0,
             max_stack_depth: 0,
+            steals_by_victim: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Records one successful steal from `victim`'s deque.
+    pub fn record_steal(&mut self, victim: u32) {
+        *self.steals_by_victim.entry(victim).or_insert(0) += 1;
     }
 
     /// Starts recording a [`Span`] per charge (timeline tracing).
@@ -241,7 +251,7 @@ impl SmLoad {
         self.normalized.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Quantile of the normalized loads (q in [0,1], nearest-rank).
+    /// Quantile of the normalized loads (q in \[0,1\], nearest-rank).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.normalized.is_empty() {
             return 0.0;

@@ -3,7 +3,7 @@
 //! The substrate behind the paper's Hybrid traversal (§IV-A, §IV-C):
 //!
 //! * [`BrokerQueue`] — a from-scratch implementation of the Broker Work
-//!   Distributor (Kerbl et al., ICS'18 [21]): a bounded, linearizable
+//!   Distributor (Kerbl et al., ICS'18 \[21\]): a bounded, linearizable
 //!   MPMC ring buffer where producers and consumers first *negotiate* on
 //!   an element count before touching slots, so a failed operation never
 //!   disturbs the ring.

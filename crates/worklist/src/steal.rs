@@ -58,6 +58,10 @@ pub struct StealPool<T> {
     done: AtomicBool,
     /// Successful steals (load-balancing traffic metric).
     steals: AtomicU64,
+    /// Successful steals per *victim* deque — the Figure-5-style
+    /// locality signal: a hot victim is a block whose sub-tree the
+    /// rest of the pool lived off.
+    steals_from: Vec<AtomicU64>,
     /// Failed full scans (starvation metric).
     failed_scans: AtomicU64,
     /// How long a starved worker sleeps between scans.
@@ -76,6 +80,7 @@ impl<T> StealPool<T> {
             tokens: AtomicUsize::new(0),
             done: AtomicBool::new(false),
             steals: AtomicU64::new(0),
+            steals_from: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             failed_scans: AtomicU64::new(0),
             poll_sleep: Duration::from_micros(50),
         }
@@ -110,6 +115,15 @@ impl<T> StealPool<T> {
     /// Total successful steals across all workers.
     pub fn total_steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Successful steals broken down by victim deque, indexed by
+    /// worker. Sums to [`total_steals`](Self::total_steals).
+    pub fn steals_per_victim(&self) -> Vec<u64> {
+        self.steals_from
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 
     /// Total failed whole-pool scans across all workers.
@@ -190,6 +204,7 @@ impl<T> StealHandle<'_, T> {
             if let Some((item, victim)) = self.try_steal() {
                 self.holds_token = true;
                 self.pool.steals.fetch_add(1, Ordering::Relaxed);
+                self.pool.steals_from[victim].fetch_add(1, Ordering::Relaxed);
                 break StealOutcome::Item(item, StealSource::Stolen { victim });
             }
             self.pool.failed_scans.fetch_add(1, Ordering::Relaxed);
@@ -275,6 +290,7 @@ mod tests {
             StealOutcome::Item(11, StealSource::Stolen { victim: 0 })
         );
         assert_eq!(pool.total_steals(), 1);
+        assert_eq!(pool.steals_per_victim(), vec![1, 0]);
         assert_eq!(h0.pop(), StealOutcome::Item(12, StealSource::Own));
         // Single-threaded drain: a blocking pop would wait for the
         // other handle's token, so release h0's explicitly (concurrent
@@ -332,6 +348,11 @@ mod tests {
         assert_eq!(leaves.load(Ordering::Relaxed), 1 << DEPTH);
         assert!(pool.is_done());
         assert_eq!(pool.len_hint(), 0);
+        assert_eq!(
+            pool.steals_per_victim().iter().sum::<u64>(),
+            pool.total_steals(),
+            "per-victim counters must partition the steal total"
+        );
     }
 
     #[test]

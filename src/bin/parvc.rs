@@ -3,36 +3,51 @@
 //! ```text
 //! parvc solve   [--policy seq|stack|hybrid|steal] [--threads <n>]
 //!               [--k <k>] [--deadline <s>] [--extensions]
-//!               [--format dimacs|edgelist] <file>
+//!               [--prep] [--prep-rules d012,crown,highdeg,split]
+//!               [--format dimacs|edgelist] <instance>
+//! parvc prep    [--rules d012,crown,highdeg,split] [--out <file>]
+//!               [--format dimacs|edgelist] <instance>
 //! parvc generate <family> <args...> [--seed <s>] [--out <file>]
-//! parvc analyze [--format dimacs|edgelist] <file>
+//! parvc analyze [--format dimacs|edgelist] <instance>
 //! parvc demo
 //! ```
+//!
+//! `<instance>` is either a real instance **file** (DIMACS `.dimacs` /
+//! `.clq` / `.col`, or a whitespace edge list — downloaded benchmarks
+//! drop straight in) or a generator **spec**
+//! `family:arg1:arg2[...][@seed]`, e.g. `gnp:200:0.05@7`,
+//! `ba:150000:1`, `components:120000:6000:0.3`.
 //!
 //! `--policy` selects the scheduling policy the branch-and-reduce
 //! engine runs (`--algorithm` is accepted as an alias); `--threads`
 //! caps the number of thread blocks (`--blocks` is an alias).
+//! `--prep` runs the `parvc-prep` kernelization + component
+//! decomposition before the search; `parvc prep` reports what that
+//! pipeline does to an instance (and can write the kernel as DIMACS).
 //!
-//! Families for `generate`: `phat n class`, `gnp n p`, `ba n m`,
-//! `ws n k beta`, `geometric n radius`, `pace n communities`,
-//! `components n parts p`, `bipartite left right p`, `grid w h`.
+//! Families for `generate` and specs: `phat n class`, `gnp n p`,
+//! `ba n m`, `ws n k beta`, `geometric n radius`,
+//! `pace n communities`, `components n parts p`,
+//! `bipartite left right p`, `grid w h`.
 
 use std::io::BufReader;
 use std::time::Duration;
 
 use parvc::graph::{analysis, gen, io, kcore, matching, ops};
 use parvc::prelude::*;
+use parvc::prep::{preprocess, PrepConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("solve") => cmd_solve(&args[1..]),
+        Some("prep") => cmd_prep(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: parvc <solve|generate|analyze|demo> [options]\n\
+                "usage: parvc <solve|prep|generate|analyze|demo> [options]\n\
                  see the crate docs (src/bin/parvc.rs) for details"
             );
             std::process::exit(2);
@@ -74,6 +89,85 @@ fn parse_flags(args: &[String], value_flags: &[&str]) -> Flags {
     flags
 }
 
+/// Builds the graph a positional `<instance>` argument names: a
+/// generator spec (`family:args[@seed]`) when the first `:`-segment is
+/// a known family, otherwise a file in `--format` (or inferred from
+/// the extension).
+fn load_instance(spec: &str, format: Option<&str>) -> CsrGraph {
+    match parse_gen_spec(spec) {
+        Some(g) => g,
+        None => load_graph(spec, format),
+    }
+}
+
+/// Parses `family:arg1:arg2[...][@seed]` into a generated graph, or
+/// `None` if the leading segment is not a generator family — a file
+/// path may legitimately contain `:` or `@`, so nothing is rejected
+/// before the family name matches.
+fn parse_gen_spec(spec: &str) -> Option<CsrGraph> {
+    const FAMILIES: [&str; 9] = [
+        "phat",
+        "gnp",
+        "ba",
+        "ws",
+        "geometric",
+        "pace",
+        "components",
+        "bipartite",
+        "grid",
+    ];
+    let (family, rest) = spec.split_once(':')?;
+    if !FAMILIES.contains(&family) {
+        return None;
+    }
+    let (body, seed) = match rest.split_once('@') {
+        Some((body, s)) => (
+            body,
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad seed '{s}' in spec '{spec}'");
+                std::process::exit(2);
+            }),
+        ),
+        None => (rest, 42u64),
+    };
+    let parts = body.split(':');
+    let args: Vec<f64> = parts
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("bad numeric argument '{t}' in spec '{spec}'");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let arg = |i: usize| -> f64 {
+        *args.get(i).unwrap_or_else(|| {
+            eprintln!("spec '{spec}': family {family} needs more arguments");
+            std::process::exit(2);
+        })
+    };
+    Some(generate_family(family, seed, &arg))
+}
+
+/// The shared family dispatch used by `generate` and the spec syntax.
+/// `arg(i)` yields the i-th numeric argument after the family name.
+fn generate_family(family: &str, seed: u64, arg: &dyn Fn(usize) -> f64) -> CsrGraph {
+    match family {
+        "phat" => gen::p_hat_complement(arg(0) as u32, arg(1) as u8, seed),
+        "gnp" => gen::gnp(arg(0) as u32, arg(1), seed),
+        "ba" => gen::barabasi_albert(arg(0) as u32, arg(1) as u32, seed),
+        "ws" => gen::watts_strogatz(arg(0) as u32, arg(1) as u32, arg(2), seed),
+        "geometric" => gen::random_geometric(arg(0) as u32, arg(1), seed),
+        "pace" => gen::pace_like(arg(0) as u32, arg(1) as u32, seed),
+        "components" => gen::sparse_components(arg(0) as u32, arg(1) as u32, arg(2), seed),
+        "bipartite" => gen::bipartite_gnp(arg(0) as u32, arg(1) as u32, arg(2), seed),
+        "grid" => gen::grid2d(arg(0) as u32, arg(1) as u32),
+        other => {
+            eprintln!("unknown family '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn load_graph(path: &str, format: Option<&str>) -> CsrGraph {
     let format = format.map(str::to_string).unwrap_or_else(|| {
         if path.ends_with(".dimacs") || path.ends_with(".clq") || path.ends_with(".col") {
@@ -101,6 +195,34 @@ fn load_graph(path: &str, format: Option<&str>) -> CsrGraph {
     })
 }
 
+/// Parses a `d012,crown,highdeg,split` stage list into a [`PrepConfig`]
+/// (absent flag = every stage on).
+fn parse_prep_rules(list: Option<&String>) -> PrepConfig {
+    let Some(list) = list else {
+        return PrepConfig::default();
+    };
+    let mut cfg = PrepConfig {
+        low_degree: false,
+        crown: false,
+        high_degree: false,
+        split_components: false,
+        ..PrepConfig::default()
+    };
+    for rule in list.split(',').filter(|r| !r.is_empty()) {
+        match rule {
+            "d012" => cfg.low_degree = true,
+            "crown" => cfg.crown = true,
+            "highdeg" => cfg.high_degree = true,
+            "split" => cfg.split_components = true,
+            other => {
+                eprintln!("unknown prep rule '{other}' (d012|crown|highdeg|split)");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg
+}
+
 fn cmd_solve(args: &[String]) {
     let flags = parse_flags(
         args,
@@ -112,13 +234,14 @@ fn cmd_solve(args: &[String]) {
             "format",
             "blocks",
             "threads",
+            "prep-rules",
         ],
     );
     let Some(path) = flags.positional.first() else {
-        eprintln!("solve: missing input file");
+        eprintln!("solve: missing instance (file or generator spec)");
         std::process::exit(2);
     };
-    let g = load_graph(path, flags.options.get("format").map(String::as_str));
+    let g = load_instance(path, flags.options.get("format").map(String::as_str));
     // --policy names the engine's SchedulePolicy; --algorithm is the
     // historical alias.
     let policy = flags
@@ -152,6 +275,9 @@ fn cmd_solve(args: &[String]) {
     }
     if flags.switches.contains("extensions") {
         builder = builder.extensions(parvc::core::Extensions::ALL);
+    }
+    if flags.switches.contains("prep") || flags.options.contains_key("prep-rules") {
+        builder = builder.preprocess(parse_prep_rules(flags.options.get("prep-rules")));
     }
     let solver = builder.build();
 
@@ -190,7 +316,76 @@ fn cmd_solve(args: &[String]) {
                 r.stats.seconds(),
                 r.stats.greedy_size
             );
+            if let Some(prep) = &r.stats.prep {
+                eprintln!(
+                    "prep: {:.1}% of vertices eliminated, {} forced, kernel |V|={} in {} components",
+                    prep.elimination() * 100.0,
+                    prep.forced,
+                    prep.kernel_vertices,
+                    prep.components
+                );
+            }
         }
+    }
+}
+
+fn cmd_prep(args: &[String]) {
+    let flags = parse_flags(args, &["format", "out", "rules"]);
+    let Some(path) = flags.positional.first() else {
+        eprintln!("prep: missing instance (file or generator spec)");
+        std::process::exit(2);
+    };
+    let g = load_instance(path, flags.options.get("format").map(String::as_str));
+    let cfg = parse_prep_rules(flags.options.get("rules"));
+    let start = std::time::Instant::now();
+    let kernel = preprocess(&g, &cfg);
+    let elapsed = start.elapsed();
+    let s = &kernel.stats;
+
+    println!(
+        "original: |V|={} |E|={}",
+        s.original_vertices, s.original_edges
+    );
+    println!(
+        "{:<16} {:>10} {:>10} {:>7}",
+        "rule", "covered", "excluded", "passes"
+    );
+    for r in &s.rules {
+        println!(
+            "{:<16} {:>10} {:>10} {:>7}",
+            r.name, r.covered, r.excluded, r.passes
+        );
+    }
+    println!(
+        "kernel:   |V|={} |E|={} in {} components (largest {})",
+        s.kernel_vertices, s.kernel_edges, s.components, s.largest_component
+    );
+    println!(
+        "eliminated {:.1}% of vertices ({} forced into the cover, {} avoidable) \
+         in {} rounds, {:.3}s",
+        s.elimination() * 100.0,
+        s.forced,
+        s.original_vertices - s.kernel_vertices - s.forced,
+        s.rounds,
+        elapsed.as_secs_f64()
+    );
+    if kernel.is_fully_reduced() {
+        let cover = kernel.lift(&[]);
+        assert!(is_vertex_cover(&g, &cover));
+        println!(
+            "fully reduced: preprocessing alone proves the minimum vertex cover is {}",
+            cover.len()
+        );
+    }
+    if let Some(out) = flags.options.get("out") {
+        let file = std::fs::File::create(out).expect("cannot create output file");
+        io::write_dimacs(
+            &kernel.kernel_graph(),
+            "edge",
+            std::io::BufWriter::new(file),
+        )
+        .expect("write failed");
+        eprintln!("wrote the kernel (disjoint component union) to {out}");
     }
 }
 
@@ -202,30 +397,20 @@ fn cmd_generate(args: &[String]) {
         .map(|s| s.parse().expect("--seed takes an integer"))
         .unwrap_or(42);
     let p = &flags.positional;
+    let Some(family) = p.first() else {
+        eprintln!("generate: missing family");
+        std::process::exit(2);
+    };
     let get = |i: usize| -> f64 {
-        p.get(i)
+        p.get(i + 1)
             .unwrap_or_else(|| {
-                eprintln!("generate: missing argument {i} for family {:?}", p.first());
+                eprintln!("generate: missing argument {i} for family {family}");
                 std::process::exit(2);
             })
             .parse()
             .expect("numeric argument")
     };
-    let g = match p.first().map(String::as_str) {
-        Some("phat") => gen::p_hat_complement(get(1) as u32, get(2) as u8, seed),
-        Some("gnp") => gen::gnp(get(1) as u32, get(2), seed),
-        Some("ba") => gen::barabasi_albert(get(1) as u32, get(2) as u32, seed),
-        Some("ws") => gen::watts_strogatz(get(1) as u32, get(2) as u32, get(3), seed),
-        Some("geometric") => gen::random_geometric(get(1) as u32, get(2), seed),
-        Some("pace") => gen::pace_like(get(1) as u32, get(2) as u32, seed),
-        Some("components") => gen::sparse_components(get(1) as u32, get(2) as u32, get(3), seed),
-        Some("bipartite") => gen::bipartite_gnp(get(1) as u32, get(2) as u32, get(3), seed),
-        Some("grid") => gen::grid2d(get(1) as u32, get(2) as u32),
-        other => {
-            eprintln!("unknown family {other:?}");
-            std::process::exit(2);
-        }
-    };
+    let g = generate_family(family, seed, &get);
     match flags.options.get("out") {
         Some(path) => {
             let file = std::fs::File::create(path).expect("cannot create output file");
@@ -245,10 +430,10 @@ fn cmd_generate(args: &[String]) {
 fn cmd_analyze(args: &[String]) {
     let flags = parse_flags(args, &["format"]);
     let Some(path) = flags.positional.first() else {
-        eprintln!("analyze: missing input file");
+        eprintln!("analyze: missing instance (file or generator spec)");
         std::process::exit(2);
     };
-    let g = load_graph(path, flags.options.get("format").map(String::as_str));
+    let g = load_instance(path, flags.options.get("format").map(String::as_str));
     let stats = analysis::degree_stats(&g);
     let (_, components) = ops::connected_components(&g);
     println!("vertices:        {}", g.num_vertices());

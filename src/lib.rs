@@ -15,6 +15,10 @@
 //!   policies (Sequential, StackOnly, Hybrid, WorkStealing) for MVC
 //!   and PVC ([`parvc_core`]; see [`parvc_core::engine`] for the
 //!   `SchedulePolicy` seam new schemes plug into).
+//! * [`prep`] — one-shot kernelization (degree rules, crown/LP,
+//!   high-degree) and connected-component decomposition in front of
+//!   every policy ([`parvc_prep`]; enable with
+//!   [`SolverBuilder::preprocess`](parvc_core::SolverBuilder::preprocess)).
 //!
 //! ## Quickstart
 //!
@@ -31,12 +35,15 @@
 
 pub use parvc_core as core;
 pub use parvc_graph as graph;
+pub use parvc_prep as prep;
 pub use parvc_simgpu as simgpu;
 pub use parvc_worklist as worklist;
 
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
-    pub use parvc_core::{is_vertex_cover, Algorithm, MvcResult, PvcResult, Solver, SolverBuilder};
+    pub use parvc_core::{
+        is_vertex_cover, Algorithm, MvcResult, PrepConfig, PvcResult, Solver, SolverBuilder,
+    };
     pub use parvc_graph::{CsrGraph, GraphBuilder};
     pub use parvc_simgpu::DeviceSpec;
 }

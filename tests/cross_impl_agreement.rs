@@ -4,7 +4,7 @@
 //! instances, all validated against the brute-force oracle.
 
 use parvc::core::brute::brute_force_mvc;
-use parvc::core::{is_vertex_cover, Algorithm, Solver};
+use parvc::core::{is_vertex_cover, Algorithm, PrepConfig, Solver};
 use parvc::graph::{gen, CsrGraph};
 use proptest::prelude::*;
 
@@ -112,9 +112,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// The tentpole invariant: all four scheduling policies return the
-    /// same optimal MVC size and a verified cover across the corpus,
-    /// using Sequential (itself brute-force-validated above) as the
-    /// reference.
+    /// same optimal MVC size and a verified cover across the corpus —
+    /// with kernelization **off and on** — using Sequential (itself
+    /// brute-force-validated above) as the reference.
     #[test]
     fn all_policies_agree_across_generator_corpus((family, g) in arb_corpus_graph()) {
         let reference = Solver::builder()
@@ -123,10 +123,26 @@ proptest! {
             .solve_mvc(&g);
         prop_assert!(is_vertex_cover(&g, &reference.cover), "sequential non-cover on {}", family);
         for (name, solver) in solvers() {
+            let algorithm = solver.algorithm();
             let r = solver.solve_mvc(&g);
             prop_assert_eq!(r.size, reference.size, "{} vs sequential on {}", name, family);
             prop_assert!(is_vertex_cover(&g, &r.cover), "{} non-cover on {}", name, family);
             prop_assert_eq!(r.cover.len() as u32, r.size, "{} cover/size mismatch", name);
+
+            let prepped = Solver::builder()
+                .algorithm(algorithm)
+                .grid_limit(Some(6))
+                .preprocess(PrepConfig::default())
+                .build()
+                .solve_mvc(&g);
+            prop_assert_eq!(
+                prepped.size, reference.size,
+                "{} (prep) vs sequential on {}", name, family
+            );
+            prop_assert!(
+                is_vertex_cover(&g, &prepped.cover),
+                "{} (prep) non-cover on {}", name, family
+            );
         }
     }
 }
