@@ -1,0 +1,11 @@
+//! Runs the **component branching** report: in-search split-on vs
+//! split-off (arXiv 2512.18334) across the gnp/ba/grid/components
+//! corpus plus the `massive_components` instance.
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::components_report(&args);
+}

@@ -12,9 +12,13 @@
 //! | `sensitivity` | §V-A in-text robustness numbers (block size, depth, worklist) |
 //! | `ablation` | hybrid vs its two degenerate extremes (pure stacks / pure worklist) |
 //! | `massive` | `Scale::Massive` — kernelization + component decomposition vs the unpreprocessed baseline on ≥100k-vertex sparse instances |
-//! | `all` | everything above (except `massive`) in sequence |
+//! | `components` | in-search component branching (arXiv 2512.18334): split-on vs split-off tree-node counts, WorkStealing vs ComponentSteal |
+//! | `all` | everything above (except `massive` and `components`) in sequence |
 //!
 //! Run e.g. `cargo run -p parvc-bench --release --bin table1 -- --scale small --deadline 5`.
+//!
+//! Part of the `parvc` workspace — see `ARCHITECTURE.md` at the
+//! repository root and `README.md` for a results tour.
 
 #![warn(missing_docs)]
 

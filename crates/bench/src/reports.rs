@@ -1,6 +1,7 @@
 //! Report generators: one function per table/figure of the paper.
 
 use parvc_core::{is_vertex_cover, Algorithm, Extensions, PrepConfig, Solver};
+use parvc_graph::CsrGraph;
 use parvc_simgpu::counters::{Activity, SmLoad};
 use parvc_simgpu::occupancy::{candidate_block_sizes, LaunchRequest};
 use parvc_simgpu::DeviceSpec;
@@ -137,6 +138,7 @@ fn short_impl(i: Impl) -> &'static str {
         Impl::StackOnly => "Stk",
         Impl::Hybrid => "Hyb",
         Impl::WorkStealing => "Stl",
+        Impl::ComponentSteal => "Cst",
     }
 }
 
@@ -424,6 +426,125 @@ pub fn massive(args: &BenchArgs) {
     );
 }
 
+/// **Component branching** — the split-on / split-off comparison of
+/// arXiv 2512.18334's in-search component branching across the
+/// gnp/ba/grid/components corpus plus the `massive_components`
+/// instance (the latter through the prep pipeline, whose kernel
+/// components are themselves re-split in-search).
+///
+/// Three arms per instance: the WorkStealing policy with splitting
+/// off, the same policy with splitting on (inline component-sum
+/// nodes), and the ComponentSteal policy (components donated to the
+/// steal pool). All three must agree on the cover size; the headline
+/// column is tree nodes explored relative to split-off.
+pub fn components_report(args: &BenchArgs) {
+    println!(
+        "\n=== Component branching: split-on vs split-off (budget {:.1}s/solve) ===",
+        args.deadline.as_secs_f64()
+    );
+    // The massive row reuses the named suite instance so the report
+    // never drifts from what `massive`/`Scale::Massive` benchmark.
+    let massive_components = crate::suite::massive_suite()
+        .into_iter()
+        .find(|i| i.name == "massive_components")
+        .expect("massive suite defines massive_components")
+        .graph;
+    let corpus: Vec<(&str, CsrGraph, bool)> = vec![
+        ("gnp", parvc_graph::gen::gnp(60, 0.15, 7), false),
+        ("ba", parvc_graph::gen::barabasi_albert(80, 2, 7), false),
+        ("grid", parvc_graph::gen::grid2d(8, 8), false),
+        (
+            "components",
+            parvc_graph::gen::sparse_components(260, 22, 0.32, 7),
+            false,
+        ),
+        ("massive_components", massive_components, true),
+    ];
+    let mut t = Table::new(vec![
+        "graph",
+        "|V|",
+        "|E|",
+        "arm",
+        "size",
+        "tree nodes",
+        "time(s)",
+        "splits",
+        "comps",
+        "nodes vs off",
+    ]);
+    for (name, graph, prep) in &corpus {
+        eprintln!("[components] {name} ...");
+        let arm = |imp: Impl, split: bool| {
+            let solver = solver_with(imp, args, |mut b| {
+                b = b.component_branching(split);
+                if *prep {
+                    b = b.preprocess(PrepConfig::default());
+                }
+                b
+            });
+            solver.solve_mvc(graph)
+        };
+        let runs = [
+            ("split-off", arm(Impl::WorkStealing, false)),
+            ("split-on", arm(Impl::WorkStealing, true)),
+            ("compsteal", arm(Impl::ComponentSteal, true)),
+        ];
+        let baseline_nodes = runs[0].1.stats.tree_nodes.max(1);
+        for (label, r) in &runs {
+            assert!(
+                is_vertex_cover(graph, &r.cover),
+                "{name}/{label}: returned a non-cover"
+            );
+            let splits = r.stats.report.split_totals();
+            t.row(vec![
+                name.to_string(),
+                graph.num_vertices().to_string(),
+                graph.num_edges().to_string(),
+                label.to_string(),
+                r.size.to_string(),
+                r.stats.tree_nodes.to_string(),
+                fmt_seconds(r.stats.seconds(), r.stats.timed_out),
+                splits.taken.to_string(),
+                splits.components.to_string(),
+                format!("{:.2}x", r.stats.tree_nodes as f64 / baseline_nodes as f64),
+            ]);
+        }
+        // The agreement / strictly-fewer-nodes properties only hold
+        // for completed solves: a timed-out arm reports best-so-far,
+        // which the table renders as a >budget cell instead.
+        if runs.iter().all(|(_, r)| !r.stats.timed_out) {
+            let sizes: Vec<u32> = runs.iter().map(|(_, r)| r.size).collect();
+            assert!(
+                sizes.windows(2).all(|w| w[0] == w[1]),
+                "{name}: arms disagree on the cover size ({sizes:?})"
+            );
+            // The headline property: splitting explores strictly fewer
+            // tree nodes on component-structured instances.
+            if name.contains("components") {
+                assert!(
+                    runs[1].1.stats.tree_nodes < runs[0].1.stats.tree_nodes,
+                    "{name}: split-on must explore strictly fewer nodes \
+                     ({} >= {})",
+                    runs[1].1.stats.tree_nodes,
+                    runs[0].1.stats.tree_nodes,
+                );
+            }
+        } else {
+            eprintln!("[components] {name}: budget hit — agreement checks skipped");
+        }
+        t.separator();
+    }
+    t.print();
+    let hist_note: Vec<String> = (0..parvc_simgpu::counters::SplitCounters::HIST_BUCKETS)
+        .map(|i| parvc_simgpu::counters::SplitCounters::bucket_label(i).to_string())
+        .collect();
+    println!(
+        "(splits = component-sum nodes taken; comps = sub-searches spawned; \
+         size histogram buckets: {})",
+        hist_note.join(", ")
+    );
+}
+
 fn shorten(name: &str) -> String {
     name.replace("p_hat_", "ph")
         .replace("_like", "")
@@ -573,6 +694,7 @@ fn solver_with(
         },
         Impl::Hybrid => Algorithm::Hybrid,
         Impl::WorkStealing => Algorithm::WorkStealing,
+        Impl::ComponentSteal => Algorithm::ComponentSteal,
     };
     f(Solver::builder()
         .algorithm(algorithm)
@@ -618,14 +740,14 @@ pub fn extensions_ablation(args: &BenchArgs) {
                 "+domination",
                 Extensions {
                     domination_rule: true,
-                    matching_lower_bound: false,
+                    ..Extensions::NONE
                 },
             ),
             (
                 "+matching LB",
                 Extensions {
-                    domination_rule: false,
                     matching_lower_bound: true,
+                    ..Extensions::NONE
                 },
             ),
             ("+both", Extensions::ALL),

@@ -69,10 +69,16 @@ pub enum Impl {
     Hybrid,
     /// Per-block work-stealing deques.
     WorkStealing,
+    /// Work stealing donating whole components of disconnected
+    /// residuals (implies in-search component branching). Not part of
+    /// [`Impl::ALL`] — the classic tables keep the paper's column set;
+    /// the `components` report compares it against the others.
+    ComponentSteal,
 }
 
 impl Impl {
-    /// All four: Table I's column order, then the extension.
+    /// The classic table columns: Table I's three code versions, then
+    /// the work-stealing extension.
     pub const ALL: [Impl; 4] = [
         Impl::Sequential,
         Impl::StackOnly,
@@ -87,6 +93,7 @@ impl Impl {
             Impl::StackOnly => "StackOnly",
             Impl::Hybrid => "Hybrid",
             Impl::WorkStealing => "WorkSteal",
+            Impl::ComponentSteal => "CompSteal",
         }
     }
 }
@@ -113,6 +120,7 @@ pub fn make_solver(imp: Impl, args: &BenchArgs, deadline: Option<Duration>) -> S
         },
         Impl::Hybrid => Algorithm::Hybrid,
         Impl::WorkStealing => Algorithm::WorkStealing,
+        Impl::ComponentSteal => Algorithm::ComponentSteal,
     };
     Solver::builder()
         .algorithm(algorithm)

@@ -36,6 +36,7 @@ use crate::ops::Kernel;
 use crate::shared::{
     BoundKind, BoundSrc, Deadline, GlobalBest, PvcFound, RawParallel, RawParallelPvc,
 };
+use crate::split::{self, PendingSplit, SplitVerdict};
 use crate::TreeNode;
 
 /// Which problem a traversal solves, and what ends it: MVC improves a
@@ -123,6 +124,25 @@ pub trait SchedulePolicy {
     /// The block is exiting for `cause`; settle termination signalling
     /// and final accounting.
     fn on_exit(&mut self, cause: ExitCause, kernel: &Kernel<'_>, counters: &mut BlockCounters);
+
+    /// Offered a tree node whose residual graph disconnected (a
+    /// **component-sum node** — see [`crate::split`]), before the
+    /// engine solves its components inline.
+    ///
+    /// Return `Ok(())` to take ownership: the policy must then ensure
+    /// every component is eventually solved and the combined solution
+    /// re-enters the traversal (the `ComponentSteal` policy queues the
+    /// components as stealable work units). Return `Err(split)` — the
+    /// default — to decline, and the engine solves the components
+    /// inline on this block.
+    fn adopt_split(
+        &mut self,
+        split: PendingSplit,
+        _kernel: &Kernel<'_>,
+        _counters: &mut BlockCounters,
+    ) -> Result<(), PendingSplit> {
+        Err(split)
+    }
 }
 
 /// Per-launch constructor and shared state of a scheduling scheme.
@@ -182,6 +202,43 @@ pub fn drive_block(
         if kernel.prune(&node, bound.bound()) {
             continue;
         }
+        // Component-sum nodes (see [`crate::split`]): when the
+        // reductions disconnected the residual graph, the components
+        // are independent sub-problems whose optima sum. The policy may
+        // adopt the split (donate components as work units); otherwise
+        // the block solves them inline and the combined cover flows
+        // through the ordinary solution machinery.
+        if let Some(params) = kernel.ext.component_branching {
+            if let Some(comps) = split::detect_components(kernel, &node, params, counters) {
+                let pending = PendingSplit {
+                    parent: node,
+                    comps,
+                };
+                match policy.adopt_split(pending, kernel, counters) {
+                    Ok(()) => continue,
+                    Err(pending) => {
+                        let verdict = split::solve_split(
+                            kernel,
+                            &pending.parent,
+                            bound.bound(),
+                            &pending.comps,
+                            &mut || bound.should_abort(),
+                            counters,
+                            params.max_depth,
+                        );
+                        if let SplitVerdict::Solved(combined) = verdict {
+                            if !kernel.prune(&combined, bound.bound())
+                                && bound.on_solution(&combined)
+                            {
+                                policy.on_exit(ExitCause::SolutionFound, kernel, counters);
+                                return;
+                            }
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
         let vmax = match kernel.find_max_degree(&node, counters) {
             // Zero-vertex graph, or an edgeless intermediate graph:
             // S is a cover (Figure 4 lines 17–19).
@@ -236,6 +293,37 @@ pub struct Engine<'a> {
 
 impl Engine<'_> {
     /// Runs `mode` under `factory`'s scheduling scheme.
+    ///
+    /// This is the layer below [`Solver`](crate::Solver): you pick the
+    /// policy factory and execution shape yourself. Inline single-block
+    /// execution with the Sequential policy is the minimal setup:
+    ///
+    /// ```
+    /// use parvc_core::engine::{Engine, SearchMode, SearchOutcome};
+    /// use parvc_core::greedy::greedy_mvc;
+    /// use parvc_core::sequential::SequentialFactory;
+    /// use parvc_core::shared::Deadline;
+    /// use parvc_core::Extensions;
+    /// use parvc_graph::gen;
+    /// use parvc_simgpu::{CostModel, DeviceSpec};
+    ///
+    /// let g = gen::petersen();
+    /// let (device, cost) = (DeviceSpec::scaled(1), CostModel::default());
+    /// let deadline = Deadline::new(None);
+    /// let engine = Engine {
+    ///     graph: &g,
+    ///     device: &device,
+    ///     config: None, // single block, inline on this thread
+    ///     cost: &cost,
+    ///     deadline: &deadline,
+    ///     ext: Extensions::NONE,
+    /// };
+    /// let mode = SearchMode::Mvc { initial: greedy_mvc(&g) };
+    /// let SearchOutcome::Mvc(raw) = engine.solve(&SequentialFactory::new(), mode) else {
+    ///     unreachable!("MVC mode returns an MVC outcome");
+    /// };
+    /// assert_eq!(raw.best_size, 6); // Petersen's minimum vertex cover
+    /// ```
     pub fn solve(&self, factory: &dyn PolicyFactory, mode: SearchMode) -> SearchOutcome {
         let depth_bound = mode.depth_bound(self.graph);
         match mode {

@@ -26,6 +26,7 @@ use parvc_simgpu::counters::BlockCounters;
 
 use crate::bound::SearchBound;
 use crate::ops::Kernel;
+use crate::split::SplitParams;
 use crate::TreeNode;
 
 /// Optional pruning/reduction extensions (all off by default — the
@@ -36,6 +37,15 @@ pub struct Extensions {
     pub domination_rule: bool,
     /// Prune with a greedy maximal-matching lower bound.
     pub matching_lower_bound: bool,
+    /// Re-split the search at tree nodes whose residual graph has
+    /// disconnected (see [`crate::split`]). `None` = off.
+    ///
+    /// Not part of [`Extensions::ALL`]: the reduction extensions
+    /// strengthen every node the same way, while component branching
+    /// changes the search-tree *shape* and is toggled separately (via
+    /// [`SolverBuilder::component_branching`](crate::SolverBuilder::component_branching)
+    /// or the `ComponentSteal` policy).
+    pub component_branching: Option<SplitParams>,
 }
 
 impl Extensions {
@@ -43,12 +53,16 @@ impl Extensions {
     pub const NONE: Extensions = Extensions {
         domination_rule: false,
         matching_lower_bound: false,
+        component_branching: None,
     };
 
-    /// Everything on.
+    /// Both reduction/pruning extensions on (component branching stays
+    /// a separate toggle — see
+    /// [`Extensions::component_branching`]).
     pub const ALL: Extensions = Extensions {
         domination_rule: true,
         matching_lower_bound: true,
+        component_branching: None,
     };
 }
 

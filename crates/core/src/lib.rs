@@ -20,6 +20,14 @@
 //!   stacks plus a threshold-gated global worklist (Figure 4).
 //! * [`stealing`] — a fourth policy beyond the paper: per-block
 //!   work-stealing deques, demonstrating the engine's extension seam.
+//! * [`split`] — in-search component branching (arXiv 2512.18334):
+//!   when reductions disconnect the intermediate graph, the node
+//!   becomes a *component-sum node* whose per-component optima are
+//!   summed by independent budgeted sub-searches. Available under every
+//!   policy via [`SolverBuilder::component_branching`].
+//! * [`compsteal`] — the fifth policy,
+//!   [`Algorithm::ComponentSteal`]: work stealing where adopted
+//!   component-sum nodes donate whole components to the steal pool.
 //! * [`Solver`] — the public façade: pick an [`Algorithm`], a
 //!   [`parvc_simgpu::DeviceSpec`], and call
 //!   [`solve_mvc`](Solver::solve_mvc) / [`solve_pvc`](Solver::solve_pvc)
@@ -30,11 +38,16 @@
 //!   sub-search under any of the policies.
 //! * [`greedy`] (the initial bound), [`brute`] (the test oracle),
 //!   [`verify`] (solution checking).
+//!
+//! The cross-crate picture — engine contract, component-sum node
+//! lifecycle, prep→solve→lift flow — is documented in
+//! `ARCHITECTURE.md` at the repository root.
 
 #![warn(missing_docs)]
 
 pub mod bound;
 pub mod brute;
+pub mod compsteal;
 pub mod engine;
 pub mod extensions;
 pub mod greedy;
@@ -46,6 +59,7 @@ pub mod reduce;
 pub mod sequential;
 pub mod shared;
 mod solver;
+pub mod split;
 pub mod stackonly;
 mod stats;
 pub mod stealing;
@@ -56,5 +70,6 @@ pub use extensions::Extensions;
 pub use node::{TreeNode, REMOVED};
 pub use parvc_prep::{PrepConfig, PrepStats};
 pub use solver::{Algorithm, Solver, SolverBuilder};
+pub use split::{PendingSplit, SplitParams, SubInstance};
 pub use stats::{MisResult, MvcResult, PvcResult, SolveStats};
 pub use verify::{is_independent_set, is_vertex_cover};

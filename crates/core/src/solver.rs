@@ -18,12 +18,14 @@ use parvc_simgpu::counters::{BlockCounters, LaunchReport};
 use parvc_simgpu::occupancy::{select_launch, LaunchRequest};
 use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
 
+use crate::compsteal::CompStealFactory;
 use crate::engine::{Engine, PolicyFactory, SearchMode, SearchOutcome};
 use crate::extensions::Extensions;
 use crate::greedy::greedy_mvc_bounded;
 use crate::hybrid::{HybridFactory, HybridParams};
 use crate::sequential::SequentialFactory;
 use crate::shared::Deadline;
+use crate::split::SplitParams;
 use crate::stackonly::{StackOnlyFactory, StackOnlyParams};
 use crate::stats::{MvcResult, PvcResult, SolveStats};
 use crate::stealing::{StealFactory, StealParams};
@@ -51,6 +53,12 @@ pub enum Algorithm {
     /// Per-block deques with steal-based balancing (beyond the paper;
     /// see [`crate::stealing`]).
     WorkStealing,
+    /// Work stealing where adopted component-sum nodes donate **whole
+    /// components** to the steal pool — the natural work unit of
+    /// arXiv 2512.18334 (see [`crate::compsteal`]). Implies in-search
+    /// component branching: [`SolverBuilder::build`] enables it with
+    /// default [`SplitParams`] unless configured explicitly.
+    ComponentSteal,
 }
 
 impl std::fmt::Display for Algorithm {
@@ -60,11 +68,36 @@ impl std::fmt::Display for Algorithm {
             Algorithm::StackOnly { start_depth } => write!(f, "StackOnly(d={start_depth})"),
             Algorithm::Hybrid => write!(f, "Hybrid"),
             Algorithm::WorkStealing => write!(f, "WorkStealing"),
+            Algorithm::ComponentSteal => write!(f, "ComponentSteal"),
         }
     }
 }
 
 /// Builder for [`Solver`].
+///
+/// Every knob defaults to the paper-faithful configuration; the
+/// extensions opt in per solve. The full pipeline — kernelization in
+/// front, work stealing with whole-component donation, in-search
+/// splitting, a wall-clock budget — composes like this:
+///
+/// ```
+/// use std::time::Duration;
+/// use parvc_core::{Algorithm, PrepConfig, Solver, is_vertex_cover};
+/// use parvc_graph::gen;
+///
+/// let g = gen::sparse_components(120, 12, 0.5, 3);
+/// let solver = Solver::builder()
+///     .algorithm(Algorithm::ComponentSteal)   // implies component branching
+///     .preprocess(PrepConfig::default())      // kernelize + decompose up front
+///     .deadline(Some(Duration::from_secs(5))) // ">2 hrs" cells, in miniature
+///     .grid_limit(Some(4))                    // cap the resident grid
+///     .build();
+///
+/// let r = solver.solve_mvc(&g);
+/// assert!(is_vertex_cover(&g, &r.cover));
+/// assert!(!r.stats.timed_out, "this instance finishes well within budget");
+/// assert!(r.stats.prep.is_some(), "kernelization stats are reported");
+/// ```
 #[derive(Debug, Clone)]
 pub struct SolverBuilder {
     algorithm: Algorithm,
@@ -79,6 +112,10 @@ pub struct SolverBuilder {
     ext: Extensions,
     record_trace: bool,
     prep: Option<PrepConfig>,
+    /// Whether the caller explicitly configured component branching
+    /// (so `build()` can tell "disabled on purpose" from "never set"
+    /// when ComponentSteal implies a default).
+    split_configured: bool,
 }
 
 impl Default for SolverBuilder {
@@ -99,6 +136,7 @@ impl Default for SolverBuilder {
             ext: Extensions::NONE,
             record_trace: false,
             prep: None,
+            split_configured: false,
         }
     }
 }
@@ -184,8 +222,17 @@ impl SolverBuilder {
 
     /// Enables the optional extensions beyond the paper's rules
     /// (see [`Extensions`]); default: all off (paper-faithful).
+    ///
+    /// Component branching configured earlier on this builder (via
+    /// [`component_branching`](Self::component_branching)) survives
+    /// unless `ext` sets its own — the two toggles compose in either
+    /// order.
     pub fn extensions(mut self, ext: Extensions) -> Self {
+        let keep_split = self.ext.component_branching;
         self.ext = ext;
+        if self.ext.component_branching.is_none() {
+            self.ext.component_branching = keep_split;
+        }
         self
     }
 
@@ -215,8 +262,41 @@ impl SolverBuilder {
         self
     }
 
+    /// Enables in-search component branching with default
+    /// [`SplitParams`]: whenever a tree node's reduction fixpoint
+    /// disconnects the residual graph, the node is split into
+    /// independent per-component sub-searches whose optima sum (see
+    /// [`crate::split`]). Works under every scheduling policy; the
+    /// [`Algorithm::ComponentSteal`] policy additionally donates the
+    /// components to its steal pool.
+    ///
+    /// Default: off (paper-faithful single-residual traversal).
+    pub fn component_branching(mut self, on: bool) -> Self {
+        self.ext.component_branching = on.then(SplitParams::default);
+        self.split_configured = true;
+        self
+    }
+
+    /// Like [`component_branching`](Self::component_branching), with
+    /// explicit trigger/recursion parameters.
+    pub fn component_branching_params(mut self, params: SplitParams) -> Self {
+        self.ext.component_branching = Some(params);
+        self.split_configured = true;
+        self
+    }
+
     /// Finalizes the solver.
-    pub fn build(self) -> Solver {
+    pub fn build(mut self) -> Solver {
+        // ComponentSteal without the split hook would never see a
+        // component to donate — it implies the default parameters,
+        // unless the caller explicitly turned splitting off (then it
+        // degrades to plain work stealing).
+        if self.algorithm == Algorithm::ComponentSteal
+            && self.ext.component_branching.is_none()
+            && !self.split_configured
+        {
+            self.ext.component_branching = Some(SplitParams::default());
+        }
         Solver { cfg: self }
     }
 }
@@ -513,6 +593,14 @@ impl Solver {
                     &self.cfg.steal,
                 ))
             }
+            Algorithm::ComponentSteal => {
+                let workers = launch.as_ref().map_or(1, |l| l.grid_blocks);
+                Box::new(CompStealFactory::new(
+                    workers as usize,
+                    depth_bound,
+                    &self.cfg.steal,
+                ))
+            }
         };
         let engine = Engine {
             graph: g,
@@ -580,6 +668,10 @@ mod tests {
                 .build(),
             Solver::builder()
                 .algorithm(Algorithm::WorkStealing)
+                .grid_limit(Some(8))
+                .build(),
+            Solver::builder()
+                .algorithm(Algorithm::ComponentSteal)
                 .grid_limit(Some(8))
                 .build(),
         ]
@@ -805,6 +897,102 @@ mod tests {
         let r = solver.solve_mvc(&g);
         assert_eq!(r.size, opt);
         assert!(is_vertex_cover(&g, &r.cover));
+    }
+
+    #[test]
+    fn component_branching_agrees_and_splits() {
+        // Loosely-coupled communities disconnect under reduction:
+        // splitting must fire, and every policy must stay exact.
+        let g = gen::sparse_components(120, 12, 0.5, 3);
+        let opt = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g)
+            .size;
+        for base in solvers() {
+            let solver = Solver {
+                cfg: base.cfg.component_branching(true),
+            };
+            let r = solver.solve_mvc(&g);
+            assert_eq!(r.size, opt, "{} (split on)", solver.algorithm());
+            assert!(is_vertex_cover(&g, &r.cover));
+            let splits = r.stats.report.split_totals();
+            assert!(
+                splits.taken >= 1,
+                "{}: no split taken on a components graph",
+                solver.algorithm()
+            );
+            assert_eq!(
+                splits.size_hist.iter().sum::<u64>(),
+                splits.components,
+                "histogram must partition the component count"
+            );
+        }
+    }
+
+    #[test]
+    fn component_branching_explores_fewer_nodes() {
+        let g = gen::sparse_components(80, 10, 0.5, 7);
+        let off = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
+        let on = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .component_branching(true)
+            .build()
+            .solve_mvc(&g);
+        assert_eq!(on.size, off.size);
+        assert!(
+            on.stats.tree_nodes < off.stats.tree_nodes,
+            "splitting must shrink the tree on a components graph ({} >= {})",
+            on.stats.tree_nodes,
+            off.stats.tree_nodes
+        );
+    }
+
+    #[test]
+    fn component_steal_with_splitting_explicitly_disabled() {
+        // ComponentSteal implies splitting by default, but an explicit
+        // disable wins: the policy degrades to plain work stealing
+        // (useful for A/B-ing the scheduling alone).
+        let g = gen::sparse_components(60, 10, 0.5, 3);
+        let seq = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
+        let solver = Solver::builder()
+            .algorithm(Algorithm::ComponentSteal)
+            .component_branching(false)
+            .grid_limit(Some(4))
+            .build();
+        let r = solver.solve_mvc(&g);
+        assert_eq!(r.size, seq.size);
+        assert!(is_vertex_cover(&g, &r.cover));
+        assert_eq!(
+            r.stats.report.split_totals().checks,
+            0,
+            "explicit disable must suppress the split hook entirely"
+        );
+    }
+
+    #[test]
+    fn component_steal_donates_components() {
+        let g = gen::sparse_components(80, 10, 0.5, 5);
+        let seq = Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .build()
+            .solve_mvc(&g);
+        let solver = Solver::builder()
+            .algorithm(Algorithm::ComponentSteal)
+            .grid_limit(Some(8))
+            .build();
+        let r = solver.solve_mvc(&g);
+        assert_eq!(r.size, seq.size);
+        assert!(is_vertex_cover(&g, &r.cover));
+        let donated: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
+        assert!(donated > 0, "ComponentSteal never donated a component");
+        assert!(r.stats.report.split_totals().taken >= 1);
     }
 
     #[test]

@@ -1,0 +1,510 @@
+//! In-search component branching (arXiv 2512.18334).
+//!
+//! `parvc-prep` splits the instance into connected components **once,
+//! before** the search. But the reduction rules keep firing at every
+//! tree node, and they routinely *disconnect the intermediate graph
+//! mid-search* — a cut vertex joins the cover, a bridge edge loses an
+//! endpoint — at which point the remaining components are independent
+//! sub-problems whose optima simply **sum**. Continuing the ordinary
+//! branch-and-reduce over the union instead multiplies the sub-trees
+//! together: every branching in component A is re-explored under every
+//! partial solution of component B. Re-splitting inside the search
+//! collapses that multiplicative tree into additive per-component
+//! sub-trees.
+//!
+//! The lifecycle of a **component-sum node**:
+//!
+//! 1. After a node's reduction fixpoint (and the bound check), the
+//!    engine asks `detect_components` whether the residual graph has
+//!    disconnected. The check is skipped while fewer than
+//!    [`SplitParams::min_live`] live vertices remain — tiny residuals
+//!    finish faster than they split — and is charged to
+//!    [`Activity::ComponentSplit`].
+//! 2. If ≥ 2 non-trivial components exist, each is extracted as a
+//!    standalone relabeled [`SubInstance`] (the same
+//!    `ops::induced_subgraph` relabeling machinery `parvc-prep` uses),
+//!    with a greedy upper bound and a maximal-matching lower bound
+//!    computed per component.
+//! 3. The node becomes a [`PendingSplit`] and is offered to the
+//!    scheduling policy
+//!    ([`SchedulePolicy::adopt_split`](crate::SchedulePolicy::adopt_split)).
+//!    The [`ComponentSteal`](crate::Algorithm::ComponentSteal) policy
+//!    adopts it — whole components are the natural unit of stealable
+//!    work — while every other policy declines and the engine solves
+//!    the components inline (`solve_split`).
+//! 4. Each component is solved by a budgeted sub-search
+//!    (`solve_bounded`): component `i` must fit within
+//!    `bound − |S| − Σ_{j≠i} lb_j`, where the `lb_j` are the sibling
+//!    lower bounds (replaced by exact optima as siblings finish). A
+//!    component that cannot fit proves the whole node prunable.
+//! 5. The per-component covers are written back onto a clone of the
+//!    parent node, producing an ordinary edgeless [`TreeNode`] whose
+//!    cover is `S ∪ ⋃ sub-covers` — the component-sum solution — which
+//!    flows through the normal `on_solution` machinery.
+//!
+//! Sub-searches run the same reduce/prune/branch step as the engine
+//! and re-check connectivity recursively (bounded by
+//! [`SplitParams::max_depth`]), so deeply nested disconnections keep
+//! decomposing.
+
+use parvc_graph::{matching, ops, CsrGraph, VertexId};
+use parvc_simgpu::counters::{Activity, BlockCounters};
+
+use crate::bound::SearchBound;
+use crate::greedy::greedy_mvc;
+use crate::ops::Kernel;
+use crate::TreeNode;
+
+/// Tuning knobs for in-search component branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitParams {
+    /// Skip the connectivity check while fewer than this many live
+    /// (degree ≥ 1) vertices remain: tiny residuals are solved faster
+    /// than they are split.
+    pub min_live: u32,
+    /// Maximum nesting depth of splits inside component sub-searches
+    /// (a backstop against pathological recursion on chain-like
+    /// graphs; each level strictly shrinks the graph).
+    pub max_depth: u32,
+}
+
+impl Default for SplitParams {
+    fn default() -> Self {
+        SplitParams {
+            min_live: 8,
+            max_depth: 32,
+        }
+    }
+}
+
+impl SplitParams {
+    /// Default parameters with a custom check trigger.
+    pub fn with_min_live(min_live: u32) -> Self {
+        SplitParams {
+            min_live,
+            ..SplitParams::default()
+        }
+    }
+}
+
+/// One connected component of a disconnected residual, extracted as a
+/// standalone instance (vertices relabeled to `0..n`).
+pub struct SubInstance {
+    /// The component as its own graph.
+    pub graph: CsrGraph,
+    /// `old_ids[new_id]` = the vertex's id in the graph the split
+    /// happened on.
+    pub old_ids: Vec<VertexId>,
+    /// Greedy cover of the component — the sub-search's initial upper
+    /// bound and its fallback witness.
+    pub greedy: (u32, Vec<VertexId>),
+    /// Maximal-matching lower bound on the component's optimum; the
+    /// sibling budgets are derived from these.
+    pub lower_bound: u32,
+}
+
+/// A tree node whose residual graph disconnected, together with its
+/// extracted components — what the engine offers to
+/// [`SchedulePolicy::adopt_split`](crate::SchedulePolicy::adopt_split).
+pub struct PendingSplit {
+    /// The node after its reduction fixpoint (its cover `S` is the
+    /// shared prefix of every component solution).
+    pub parent: TreeNode,
+    /// The residual's connected components.
+    pub comps: Vec<SubInstance>,
+}
+
+/// Outcome of solving a [`PendingSplit`].
+pub enum SplitVerdict {
+    /// Every component fit its budget: an edgeless node carrying
+    /// `S ∪ ⋃ sub-covers`, ready for `on_solution`.
+    Solved(TreeNode),
+    /// Some component provably cannot fit within the bound — the whole
+    /// node is pruned.
+    Pruned,
+}
+
+/// Checks whether `node`'s residual graph (live vertices with degree
+/// ≥ 1) is disconnected and, when it is, extracts the components.
+///
+/// Returns `None` when the trigger does not fire, the residual is
+/// connected, or fewer than two non-trivial components remain.
+pub(crate) fn detect_components(
+    kernel: &Kernel<'_>,
+    node: &TreeNode,
+    params: SplitParams,
+    counters: &mut BlockCounters,
+) -> Option<Vec<SubInstance>> {
+    // Cheap trigger first: a bare counting pass, no allocation, so the
+    // tiny residuals the trigger exists for skip at degree-array-scan
+    // cost only.
+    let mut live_count = 0u32;
+    for v in 0..node.len() {
+        if node.degree(v) > 0 {
+            live_count += 1;
+        }
+    }
+    if live_count < params.min_live {
+        return None;
+    }
+    let live: Vec<VertexId> = (0..node.len()).filter(|&v| node.degree(v) > 0).collect();
+    counters.splits.checks += 1;
+    // One cooperative scan of the degree array plus a BFS touching
+    // every live adjacency once.
+    counters.charge(
+        Activity::ComponentSplit,
+        kernel.cost.parallel_op(
+            node.len() as u64 + 2 * node.num_edges(),
+            kernel.block_size,
+            kernel.variant,
+        ),
+    );
+    let mut comp = vec![u32::MAX; node.len() as usize];
+    let mut count = 0u32;
+    let mut queue: Vec<VertexId> = Vec::new();
+    for &start in &live {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = count;
+        queue.push(start);
+        let mut visited = 1usize;
+        while let Some(v) = queue.pop() {
+            for &w in kernel.graph.neighbors(v) {
+                if node.degree(w) > 0 && comp[w as usize] == u32::MAX {
+                    comp[w as usize] = count;
+                    visited += 1;
+                    queue.push(w);
+                }
+            }
+        }
+        // Fast path: the first BFS reached every live vertex — the
+        // residual is still connected, nothing to split.
+        if count == 0 && visited == live.len() {
+            return None;
+        }
+        count += 1;
+    }
+    if count < 2 {
+        return None;
+    }
+    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); count as usize];
+    for &v in &live {
+        members[comp[v as usize] as usize].push(v);
+    }
+    let comps: Vec<SubInstance> = members
+        .into_iter()
+        .filter(|m| m.len() > 1)
+        .map(|m| {
+            let (graph, _) = ops::induced_subgraph(kernel.graph, &m);
+            let greedy = greedy_mvc(&graph);
+            let lower_bound = matching::greedy_maximal_matching(&graph).len() as u32;
+            SubInstance {
+                graph,
+                old_ids: m,
+                greedy,
+                lower_bound,
+            }
+        })
+        .collect();
+    if comps.len() < 2 {
+        return None;
+    }
+    // Extraction builds each component's CSR and seeds: charge the
+    // adjacency traffic once more.
+    counters.charge(
+        Activity::ComponentSplit,
+        kernel.cost.parallel_op(
+            2 * node.num_edges() + live.len() as u64,
+            kernel.block_size,
+            kernel.variant,
+        ),
+    );
+    counters
+        .splits
+        .record_split(comps.iter().map(|c| c.graph.num_vertices()));
+    Some(comps)
+}
+
+/// The remaining cover budget below a node: how many more vertices a
+/// solution through this node may still add. `None` when the budget is
+/// already spent (MVC must *beat* `best`; PVC must stay ≤ `k`).
+pub(crate) fn remaining_budget(bound: SearchBound, cover_size: u32) -> Option<i64> {
+    let r = match bound {
+        SearchBound::Mvc { best } => best as i64 - 1 - cover_size as i64,
+        SearchBound::Pvc { k } => k as i64 - cover_size as i64,
+    };
+    (r >= 0).then_some(r)
+}
+
+/// Solves every component of a split inline and combines the result —
+/// the default (non-adopting) policy path.
+///
+/// Sibling budgets tighten as components finish: component `i` gets
+/// `remaining − Σ_{j<i} opt_j − Σ_{j>i} lb_j`, so when every component
+/// fits, the combined cover provably beats the bound.
+pub(crate) fn solve_split(
+    kernel: &Kernel<'_>,
+    parent: &TreeNode,
+    bound: SearchBound,
+    comps: &[SubInstance],
+    abort: &mut dyn FnMut() -> bool,
+    counters: &mut BlockCounters,
+    depth: u32,
+) -> SplitVerdict {
+    let Some(mut remaining) = remaining_budget(bound, parent.cover_size()) else {
+        return SplitVerdict::Pruned;
+    };
+    let mut lb_rest: i64 = comps.iter().map(|c| c.lower_bound as i64).sum();
+    let mut combined = parent.clone();
+    for c in comps {
+        lb_rest -= c.lower_bound as i64;
+        let limit = remaining - lb_rest;
+        if limit < c.lower_bound as i64 {
+            return SplitVerdict::Pruned;
+        }
+        let sub_kernel = Kernel {
+            graph: &c.graph,
+            ..*kernel
+        };
+        let Some((opt, cover)) = solve_bounded(
+            &sub_kernel,
+            c.greedy.clone(),
+            limit.min(u32::MAX as i64) as u32,
+            abort,
+            counters,
+            depth,
+        ) else {
+            return SplitVerdict::Pruned;
+        };
+        remaining -= opt as i64;
+        debug_assert!(remaining >= lb_rest, "budget accounting went negative");
+        for &v in &cover {
+            combined.remove_into_cover(kernel.graph, c.old_ids[v as usize]);
+        }
+    }
+    SplitVerdict::Solved(combined)
+}
+
+/// Exhaustive bounded MVC sub-search on a standalone (component) graph:
+/// the engine's reduce/prune/branch step driven by a plain DFS stack,
+/// with nested component splitting.
+///
+/// Returns the component optimum and a witness when it is ≤ `limit`,
+/// `None` when the optimum provably exceeds `limit` (the caller prunes
+/// the component-sum node). On abort the best witness so far is
+/// returned — a valid (possibly non-optimal) cover, consistent with
+/// the engine's deadline semantics.
+pub(crate) fn solve_bounded(
+    kernel: &Kernel<'_>,
+    seed: (u32, Vec<VertexId>),
+    limit: u32,
+    abort: &mut dyn FnMut() -> bool,
+    counters: &mut BlockCounters,
+    depth: u32,
+) -> Option<(u32, Vec<VertexId>)> {
+    let (mut best, mut witness) = if seed.0 <= limit {
+        (seed.0, Some(seed.1))
+    } else {
+        (limit.saturating_add(1), None)
+    };
+    let mut stack = vec![TreeNode::root(kernel.graph)];
+    while let Some(mut node) = stack.pop() {
+        if abort() {
+            break;
+        }
+        kernel.charge_node_copy(node.len(), Activity::PopFromStack, counters);
+        counters.tree_nodes_visited += 1;
+        let bound = SearchBound::Mvc { best };
+        kernel.reduce(&mut node, bound, counters);
+        if kernel.prune(&node, bound) {
+            continue;
+        }
+        if depth > 0 {
+            if let Some(params) = kernel.ext.component_branching {
+                if let Some(comps) = detect_components(kernel, &node, params, counters) {
+                    if let SplitVerdict::Solved(combined) =
+                        solve_split(kernel, &node, bound, &comps, abort, counters, depth - 1)
+                    {
+                        if combined.cover_size() < best {
+                            best = combined.cover_size();
+                            witness = Some(combined.cover_vertices());
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        let vmax = match kernel.find_max_degree(&node, counters) {
+            None => {
+                if node.cover_size() < best {
+                    best = node.cover_size();
+                    witness = Some(node.cover_vertices());
+                }
+                continue;
+            }
+            Some(v) if node.degree(v) == 0 => {
+                if node.cover_size() < best {
+                    best = node.cover_size();
+                    witness = Some(node.cover_vertices());
+                }
+                continue;
+            }
+            Some(v) => v,
+        };
+        let mut left = node.clone();
+        kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, counters);
+        kernel.charge_node_copy(left.len(), Activity::PushToStack, counters);
+        stack.push(left);
+        kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, counters);
+        kernel.charge_node_copy(node.len(), Activity::PushToStack, counters);
+        stack.push(node);
+    }
+    witness.map(|w| (w.len() as u32, w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::brute_force_mvc;
+    use crate::extensions::Extensions;
+    use crate::verify::is_vertex_cover;
+    use parvc_graph::gen;
+    use parvc_simgpu::{CostModel, KernelVariant};
+
+    fn kernel<'a>(g: &'a CsrGraph, cost: &'a CostModel) -> Kernel<'a> {
+        Kernel {
+            graph: g,
+            cost,
+            block_size: 32,
+            variant: KernelVariant::SharedMem,
+            ext: Extensions {
+                component_branching: Some(SplitParams::with_min_live(4)),
+                ..Extensions::NONE
+            },
+        }
+    }
+
+    #[test]
+    fn detect_finds_disjoint_communities() {
+        // Two triangles, no connection.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]).unwrap();
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c)
+            .expect("two components");
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].old_ids, vec![0, 1, 2]);
+        assert_eq!(comps[1].old_ids, vec![3, 4, 5]);
+        assert_eq!(comps[0].lower_bound, 1);
+        assert_eq!(c.splits.taken, 1);
+        assert_eq!(c.splits.components, 2);
+    }
+
+    #[test]
+    fn detect_skips_connected_and_tiny_residuals() {
+        let g = gen::cycle(8);
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        assert!(detect_components(&k, &node, SplitParams::with_min_live(4), &mut c).is_none());
+        assert_eq!(c.splits.checks, 1, "connected graphs still pay the check");
+        assert!(
+            detect_components(&k, &node, SplitParams::with_min_live(9), &mut c).is_none(),
+            "below the trigger the check must not run"
+        );
+        assert_eq!(c.splits.checks, 1);
+    }
+
+    #[test]
+    fn solve_split_sums_component_optima() {
+        // A triangle (opt 2) next to a 4-cycle (opt 2): total 4.
+        let g = CsrGraph::from_edges(7, &[(0, 1), (0, 2), (1, 2), (3, 4), (4, 5), (5, 6), (6, 3)])
+            .unwrap();
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c).unwrap();
+        let verdict = solve_split(
+            &k,
+            &node,
+            SearchBound::Mvc { best: 7 },
+            &comps,
+            &mut || false,
+            &mut c,
+            4,
+        );
+        let SplitVerdict::Solved(combined) = verdict else {
+            panic!("split must solve within best=7");
+        };
+        assert_eq!(combined.cover_size(), 4);
+        assert!(combined.is_edgeless());
+        assert!(is_vertex_cover(&g, &combined.cover_vertices()));
+        combined.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn solve_split_prunes_against_tight_bound() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]).unwrap();
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c).unwrap();
+        // Optimum is 4 (2 per triangle); best = 4 demands ≤ 3 total.
+        assert!(matches!(
+            solve_split(
+                &k,
+                &node,
+                SearchBound::Mvc { best: 4 },
+                &comps,
+                &mut || false,
+                &mut c,
+                4,
+            ),
+            SplitVerdict::Pruned
+        ));
+    }
+
+    #[test]
+    fn solve_bounded_is_exact_within_limit() {
+        let cost = CostModel::default();
+        for seed in 0..8 {
+            let g = gen::gnp(12, 0.3, seed);
+            let (opt, _) = brute_force_mvc(&g);
+            let k = kernel(&g, &cost);
+            let mut c = BlockCounters::new(0);
+            let (size, cover) = solve_bounded(
+                &k,
+                greedy_mvc(&g),
+                g.num_vertices(),
+                &mut || false,
+                &mut c,
+                4,
+            )
+            .expect("limit = |V| always admits a cover");
+            assert_eq!(size, opt, "seed {seed}");
+            assert!(is_vertex_cover(&g, &cover));
+            // Below the optimum the search must prove infeasibility.
+            if opt > 0 {
+                assert!(
+                    solve_bounded(&k, greedy_mvc(&g), opt - 1, &mut || false, &mut c, 4).is_none()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn remaining_budgets() {
+        assert_eq!(remaining_budget(SearchBound::Mvc { best: 10 }, 4), Some(5));
+        assert_eq!(remaining_budget(SearchBound::Mvc { best: 5 }, 4), Some(0));
+        assert_eq!(remaining_budget(SearchBound::Mvc { best: 4 }, 4), None);
+        assert_eq!(remaining_budget(SearchBound::Pvc { k: 10 }, 4), Some(6));
+        assert_eq!(remaining_budget(SearchBound::Pvc { k: 4 }, 4), Some(0));
+        assert_eq!(remaining_budget(SearchBound::Pvc { k: 3 }, 4), None);
+    }
+}

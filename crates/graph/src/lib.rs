@@ -16,6 +16,9 @@
 //!   can be dropped into the benchmark suite.
 //! * [`analysis`] — degree statistics used to classify instances into the
 //!   paper's "high-degree" and "low-degree" categories.
+//!
+//! Part of the `parvc` workspace — see `ARCHITECTURE.md` at the
+//! repository root for how this crate slots under the solver engine.
 
 #![warn(missing_docs)]
 

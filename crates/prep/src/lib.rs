@@ -41,6 +41,9 @@
 //! assert!(kernel.is_fully_reduced());
 //! assert_eq!(kernel.lift(&[]), vec![0]); // the hub
 //! ```
+//!
+//! Part of the `parvc` workspace — see `ARCHITECTURE.md` at the
+//! repository root for the prep → solve → lift data flow.
 
 #![warn(missing_docs)]
 
@@ -134,6 +137,38 @@ impl PrepStats {
 }
 
 /// Runs the staged preprocessing pipeline on `g`.
+///
+/// The returned [`Kernel`] holds the reduced instance split into
+/// connected components plus the [`LiftTrace`] that maps per-component
+/// sub-covers back to the original graph (the same walkthrough as
+/// `examples/kernelize.rs`, in miniature):
+///
+/// ```
+/// use parvc_graph::{gen, ops};
+/// use parvc_prep::{preprocess, PrepConfig};
+///
+/// // A reduction-fodder path next to two dense communities.
+/// let g = ops::disjoint_union(
+///     &gen::path(30),
+///     &gen::sparse_components(24, 2, 0.9, 7),
+/// );
+/// let kernel = preprocess(&g, &PrepConfig::default());
+///
+/// // The path is fully eliminated; the dense communities survive as
+/// // independent relabeled sub-instances.
+/// assert!(kernel.stats.elimination() > 0.0);
+/// assert_eq!(kernel.components.len(), 2);
+///
+/// // Solving each component (here: its full vertex set — any valid
+/// // sub-cover works) lifts back to a cover of the ORIGINAL graph.
+/// let sub_covers: Vec<Vec<u32>> = kernel
+///     .components
+///     .iter()
+///     .map(|c| (0..c.graph.num_vertices()).collect())
+///     .collect();
+/// let cover = kernel.lift(&sub_covers);
+/// assert!(g.edges().all(|(u, v)| cover.contains(&u) || cover.contains(&v)));
+/// ```
 pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
     let mut st = PrepState::new(g);
     let mut rules: Vec<Box<dyn ReduceRule>> = Vec::new();

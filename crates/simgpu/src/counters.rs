@@ -37,11 +37,16 @@ pub enum Activity {
     RemoveMaxVertex,
     /// Removing all neighbors of the max-degree vertex (left branch).
     RemoveNeighbors,
+    /// In-search component branching: the residual-connectivity check
+    /// and, when it fires, extracting the per-component sub-instances
+    /// (beyond the paper — see `parvc_core::split`).
+    ComponentSplit,
 }
 
 impl Activity {
-    /// All activities, in Figure 6's presentation order.
-    pub const ALL: [Activity; 11] = [
+    /// All activities: Figure 6's eleven in presentation order, plus
+    /// the component-split extension.
+    pub const ALL: [Activity; 12] = [
         Activity::AddToWorklist,
         Activity::RemoveFromWorklist,
         Activity::PushToStack,
@@ -53,6 +58,7 @@ impl Activity {
         Activity::FindMaxDegree,
         Activity::RemoveMaxVertex,
         Activity::RemoveNeighbors,
+        Activity::ComponentSplit,
     ];
 
     /// Display label matching the paper's legend.
@@ -69,6 +75,7 @@ impl Activity {
             Activity::FindMaxDegree => "Find max degree vertex",
             Activity::RemoveMaxVertex => "Remove max-degree vertex",
             Activity::RemoveNeighbors => "Remove neighbors of max-degree vertex",
+            Activity::ComponentSplit => "Component split check/extract",
         }
     }
 
@@ -79,7 +86,8 @@ impl Activity {
             | Activity::RemoveFromWorklist
             | Activity::PushToStack
             | Activity::PopFromStack
-            | Activity::Terminate => ActivityFamily::WorkDistribution,
+            | Activity::Terminate
+            | Activity::ComponentSplit => ActivityFamily::WorkDistribution,
             Activity::DegreeOneRule
             | Activity::DegreeTwoTriangleRule
             | Activity::HighDegreeRule => ActivityFamily::Reducing,
@@ -108,6 +116,54 @@ impl ActivityFamily {
             ActivityFamily::WorkDistribution => "Work distribution and load balancing",
             ActivityFamily::Reducing => "Reducing",
             ActivityFamily::Branching => "Branching",
+        }
+    }
+}
+
+/// In-search component-branching instrumentation: how often the
+/// residual-connectivity check ran, how often it actually split a tree
+/// node, and the size distribution of the components produced.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SplitCounters {
+    /// Connectivity checks run (the trigger condition passed).
+    pub checks: u64,
+    /// Checks that found ≥ 2 components and split the node.
+    pub taken: u64,
+    /// Total components produced across all splits taken.
+    pub components: u64,
+    /// Component-size histogram, bucketed by `log2(|V|)`:
+    /// `1, 2–3, 4–7, …, 128+` vertices.
+    pub size_hist: [u64; Self::HIST_BUCKETS],
+}
+
+impl SplitCounters {
+    /// Number of histogram buckets.
+    pub const HIST_BUCKETS: usize = 8;
+
+    /// Human label of histogram bucket `i`.
+    pub fn bucket_label(i: usize) -> &'static str {
+        [
+            "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+",
+        ][i.min(7)]
+    }
+
+    /// Records one taken split over components of the given sizes.
+    pub fn record_split(&mut self, sizes: impl IntoIterator<Item = u32>) {
+        self.taken += 1;
+        for s in sizes {
+            self.components += 1;
+            let bucket = (32 - (s.max(1)).leading_zeros() as usize - 1).min(Self::HIST_BUCKETS - 1);
+            self.size_hist[bucket] += 1;
+        }
+    }
+
+    /// Accumulates `other` into `self` (cross-block aggregation).
+    pub fn merge(&mut self, other: &SplitCounters) {
+        self.checks += other.checks;
+        self.taken += other.taken;
+        self.components += other.components;
+        for (a, b) in self.size_hist.iter_mut().zip(other.size_hist) {
+            *a += b;
         }
     }
 }
@@ -147,6 +203,9 @@ pub struct BlockCounters {
     /// keyed by the victim block id (the Figure-5-style locality
     /// breakdown; empty for non-stealing policies).
     pub steals_by_victim: std::collections::BTreeMap<u32, u64>,
+    /// In-search component-branching activity (all zero unless the
+    /// solve ran with component branching enabled).
+    pub splits: SplitCounters,
 }
 
 impl BlockCounters {
@@ -162,6 +221,7 @@ impl BlockCounters {
             donations_bounced: 0,
             max_stack_depth: 0,
             steals_by_victim: std::collections::BTreeMap::new(),
+            splits: SplitCounters::default(),
         }
     }
 
@@ -316,6 +376,16 @@ impl LaunchReport {
         }
     }
 
+    /// Component-branching counters summed across every block of the
+    /// launch (all zero unless the solve ran with splitting enabled).
+    pub fn split_totals(&self) -> SplitCounters {
+        let mut total = SplitCounters::default();
+        for b in &self.blocks {
+            total.merge(&b.splits);
+        }
+        total
+    }
+
     /// Figure 6's metric: per-activity share of block time, normalized
     /// *per block* then averaged across blocks ("we normalize the cycle
     /// counts to the total number of cycles executed by the thread block
@@ -455,6 +525,6 @@ mod tests {
                 Branching => counts[2] += 1,
             }
         }
-        assert_eq!(counts, [5, 3, 3]);
+        assert_eq!(counts, [6, 3, 3]);
     }
 }

@@ -24,6 +24,10 @@
 //! work distribution and load balance of an irregular tree search; those
 //! micro-architectural effects perturb constants, not the comparisons
 //! this reproduction targets.
+//!
+//! Part of the `parvc` workspace — see `ARCHITECTURE.md` at the
+//! repository root for how the cost/counter accounting threads through
+//! the solver engine.
 
 #![warn(missing_docs)]
 

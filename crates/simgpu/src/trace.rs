@@ -26,6 +26,7 @@ pub fn activity_char(a: Activity) -> char {
         Activity::FindMaxDegree => 'm',
         Activity::RemoveMaxVertex => 'x',
         Activity::RemoveNeighbors => 'n',
+        Activity::ComponentSplit => 'c',
     }
 }
 

@@ -17,6 +17,10 @@
 //!   stack doubles as a steal target (own back LIFO, peers steal the
 //!   front), with the same token-based quiescence protocol. The
 //!   substrate of the engine's fourth scheduling policy.
+//!
+//! Part of the `parvc` workspace — see `ARCHITECTURE.md` at the
+//! repository root for how these substrates back the scheduling
+//! policies.
 
 #![warn(missing_docs)]
 

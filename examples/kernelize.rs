@@ -5,6 +5,11 @@
 //! ```text
 //! cargo run --release --example kernelize
 //! ```
+//!
+//! The key snippets of this walkthrough also live as doc-tested
+//! examples on the public API — `parvc_prep::preprocess`,
+//! `parvc_core::SolverBuilder`, and `parvc_core::Engine::solve` — so
+//! `cargo test --doc` keeps them honest.
 
 use std::time::Duration;
 

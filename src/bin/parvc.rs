@@ -1,8 +1,12 @@
 //! `parvc` — command-line driver for the vertex-cover suite.
 //!
+//! Run `parvc help` for the full flag reference (the same text this
+//! binary renders into `docs/cli.md` with `parvc help --markdown`).
+//!
 //! ```text
-//! parvc solve   [--policy seq|stack|hybrid|steal] [--threads <n>]
-//!               [--k <k>] [--deadline <s>] [--extensions]
+//! parvc solve   [--policy seq|stack|hybrid|steal|compsteal]
+//!               [--threads <n>] [--k <k>] [--deadline <s>]
+//!               [--extensions] [--component-branching[=<min-live>]]
 //!               [--prep] [--prep-rules d012,crown,highdeg,split]
 //!               [--format dimacs|edgelist] <instance>
 //! parvc prep    [--rules d012,crown,highdeg,split] [--out <file>]
@@ -10,6 +14,7 @@
 //! parvc generate <family> <args...> [--seed <s>] [--out <file>]
 //! parvc analyze [--format dimacs|edgelist] <instance>
 //! parvc demo
+//! parvc help    [--markdown]
 //! ```
 //!
 //! `<instance>` is either a real instance **file** (DIMACS `.dimacs` /
@@ -17,13 +22,6 @@
 //! drop straight in) or a generator **spec**
 //! `family:arg1:arg2[...][@seed]`, e.g. `gnp:200:0.05@7`,
 //! `ba:150000:1`, `components:120000:6000:0.3`.
-//!
-//! `--policy` selects the scheduling policy the branch-and-reduce
-//! engine runs (`--algorithm` is accepted as an alias); `--threads`
-//! caps the number of thread blocks (`--blocks` is an alias).
-//! `--prep` runs the `parvc-prep` kernelization + component
-//! decomposition before the search; `parvc prep` reports what that
-//! pipeline does to an instance (and can write the kernel as DIMACS).
 //!
 //! Families for `generate` and specs: `phat n class`, `gnp n p`,
 //! `ba n m`, `ws n k beta`, `geometric n radius`,
@@ -33,26 +31,241 @@
 use std::io::BufReader;
 use std::time::Duration;
 
+use parvc::core::split::SplitParams;
 use parvc::graph::{analysis, gen, io, kcore, matching, ops};
 use parvc::prelude::*;
 use parvc::prep::{preprocess, PrepConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let cmd = args.first().map(String::as_str);
+    if args.iter().any(|a| a == "--help") {
+        match cmd.and_then(find_command) {
+            Some(c) => print!("{}", c.render_text()),
+            None => print!("{}", help_text()),
+        }
+        return;
+    }
+    match cmd {
         Some("solve") => cmd_solve(&args[1..]),
         Some("prep") => cmd_prep(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("demo") => cmd_demo(),
+        Some("help") => {
+            if args[1..].iter().any(|a| a == "--markdown") {
+                print!("{}", help_markdown());
+            } else {
+                print!("{}", help_text());
+            }
+        }
         _ => {
-            eprintln!(
-                "usage: parvc <solve|prep|generate|analyze|demo> [options]\n\
-                 see the crate docs (src/bin/parvc.rs) for details"
-            );
+            eprint!("{}", help_text());
             std::process::exit(2);
         }
     }
+}
+
+/// One flag's reference entry.
+struct FlagHelp {
+    /// The flag with its value placeholder, e.g. `--deadline <secs>`.
+    flag: &'static str,
+    /// One-line description.
+    desc: &'static str,
+}
+
+/// One subcommand's reference entry — the single source the terminal
+/// help AND `docs/cli.md` are rendered from, so they cannot drift.
+struct CmdHelp {
+    name: &'static str,
+    usage: &'static str,
+    summary: &'static str,
+    flags: &'static [FlagHelp],
+    example: &'static str,
+}
+
+const COMMANDS: &[CmdHelp] = &[
+    CmdHelp {
+        name: "solve",
+        usage: "parvc solve [options] <instance>",
+        summary: "Solve minimum vertex cover (or, with --k, parameterized \
+                  vertex cover) on a file or generator-spec instance.",
+        flags: &[
+            FlagHelp {
+                flag: "--policy <seq|stack|hybrid|steal|compsteal>",
+                desc: "Scheduling policy driving the branch-and-reduce engine \
+                       (default hybrid; --algorithm is an alias). `compsteal` \
+                       donates whole components of disconnected residuals to \
+                       the steal pool and implies --component-branching.",
+            },
+            FlagHelp {
+                flag: "--threads <n>",
+                desc: "Cap on resident thread blocks, one OS thread each \
+                       (--blocks is an alias).",
+            },
+            FlagHelp {
+                flag: "--k <k>",
+                desc: "Solve PVC: find any cover of size <= k instead of the minimum.",
+            },
+            FlagHelp {
+                flag: "--deadline <secs>",
+                desc: "Wall-clock budget; on expiry MVC reports best-so-far, \
+                       PVC reports 'unknown'.",
+            },
+            FlagHelp {
+                flag: "--component-branching[=<min-live>]",
+                desc: "Re-split the search when reductions disconnect the \
+                       residual graph; optional value = live-vertex count \
+                       below which the connectivity check is skipped \
+                       (default 8).",
+            },
+            FlagHelp {
+                flag: "--extensions",
+                desc: "Enable the beyond-paper reduction/pruning extensions \
+                       (domination rule, matching lower bound).",
+            },
+            FlagHelp {
+                flag: "--prep",
+                desc: "Run the parvc-prep kernelization + component \
+                       decomposition before the search.",
+            },
+            FlagHelp {
+                flag: "--prep-rules <d012,crown,highdeg,split>",
+                desc: "Comma-separated prep stages to enable (implies --prep; \
+                       default: all stages).",
+            },
+            FlagHelp {
+                flag: "--format <dimacs|edgelist>",
+                desc: "Instance file format (default: inferred from the extension).",
+            },
+        ],
+        example: "parvc solve components:120000:6000:0.3 --policy steal --prep",
+    },
+    CmdHelp {
+        name: "prep",
+        usage: "parvc prep [options] <instance>",
+        summary: "Run the kernelization pipeline alone and report per-rule \
+                  eliminations, kernel size, and component structure.",
+        flags: &[
+            FlagHelp {
+                flag: "--rules <d012,crown,highdeg,split>",
+                desc: "Pipeline stages to enable (default: all).",
+            },
+            FlagHelp {
+                flag: "--out <file>",
+                desc: "Write the kernel (disjoint union of components) as DIMACS.",
+            },
+            FlagHelp {
+                flag: "--format <dimacs|edgelist>",
+                desc: "Instance file format (default: inferred from the extension).",
+            },
+        ],
+        example: "parvc prep components:120000:6000:0.3 --out kernel.dimacs",
+    },
+    CmdHelp {
+        name: "generate",
+        usage: "parvc generate <family> <args...> [options]",
+        summary: "Generate a benchmark instance and write it as DIMACS \
+                  (families: phat n class; gnp n p; ba n m; ws n k beta; \
+                  geometric n radius; pace n communities; components n parts p; \
+                  bipartite left right p; grid w h).",
+        flags: &[
+            FlagHelp {
+                flag: "--seed <s>",
+                desc: "Generator seed (default 42).",
+            },
+            FlagHelp {
+                flag: "--out <file>",
+                desc: "Output path (default: stdout).",
+            },
+        ],
+        example: "parvc generate ba 150000 1 --seed 7 --out ba.dimacs",
+    },
+    CmdHelp {
+        name: "analyze",
+        usage: "parvc analyze [options] <instance>",
+        summary: "Print structural statistics: degrees, components, triangles, \
+                  degeneracy, bipartiteness, and MVC bounds.",
+        flags: &[FlagHelp {
+            flag: "--format <dimacs|edgelist>",
+            desc: "Instance file format (default: inferred from the extension).",
+        }],
+        example: "parvc analyze ws:350:4:0.15@6",
+    },
+    CmdHelp {
+        name: "demo",
+        usage: "parvc demo",
+        summary: "Solve the paper's Figure 2 example graph end to end.",
+        flags: &[],
+        example: "parvc demo",
+    },
+    CmdHelp {
+        name: "help",
+        usage: "parvc help [--markdown]",
+        summary: "Print this reference (--markdown renders docs/cli.md).",
+        flags: &[FlagHelp {
+            flag: "--markdown",
+            desc: "Emit the reference as Markdown instead of terminal text.",
+        }],
+        example: "parvc help --markdown > docs/cli.md",
+    },
+];
+
+fn find_command(name: &str) -> Option<&'static CmdHelp> {
+    COMMANDS.iter().find(|c| c.name == name)
+}
+
+impl CmdHelp {
+    fn render_text(&self) -> String {
+        let mut out = format!("{}\n  {}\n", self.usage, self.summary);
+        for f in self.flags {
+            out.push_str(&format!("    {:<40} {}\n", f.flag, f.desc));
+        }
+        out.push_str(&format!("  example: {}\n", self.example));
+        out
+    }
+}
+
+/// The terminal help screen (`parvc help`, `--help`, bad usage).
+fn help_text() -> String {
+    let mut out = String::from(
+        "parvc — parallel vertex cover suite \
+         (branch-and-reduce on a simulated GPU)\n\n\
+         An <instance> is a file (DIMACS .dimacs/.clq/.col or an edge list) \
+         or a generator\nspec `family:arg1:arg2[...][@seed]`, \
+         e.g. gnp:200:0.05@7 or components:120000:6000:0.3.\n\n",
+    );
+    for c in COMMANDS {
+        out.push_str(&c.render_text());
+        out.push('\n');
+    }
+    out
+}
+
+/// The Markdown reference — `docs/cli.md` is this output, verbatim
+/// (pinned by a test, regenerate with `parvc help --markdown`).
+fn help_markdown() -> String {
+    let mut out = String::from(
+        "# `parvc` CLI reference\n\n\
+         Generated by `cargo run --release --bin parvc -- help --markdown`; \
+         do not edit by hand.\n\n\
+         An `<instance>` argument is either a **file** (DIMACS \
+         `.dimacs`/`.clq`/`.col`, or a whitespace edge list) or a generator \
+         **spec** `family:arg1:arg2[...][@seed]`, e.g. `gnp:200:0.05@7` or \
+         `components:120000:6000:0.3`.\n",
+    );
+    for c in COMMANDS {
+        out.push_str(&format!("\n## `{}`\n\n{}\n\n", c.usage, c.summary));
+        if !c.flags.is_empty() {
+            out.push_str("| flag | description |\n|---|---|\n");
+            for f in c.flags {
+                out.push_str(&format!("| `{}` | {} |\n", f.flag, f.desc));
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!("```sh\n{}\n```\n", c.example));
+    }
+    out
 }
 
 struct Flags {
@@ -61,7 +274,22 @@ struct Flags {
     switches: std::collections::BTreeSet<String>,
 }
 
-fn parse_flags(args: &[String], value_flags: &[&str]) -> Flags {
+/// Parses `args` into positionals, `--flag value` options (for names
+/// in `value_flags`), bare `--flag` switches (for names in
+/// `switch_flags` or `opt_value_flags`), and `--flag=value` inline
+/// options — the latter accepted only for `value_flags` and
+/// `opt_value_flags` (switches that take an *optional* inline value,
+/// like `--component-branching[=N]`). Unknown flags, unknown
+/// `--flag=value` forms, and a numeric argument right after an
+/// optional-value switch (the space-separated form the `=` syntax
+/// exists to disambiguate) are all rejected rather than silently
+/// ignored.
+fn parse_flags(
+    args: &[String],
+    value_flags: &[&str],
+    opt_value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Flags {
     let mut flags = Flags {
         positional: Vec::new(),
         options: Default::default(),
@@ -70,6 +298,15 @@ fn parse_flags(args: &[String], value_flags: &[&str]) -> Flags {
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
+            // `--flag=value` form: inline value wins over lookahead.
+            if let Some((name, value)) = name.split_once('=') {
+                if !value_flags.contains(&name) && !opt_value_flags.contains(&name) {
+                    eprintln!("--{name} does not take an =value");
+                    std::process::exit(2);
+                }
+                flags.options.insert(name.to_string(), value.to_string());
+                continue;
+            }
             if value_flags.contains(&name) {
                 let v = it
                     .next()
@@ -79,8 +316,23 @@ fn parse_flags(args: &[String], value_flags: &[&str]) -> Flags {
                     })
                     .clone();
                 flags.options.insert(name.to_string(), v);
-            } else {
+            } else if opt_value_flags.contains(&name) {
+                // Bare switch form — but a numeric argument right
+                // after it is almost certainly a value the user meant
+                // to attach; demand the unambiguous `=` form instead
+                // of silently treating it as the instance path.
+                if let Some(next) = it.peek() {
+                    if next.parse::<f64>().is_ok() {
+                        eprintln!("--{name} takes its value as --{name}={next}");
+                        std::process::exit(2);
+                    }
+                }
                 flags.switches.insert(name.to_string());
+            } else if switch_flags.contains(&name) {
+                flags.switches.insert(name.to_string());
+            } else {
+                eprintln!("unknown flag --{name}");
+                std::process::exit(2);
             }
         } else {
             flags.positional.push(a.clone());
@@ -236,6 +488,8 @@ fn cmd_solve(args: &[String]) {
             "threads",
             "prep-rules",
         ],
+        &["component-branching"],
+        &["extensions", "prep"],
     );
     let Some(path) = flags.positional.first() else {
         eprintln!("solve: missing instance (file or generator spec)");
@@ -253,8 +507,9 @@ fn cmd_solve(args: &[String]) {
         Some("seq") | Some("sequential") => Algorithm::Sequential,
         Some("stack") | Some("stackonly") => Algorithm::StackOnly { start_depth: 8 },
         Some("steal") | Some("worksteal") | Some("workstealing") => Algorithm::WorkStealing,
+        Some("compsteal") | Some("componentsteal") => Algorithm::ComponentSteal,
         Some(other) => {
-            eprintln!("unknown policy '{other}' (seq|stack|hybrid|steal)");
+            eprintln!("unknown policy '{other}' (seq|stack|hybrid|steal|compsteal)");
             std::process::exit(2);
         }
     };
@@ -275,6 +530,17 @@ fn cmd_solve(args: &[String]) {
     }
     if flags.switches.contains("extensions") {
         builder = builder.extensions(parvc::core::Extensions::ALL);
+    }
+    // `--component-branching` (default trigger) or
+    // `--component-branching=<min-live>`.
+    if let Some(v) = flags.options.get("component-branching") {
+        let min_live: u32 = v.parse().unwrap_or_else(|_| {
+            eprintln!("--component-branching takes a live-vertex count, got '{v}'");
+            std::process::exit(2);
+        });
+        builder = builder.component_branching_params(SplitParams::with_min_live(min_live));
+    } else if flags.switches.contains("component-branching") {
+        builder = builder.component_branching(true);
     }
     if flags.switches.contains("prep") || flags.options.contains_key("prep-rules") {
         builder = builder.preprocess(parse_prep_rules(flags.options.get("prep-rules")));
@@ -325,12 +591,19 @@ fn cmd_solve(args: &[String]) {
                     prep.components
                 );
             }
+            let splits = r.stats.report.split_totals();
+            if splits.checks > 0 {
+                eprintln!(
+                    "in-search splits: {} taken of {} checks, {} components donated to sub-searches",
+                    splits.taken, splits.checks, splits.components
+                );
+            }
         }
     }
 }
 
 fn cmd_prep(args: &[String]) {
-    let flags = parse_flags(args, &["format", "out", "rules"]);
+    let flags = parse_flags(args, &["format", "out", "rules"], &[], &[]);
     let Some(path) = flags.positional.first() else {
         eprintln!("prep: missing instance (file or generator spec)");
         std::process::exit(2);
@@ -390,7 +663,7 @@ fn cmd_prep(args: &[String]) {
 }
 
 fn cmd_generate(args: &[String]) {
-    let flags = parse_flags(args, &["seed", "out"]);
+    let flags = parse_flags(args, &["seed", "out"], &[], &[]);
     let seed: u64 = flags
         .options
         .get("seed")
@@ -428,7 +701,7 @@ fn cmd_generate(args: &[String]) {
 }
 
 fn cmd_analyze(args: &[String]) {
-    let flags = parse_flags(args, &["format"]);
+    let flags = parse_flags(args, &["format"], &[], &[]);
     let Some(path) = flags.positional.first() else {
         eprintln!("analyze: missing instance (file or generator spec)");
         std::process::exit(2);
@@ -480,4 +753,43 @@ fn cmd_demo() {
         .build();
     let r = solver.solve_mvc(&g);
     println!("minimum vertex cover: {} = {:?}", r.size, r.cover);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `docs/cli.md` is the committed output of `parvc help --markdown`.
+    /// If this fails, regenerate it:
+    /// `cargo run --release --bin parvc -- help --markdown > docs/cli.md`.
+    #[test]
+    fn cli_reference_doc_is_current() {
+        let committed = include_str!("../../docs/cli.md");
+        assert_eq!(
+            committed,
+            help_markdown(),
+            "docs/cli.md is stale — regenerate with \
+             `cargo run --release --bin parvc -- help --markdown > docs/cli.md`"
+        );
+    }
+
+    /// Every documented subcommand exists and every subcommand is
+    /// documented (no drift between the dispatcher and the reference).
+    #[test]
+    fn every_subcommand_is_documented() {
+        let documented: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
+        assert_eq!(
+            documented,
+            vec!["solve", "prep", "generate", "analyze", "demo", "help"]
+        );
+        for c in COMMANDS {
+            assert!(c.usage.starts_with("parvc "), "{}: bad usage line", c.name);
+            assert!(!c.summary.is_empty());
+            assert!(c.example.starts_with("parvc"), "{}: bad example", c.name);
+            for f in c.flags {
+                assert!(f.flag.starts_with("--"), "{}: bad flag {}", c.name, f.flag);
+                assert!(!f.desc.is_empty(), "{}: {} undocumented", c.name, f.flag);
+            }
+        }
+    }
 }

@@ -32,6 +32,9 @@
 //! assert_eq!(result.size, 3);
 //! assert!(is_vertex_cover(&g, &result.cover));
 //! ```
+//!
+//! Start with `README.md` for the user-facing tour and
+//! `ARCHITECTURE.md` for the cross-crate contracts.
 
 pub use parvc_core as core;
 pub use parvc_graph as graph;

@@ -1,0 +1,72 @@
+//! Link check over the Markdown documentation: every relative link in
+//! README.md, ARCHITECTURE.md, and docs/cli.md must point at a file
+//! that exists in the repository (the CI `docs` job runs this, so a
+//! renamed file cannot silently orphan the docs).
+
+use std::path::Path;
+
+/// Extracts `](target)` link targets from Markdown, skipping absolute
+/// URLs and in-page anchors.
+fn relative_links(markdown: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = markdown;
+    while let Some(i) = rest.find("](") {
+        rest = &rest[i + 2..];
+        let Some(end) = rest.find(')') else { break };
+        let target = &rest[..end];
+        rest = &rest[end..];
+        if target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with('#')
+            || target.is_empty()
+        {
+            continue;
+        }
+        // Drop an in-page anchor suffix, if any.
+        let path = target.split('#').next().unwrap_or(target);
+        out.push(path.to_string());
+    }
+    out
+}
+
+#[test]
+fn markdown_relative_links_resolve() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let docs = ["README.md", "ARCHITECTURE.md", "docs/cli.md"];
+    for doc in docs {
+        let path = repo.join(doc);
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!("{doc} must exist (it is the documentation front door): {e}")
+        });
+        let links = relative_links(&text);
+        assert!(
+            !links.is_empty() || doc == "docs/cli.md",
+            "{doc}: expected at least one relative link"
+        );
+        let base = path.parent().expect("doc path has a parent directory");
+        for link in links {
+            // Relative links resolve against the CONTAINING document's
+            // directory (so docs/cli.md links resolve under docs/).
+            let target = base.join(&link);
+            assert!(
+                target.exists(),
+                "{doc}: broken relative link '{link}' (resolved to {})",
+                target.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn front_door_documents_exist_and_are_nonempty() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for (doc, needle) in [
+        ("README.md", "parvc"),
+        ("ARCHITECTURE.md", "SchedulePolicy"),
+        ("docs/cli.md", "--component-branching"),
+    ] {
+        let text = std::fs::read_to_string(repo.join(doc)).expect(doc);
+        assert!(text.len() > 500, "{doc} is suspiciously short");
+        assert!(text.contains(needle), "{doc} lost its '{needle}' content");
+    }
+}

@@ -23,8 +23,8 @@ proptest! {
     fn extensions_keep_all_algorithms_exact(g in arb_graph()) {
         let (opt, _) = brute_force_mvc(&g);
         for ext in [
-            Extensions { domination_rule: true, matching_lower_bound: false },
-            Extensions { domination_rule: false, matching_lower_bound: true },
+            Extensions { domination_rule: true, ..Extensions::NONE },
+            Extensions { matching_lower_bound: true, ..Extensions::NONE },
             Extensions::ALL,
         ] {
             for algorithm in [
