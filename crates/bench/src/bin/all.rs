@@ -15,4 +15,5 @@ fn main() {
     reports::sensitivity(&args);
     reports::ablation(&args);
     reports::extensions_ablation(&args);
+    reports::weighted_report(&args);
 }

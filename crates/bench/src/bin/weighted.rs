@@ -1,0 +1,12 @@
+//! Runs the **weighted MVC** report: every scheduling policy on the
+//! vertex-weighted corpus (uniform and degree-derived weight
+//! channels), prep-off and prep-on, with the cardinality baseline's
+//! weight alongside for contrast.
+
+use parvc_bench::cli::BenchArgs;
+use parvc_bench::reports;
+
+fn main() {
+    let args = BenchArgs::parse();
+    reports::weighted_report(&args);
+}

@@ -545,6 +545,129 @@ pub fn components_report(args: &BenchArgs) {
     );
 }
 
+/// **Weighted MVC** — the vertex-weighted workload across every
+/// scheduling policy, on the gnp/ba/grid/components corpus with
+/// uniform random weights in `1..=10` plus a degree-weighted
+/// preferential-attachment row (hubs expensive — the regime where the
+/// weighted optimum diverges hardest from the cardinality one). Each
+/// row reports the cardinality baseline's weight next to the weighted
+/// optimum, so the table shows what running the *right* objective
+/// buys; completed arms are asserted to agree across policies and
+/// prep-on/prep-off.
+pub fn weighted_report(args: &BenchArgs) {
+    println!(
+        "\n=== Weighted MVC: every policy, weight units (budget {:.1}s/solve) ===",
+        args.deadline.as_secs_f64()
+    );
+    let corpus: Vec<(&str, CsrGraph)> = vec![
+        (
+            "gnp:w=uniform",
+            parvc_graph::gen::with_uniform_weights(parvc_graph::gen::gnp(60, 0.15, 7), 10, 7),
+        ),
+        (
+            "ba:w=uniform",
+            parvc_graph::gen::with_uniform_weights(
+                parvc_graph::gen::barabasi_albert(80, 2, 7),
+                10,
+                7,
+            ),
+        ),
+        (
+            "grid:w=uniform",
+            parvc_graph::gen::with_uniform_weights(parvc_graph::gen::grid2d(8, 8), 10, 7),
+        ),
+        (
+            "components:w=uniform",
+            parvc_graph::gen::with_uniform_weights(
+                parvc_graph::gen::sparse_components(260, 22, 0.32, 7),
+                10,
+                7,
+            ),
+        ),
+        (
+            "ba:w=degree",
+            parvc_graph::gen::with_degree_weights(parvc_graph::gen::barabasi_albert(70, 2, 9)),
+        ),
+    ];
+    let impls = [
+        Impl::Sequential,
+        Impl::StackOnly,
+        Impl::Hybrid,
+        Impl::WorkStealing,
+        Impl::ComponentSteal,
+    ];
+    let mut t = Table::new(vec![
+        "graph",
+        "|V|",
+        "|E|",
+        "arm",
+        "weight",
+        "|S|",
+        "card. weight",
+        "tree nodes",
+        "time(s)",
+    ]);
+    for (name, graph) in &corpus {
+        eprintln!("[weighted] {name} ...");
+        // The cardinality baseline: what ignoring the weights costs.
+        let baseline = solver_with(Impl::Sequential, args, |b| b).solve_mvc(graph);
+        let mut completed: Vec<(String, u64)> = Vec::new();
+        for imp in impls {
+            for prep in [false, true] {
+                let solver = solver_with(imp, args, |mut b| {
+                    b = b.weighted();
+                    if prep {
+                        b = b.preprocess(PrepConfig::default());
+                    }
+                    b
+                });
+                let r = solver.solve_mvc(graph);
+                assert!(
+                    is_vertex_cover(graph, &r.cover),
+                    "{name}/{}: returned a non-cover",
+                    imp.label()
+                );
+                assert_eq!(r.weight, graph.cover_weight(&r.cover));
+                let arm = format!("{}{}", imp.label(), if prep { "+prep" } else { "" });
+                t.row(vec![
+                    name.to_string(),
+                    graph.num_vertices().to_string(),
+                    graph.num_edges().to_string(),
+                    arm.clone(),
+                    r.weight.to_string(),
+                    r.size.to_string(),
+                    baseline.weight.to_string(),
+                    r.stats.tree_nodes.to_string(),
+                    fmt_seconds(r.stats.seconds(), r.stats.timed_out),
+                ]);
+                if !r.stats.timed_out {
+                    completed.push((arm, r.weight));
+                }
+            }
+        }
+        if let Some((first_arm, first)) = completed.first().cloned() {
+            for (arm, w) in &completed {
+                assert_eq!(
+                    *w, first,
+                    "{name}: {arm} disagrees with {first_arm} on the optimum weight"
+                );
+            }
+            assert!(
+                first <= baseline.weight,
+                "{name}: the weighted optimum cannot exceed the cardinality cover's weight"
+            );
+        } else {
+            eprintln!("[weighted] {name}: budget hit on every arm — agreement checks skipped");
+        }
+        t.separator();
+    }
+    t.print();
+    println!(
+        "(weight = minimized objective; card. weight = what the size-minimal cover weighs — \
+         the gap is the payoff of weight-aware search)"
+    );
+}
+
 fn shorten(name: &str) -> String {
     name.replace("p_hat_", "ph")
         .replace("_like", "")

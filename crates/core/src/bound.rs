@@ -3,9 +3,10 @@
 
 use crate::node::TreeNode;
 
-/// The bound driving pruning and the high-degree rule. MVC and PVC
-/// differ only here (§II-B): MVC prunes against the best cover found so
-/// far, PVC against the fixed parameter `k`.
+/// The bound driving pruning and the high-degree rule. MVC, weighted
+/// MVC, and PVC differ only here (§II-B): MVC prunes against the best
+/// cover found so far, weighted MVC against the best cover *weight*,
+/// PVC against the fixed parameter `k`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchBound {
     /// Minimum vertex cover: beat `best` (a snapshot of the global
@@ -15,6 +16,16 @@ pub enum SearchBound {
         /// Size of the best cover known when the node was visited.
         best: u32,
     },
+    /// Minimum *weight* vertex cover: beat `best` weight units. The
+    /// loop structure is identical to MVC; only the budget currency
+    /// changes — `w(S)` ([`TreeNode::cover_weight`]) replaces `|S|` in
+    /// every comparison, and because every weight is ≥ 1, a weight
+    /// budget of `t` still admits at most `t` more vertices, keeping
+    /// the `t²` edge test and degree-threshold arguments sound.
+    WeightedMvc {
+        /// Weight of the best cover known when the node was visited.
+        best: u64,
+    },
     /// Parameterized vertex cover: find any cover of size ≤ `k`.
     Pvc {
         /// The parameter `k`.
@@ -23,17 +34,45 @@ pub enum SearchBound {
 }
 
 impl SearchBound {
+    /// Whether this bound runs in weight units — the switch the
+    /// reduction rules consult before applying weight-unsound
+    /// inclusion shortcuts (see [`crate::reduce`]).
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, SearchBound::WeightedMvc { .. })
+    }
+
+    /// The cost this bound charges `node` with: `w(S)` in weighted
+    /// mode, `|S|` otherwise.
+    pub fn node_cost(&self, node: &TreeNode) -> u64 {
+        if self.is_weighted() {
+            node.cover_weight()
+        } else {
+            node.cover_size() as u64
+        }
+    }
+
     /// The high-degree rule threshold: a live vertex with degree
-    /// strictly greater than this must join the cover. `None` when the
-    /// budget is already spent (the node will be pruned by
-    /// [`prune`](Self::prune); applying the rule with a negative
-    /// threshold would meaninglessly consume the whole graph).
-    pub fn high_degree_threshold(&self, cover_size: u32) -> Option<i64> {
-        let t = match *self {
-            SearchBound::Mvc { best } => best as i64 - cover_size as i64 - 1,
-            SearchBound::Pvc { k } => k as i64 - cover_size as i64,
+    /// strictly greater than this must join the cover. `spent` is the
+    /// node's cost in this bound's units
+    /// ([`node_cost`](Self::node_cost)). `None` when the budget is
+    /// already spent
+    /// (the node will be pruned by [`prune`](Self::prune); applying
+    /// the rule with a negative threshold would meaninglessly consume
+    /// the whole graph).
+    ///
+    /// Weighted soundness: excluding a vertex of degree `d` forces its
+    /// `d` live neighbors in, costing ≥ `d` weight units (each weight
+    /// is ≥ 1) — so `d >` the remaining *weight* budget still forces
+    /// the vertex into the cover.
+    pub fn high_degree_threshold(&self, spent: u64) -> Option<i64> {
+        let t: i128 = match *self {
+            SearchBound::Mvc { best } => best as i128 - spent as i128 - 1,
+            SearchBound::WeightedMvc { best } => best as i128 - spent as i128 - 1,
+            SearchBound::Pvc { k } => k as i128 - spent as i128,
         };
-        (t >= 0).then_some(t)
+        // Degrees never exceed |V| < 2^32; clamping huge weight budgets
+        // to i64 loses nothing the rule could ever compare against.
+        (t >= 0).then_some(t.min(i64::MAX as i128) as i64)
     }
 
     /// The stopping condition (Figure 1 line 5 / Figure 4 line 12): no
@@ -41,8 +80,10 @@ impl SearchBound {
     ///
     /// Sub-condition 1: the cover budget is spent. Sub-condition 2: the
     /// high-degree rule capped every live degree at the threshold `t`,
-    /// and at most `t` more vertices may be added, so at most `t²` edges
-    /// can still be covered — more live edges than that is hopeless.
+    /// and at most `t` more vertices may be added (in weighted mode a
+    /// weight budget of `t` admits at most `t` vertices, each of weight
+    /// ≥ 1), so at most `t²` edges can still be covered — more live
+    /// edges than that is hopeless.
     pub fn prune(&self, node: &TreeNode) -> bool {
         match *self {
             SearchBound::Mvc { best } => {
@@ -51,6 +92,13 @@ impl SearchBound {
                 }
                 let budget = (best - node.cover_size() - 1) as u64;
                 node.num_edges() > budget * budget
+            }
+            SearchBound::WeightedMvc { best } => {
+                if node.cover_weight() >= best {
+                    return true;
+                }
+                let budget = best - node.cover_weight() - 1;
+                node.num_edges() > budget.saturating_mul(budget)
             }
             SearchBound::Pvc { k } => {
                 if node.cover_size() > k {
@@ -127,5 +175,39 @@ mod tests {
             Some(0)
         );
         assert_eq!(SearchBound::Pvc { k: 2 }.high_degree_threshold(5), None);
+        assert_eq!(
+            SearchBound::WeightedMvc { best: 10 }.high_degree_threshold(3),
+            Some(6)
+        );
+        assert_eq!(
+            SearchBound::WeightedMvc { best: 3 }.high_degree_threshold(3),
+            None
+        );
+        // The inert greedy-phase bound must not overflow.
+        assert_eq!(
+            SearchBound::WeightedMvc { best: u64::MAX }.high_degree_threshold(0),
+            Some(i64::MAX)
+        );
+    }
+
+    #[test]
+    fn weighted_prune_runs_in_weight_units() {
+        let g = gen::complete(5).with_weights(vec![4, 4, 4, 4, 4]).unwrap();
+        let n = node_with(&g, &[0]); // w(S) = 4, 6 edges remain
+        assert!(SearchBound::WeightedMvc { best: 4 }.prune(&n));
+        // Budget 20-4-1 = 15 ≥ #edges-admitting 6 → no prune.
+        assert!(!SearchBound::WeightedMvc { best: 20 }.prune(&n));
+        // Edge test: budget (8-4-1)=3 → 9 ≥ 6 edges → no prune; budget
+        // (7-4-1)=2 → 4 < 6 → prune on edges alone.
+        assert!(!SearchBound::WeightedMvc { best: 8 }.prune(&n));
+        assert!(SearchBound::WeightedMvc { best: 7 }.prune(&n));
+        assert!(
+            !SearchBound::WeightedMvc { best: u64::MAX }.prune(&n),
+            "the inert bound must not overflow the edge test"
+        );
+        assert!(SearchBound::WeightedMvc { best: 9 }.is_weighted());
+        assert!(!SearchBound::Mvc { best: 9 }.is_weighted());
+        assert_eq!(SearchBound::WeightedMvc { best: 9 }.node_cost(&n), 4);
+        assert_eq!(SearchBound::Mvc { best: 9 }.node_cost(&n), 1);
     }
 }

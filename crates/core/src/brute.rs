@@ -42,6 +42,48 @@ pub fn brute_force_pvc(g: &CsrGraph, k: u32) -> bool {
     brute_force_mvc(g).0 <= k
 }
 
+/// Exact minimum **weight** vertex cover by subset enumeration — the
+/// weighted-MVC test oracle. Ties on weight are broken toward the
+/// smaller cover, then the lexicographically smallest vertex set (the
+/// enumeration order), so the witness is deterministic. On unweighted
+/// graphs (every weight 1) the returned weight equals
+/// [`brute_force_mvc`]'s size. Panics for graphs with more than 24
+/// vertices (the oracle is for tests).
+pub fn weighted_brute_force(g: &CsrGraph) -> (u64, Vec<VertexId>) {
+    let n = g.num_vertices();
+    assert!(
+        n <= 24,
+        "weighted brute force oracle limited to 24 vertices, got {n}"
+    );
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    if edges.is_empty() {
+        return (0, Vec::new());
+    }
+    let mut best_mask = (1u32 << n) - 1;
+    let mut best_weight: u64 = (0..n).map(|v| g.weight(v)).sum();
+    let mut best_size = n;
+    for mask in 0u32..(1u32 << n) {
+        let size = mask.count_ones();
+        if !edges
+            .iter()
+            .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+        {
+            continue;
+        }
+        let weight: u64 = (0..n)
+            .filter(|&v| mask & (1 << v) != 0)
+            .map(|v| g.weight(v))
+            .sum();
+        if weight < best_weight || (weight == best_weight && size < best_size) {
+            best_weight = weight;
+            best_size = size;
+            best_mask = mask;
+        }
+    }
+    let cover = (0..n).filter(|&v| best_mask & (1 << v) != 0).collect();
+    (best_weight, cover)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,6 +115,37 @@ mod tests {
     fn edgeless_graph_has_empty_cover() {
         let g = CsrGraph::from_edges(5, &[]).unwrap();
         assert_eq!(brute_force_mvc(&g), (0, vec![]));
+    }
+
+    #[test]
+    fn weighted_oracle_degenerates_to_cardinality_on_unit_weights() {
+        for seed in 0..5 {
+            let g = gen::gnp(10, 0.4, seed);
+            let (opt, _) = brute_force_mvc(&g);
+            let (w, cover) = weighted_brute_force(&g);
+            assert_eq!(w, opt as u64, "seed {seed}");
+            assert!(is_vertex_cover(&g, &cover));
+        }
+    }
+
+    #[test]
+    fn weighted_oracle_flips_the_star_optimum() {
+        // Unweighted: the hub (size 1). Hub weight 100: the leaves.
+        let g = gen::star(5).with_weights(vec![100, 1, 1, 1, 1]).unwrap();
+        let (w, cover) = weighted_brute_force(&g);
+        assert_eq!(w, 4);
+        assert_eq!(cover, vec![1, 2, 3, 4]);
+        assert_eq!(brute_force_mvc(&g).0, 1);
+    }
+
+    #[test]
+    fn weighted_oracle_witness_weight_matches() {
+        for seed in 0..5 {
+            let g = gen::with_uniform_weights(gen::gnp(10, 0.35, seed), 10, seed + 7);
+            let (w, cover) = weighted_brute_force(&g);
+            assert_eq!(w, g.cover_weight(&cover), "seed {seed}");
+            assert!(is_vertex_cover(&g, &cover), "seed {seed}");
+        }
     }
 
     #[test]

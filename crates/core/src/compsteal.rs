@@ -120,9 +120,11 @@ impl CompStealPolicy<'_> {
         counters: &mut BlockCounters,
     ) -> Option<TreeNode> {
         let inst = &job.comps[index];
-        // The freshest budget: the launch bound as of now, minus the
-        // parent's cover, minus what the sibling components are known
-        // to need (their exact optimum once solved, else their
+        let search = bound.bound();
+        // The freshest budget (in the search's units — weight for
+        // weighted traversals): the launch bound as of now, minus the
+        // parent's cover cost, minus what the sibling components are
+        // known to need (their exact optimum once solved, else their
         // matching lower bound). A sibling that already proved it
         // cannot fit dooms the whole job — no budget, skip the solve.
         let limit = {
@@ -131,14 +133,20 @@ impl CompStealPolicy<'_> {
             if doomed {
                 None
             } else {
-                split::remaining_budget(bound.bound(), job.parent.cover_size()).map(
+                split::remaining_budget(search, search.node_cost(&job.parent)).map(
                     |mut remaining| {
                         for (j, r) in results.iter().enumerate() {
                             if j == index {
                                 continue;
                             }
                             remaining -= match r {
-                                Some(Some(cover)) => cover.len() as i64,
+                                Some(Some(cover)) => {
+                                    if search.is_weighted() {
+                                        job.comps[j].graph.cover_weight(cover) as i64
+                                    } else {
+                                        cover.len() as i64
+                                    }
+                                }
                                 _ => job.comps[j].lower_bound as i64,
                             };
                         }
@@ -156,7 +164,8 @@ impl CompStealPolicy<'_> {
                 split::solve_bounded(
                     &sub_kernel,
                     inst.greedy.clone(),
-                    limit.min(u32::MAX as i64) as u32,
+                    limit as u64,
+                    search.is_weighted(),
                     &mut || bound.should_abort(),
                     counters,
                     job.max_depth,

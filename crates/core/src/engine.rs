@@ -34,14 +34,15 @@ use parvc_simgpu::{CostModel, DeviceSpec, LaunchConfig};
 use crate::extensions::Extensions;
 use crate::ops::Kernel;
 use crate::shared::{
-    BoundKind, BoundSrc, Deadline, GlobalBest, PvcFound, RawParallel, RawParallelPvc,
+    BoundKind, BoundSrc, Deadline, GlobalBest, PvcFound, RawParallel, RawParallelPvc, RawWeighted,
+    WeightedBest,
 };
 use crate::split::{self, PendingSplit, SplitVerdict};
 use crate::TreeNode;
 
-/// Which problem a traversal solves, and what ends it: MVC improves a
-/// global best until the tree is exhausted; PVC stops at the first
-/// cover of size ≤ `k` (§II-B).
+/// Which problem a traversal solves, and what ends it: MVC (weighted
+/// or not) improves a global best until the tree is exhausted; PVC
+/// stops at the first cover of size ≤ `k` (§II-B).
 #[derive(Debug, Clone)]
 pub enum SearchMode {
     /// Minimum vertex cover, seeded with an initial `(size, cover)`
@@ -50,6 +51,18 @@ pub enum SearchMode {
     Mvc {
         /// The seed `(size, witness)` for the global best.
         initial: (u32, Vec<VertexId>),
+    },
+    /// Minimum **weight** vertex cover over the graph's weight channel
+    /// ([`CsrGraph::weight`]), seeded with an initial
+    /// `(weight, cover)` upper bound (normally
+    /// [`greedy_weighted_mvc`](crate::greedy::greedy_weighted_mvc)).
+    /// The traversal loop is byte-for-byte the MVC loop; only the
+    /// bound arithmetic and the reduction rules' inclusion gates run
+    /// in weight units (see [`crate::bound::SearchBound::WeightedMvc`]).
+    /// On a graph without weights this degenerates to MVC exactly.
+    WeightedMvc {
+        /// The seed `(weight, witness)` for the global best.
+        initial: (u64, Vec<VertexId>),
     },
     /// Parameterized vertex cover: find any cover of size ≤ `k`.
     Pvc {
@@ -61,13 +74,23 @@ pub enum SearchMode {
 impl SearchMode {
     /// The §IV-E per-block stack depth bound: the search can add at
     /// most `budget + 1` branch levels below the root (and never more
-    /// than `|V|`), so pre-allocating this much can never overflow.
+    /// than `|V|` — in weighted mode a weight budget of `t` admits at
+    /// most `t` vertices, each weighing ≥ 1), so pre-allocating this
+    /// much can never overflow.
     pub fn depth_bound(&self, g: &CsrGraph) -> usize {
-        let budget = match *self {
-            SearchMode::Mvc { initial: (size, _) } => size,
-            SearchMode::Pvc { k } => k,
+        let budget: u64 = match *self {
+            SearchMode::Mvc { initial: (size, _) } => size as u64,
+            SearchMode::WeightedMvc {
+                initial: (weight, _),
+            } => weight,
+            SearchMode::Pvc { k } => k as u64,
         };
-        budget.min(g.num_vertices()) as usize + 2
+        budget.min(g.num_vertices() as u64) as usize + 2
+    }
+
+    /// Whether this mode's bound runs in weight units.
+    pub fn is_weighted(&self) -> bool {
+        matches!(self, SearchMode::WeightedMvc { .. })
     }
 }
 
@@ -76,6 +99,8 @@ impl SearchMode {
 pub enum SearchOutcome {
     /// Result of a [`SearchMode::Mvc`] run.
     Mvc(RawParallel),
+    /// Result of a [`SearchMode::WeightedMvc`] run.
+    Weighted(RawWeighted),
     /// Result of a [`SearchMode::Pvc`] run.
     Pvc(RawParallelPvc),
 }
@@ -209,7 +234,13 @@ pub fn drive_block(
         // the block solves them inline and the combined cover flows
         // through the ordinary solution machinery.
         if let Some(params) = kernel.ext.component_branching {
-            if let Some(comps) = split::detect_components(kernel, &node, params, counters) {
+            if let Some(comps) = split::detect_components(
+                kernel,
+                &node,
+                params,
+                counters,
+                bound.bound().is_weighted(),
+            ) {
                 let pending = PendingSplit {
                     parent: node,
                     comps,
@@ -341,6 +372,20 @@ impl Engine<'_> {
                     blocks,
                 })
             }
+            SearchMode::WeightedMvc { initial } => {
+                let best = WeightedBest::new(initial.0, initial.1);
+                let bound = BoundSrc {
+                    kind: BoundKind::WeightedMvc(&best),
+                    deadline: self.deadline,
+                };
+                let blocks = self.run(factory, bound, depth_bound);
+                let (best_weight, best_cover) = best.into_result();
+                SearchOutcome::Weighted(RawWeighted {
+                    best_weight,
+                    best_cover,
+                    blocks,
+                })
+            }
             SearchMode::Pvc { k } => {
                 let found = PvcFound::new();
                 let bound = BoundSrc {
@@ -364,7 +409,19 @@ impl Engine<'_> {
     ) -> RawParallel {
         match self.solve(factory, SearchMode::Mvc { initial }) {
             SearchOutcome::Mvc(raw) => raw,
-            SearchOutcome::Pvc(_) => unreachable!("MVC mode returns an MVC outcome"),
+            _ => unreachable!("MVC mode returns an MVC outcome"),
+        }
+    }
+
+    /// [`solve`](Self::solve) for weighted MVC, unwrapped.
+    pub fn solve_weighted_mvc(
+        &self,
+        factory: &dyn PolicyFactory,
+        initial: (u64, Vec<VertexId>),
+    ) -> RawWeighted {
+        match self.solve(factory, SearchMode::WeightedMvc { initial }) {
+            SearchOutcome::Weighted(raw) => raw,
+            _ => unreachable!("weighted mode returns a weighted outcome"),
         }
     }
 
@@ -372,7 +429,7 @@ impl Engine<'_> {
     pub fn solve_pvc(&self, factory: &dyn PolicyFactory, k: u32) -> RawParallelPvc {
         match self.solve(factory, SearchMode::Pvc { k }) {
             SearchOutcome::Pvc(raw) => raw,
-            SearchOutcome::Mvc(_) => unreachable!("PVC mode returns a PVC outcome"),
+            _ => unreachable!("PVC mode returns a PVC outcome"),
         }
     }
 

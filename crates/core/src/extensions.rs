@@ -75,10 +75,21 @@ impl<'a> Kernel<'a> {
             return true;
         }
         if self.ext.matching_lower_bound && !node.is_edgeless() {
-            let lb = self.residual_matching_bound(node);
             return match bound {
-                SearchBound::Mvc { best } => node.cover_size() as u64 + lb >= best as u64,
-                SearchBound::Pvc { k } => node.cover_size() as u64 + lb > k as u64,
+                SearchBound::Mvc { best } => {
+                    node.cover_size() as u64 + self.residual_matching_bound(node) >= best as u64
+                }
+                // Weight units: each matched edge needs a cover vertex
+                // costing at least its cheaper endpoint, and matched
+                // edges are disjoint, so the minima sum.
+                SearchBound::WeightedMvc { best } => {
+                    node.cover_weight()
+                        .saturating_add(self.residual_weighted_matching_bound(node))
+                        >= best
+                }
+                SearchBound::Pvc { k } => {
+                    node.cover_size() as u64 + self.residual_matching_bound(node) > k as u64
+                }
             };
         }
         false
@@ -105,12 +116,41 @@ impl<'a> Kernel<'a> {
         size
     }
 
+    /// Weighted analogue of
+    /// [`residual_matching_bound`](Self::residual_matching_bound):
+    /// every completion of `S` pays
+    /// at least the cheaper endpoint of each greedily matched residual
+    /// edge (see [`parvc_graph::matching::min_weight_matching_bound`]).
+    pub fn residual_weighted_matching_bound(&self, node: &TreeNode) -> u64 {
+        let mut matched = vec![false; node.len() as usize];
+        let mut weight = 0u64;
+        for u in 0..node.len() {
+            if matched[u as usize] || node.degree(u) <= 0 {
+                continue;
+            }
+            for &v in self.graph.neighbors(u) {
+                if v > u && !matched[v as usize] && !node.is_removed(v) {
+                    matched[u as usize] = true;
+                    matched[v as usize] = true;
+                    weight += self.graph.weight(u).min(self.graph.weight(v));
+                    break;
+                }
+            }
+        }
+        weight
+    }
+
     /// One round of the domination rule: scan live vertices in id order
     /// and cover every `u` that dominates one of its neighbors.
     /// Returns whether anything changed.
+    ///
+    /// With `weighted` set, an application additionally requires
+    /// `w(u) ≤ w(v)` for the dominated neighbor `v` — the swap that
+    /// justifies the rule must not increase the cover weight.
     pub(crate) fn domination_round(
         &self,
         node: &mut TreeNode,
+        weighted: bool,
         counters: &mut BlockCounters,
     ) -> bool {
         let mut changed = false;
@@ -131,6 +171,7 @@ impl<'a> Kernel<'a> {
             let dominates = node
                 .live_neighbors(self.graph, u)
                 .filter(|&v| node.degree(v) <= node.degree(u))
+                .filter(|&v| !weighted || self.graph.weight(u) <= self.graph.weight(v))
                 .any(|v| node.live_neighbors(self.graph, v).all(|w| mark[w as usize]));
             // Unmark before mutating.
             mark[u as usize] = false;
@@ -222,7 +263,7 @@ mod tests {
         let k = kernel(&g, &cost, Extensions::ALL);
         let mut node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        assert!(k.domination_round(&mut node, &mut c));
+        assert!(k.domination_round(&mut node, false, &mut c));
         assert!(node.is_removed(0));
         node.check_consistency(&g).unwrap();
     }
@@ -238,7 +279,7 @@ mod tests {
             let mut c = BlockCounters::new(0);
             // Domination applied to a fixpoint must keep the optimum:
             // opt = |S| + opt(residual).
-            while k.domination_round(&mut node, &mut c) {}
+            while k.domination_round(&mut node, false, &mut c) {}
             node.check_consistency(&g).unwrap();
             let residual: Vec<(u32, u32)> = g
                 .edges()

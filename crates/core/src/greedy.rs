@@ -62,6 +62,61 @@ pub fn greedy_mvc_bounded(
     (node.cover_size(), node.cover_vertices())
 }
 
+/// Greedy approximate minimum **weight** vertex cover: apply the
+/// weight-sound reduction rules, then repeatedly remove the live
+/// vertex with the best degree-per-weight ratio until edgeless.
+/// Returns the cover weight and the cover itself — the seed for
+/// [`SearchMode::WeightedMvc`](crate::engine::SearchMode).
+pub fn greedy_weighted_mvc(g: &CsrGraph) -> (u64, Vec<VertexId>) {
+    let deadline = crate::shared::Deadline::new(None);
+    greedy_weighted_mvc_bounded(g, &deadline)
+}
+
+/// [`greedy_weighted_mvc`] under a wall-clock budget, with the same
+/// expiry semantics as [`greedy_mvc_bounded`]: on deadline the
+/// remaining positive-degree vertices are swept into the cover — still
+/// valid, just a weak bound.
+pub fn greedy_weighted_mvc_bounded(
+    g: &CsrGraph,
+    deadline: &crate::shared::Deadline,
+) -> (u64, Vec<VertexId>) {
+    let cost = CostModel::default();
+    let kernel = Kernel::sequential(g, &cost);
+    let mut counters = BlockCounters::new(u32::MAX);
+    let mut node = TreeNode::root(g);
+    // The inert weighted bound: reductions run with their weight gates,
+    // the high-degree rule never fires.
+    let bound = SearchBound::WeightedMvc { best: u64::MAX };
+    loop {
+        if deadline.expired() {
+            for v in g.vertices() {
+                if node.degree(v) > 0 {
+                    node.remove_into_cover(g, v);
+                }
+            }
+            break;
+        }
+        kernel.reduce(&mut node, bound, &mut counters);
+        if node.is_edgeless() {
+            break;
+        }
+        // Pick the live vertex maximizing d(v)/w(v) — covers the most
+        // edges per weight unit (ties: smaller id, like the unweighted
+        // max-degree pick). Cross-multiplied in u128 so huge weights
+        // cannot overflow.
+        let pick = (0..node.len())
+            .filter(|&v| node.degree(v) > 0)
+            .max_by(|&a, &b| {
+                let ra = node.degree(a) as u128 * g.weight(b) as u128;
+                let rb = node.degree(b) as u128 * g.weight(a) as u128;
+                ra.cmp(&rb).then(b.cmp(&a))
+            })
+            .expect("non-edgeless graph has a live vertex");
+        kernel.remove_vertex(&mut node, pick, Activity::RemoveMaxVertex, &mut counters);
+    }
+    (node.cover_weight(), node.cover_vertices())
+}
+
 /// The classic maximal-matching 2-approximation (Gavril/Yannakakis):
 /// both endpoints of every edge of a maximal matching. Guaranteed
 /// within 2× of the optimum in linear time — the paper's §I cites this
@@ -128,6 +183,48 @@ mod tests {
     fn greedy_on_edgeless_is_empty() {
         let g = parvc_graph::CsrGraph::from_edges(6, &[]).unwrap();
         assert_eq!(greedy_mvc(&g), (0, vec![]));
+    }
+
+    #[test]
+    fn weighted_greedy_returns_valid_covers_above_the_optimum() {
+        for seed in 0..6 {
+            let g = gen::with_uniform_weights(gen::gnp(12, 0.3, seed), 10, seed);
+            let (weight, cover) = greedy_weighted_mvc(&g);
+            assert_eq!(weight, g.cover_weight(&cover));
+            assert!(is_vertex_cover(&g, &cover), "seed {seed}");
+            let (opt, _) = crate::brute::weighted_brute_force(&g);
+            assert!(weight >= opt, "seed {seed}: greedy {weight} below {opt}");
+        }
+    }
+
+    #[test]
+    fn weighted_greedy_avoids_the_expensive_hub() {
+        // Star with a costly hub: the unweighted greedy takes the hub
+        // (weight 100); the weighted greedy must prefer the leaves.
+        let g = gen::star(6).with_weights(vec![100, 1, 1, 1, 1, 1]).unwrap();
+        let (weight, cover) = greedy_weighted_mvc(&g);
+        assert!(is_vertex_cover(&g, &cover));
+        assert_eq!(weight, 5, "five weight-1 leaves beat the hub");
+        assert_eq!(
+            greedy_mvc(&g).0,
+            1,
+            "cardinality greedy still takes the hub"
+        );
+    }
+
+    #[test]
+    fn weighted_greedy_matches_unweighted_on_unit_weights() {
+        for seed in 0..6 {
+            let g = gen::gnp(20, 0.2, seed + 60);
+            let (size, cover) = greedy_mvc(&g);
+            let unit = g.clone().with_weights(vec![1; 20]).unwrap();
+            let (weight, wcover) = greedy_weighted_mvc(&unit);
+            assert_eq!(weight, size as u64, "seed {seed}");
+            assert_eq!(
+                wcover, cover,
+                "seed {seed}: unit weights must not change the pick"
+            );
+        }
     }
 
     #[test]

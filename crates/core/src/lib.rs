@@ -11,9 +11,13 @@
 //!   cycle accounting; [`reduce`] adds the three reduction rules with
 //!   the §IV-D parallel conflict-resolution semantics.
 //! * [`engine`] — the shared branch-and-reduce traversal loop, with
-//!   scheduling delegated to a [`SchedulePolicy`] and MVC/PVC
-//!   termination unified by [`SearchMode`]. Every algorithm is a thin
-//!   policy over this one engine.
+//!   scheduling delegated to a [`SchedulePolicy`] and MVC / weighted
+//!   MVC / PVC termination unified by [`SearchMode`]. Every algorithm
+//!   is a thin policy over this one engine; the weighted variant
+//!   ([`SolverBuilder::weighted`]) changes only the bound arithmetic
+//!   and the reduction rules' inclusion gates to weight units (see
+//!   [`bound::SearchBound::WeightedMvc`]), so all five policies solve
+//!   it unchanged.
 //! * [`sequential`], [`stackonly`], [`hybrid`] — the paper's three
 //!   code versions as policies: the CPU baseline (Figure 1), prior
 //!   work's fixed-depth sub-tree scheme, and the contribution — local
@@ -36,8 +40,9 @@
 //!   kernelization + component-decomposition pipeline up front and
 //!   schedules each kernel component as an independent engine
 //!   sub-search under any of the policies.
-//! * [`greedy`] (the initial bound), [`brute`] (the test oracle),
-//!   [`verify`] (solution checking).
+//! * [`greedy`] (the initial bounds, cardinality and weighted),
+//!   [`brute`] (the test oracles, including
+//!   [`brute::weighted_brute_force`]), [`verify`] (solution checking).
 //!
 //! The cross-crate picture — engine contract, component-sum node
 //! lifecycle, prep→solve→lift flow — is documented in

@@ -25,6 +25,7 @@ pub const REMOVED: i32 = -1;
 pub struct TreeNode {
     degrees: Box<[i32]>,
     cover_size: u32,
+    cover_weight: u64,
     num_edges: u64,
 }
 
@@ -35,6 +36,7 @@ impl TreeNode {
         TreeNode {
             degrees,
             cover_size: 0,
+            cover_weight: 0,
             num_edges: g.num_edges(),
         }
     }
@@ -68,6 +70,17 @@ impl TreeNode {
         self.cover_size
     }
 
+    /// `w(S)` — total weight of the cover so far, maintained from the
+    /// graph's weight channel by
+    /// [`remove_into_cover`](Self::remove_into_cover). Equals
+    /// [`cover_size`](Self::cover_size) on unweighted graphs (every
+    /// weight is 1), so weighted and unweighted bound arithmetic share
+    /// this one counter.
+    #[inline]
+    pub fn cover_weight(&self) -> u64 {
+        self.cover_weight
+    }
+
     /// `|E'|` — edges remaining in the intermediate graph.
     #[inline]
     pub fn num_edges(&self) -> u64 {
@@ -91,6 +104,7 @@ impl TreeNode {
         debug_assert!(d >= 0, "removing already-removed vertex {v}");
         self.degrees[v as usize] = REMOVED;
         self.cover_size += 1;
+        self.cover_weight += g.weight(v);
         self.num_edges -= d as u64;
         if d > 0 {
             for &u in g.neighbors(v) {
@@ -141,9 +155,11 @@ impl TreeNode {
         }
         let mut edges = 0u64;
         let mut removed = 0u32;
+        let mut removed_weight = 0u64;
         for v in g.vertices() {
             if self.is_removed(v) {
                 removed += 1;
+                removed_weight += g.weight(v);
                 continue;
             }
             let live_deg = self.live_neighbors(g, v).count() as i32;
@@ -159,6 +175,12 @@ impl TreeNode {
             return Err(format!(
                 "cover_size {} but {removed} sentinels",
                 self.cover_size
+            ));
+        }
+        if removed_weight != self.cover_weight {
+            return Err(format!(
+                "cover_weight {} but sentinels weigh {removed_weight}",
+                self.cover_weight
             ));
         }
         if edges / 2 != self.num_edges {
@@ -177,6 +199,7 @@ impl std::fmt::Debug for TreeNode {
         f.debug_struct("TreeNode")
             .field("len", &self.len())
             .field("cover_size", &self.cover_size)
+            .field("cover_weight", &self.cover_weight)
             .field("num_edges", &self.num_edges)
             .finish()
     }
@@ -224,6 +247,24 @@ mod tests {
         assert_eq!(n.degree(3), 0); // live but isolated
         assert_eq!(n.cover_vertices(), vec![0, 1, 2]);
         n.check_consistency(&g).unwrap();
+    }
+
+    #[test]
+    fn cover_weight_tracks_graph_weights() {
+        let g = gen::path(4).with_weights(vec![2, 7, 3, 1]).unwrap();
+        let mut n = TreeNode::root(&g);
+        assert_eq!(n.cover_weight(), 0);
+        n.remove_into_cover(&g, 1);
+        n.remove_into_cover(&g, 2);
+        assert_eq!(n.cover_size(), 2);
+        assert_eq!(n.cover_weight(), 10);
+        n.check_consistency(&g).unwrap();
+
+        // Unweighted: weight mirrors size.
+        let u = gen::path(4);
+        let mut n = TreeNode::root(&u);
+        n.remove_into_cover(&u, 1);
+        assert_eq!(n.cover_weight(), n.cover_size() as u64);
     }
 
     #[test]

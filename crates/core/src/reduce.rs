@@ -46,17 +46,17 @@ impl<'a> Kernel<'a> {
             // Figure 1 applies each rule to ITS OWN fixpoint before the
             // next (the inner `while ∃v` loops), then repeats all three
             // while anything changed.
-            while self.degree_one_round(node, counters, &mut stats) {
+            while self.degree_one_round(node, bound, counters, &mut stats) {
                 changed = true;
             }
-            while self.degree_two_triangle_round(node, counters, &mut stats) {
+            while self.degree_two_triangle_round(node, bound, counters, &mut stats) {
                 changed = true;
             }
             while self.high_degree_round(node, bound, counters, &mut stats) {
                 changed = true;
             }
             if self.ext.domination_rule {
-                while self.domination_round(node, counters) {
+                while self.domination_round(node, bound.is_weighted(), counters) {
                     changed = true;
                 }
             }
@@ -69,9 +69,16 @@ impl<'a> Kernel<'a> {
     /// One parallel round of the degree-one rule: for a degree-one
     /// vertex `v` with neighbor `u`, taking `u` is never worse than
     /// taking `v`. Returns whether anything changed.
+    ///
+    /// **Weighted gate**: the swap argument (`u` covers a superset of
+    /// `v`'s edges) only bounds the cover weight when `w(u) ≤ w(v)`;
+    /// a weighted search skips applications that fail that test — the
+    /// leaf may genuinely be the cheaper endpoint (a weight-1 leaf on
+    /// a weight-100 hub belongs in the optimum).
     fn degree_one_round(
         &self,
         node: &mut TreeNode,
+        bound: SearchBound,
         counters: &mut BlockCounters,
         stats: &mut ReduceStats,
     ) -> bool {
@@ -92,6 +99,9 @@ impl<'a> Kernel<'a> {
             let u = node
                 .live_neighbor(self.graph, v)
                 .expect("degree-one vertex has a live neighbor");
+            if bound.is_weighted() && self.graph.weight(u) > self.graph.weight(v) {
+                continue;
+            }
             self.remove_vertex(node, u, Activity::DegreeOneRule, counters);
             stats.degree_one += 1;
             changed = true;
@@ -103,9 +113,14 @@ impl<'a> Kernel<'a> {
     /// `N(v) = {u, w}` and `uw ∈ E`, two of the triangle's vertices must
     /// be covered and `{u, w}` is never worse. Returns whether anything
     /// changed.
+    ///
+    /// **Weighted gate**: swapping `v` out for whichever of `{u, w}` a
+    /// cover is missing only bounds the weight when both partners cost
+    /// at most `w(v)`; a weighted search skips the rest.
     fn degree_two_triangle_round(
         &self,
         node: &mut TreeNode,
+        bound: SearchBound,
         counters: &mut BlockCounters,
         stats: &mut ReduceStats,
     ) -> bool {
@@ -134,6 +149,11 @@ impl<'a> Kernel<'a> {
                 Activity::DegreeTwoTriangleRule,
                 self.cost.parallel_op(1, self.block_size, self.variant),
             );
+            if bound.is_weighted()
+                && self.graph.weight(u).max(self.graph.weight(w)) > self.graph.weight(v)
+            {
+                continue;
+            }
             if self.graph.has_edge(u, w) {
                 self.remove_vertex(node, u, Activity::DegreeTwoTriangleRule, counters);
                 self.remove_vertex(node, w, Activity::DegreeTwoTriangleRule, counters);
@@ -147,7 +167,9 @@ impl<'a> Kernel<'a> {
     /// One parallel round of the high-degree rule: a live vertex whose
     /// degree exceeds the remaining cover budget can never be covered
     /// "from the other side" within the bound, so it joins the cover.
-    /// Returns whether anything changed.
+    /// Returns whether anything changed. Under a weighted bound the
+    /// budget is in weight units, which only strengthens the argument:
+    /// `d` forced neighbors cost at least `d` weight (each weight ≥ 1).
     ///
     /// When the budget is already negative the rule is skipped — the
     /// stopping condition prunes such nodes right after `reduce`
@@ -165,7 +187,7 @@ impl<'a> Kernel<'a> {
             self.cost
                 .parallel_op(node.len() as u64, self.block_size, self.variant),
         );
-        let Some(threshold) = bound.high_degree_threshold(node.cover_size()) else {
+        let Some(threshold) = bound.high_degree_threshold(bound.node_cost(node)) else {
             return false;
         };
         let snapshot: Vec<u32> = (0..node.len())
@@ -175,7 +197,7 @@ impl<'a> Kernel<'a> {
         for v in snapshot {
             // The budget shrinks as the rule fires; recompute like the
             // serial `while ∃v s.t. d(v) > best − |S| − 1` does.
-            let Some(threshold) = bound.high_degree_threshold(node.cover_size()) else {
+            let Some(threshold) = bound.high_degree_threshold(bound.node_cost(node)) else {
                 break;
             };
             if node.degree(v) < 0 || (node.degree(v) as i64) <= threshold {

@@ -2,7 +2,7 @@
 //! found-flag.
 
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 
 use parvc_graph::VertexId;
 
@@ -58,6 +58,60 @@ impl GlobalBest {
 
     /// Final answer: the smallest cover recorded.
     pub fn into_result(self) -> (u32, Vec<VertexId>) {
+        self.witness.into_inner()
+    }
+}
+
+/// The global best solution for **weighted** MVC: [`GlobalBest`] with
+/// the atomic ordered on cover *weight* ([`TreeNode::cover_weight`])
+/// instead of cover size. Kept as its own type so the unweighted hot
+/// path stays a 32-bit atomic, exactly as the paper's kernels load it.
+pub struct WeightedBest {
+    weight: AtomicU64,
+    witness: Mutex<(u64, Vec<VertexId>)>,
+}
+
+impl WeightedBest {
+    /// Starts from the weighted greedy approximation.
+    pub fn new(weight: u64, cover: Vec<VertexId>) -> Self {
+        WeightedBest {
+            weight: AtomicU64::new(weight),
+            witness: Mutex::new((weight, cover)),
+        }
+    }
+
+    /// Current best cover weight (relaxed read; staleness only costs
+    /// extra exploration, never correctness).
+    pub fn load(&self) -> u64 {
+        self.weight.load(Ordering::Relaxed)
+    }
+
+    /// Records `node`'s cover if its weight is strictly better.
+    /// Returns whether this call improved the best.
+    pub fn try_improve(&self, node: &TreeNode) -> bool {
+        let new = node.cover_weight();
+        let mut cur = self.weight.load(Ordering::Relaxed);
+        loop {
+            if new >= cur {
+                return false;
+            }
+            match self
+                .weight
+                .compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+        let mut witness = self.witness.lock();
+        if new < witness.0 {
+            *witness = (new, node.cover_vertices());
+        }
+        true
+    }
+
+    /// Final answer: the lightest cover recorded.
+    pub fn into_result(self) -> (u64, Vec<VertexId>) {
         self.witness.into_inner()
     }
 }
@@ -150,6 +204,8 @@ impl Deadline {
 pub enum BoundKind<'a> {
     /// MVC: bound against the live global best.
     Mvc(&'a GlobalBest),
+    /// Weighted MVC: bound against the live global best *weight*.
+    WeightedMvc(&'a WeightedBest),
     /// PVC: bound against fixed `k`, with the early-exit flag.
     Pvc {
         /// The parameter.
@@ -175,6 +231,9 @@ impl<'a> BoundSrc<'a> {
     pub fn bound(&self) -> crate::bound::SearchBound {
         match self.kind {
             BoundKind::Mvc(best) => crate::bound::SearchBound::Mvc { best: best.load() },
+            BoundKind::WeightedMvc(best) => {
+                crate::bound::SearchBound::WeightedMvc { best: best.load() }
+            }
             BoundKind::Pvc { k, .. } => crate::bound::SearchBound::Pvc { k },
         }
     }
@@ -184,6 +243,10 @@ impl<'a> BoundSrc<'a> {
     pub fn on_solution(&self, node: &TreeNode) -> bool {
         match self.kind {
             BoundKind::Mvc(best) => {
+                best.try_improve(node);
+                false
+            }
+            BoundKind::WeightedMvc(best) => {
                 best.try_improve(node);
                 false
             }
@@ -199,7 +262,7 @@ impl<'a> BoundSrc<'a> {
     /// extra condition) or the wall-clock budget is spent.
     pub fn should_abort(&self) -> bool {
         let kind_abort = match self.kind {
-            BoundKind::Mvc(_) => false,
+            BoundKind::Mvc(_) | BoundKind::WeightedMvc(_) => false,
             BoundKind::Pvc { found, .. } => found.is_set(),
         };
         kind_abort || self.deadline.expired()
@@ -210,6 +273,16 @@ impl<'a> BoundSrc<'a> {
 pub struct RawParallel {
     /// Best cover size.
     pub best_size: u32,
+    /// Witness cover.
+    pub best_cover: Vec<VertexId>,
+    /// Per-block instrumentation.
+    pub blocks: Vec<parvc_simgpu::counters::BlockCounters>,
+}
+
+/// Raw result of a parallel **weighted** MVC launch.
+pub struct RawWeighted {
+    /// Best cover weight.
+    pub best_weight: u64,
     /// Witness cover.
     pub best_cover: Vec<VertexId>,
     /// Per-block instrumentation.
@@ -269,6 +342,23 @@ mod tests {
         let (size, cover) = best.into_result();
         assert_eq!(size, 5);
         assert_eq!(cover.len(), 5, "witness must match the recorded size");
+    }
+
+    #[test]
+    fn weighted_best_orders_on_weight_not_size() {
+        // A star whose hub is expensive: {hub} is the smaller cover,
+        // the five leaves are the lighter one.
+        let g = gen::star(6).with_weights(vec![100, 1, 1, 1, 1, 1]).unwrap();
+        let best = WeightedBest::new(u64::MAX, vec![]);
+        assert!(best.try_improve(&node_covering(&g, &[0])));
+        assert_eq!(best.load(), 100);
+        assert!(
+            best.try_improve(&node_covering(&g, &[1, 2, 3, 4, 5])),
+            "5 vertices of weight 1 beat 1 vertex of weight 100"
+        );
+        let (w, cover) = best.into_result();
+        assert_eq!(w, 5);
+        assert_eq!(cover, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -21,7 +21,7 @@ use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
 use crate::compsteal::CompStealFactory;
 use crate::engine::{Engine, PolicyFactory, SearchMode, SearchOutcome};
 use crate::extensions::Extensions;
-use crate::greedy::greedy_mvc_bounded;
+use crate::greedy::{greedy_mvc_bounded, greedy_weighted_mvc_bounded};
 use crate::hybrid::{HybridFactory, HybridParams};
 use crate::sequential::SequentialFactory;
 use crate::shared::Deadline;
@@ -112,6 +112,7 @@ pub struct SolverBuilder {
     ext: Extensions,
     record_trace: bool,
     prep: Option<PrepConfig>,
+    weighted: bool,
     /// Whether the caller explicitly configured component branching
     /// (so `build()` can tell "disabled on purpose" from "never set"
     /// when ComponentSteal implies a default).
@@ -136,6 +137,7 @@ impl Default for SolverBuilder {
             ext: Extensions::NONE,
             record_trace: false,
             prep: None,
+            weighted: false,
             split_configured: false,
         }
     }
@@ -250,6 +252,41 @@ impl SolverBuilder {
         self
     }
 
+    /// Solves the **vertex-weighted** MVC variant: the objective
+    /// becomes the total weight of the cover under the graph's weight
+    /// channel ([`parvc_graph::CsrGraph::with_weights`]), the engine's
+    /// bound arithmetic and reduction thresholds run in weight units,
+    /// and [`MvcResult::weight`] carries the minimized objective.
+    /// Every scheduling policy works unchanged; on a graph without
+    /// weights (all weights 1) the result matches the cardinality
+    /// solve exactly. When preprocessing is configured, only
+    /// weight-sound kernelization rules run (see
+    /// [`PrepConfig::weighted`]).
+    ///
+    /// ```
+    /// use parvc_core::{Algorithm, Solver, is_vertex_cover};
+    /// use parvc_graph::gen;
+    ///
+    /// // A star whose hub costs more than all five leaves together:
+    /// // the cardinality optimum {hub} is the weighted pessimum.
+    /// let g = gen::star(6)
+    ///     .with_weights(vec![100, 1, 1, 1, 1, 1])
+    ///     .unwrap();
+    ///
+    /// let weighted = Solver::builder().weighted().build().solve_mvc(&g);
+    /// assert_eq!(weighted.weight, 5); // the five leaves
+    /// assert_eq!(weighted.size, 5);
+    /// assert!(is_vertex_cover(&g, &weighted.cover));
+    ///
+    /// let cardinality = Solver::builder().build().solve_mvc(&g);
+    /// assert_eq!(cardinality.size, 1); // the hub
+    /// assert_eq!(cardinality.weight, 100);
+    /// ```
+    pub fn weighted(mut self) -> Self {
+        self.weighted = true;
+        self
+    }
+
     /// Enables the domination reduction rule.
     pub fn domination_rule(mut self, on: bool) -> Self {
         self.ext.domination_rule = on;
@@ -353,7 +390,9 @@ impl Solver {
         }
     }
 
-    /// Solves MINIMUM VERTEX COVER on `g`.
+    /// Solves MINIMUM VERTEX COVER on `g` — minimum cardinality by
+    /// default, minimum *weight* when the solver was built with
+    /// [`SolverBuilder::weighted`].
     ///
     /// When the graph's per-block state cannot fit the simulated
     /// device's global memory (the §III-C limit) no resident grid can
@@ -365,6 +404,7 @@ impl Solver {
         if g.num_edges() == 0 {
             return MvcResult {
                 size: 0,
+                weight: 0,
                 cover: Vec::new(),
                 stats: self.trivial_stats(start, 0),
             };
@@ -375,17 +415,49 @@ impl Solver {
             return self.solve_mvc_prep(g, prep_cfg, start, &deadline);
         }
 
+        if self.cfg.weighted {
+            let greedy = greedy_weighted_mvc_bounded(g, &deadline);
+            let greedy_size = greedy.1.len() as u32;
+            let (outcome, launch) = self.run_engine(
+                g,
+                SearchMode::WeightedMvc { initial: greedy },
+                &deadline,
+                false,
+            );
+            let raw = match outcome {
+                SearchOutcome::Weighted(raw) => raw,
+                _ => unreachable!("weighted mode returns a weighted outcome"),
+            };
+            let report = self.launch_report(launch.is_some(), raw.blocks);
+            return MvcResult {
+                size: raw.best_cover.len() as u32,
+                weight: raw.best_weight,
+                cover: raw.best_cover,
+                stats: SolveStats {
+                    wall_time: start.elapsed(),
+                    tree_nodes: report.total_tree_nodes,
+                    device_cycles: report.device_cycles,
+                    launch,
+                    report,
+                    greedy_size,
+                    timed_out: deadline.was_hit(),
+                    prep: None,
+                },
+            };
+        }
+
         let greedy = greedy_mvc_bounded(g, &deadline);
         let greedy_size = greedy.0;
         let (outcome, launch) =
             self.run_engine(g, SearchMode::Mvc { initial: greedy }, &deadline, false);
         let raw = match outcome {
             SearchOutcome::Mvc(raw) => raw,
-            SearchOutcome::Pvc(_) => unreachable!("MVC mode returns an MVC outcome"),
+            _ => unreachable!("MVC mode returns an MVC outcome"),
         };
         let report = self.launch_report(launch.is_some(), raw.blocks);
         MvcResult {
             size: raw.best_size,
+            weight: g.cover_weight(&raw.best_cover),
             cover: raw.best_cover,
             stats: SolveStats {
                 wall_time: start.elapsed(),
@@ -401,6 +473,9 @@ impl Solver {
     }
 
     /// Solves PARAMETERIZED VERTEX COVER on `g` with parameter `k`.
+    /// PVC is a cardinality question ("is there a cover of ≤ k
+    /// *vertices*?"), so [`SolverBuilder::weighted`] does not change
+    /// it.
     ///
     /// Degrades to inline execution on over-sized graphs exactly like
     /// [`solve_mvc`](Self::solve_mvc).
@@ -423,7 +498,7 @@ impl Solver {
         let (outcome, launch) = self.run_engine(g, SearchMode::Pvc { k }, &deadline, false);
         let raw = match outcome {
             SearchOutcome::Pvc(raw) => raw,
-            SearchOutcome::Mvc(_) => unreachable!("PVC mode returns a PVC outcome"),
+            _ => unreachable!("PVC mode returns a PVC outcome"),
         };
         let report = self.launch_report(launch.is_some(), raw.blocks);
         PvcResult {
@@ -445,7 +520,9 @@ impl Solver {
     /// MVC through the kernelization pipeline: preprocess once, solve
     /// each kernel component as an independent engine sub-search under
     /// the shared deadline, and lift the sub-covers back to the
-    /// original graph.
+    /// original graph. In weighted mode the pipeline runs with
+    /// [`PrepConfig::weighted`] forced on, so only weight-sound rules
+    /// fire, and each component sub-search minimizes weight.
     fn solve_mvc_prep(
         &self,
         g: &CsrGraph,
@@ -453,12 +530,15 @@ impl Solver {
         start: Instant,
         deadline: &Deadline,
     ) -> MvcResult {
-        let kernel = parvc_prep::preprocess(g, prep_cfg);
-        let (sub_covers, agg) = self.solve_components(&kernel, deadline);
+        let mut prep_cfg = prep_cfg.clone();
+        prep_cfg.weighted |= self.cfg.weighted;
+        let kernel = parvc_prep::preprocess(g, &prep_cfg);
+        let (sub_covers, agg) = self.solve_components(&kernel, deadline, self.cfg.weighted);
         let cover = kernel.lift(&sub_covers);
         let report = self.launch_report(agg.launch.is_some(), agg.blocks);
         MvcResult {
             size: cover.len() as u32,
+            weight: g.cover_weight(&cover),
             cover,
             stats: SolveStats {
                 wall_time: start.elapsed(),
@@ -496,7 +576,7 @@ impl Solver {
                 stats,
             };
         }
-        let (sub_covers, agg) = self.solve_components(&kernel, deadline);
+        let (sub_covers, agg) = self.solve_components(&kernel, deadline, false);
         let total = forced as u64 + sub_covers.iter().map(|c| c.len() as u64).sum::<u64>();
         let cover = (total <= k as u64).then(|| kernel.lift(&sub_covers));
         let report = self.launch_report(agg.launch.is_some(), agg.blocks);
@@ -525,6 +605,7 @@ impl Solver {
         &self,
         kernel: &parvc_prep::Kernel,
         deadline: &Deadline,
+        weighted: bool,
     ) -> (Vec<Vec<u32>>, ComponentAggregate) {
         let mut agg = ComponentAggregate {
             blocks: Vec::new(),
@@ -533,24 +614,44 @@ impl Solver {
         };
         let mut sub_covers = Vec::with_capacity(kernel.components.len());
         for inst in &kernel.components {
-            let greedy = greedy_mvc_bounded(&inst.graph, deadline);
-            agg.greedy_total += greedy.0;
             if inst.graph.num_edges() == 0 {
                 sub_covers.push(Vec::new());
                 continue;
             }
-            let mode = SearchMode::Mvc { initial: greedy };
             let inline = inst.graph.num_vertices() < PREP_INLINE_BELOW;
-            let (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline);
-            let raw = match outcome {
-                SearchOutcome::Mvc(raw) => raw,
-                SearchOutcome::Pvc(_) => unreachable!("MVC mode returns an MVC outcome"),
-            };
+            // The component graphs carry the original's vertex weights
+            // through the prep relabeling, so a weighted sub-search
+            // minimizes exactly the lifted objective.
+            let (outcome, launch, best_cover);
+            if weighted {
+                let greedy = greedy_weighted_mvc_bounded(&inst.graph, deadline);
+                agg.greedy_total += greedy.1.len() as u32;
+                let mode = SearchMode::WeightedMvc { initial: greedy };
+                (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline);
+                best_cover = match outcome {
+                    SearchOutcome::Weighted(raw) => {
+                        agg.blocks.extend(raw.blocks);
+                        raw.best_cover
+                    }
+                    _ => unreachable!("weighted mode returns a weighted outcome"),
+                };
+            } else {
+                let greedy = greedy_mvc_bounded(&inst.graph, deadline);
+                agg.greedy_total += greedy.0;
+                let mode = SearchMode::Mvc { initial: greedy };
+                (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline);
+                best_cover = match outcome {
+                    SearchOutcome::Mvc(raw) => {
+                        agg.blocks.extend(raw.blocks);
+                        raw.best_cover
+                    }
+                    _ => unreachable!("MVC mode returns an MVC outcome"),
+                };
+            }
             if agg.launch.is_none() {
                 agg.launch = launch;
             }
-            agg.blocks.extend(raw.blocks);
-            sub_covers.push(raw.best_cover);
+            sub_covers.push(best_cover);
         }
         (sub_covers, agg)
     }

@@ -51,7 +51,7 @@ use parvc_graph::{matching, ops, CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
 
 use crate::bound::SearchBound;
-use crate::greedy::greedy_mvc;
+use crate::greedy::{greedy_mvc, greedy_weighted_mvc};
 use crate::ops::Kernel;
 use crate::TreeNode;
 
@@ -89,18 +89,28 @@ impl SplitParams {
 
 /// One connected component of a disconnected residual, extracted as a
 /// standalone instance (vertices relabeled to `0..n`).
+///
+/// All cost fields are in the units of the search that produced the
+/// split: cover *weight* for [`SearchBound::WeightedMvc`] traversals,
+/// cover cardinality otherwise. The extracted `graph` carries the
+/// parent's vertex weights through the relabeling
+/// ([`parvc_graph::ops::induced_subgraph`]), so weighted sub-searches
+/// see exactly the weights of the vertices they stand for.
 pub struct SubInstance {
-    /// The component as its own graph.
+    /// The component as its own graph (weights relabeled from the
+    /// parent when the parent is weighted).
     pub graph: CsrGraph,
     /// `old_ids[new_id]` = the vertex's id in the graph the split
     /// happened on.
     pub old_ids: Vec<VertexId>,
     /// Greedy cover of the component — the sub-search's initial upper
-    /// bound and its fallback witness.
-    pub greedy: (u32, Vec<VertexId>),
-    /// Maximal-matching lower bound on the component's optimum; the
-    /// sibling budgets are derived from these.
-    pub lower_bound: u32,
+    /// bound and its fallback witness. `(cost, witness)` in the
+    /// search's units.
+    pub greedy: (u64, Vec<VertexId>),
+    /// Matching lower bound on the component's optimum (min-weight
+    /// endpoint sum in weighted searches); the sibling budgets are
+    /// derived from these.
+    pub lower_bound: u64,
 }
 
 /// A tree node whose residual graph disconnected, together with its
@@ -134,6 +144,7 @@ pub(crate) fn detect_components(
     node: &TreeNode,
     params: SplitParams,
     counters: &mut BlockCounters,
+    weighted: bool,
 ) -> Option<Vec<SubInstance>> {
     // Cheap trigger first: a bare counting pass, no allocation, so the
     // tiny residuals the trigger exists for skip at degree-array-scan
@@ -197,8 +208,18 @@ pub(crate) fn detect_components(
         .filter(|m| m.len() > 1)
         .map(|m| {
             let (graph, _) = ops::induced_subgraph(kernel.graph, &m);
-            let greedy = greedy_mvc(&graph);
-            let lower_bound = matching::greedy_maximal_matching(&graph).len() as u32;
+            let (greedy, lower_bound) = if weighted {
+                (
+                    greedy_weighted_mvc(&graph),
+                    matching::min_weight_matching_bound(&graph),
+                )
+            } else {
+                let (size, cover) = greedy_mvc(&graph);
+                (
+                    (size as u64, cover),
+                    matching::greedy_maximal_matching(&graph).len() as u64,
+                )
+            };
             SubInstance {
                 graph,
                 old_ids: m,
@@ -226,15 +247,21 @@ pub(crate) fn detect_components(
     Some(comps)
 }
 
-/// The remaining cover budget below a node: how many more vertices a
-/// solution through this node may still add. `None` when the budget is
-/// already spent (MVC must *beat* `best`; PVC must stay ≤ `k`).
-pub(crate) fn remaining_budget(bound: SearchBound, cover_size: u32) -> Option<i64> {
-    let r = match bound {
-        SearchBound::Mvc { best } => best as i64 - 1 - cover_size as i64,
-        SearchBound::Pvc { k } => k as i64 - cover_size as i64,
+/// The remaining cover budget below a node, in the bound's own units
+/// (`spent` is the node's [`SearchBound::node_cost`]): how much more
+/// cost a solution through this node may still add. `None` when the
+/// budget is already spent (MVC and weighted MVC must *beat* `best`;
+/// PVC must stay ≤ `k`).
+pub(crate) fn remaining_budget(bound: SearchBound, spent: u64) -> Option<i64> {
+    let r: i128 = match bound {
+        SearchBound::Mvc { best } => best as i128 - 1 - spent as i128,
+        SearchBound::WeightedMvc { best } => best as i128 - 1 - spent as i128,
+        SearchBound::Pvc { k } => k as i128 - spent as i128,
     };
-    (r >= 0).then_some(r)
+    // `CsrGraph::with_weights` caps the total weight at i64::MAX, so
+    // real costs always fit; the clamp only tames the inert `u64::MAX`
+    // seed bound.
+    (r >= 0).then_some(r.min(i64::MAX as i128) as i64)
 }
 
 /// Solves every component of a split inline and combines the result —
@@ -252,7 +279,7 @@ pub(crate) fn solve_split(
     counters: &mut BlockCounters,
     depth: u32,
 ) -> SplitVerdict {
-    let Some(mut remaining) = remaining_budget(bound, parent.cover_size()) else {
+    let Some(mut remaining) = remaining_budget(bound, bound.node_cost(parent)) else {
         return SplitVerdict::Pruned;
     };
     let mut lb_rest: i64 = comps.iter().map(|c| c.lower_bound as i64).sum();
@@ -270,7 +297,8 @@ pub(crate) fn solve_split(
         let Some((opt, cover)) = solve_bounded(
             &sub_kernel,
             c.greedy.clone(),
-            limit.min(u32::MAX as i64) as u32,
+            limit as u64,
+            bound.is_weighted(),
             abort,
             counters,
             depth,
@@ -288,7 +316,10 @@ pub(crate) fn solve_split(
 
 /// Exhaustive bounded MVC sub-search on a standalone (component) graph:
 /// the engine's reduce/prune/branch step driven by a plain DFS stack,
-/// with nested component splitting.
+/// with nested component splitting. `weighted` selects the bound's
+/// units — cover weight over the component graph's weight channel, or
+/// cover cardinality — and `seed`/`limit`/the returned optimum are all
+/// in those units.
 ///
 /// Returns the component optimum and a witness when it is ≤ `limit`,
 /// `None` when the optimum provably exceeds `limit` (the caller prunes
@@ -297,16 +328,26 @@ pub(crate) fn solve_split(
 /// the engine's deadline semantics.
 pub(crate) fn solve_bounded(
     kernel: &Kernel<'_>,
-    seed: (u32, Vec<VertexId>),
-    limit: u32,
+    seed: (u64, Vec<VertexId>),
+    limit: u64,
+    weighted: bool,
     abort: &mut dyn FnMut() -> bool,
     counters: &mut BlockCounters,
     depth: u32,
-) -> Option<(u32, Vec<VertexId>)> {
+) -> Option<(u64, Vec<VertexId>)> {
     let (mut best, mut witness) = if seed.0 <= limit {
         (seed.0, Some(seed.1))
     } else {
         (limit.saturating_add(1), None)
+    };
+    let make_bound = |best: u64| {
+        if weighted {
+            SearchBound::WeightedMvc { best }
+        } else {
+            SearchBound::Mvc {
+                best: best.min(u32::MAX as u64) as u32,
+            }
+        }
     };
     let mut stack = vec![TreeNode::root(kernel.graph)];
     while let Some(mut node) = stack.pop() {
@@ -315,19 +356,19 @@ pub(crate) fn solve_bounded(
         }
         kernel.charge_node_copy(node.len(), Activity::PopFromStack, counters);
         counters.tree_nodes_visited += 1;
-        let bound = SearchBound::Mvc { best };
+        let bound = make_bound(best);
         kernel.reduce(&mut node, bound, counters);
         if kernel.prune(&node, bound) {
             continue;
         }
         if depth > 0 {
             if let Some(params) = kernel.ext.component_branching {
-                if let Some(comps) = detect_components(kernel, &node, params, counters) {
+                if let Some(comps) = detect_components(kernel, &node, params, counters, weighted) {
                     if let SplitVerdict::Solved(combined) =
                         solve_split(kernel, &node, bound, &comps, abort, counters, depth - 1)
                     {
-                        if combined.cover_size() < best {
-                            best = combined.cover_size();
+                        if bound.node_cost(&combined) < best {
+                            best = bound.node_cost(&combined);
                             witness = Some(combined.cover_vertices());
                         }
                     }
@@ -337,15 +378,15 @@ pub(crate) fn solve_bounded(
         }
         let vmax = match kernel.find_max_degree(&node, counters) {
             None => {
-                if node.cover_size() < best {
-                    best = node.cover_size();
+                if bound.node_cost(&node) < best {
+                    best = bound.node_cost(&node);
                     witness = Some(node.cover_vertices());
                 }
                 continue;
             }
             Some(v) if node.degree(v) == 0 => {
-                if node.cover_size() < best {
-                    best = node.cover_size();
+                if bound.node_cost(&node) < best {
+                    best = bound.node_cost(&node);
                     witness = Some(node.cover_vertices());
                 }
                 continue;
@@ -360,7 +401,14 @@ pub(crate) fn solve_bounded(
         kernel.charge_node_copy(node.len(), Activity::PushToStack, counters);
         stack.push(node);
     }
-    witness.map(|w| (w.len() as u32, w))
+    witness.map(|w| {
+        let cost = if weighted {
+            kernel.graph.cover_weight(&w)
+        } else {
+            w.len() as u64
+        };
+        (cost, w)
+    })
 }
 
 #[cfg(test)]
@@ -393,7 +441,7 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c)
+        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false)
             .expect("two components");
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].old_ids, vec![0, 1, 2]);
@@ -410,10 +458,12 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        assert!(detect_components(&k, &node, SplitParams::with_min_live(4), &mut c).is_none());
+        assert!(
+            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false).is_none()
+        );
         assert_eq!(c.splits.checks, 1, "connected graphs still pay the check");
         assert!(
-            detect_components(&k, &node, SplitParams::with_min_live(9), &mut c).is_none(),
+            detect_components(&k, &node, SplitParams::with_min_live(9), &mut c, false).is_none(),
             "below the trigger the check must not run"
         );
         assert_eq!(c.splits.checks, 1);
@@ -428,7 +478,8 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c).unwrap();
+        let comps =
+            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false).unwrap();
         let verdict = solve_split(
             &k,
             &node,
@@ -454,7 +505,8 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c).unwrap();
+        let comps =
+            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false).unwrap();
         // Optimum is 4 (2 per triangle); best = 4 demands ≤ 3 total.
         assert!(matches!(
             solve_split(
@@ -470,6 +522,12 @@ mod tests {
         ));
     }
 
+    /// The cardinality greedy seed in `solve_bounded`'s `(u64, _)` form.
+    fn greedy_seed(g: &CsrGraph) -> (u64, Vec<VertexId>) {
+        let (size, cover) = greedy_mvc(g);
+        (size as u64, cover)
+    }
+
     #[test]
     fn solve_bounded_is_exact_within_limit() {
         let cost = CostModel::default();
@@ -480,22 +538,130 @@ mod tests {
             let mut c = BlockCounters::new(0);
             let (size, cover) = solve_bounded(
                 &k,
-                greedy_mvc(&g),
-                g.num_vertices(),
+                greedy_seed(&g),
+                g.num_vertices() as u64,
+                false,
                 &mut || false,
                 &mut c,
                 4,
             )
             .expect("limit = |V| always admits a cover");
-            assert_eq!(size, opt, "seed {seed}");
+            assert_eq!(size, opt as u64, "seed {seed}");
             assert!(is_vertex_cover(&g, &cover));
             // Below the optimum the search must prove infeasibility.
             if opt > 0 {
+                assert!(solve_bounded(
+                    &k,
+                    greedy_seed(&g),
+                    opt as u64 - 1,
+                    false,
+                    &mut || false,
+                    &mut c,
+                    4
+                )
+                .is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_solve_bounded_is_exact_within_limit() {
+        let cost = CostModel::default();
+        for seed in 0..6 {
+            let g = gen::with_uniform_weights(gen::gnp(12, 0.3, seed), 10, seed + 30);
+            let (opt, _) = crate::brute::weighted_brute_force(&g);
+            let k = kernel(&g, &cost);
+            let mut c = BlockCounters::new(0);
+            let (weight, cover) = solve_bounded(
+                &k,
+                crate::greedy::greedy_weighted_mvc(&g),
+                u64::MAX - 1,
+                true,
+                &mut || false,
+                &mut c,
+                4,
+            )
+            .expect("an unbounded limit always admits a cover");
+            assert_eq!(weight, opt, "seed {seed}");
+            assert!(is_vertex_cover(&g, &cover));
+            assert_eq!(weight, g.cover_weight(&cover));
+            if opt > 0 {
                 assert!(
-                    solve_bounded(&k, greedy_mvc(&g), opt - 1, &mut || false, &mut c, 4).is_none()
+                    solve_bounded(
+                        &k,
+                        crate::greedy::greedy_weighted_mvc(&g),
+                        opt - 1,
+                        true,
+                        &mut || false,
+                        &mut c,
+                        4
+                    )
+                    .is_none(),
+                    "seed {seed}: a limit below the weighted optimum must be infeasible"
                 );
             }
         }
+    }
+
+    /// The satellite regression: a component split on a *weighted*
+    /// graph must carry the parent's weights through the relabeling
+    /// and preserve the weighted optimum when the components' covers
+    /// are combined.
+    #[test]
+    fn weighted_split_carries_weights_and_preserves_the_optimum() {
+        // A triangle next to a 4-cycle, with weights chosen so the
+        // weighted optimum differs from the unweighted one on both
+        // components.
+        let g = CsrGraph::from_edges(7, &[(0, 1), (0, 2), (1, 2), (3, 4), (4, 5), (5, 6), (6, 3)])
+            .unwrap()
+            .with_weights(vec![1, 9, 2, 8, 1, 8, 1])
+            .unwrap();
+        let (opt, _) = crate::brute::weighted_brute_force(&g);
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        let comps =
+            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, true).unwrap();
+        assert_eq!(comps.len(), 2);
+        // Relabeled weights mirror the parent's.
+        for comp in &comps {
+            assert!(comp.graph.is_weighted());
+            for (new, &old) in comp.old_ids.iter().enumerate() {
+                assert_eq!(comp.graph.weight(new as u32), g.weight(old));
+            }
+            assert!(comp.lower_bound >= 1, "weighted matching LB present");
+            assert_eq!(comp.greedy.0, comp.graph.cover_weight(&comp.greedy.1));
+        }
+        let verdict = solve_split(
+            &k,
+            &node,
+            SearchBound::WeightedMvc { best: opt + 1 },
+            &comps,
+            &mut || false,
+            &mut c,
+            4,
+        );
+        let SplitVerdict::Solved(combined) = verdict else {
+            panic!("split must solve within best = opt + 1");
+        };
+        assert_eq!(combined.cover_weight(), opt, "split changed the optimum");
+        assert!(is_vertex_cover(&g, &combined.cover_vertices()));
+        combined.check_consistency(&g).unwrap();
+        // And a bound at the optimum itself must prune (weighted MVC
+        // must strictly beat `best`).
+        assert!(matches!(
+            solve_split(
+                &k,
+                &node,
+                SearchBound::WeightedMvc { best: opt },
+                &comps,
+                &mut || false,
+                &mut c,
+                4,
+            ),
+            SplitVerdict::Pruned
+        ));
     }
 
     #[test]
@@ -506,5 +672,18 @@ mod tests {
         assert_eq!(remaining_budget(SearchBound::Pvc { k: 10 }, 4), Some(6));
         assert_eq!(remaining_budget(SearchBound::Pvc { k: 4 }, 4), Some(0));
         assert_eq!(remaining_budget(SearchBound::Pvc { k: 3 }, 4), None);
+        assert_eq!(
+            remaining_budget(SearchBound::WeightedMvc { best: 10 }, 4),
+            Some(5)
+        );
+        assert_eq!(
+            remaining_budget(SearchBound::WeightedMvc { best: 4 }, 4),
+            None
+        );
+        assert_eq!(
+            remaining_budget(SearchBound::WeightedMvc { best: u64::MAX }, 0),
+            Some(i64::MAX),
+            "the inert seed bound clamps instead of overflowing"
+        );
     }
 }

@@ -39,12 +39,20 @@ impl SolveStats {
     }
 }
 
-/// Result of a minimum-vertex-cover solve.
+/// Result of a minimum-vertex-cover solve (cardinality or weighted —
+/// see [`SolverBuilder::weighted`](crate::SolverBuilder::weighted)).
 #[derive(Debug)]
 pub struct MvcResult {
-    /// Minimum cover size.
+    /// Number of vertices in `cover`. For cardinality solves this is
+    /// the minimized objective; for weighted solves it is merely the
+    /// witness's size ([`weight`](Self::weight) is the objective).
     pub size: u32,
-    /// A minimum vertex cover.
+    /// Total weight of `cover` under the graph's weight channel (equal
+    /// to `size` on unweighted graphs). For weighted solves this is
+    /// the minimized objective.
+    pub weight: u64,
+    /// The optimal cover (minimum cardinality, or minimum weight for
+    /// weighted solves).
     pub cover: Vec<u32>,
     /// Instrumentation.
     pub stats: SolveStats,

@@ -22,6 +22,10 @@ pub struct CsrGraph {
     row_ptr: Vec<usize>,
     /// Concatenated, per-vertex-sorted adjacency lists.
     col_idx: Vec<VertexId>,
+    /// Optional per-vertex weights for the **weighted** MVC variant.
+    /// `None` means the unweighted problem; every accessor then reports
+    /// weight 1, so unweighted graphs behave as all-ones instances.
+    weights: Option<Box<[u64]>>,
 }
 
 impl CsrGraph {
@@ -52,9 +56,87 @@ impl CsrGraph {
     /// guarantee symmetry, sortedness, and absence of self loops —
     /// violations are caught by a debug assertion.
     pub(crate) fn from_parts(row_ptr: Vec<usize>, col_idx: Vec<VertexId>) -> Self {
-        let g = CsrGraph { row_ptr, col_idx };
+        let g = CsrGraph {
+            row_ptr,
+            col_idx,
+            weights: None,
+        };
         debug_assert!(g.validate().is_ok(), "invalid CSR parts");
         g
+    }
+
+    /// Attaches per-vertex weights, turning the graph into a weighted
+    /// MVC instance. Requires one weight per vertex, every weight ≥ 1
+    /// (zero-weight vertices would break the engine's budget
+    /// arithmetic, which relies on each cover vertex costing at least
+    /// one weight unit), and a total weight of at most `i64::MAX` —
+    /// every cover weighs at most the total, so this bound is what
+    /// keeps the engine's signed budget arithmetic (and the unchecked
+    /// `cover_weight` accumulation) overflow-free.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parvc_graph::CsrGraph;
+    /// let g = CsrGraph::from_edges(2, &[(0, 1)])
+    ///     .unwrap()
+    ///     .with_weights(vec![5, 2])
+    ///     .unwrap();
+    /// assert!(g.is_weighted());
+    /// assert_eq!(g.weight(0), 5);
+    /// ```
+    pub fn with_weights(mut self, weights: Vec<u64>) -> Result<Self, GraphError> {
+        if weights.len() != self.num_vertices() as usize {
+            return Err(GraphError::WeightCountMismatch {
+                weights: weights.len(),
+                num_vertices: self.num_vertices(),
+            });
+        }
+        if let Some(v) = weights.iter().position(|&w| w == 0) {
+            return Err(GraphError::ZeroWeight(v as VertexId));
+        }
+        let mut total: u64 = 0;
+        for &w in &weights {
+            total = total
+                .checked_add(w)
+                .filter(|&t| t <= i64::MAX as u64)
+                .ok_or(GraphError::WeightSumOverflow)?;
+        }
+        self.weights = Some(weights.into_boxed_slice());
+        Ok(self)
+    }
+
+    /// Drops the weight channel, returning the unweighted graph.
+    pub fn without_weights(mut self) -> Self {
+        self.weights = None;
+        self
+    }
+
+    /// Whether a weight channel is attached.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Weight of `v`: the attached weight, or 1 for unweighted graphs.
+    #[inline]
+    pub fn weight(&self, v: VertexId) -> u64 {
+        match &self.weights {
+            Some(w) => w[v as usize],
+            None => 1,
+        }
+    }
+
+    /// The attached weight array, if any.
+    #[inline]
+    pub fn weights(&self) -> Option<&[u64]> {
+        self.weights.as_deref()
+    }
+
+    /// Total weight of `cover` (its length for unweighted graphs) —
+    /// the objective the weighted MVC variant minimizes.
+    pub fn cover_weight(&self, cover: &[VertexId]) -> u64 {
+        cover.iter().map(|&v| self.weight(v)).sum()
     }
 
     /// Number of vertices `|V|`.
@@ -157,6 +239,14 @@ impl CsrGraph {
                 }
             }
         }
+        if let Some(w) = &self.weights {
+            if w.len() != n as usize {
+                return Err(format!("{} weights for {n} vertices", w.len()));
+            }
+            if let Some(v) = w.iter().position(|&x| x == 0) {
+                return Err(format!("zero weight on vertex {v}"));
+            }
+        }
         Ok(())
     }
 
@@ -165,6 +255,10 @@ impl CsrGraph {
     pub fn memory_bytes(&self) -> usize {
         self.row_ptr.len() * std::mem::size_of::<usize>()
             + self.col_idx.len() * std::mem::size_of::<VertexId>()
+            + self
+                .weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<u64>())
     }
 }
 
@@ -174,6 +268,7 @@ impl std::fmt::Debug for CsrGraph {
             .field("num_vertices", &self.num_vertices())
             .field("num_edges", &self.num_edges())
             .field("max_degree", &self.max_degree())
+            .field("weighted", &self.is_weighted())
             .finish()
     }
 }
@@ -238,6 +333,53 @@ mod tests {
         assert_eq!(g.num_vertices(), 4);
         assert_eq!(g.num_edges(), 0);
         assert!(g.neighbors(2).is_empty());
+    }
+
+    #[test]
+    fn weights_attach_and_default_to_one() {
+        let g = triangle();
+        assert!(!g.is_weighted());
+        assert_eq!(g.weight(1), 1);
+        assert_eq!(g.cover_weight(&[0, 2]), 2);
+        let w = g.clone().with_weights(vec![3, 1, 7]).unwrap();
+        assert!(w.is_weighted());
+        assert_eq!(w.weight(2), 7);
+        assert_eq!(w.cover_weight(&[0, 2]), 10);
+        assert_eq!(w.weights(), Some(&[3, 1, 7][..]));
+        w.validate().unwrap();
+        assert_ne!(w, triangle(), "weights participate in equality");
+        assert_eq!(w.without_weights(), triangle());
+    }
+
+    #[test]
+    fn weights_reject_bad_inputs() {
+        let g = triangle();
+        assert_eq!(
+            g.clone().with_weights(vec![1, 2]).unwrap_err(),
+            GraphError::WeightCountMismatch {
+                weights: 2,
+                num_vertices: 3
+            }
+        );
+        assert_eq!(
+            g.clone().with_weights(vec![1, 0, 2]).unwrap_err(),
+            GraphError::ZeroWeight(1)
+        );
+        // The total-weight cap: any cover weighs at most the total, so
+        // i64::MAX totals are the bound the solvers' arithmetic needs.
+        assert_eq!(
+            g.clone()
+                .with_weights(vec![u64::MAX / 2, u64::MAX / 2, 2])
+                .unwrap_err(),
+            GraphError::WeightSumOverflow
+        );
+        assert_eq!(
+            g.clone()
+                .with_weights(vec![i64::MAX as u64, 1, 1])
+                .unwrap_err(),
+            GraphError::WeightSumOverflow
+        );
+        assert!(g.with_weights(vec![i64::MAX as u64 - 2, 1, 1]).is_ok());
     }
 
     #[test]

@@ -18,6 +18,24 @@ pub enum GraphError {
         /// The vertex with the loop.
         u32,
     ),
+    /// A weight array's length did not match the vertex count.
+    WeightCountMismatch {
+        /// Number of weights supplied.
+        weights: usize,
+        /// Number of vertices in the graph.
+        num_vertices: u32,
+    },
+    /// A vertex weight of 0 was supplied; the weighted solvers require
+    /// every weight ≥ 1 (budget arithmetic charges at least one unit
+    /// per cover vertex).
+    ZeroWeight(
+        /// The zero-weight vertex.
+        u32,
+    ),
+    /// The weights sum past `i64::MAX`. Every cover weighs at most the
+    /// total, so this cap is what keeps the solvers' signed budget
+    /// arithmetic overflow-free.
+    WeightSumOverflow,
     /// Input text could not be parsed.
     Parse {
         /// 1-based line number of the offending input line.
@@ -40,6 +58,16 @@ impl fmt::Display for GraphError {
                 "vertex {vertex} out of range for graph with {num_vertices} vertices"
             ),
             GraphError::SelfLoop(v) => write!(f, "self loop on vertex {v} (simple graphs only)"),
+            GraphError::WeightCountMismatch {
+                weights,
+                num_vertices,
+            } => write!(f, "{weights} weights for {num_vertices} vertices"),
+            GraphError::ZeroWeight(v) => {
+                write!(f, "zero weight on vertex {v} (weights must be >= 1)")
+            }
+            GraphError::WeightSumOverflow => {
+                write!(f, "vertex weights sum past i64::MAX (unsupported)")
+            }
             GraphError::Parse { line, message } => {
                 write!(f, "parse error on line {line}: {message}")
             }

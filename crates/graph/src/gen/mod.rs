@@ -19,6 +19,7 @@
 mod named;
 mod random;
 mod structured;
+mod weights;
 
 pub use named::{complete, cycle, grid2d, paper_example, path, petersen, star};
 pub use random::{bipartite_gnp, gnp, p_hat, p_hat_complement};
@@ -26,3 +27,4 @@ pub use structured::{
     barabasi_albert, pace_like, power_grid_like, random_geometric, random_regular,
     sparse_components, watts_strogatz,
 };
+pub use weights::{uniform_weights, with_degree_weights, with_uniform_weights};

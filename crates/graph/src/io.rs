@@ -15,8 +15,15 @@ use crate::{CsrGraph, GraphBuilder, GraphError};
 ///
 /// Accepts any `<format>` token (`edge`, `col`, `clq`, `td`), since the
 /// collections disagree on it. Duplicate edges are tolerated.
+///
+/// **Vertex weights**: `n <v> <w>` lines (the weighted-benchmark
+/// convention; `v <v> <w>` is accepted as an alias) attach weight `w`
+/// to 1-based vertex `v`. If any weight line appears the graph becomes
+/// a weighted instance, with unmentioned vertices defaulting to
+/// weight 1; weights must be ≥ 1.
 pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
     let mut builder: Option<GraphBuilder> = None;
+    let mut weights: Vec<(u32, u64)> = Vec::new();
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         let lineno = idx + 1;
@@ -56,6 +63,27 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
                 }
                 b.add_edge(u - 1, v - 1)?;
             }
+            Some("n") | Some("v") => {
+                let b = builder.as_ref().ok_or_else(|| GraphError::Parse {
+                    line: lineno,
+                    message: "weight before problem line".into(),
+                })?;
+                let v: u32 = parse_token(tokens.next(), lineno, "weighted vertex")?;
+                let w: u64 = parse_token(tokens.next(), lineno, "vertex weight")?;
+                if v == 0 || v > b.num_vertices() {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!("weighted vertex {v} out of 1-based range"),
+                    });
+                }
+                if w == 0 {
+                    return Err(GraphError::Parse {
+                        line: lineno,
+                        message: format!("zero weight on vertex {v}"),
+                    });
+                }
+                weights.push((v - 1, w));
+            }
             Some(other) => {
                 return Err(GraphError::Parse {
                     line: lineno,
@@ -65,15 +93,30 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<CsrGraph, GraphError> {
             None => unreachable!("trimmed non-empty line has a token"),
         }
     }
-    builder.map(GraphBuilder::build).ok_or(GraphError::Parse {
+    let g = builder.map(GraphBuilder::build).ok_or(GraphError::Parse {
         line: 0,
         message: "no problem line found".into(),
-    })
+    })?;
+    if weights.is_empty() {
+        return Ok(g);
+    }
+    let mut full = vec![1u64; g.num_vertices() as usize];
+    for (v, w) in weights {
+        full[v as usize] = w;
+    }
+    g.with_weights(full)
 }
 
-/// Writes `g` in DIMACS format with the given format token.
+/// Writes `g` in DIMACS format with the given format token. Weighted
+/// graphs additionally emit one `n <v> <w>` line per vertex (1-based),
+/// which [`parse_dimacs`] round-trips.
 pub fn write_dimacs<W: Write>(g: &CsrGraph, format: &str, mut w: W) -> Result<(), GraphError> {
     writeln!(w, "p {format} {} {}", g.num_vertices(), g.num_edges())?;
+    if let Some(weights) = g.weights() {
+        for (v, wt) in weights.iter().enumerate() {
+            writeln!(w, "n {} {wt}", v + 1)?;
+        }
+    }
     for (u, v) in g.edges() {
         writeln!(w, "e {} {}", u + 1, v + 1)?;
     }
@@ -159,6 +202,42 @@ mod tests {
         assert_eq!(g.num_edges(), 2);
         assert!(g.has_edge(0, 1));
         assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn weighted_dimacs_roundtrip() {
+        let g = crate::gen::petersen()
+            .with_weights((1..=10).collect())
+            .unwrap();
+        let mut buf = Vec::new();
+        write_dimacs(&g, "edge", &mut buf).unwrap();
+        let parsed = parse_dimacs(Cursor::new(buf)).unwrap();
+        assert_eq!(parsed, g);
+        assert_eq!(parsed.weight(9), 10);
+    }
+
+    #[test]
+    fn dimacs_partial_weights_default_to_one() {
+        let text = "p edge 3 2\nn 2 7\ne 1 2\ne 2 3\nv 3 4\n";
+        let g = parse_dimacs(Cursor::new(text)).unwrap();
+        assert_eq!(g.weights(), Some(&[1, 7, 4][..]));
+    }
+
+    #[test]
+    fn dimacs_rejects_bad_weight_lines() {
+        for text in [
+            "n 1 5\np edge 2 1\ne 1 2\n",  // weight before header
+            "p edge 2 1\ne 1 2\nn 0 5\n",  // 0-based vertex
+            "p edge 2 1\ne 1 2\nn 9 5\n",  // out of range
+            "p edge 2 1\ne 1 2\nn 1 0\n",  // zero weight
+            "p edge 2 1\ne 1 2\nn 1\n",    // missing weight
+            "p edge 2 1\ne 1 2\nn 1 -3\n", // negative weight
+        ] {
+            assert!(
+                parse_dimacs(Cursor::new(text)).is_err(),
+                "accepted: {text:?}"
+            );
+        }
     }
 
     #[test]

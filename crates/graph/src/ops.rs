@@ -37,13 +37,36 @@ pub fn complement(g: &CsrGraph) -> CsrGraph {
             }
         }
     }
-    b.build()
+    carry_weights(b.build(), g, |v| v)
+}
+
+/// Re-attaches weights to `built` from `src`, mapping each vertex of
+/// `built` to its `src` counterpart through `old_id`. No-op for
+/// unweighted sources.
+fn carry_weights(
+    built: CsrGraph,
+    src: &CsrGraph,
+    old_id: impl Fn(VertexId) -> VertexId,
+) -> CsrGraph {
+    if !src.is_weighted() {
+        return built;
+    }
+    let weights: Vec<u64> = (0..built.num_vertices())
+        .map(|v| src.weight(old_id(v)))
+        .collect();
+    built
+        .with_weights(weights)
+        .expect("source weights are valid")
 }
 
 /// Returns the subgraph induced by `keep`, with vertices relabeled to
 /// `0..keep.len()` in the order given, plus the relabeling map
 /// (`new_id -> old_id` is simply `keep`; the returned vector maps
 /// `old_id -> Option<new_id>` style via `u32::MAX` for dropped vertices).
+///
+/// Vertex weights are carried through the relabeling: on a weighted
+/// graph the extracted subgraph is itself a weighted instance with
+/// `sub.weight(new) == g.weight(keep[new])`.
 pub fn induced_subgraph(g: &CsrGraph, keep: &[VertexId]) -> (CsrGraph, Vec<u32>) {
     let mut old_to_new = vec![u32::MAX; g.num_vertices() as usize];
     for (new, &old) in keep.iter().enumerate() {
@@ -63,7 +86,8 @@ pub fn induced_subgraph(g: &CsrGraph, keep: &[VertexId]) -> (CsrGraph, Vec<u32>)
             }
         }
     }
-    (b.build(), old_to_new)
+    let sub = carry_weights(b.build(), g, |new| keep[new as usize]);
+    (sub, old_to_new)
 }
 
 /// Connected components; returns `(component_id_per_vertex, count)`.
@@ -113,7 +137,17 @@ pub fn disjoint_union(a: &CsrGraph, b: &CsrGraph) -> CsrGraph {
             .add_edge(u + shift, v + shift)
             .expect("union endpoints in range");
     }
-    builder.build()
+    let union = builder.build();
+    if !a.is_weighted() && !b.is_weighted() {
+        return union;
+    }
+    let weights: Vec<u64> = (0..shift)
+        .map(|v| a.weight(v))
+        .chain((0..b.num_vertices()).map(|v| b.weight(v)))
+        .collect();
+    union
+        .with_weights(weights)
+        .expect("operand weights are valid")
 }
 
 #[cfg(test)]
@@ -163,6 +197,31 @@ mod tests {
         assert_eq!(comp[0], comp[2]);
         assert_ne!(comp[0], comp[3]);
         assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn induced_subgraph_relabels_weights() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+            .unwrap()
+            .with_weights(vec![10, 20, 30, 40, 50])
+            .unwrap();
+        let (sub, _) = induced_subgraph(&g, &[1, 2, 4]);
+        assert_eq!(sub.weights(), Some(&[20, 30, 50][..]));
+        let c = complement(&g);
+        assert_eq!(c.weight(4), 50, "complement keeps weights");
+    }
+
+    #[test]
+    fn union_combines_weights() {
+        let a = CsrGraph::from_edges(2, &[(0, 1)])
+            .unwrap()
+            .with_weights(vec![3, 4])
+            .unwrap();
+        let b = CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
+        let u = disjoint_union(&a, &b);
+        assert_eq!(u.weights(), Some(&[3, 4, 1, 1][..]));
+        let plain = disjoint_union(&b, &b);
+        assert!(!plain.is_weighted());
     }
 
     #[test]

@@ -87,7 +87,9 @@ impl Kernel {
     }
 
     /// The kernel as one graph (the disjoint union of the components,
-    /// in order) — what `parvc prep --out` writes as DIMACS.
+    /// in order) — what `parvc prep --out` writes as DIMACS. Weighted
+    /// components keep their weights (shifted with the ids), so a
+    /// weighted kernel round-trips through the DIMACS `n`-lines.
     pub fn kernel_graph(&self) -> CsrGraph {
         let n = self.kernel_vertices();
         let mut b = GraphBuilder::with_capacity(n, self.kernel_edges() as usize);
@@ -99,7 +101,18 @@ impl Kernel {
             }
             shift += inst.graph.num_vertices();
         }
-        b.build()
+        let union = b.build();
+        if self.components.iter().all(|c| !c.graph.is_weighted()) {
+            return union;
+        }
+        let weights: Vec<u64> = self
+            .components
+            .iter()
+            .flat_map(|c| (0..c.graph.num_vertices()).map(|v| c.graph.weight(v)))
+            .collect();
+        union
+            .with_weights(weights)
+            .expect("component weights are valid")
     }
 }
 

@@ -71,6 +71,17 @@ pub struct PrepConfig {
     /// Safety valve on the outer fixpoint (rarely reached: the rules
     /// monotonically shrink the instance).
     pub max_rounds: u32,
+    /// Preserve the **weighted** optimum instead of the cardinality
+    /// one. Degree-1/2 inclusion shortcuts gain weight-comparison
+    /// gates, and the rules whose safety argument is inherently
+    /// cardinality-based — crown/LP-NT (the unweighted double-cover
+    /// relaxation) and the Buss high-degree rule (degree vs. a
+    /// cardinality upper bound) — are *skipped*, each with an explicit
+    /// [`RuleStats::note`] in the report rather than silently
+    /// misapplied. Degree-0 and component splitting stay fully active
+    /// (an isolated vertex is never in a minimum-weight cover; weights
+    /// are carried through the component relabeling).
+    pub weighted: bool,
 }
 
 impl Default for PrepConfig {
@@ -81,6 +92,7 @@ impl Default for PrepConfig {
             high_degree: true,
             split_components: true,
             max_rounds: 64,
+            weighted: false,
         }
     }
 }
@@ -95,6 +107,7 @@ impl PrepConfig {
             high_degree: false,
             split_components: true,
             max_rounds: 1,
+            weighted: false,
         }
     }
 }
@@ -171,15 +184,35 @@ impl PrepStats {
 /// ```
 pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
     let mut st = PrepState::new(g);
+    // Rules whose safety argument only holds for the cardinality
+    // objective are *skipped* in weighted mode, each leaving a noted
+    // zero-fire stats row so the report shows the decision instead of
+    // a silently misapplied rule.
+    const WEIGHT_UNSOUND: &str = "skipped: unsound under vertex weights";
     let mut rules: Vec<Box<dyn ReduceRule>> = Vec::new();
+    let mut skipped: Vec<RuleStats> = Vec::new();
     if cfg.low_degree {
-        rules.push(Box::new(LowDegreeRule));
+        rules.push(Box::new(LowDegreeRule {
+            weighted: cfg.weighted,
+        }));
     }
     if cfg.crown {
-        rules.push(Box::new(CrownRule));
+        if cfg.weighted {
+            let mut s = RuleStats::new(CrownRule.name());
+            s.note = Some(WEIGHT_UNSOUND);
+            skipped.push(s);
+        } else {
+            rules.push(Box::new(CrownRule));
+        }
     }
     if cfg.high_degree {
-        rules.push(Box::new(HighDegreeRule));
+        if cfg.weighted {
+            let mut s = RuleStats::new(HighDegreeRule.name());
+            s.note = Some(WEIGHT_UNSOUND);
+            skipped.push(s);
+        } else {
+            rules.push(Box::new(HighDegreeRule));
+        }
     }
     let mut rule_stats: Vec<RuleStats> = rules.iter().map(|r| RuleStats::new(r.name())).collect();
 
@@ -197,6 +230,7 @@ pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
             break;
         }
     }
+    rule_stats.extend(skipped);
     debug_assert!(st.check_consistency().is_ok());
 
     let live = st.live_ids();
@@ -314,7 +348,7 @@ mod tests {
                     crown: mask & 2 != 0,
                     high_degree: mask & 4 != 0,
                     split_components: true,
-                    max_rounds: 64,
+                    ..PrepConfig::default()
                 };
                 let cover = solve_via_prep(g, &cfg);
                 assert!(is_cover(g, &cover), "{name} mask {mask}: not a cover");
@@ -323,6 +357,101 @@ mod tests {
                     opt,
                     "{name} mask {mask}: lifted cover not optimal"
                 );
+            }
+        }
+    }
+
+    /// Bitmask brute force over vertex weights (n ≤ 20).
+    fn brute_weighted_opt(g: &CsrGraph) -> u64 {
+        let n = g.num_vertices();
+        assert!(
+            n <= 20,
+            "weighted brute force oracle limited to 20 vertices"
+        );
+        let edges: Vec<(u32, u32)> = g.edges().collect();
+        let mut best: u64 = (0..n).map(|v| g.weight(v)).sum();
+        for mask in 0u32..(1 << n) {
+            if edges
+                .iter()
+                .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+            {
+                let w = (0..n)
+                    .filter(|&v| mask & (1 << v) != 0)
+                    .map(|v| g.weight(v))
+                    .sum();
+                best = best.min(w);
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn weighted_prep_preserves_the_weighted_optimum() {
+        // Weighted pipeline: forced + optimally-solved components must
+        // reproduce the weighted optimum, with degree-derived weights
+        // (hubs expensive — the regime where the unweighted rules
+        // would be wrong) and uniform random weights.
+        for seed in 0..4u64 {
+            for g in [
+                parvc_graph::gen::with_degree_weights(parvc_graph::gen::gnp(13, 0.25, seed)),
+                parvc_graph::gen::with_uniform_weights(
+                    parvc_graph::gen::sparse_components(15, 3, 0.5, seed),
+                    10,
+                    seed,
+                ),
+                parvc_graph::gen::with_degree_weights(parvc_graph::gen::barabasi_albert(
+                    14, 2, seed,
+                )),
+            ] {
+                let opt = brute_weighted_opt(&g);
+                let cfg = PrepConfig {
+                    weighted: true,
+                    ..PrepConfig::default()
+                };
+                let kernel = preprocess(&g, &cfg);
+                // Components carry the relabeled weights.
+                for inst in &kernel.components {
+                    for (new, &old) in inst.old_ids.iter().enumerate() {
+                        assert_eq!(inst.graph.weight(new as u32), g.weight(old));
+                    }
+                }
+                // Solve each component by weighted brute force, lift.
+                let subs: Vec<Vec<u32>> = kernel
+                    .components
+                    .iter()
+                    .map(|inst| {
+                        let sub_opt = brute_weighted_opt(&inst.graph);
+                        let n = inst.graph.num_vertices();
+                        let edges: Vec<(u32, u32)> = inst.graph.edges().collect();
+                        (0u32..(1 << n))
+                            .find(|mask| {
+                                edges
+                                    .iter()
+                                    .all(|&(u, v)| mask & (1 << u) != 0 || mask & (1 << v) != 0)
+                                    && (0..n)
+                                        .filter(|&v| mask & (1 << v) != 0)
+                                        .map(|v| inst.graph.weight(v))
+                                        .sum::<u64>()
+                                        == sub_opt
+                            })
+                            .map(|mask| (0..n).filter(|&v| mask & (1 << v) != 0).collect())
+                            .expect("a witness of optimal weight exists")
+                    })
+                    .collect();
+                let cover = kernel.lift(&subs);
+                assert!(is_cover(&g, &cover), "seed {seed}: not a cover");
+                assert_eq!(
+                    g.cover_weight(&cover),
+                    opt,
+                    "seed {seed}: weighted prep changed the optimum"
+                );
+                // The weight-unsound rules must be reported as skipped.
+                for r in &kernel.stats.rules {
+                    if r.name != "degree-0/1/2" {
+                        assert!(r.note.is_some(), "{} ran in weighted mode", r.name);
+                        assert_eq!(r.eliminated(), 0);
+                    }
+                }
             }
         }
     }

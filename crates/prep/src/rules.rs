@@ -27,6 +27,11 @@ pub struct RuleStats {
     pub excluded: u64,
     /// Pipeline passes the rule ran in.
     pub passes: u32,
+    /// Why the rule did not run, when the pipeline disabled it (e.g.
+    /// weight-unsound rules under
+    /// [`PrepConfig::weighted`](crate::PrepConfig::weighted)).
+    /// `None` for rules that ran.
+    pub note: Option<&'static str>,
 }
 
 impl RuleStats {
@@ -37,6 +42,7 @@ impl RuleStats {
             covered: 0,
             excluded: 0,
             passes: 0,
+            note: None,
         }
     }
 
@@ -65,7 +71,16 @@ pub trait ReduceRule {
 /// * degree 1: taking the neighbor is never worse than taking the leaf;
 /// * degree 2 in a triangle: two of the triangle must be covered and
 ///   the two neighbors are never worse.
-pub struct LowDegreeRule;
+///
+/// With `weighted` set, the degree-1 and degree-2 inclusion shortcuts
+/// apply only when the taken vertices cost no more than the vertex
+/// they stand in for (`w(u) ≤ w(v)`) — the same gates as the engine's
+/// weighted `reduce` (see `parvc_core::reduce`). Degree-0 elimination
+/// needs no gate: an isolated vertex is in no minimum-weight cover.
+pub struct LowDegreeRule {
+    /// Preserve the weighted optimum (gate the inclusion shortcuts).
+    pub weighted: bool,
+}
 
 impl ReduceRule for LowDegreeRule {
     fn name(&self) -> &'static str {
@@ -90,10 +105,10 @@ impl ReduceRule for LowDegreeRule {
             while degree_zero_round(st, &mut pools, stats) {
                 changed = true;
             }
-            while degree_one_round(st, &mut pools, stats) {
+            while degree_one_round(st, &mut pools, stats, self.weighted) {
                 changed = true;
             }
-            while degree_two_triangle_round(st, &mut pools, stats) {
+            while degree_two_triangle_round(st, &mut pools, stats, self.weighted) {
                 changed = true;
             }
             if !changed {
@@ -152,7 +167,12 @@ fn degree_zero_round(st: &mut PrepState<'_>, pools: &mut Pools, stats: &mut Rule
     changed
 }
 
-fn degree_one_round(st: &mut PrepState<'_>, pools: &mut Pools, stats: &mut RuleStats) -> bool {
+fn degree_one_round(
+    st: &mut PrepState<'_>,
+    pools: &mut Pools,
+    stats: &mut RuleStats,
+    weighted: bool,
+) -> bool {
     let mut changed = false;
     for v in pools.drain(1) {
         // Recheck: an earlier (smaller-id) application may have removed
@@ -164,6 +184,11 @@ fn degree_one_round(st: &mut PrepState<'_>, pools: &mut Pools, stats: &mut RuleS
             .live_neighbors(v)
             .next()
             .expect("degree-one vertex has a live neighbor");
+        // Weighted gate: swapping the leaf for its neighbor must not
+        // increase the cover weight.
+        if weighted && st.graph().weight(u) > st.graph().weight(v) {
+            continue;
+        }
         pools.take_into_cover(st, u);
         stats.covered += 1;
         changed = true;
@@ -175,6 +200,7 @@ fn degree_two_triangle_round(
     st: &mut PrepState<'_>,
     pools: &mut Pools,
     stats: &mut RuleStats,
+    weighted: bool,
 ) -> bool {
     let mut changed = false;
     for v in pools.drain(2) {
@@ -185,6 +211,11 @@ fn degree_two_triangle_round(
         let u = live.next().expect("degree-two vertex has live neighbors");
         let w = live.next().expect("degree-two vertex has live neighbors");
         drop(live);
+        // Weighted gate: both triangle partners must cost ≤ w(v) for
+        // the swap argument to bound the weight.
+        if weighted && st.graph().weight(u).max(st.graph().weight(w)) > st.graph().weight(v) {
+            continue;
+        }
         // Both are live, so the edge survives iff it existed originally.
         if st.graph().has_edge(u, w) {
             pools.take_into_cover(st, u);
@@ -369,13 +400,13 @@ mod tests {
     fn low_degree_solves_paths_and_stars() {
         let g = gen::path(10);
         let mut st = PrepState::new(&g);
-        run(&mut LowDegreeRule, &mut st);
+        run(&mut LowDegreeRule { weighted: false }, &mut st);
         assert_eq!(st.live_vertices(), 0);
         assert_eq!(st.forced().len(), 5); // optimal for P10
 
         let g = gen::star(8);
         let mut st = PrepState::new(&g);
-        run(&mut LowDegreeRule, &mut st);
+        run(&mut LowDegreeRule { weighted: false }, &mut st);
         assert_eq!(st.forced(), &[0], "the hub joins the cover");
         assert_eq!(st.live_vertices(), 0);
     }
@@ -386,7 +417,7 @@ mod tests {
         // covering its neighbor 1 — the §IV-D tie-break.
         let g = parvc_graph::CsrGraph::from_edges(2, &[(0, 1)]).unwrap();
         let mut st = PrepState::new(&g);
-        run(&mut LowDegreeRule, &mut st);
+        run(&mut LowDegreeRule { weighted: false }, &mut st);
         assert_eq!(st.forced(), &[1]);
         assert_eq!(st.excluded(), &[0]);
     }
@@ -396,7 +427,7 @@ mod tests {
         // K3: only the smallest id applies; its neighbors {1,2} join.
         let g = gen::complete(3);
         let mut st = PrepState::new(&g);
-        let stats = run(&mut LowDegreeRule, &mut st);
+        let stats = run(&mut LowDegreeRule { weighted: false }, &mut st);
         assert_eq!(st.forced(), &[1, 2]);
         assert_eq!(stats.covered, 2);
     }

@@ -8,10 +8,11 @@
 //!               [--threads <n>] [--k <k>] [--deadline <s>]
 //!               [--extensions] [--component-branching[=<min-live>]]
 //!               [--prep] [--prep-rules d012,crown,highdeg,split]
-//!               [--format dimacs|edgelist] <instance>
-//! parvc prep    [--rules d012,crown,highdeg,split] [--out <file>]
-//!               [--format dimacs|edgelist] <instance>
-//! parvc generate <family> <args...> [--seed <s>] [--out <file>]
+//!               [--weighted] [--format dimacs|edgelist] <instance>
+//! parvc prep    [--rules d012,crown,highdeg,split] [--weighted]
+//!               [--out <file>] [--format dimacs|edgelist] <instance>
+//! parvc generate <family> <args...> [--seed <s>]
+//!               [--weights uniform[:max]|unit|degree] [--out <file>]
 //! parvc analyze [--format dimacs|edgelist] <instance>
 //! parvc demo
 //! parvc help    [--markdown]
@@ -20,8 +21,9 @@
 //! `<instance>` is either a real instance **file** (DIMACS `.dimacs` /
 //! `.clq` / `.col`, or a whitespace edge list — downloaded benchmarks
 //! drop straight in) or a generator **spec**
-//! `family:arg1:arg2[...][@seed]`, e.g. `gnp:200:0.05@7`,
-//! `ba:150000:1`, `components:120000:6000:0.3`.
+//! `family:arg1:arg2[...][@seed][:w=<weights>]`, e.g. `gnp:200:0.05@7`,
+//! `ba:150000:1`, `components:120000:6000:0.3`,
+//! `gnp:200:0.05@7:w=uniform` (vertex-weighted).
 //!
 //! Families for `generate` and specs: `phat n class`, `gnp n p`,
 //! `ba n m`, `ws n k beta`, `geometric n radius`,
@@ -105,7 +107,16 @@ const COMMANDS: &[CmdHelp] = &[
             },
             FlagHelp {
                 flag: "--k <k>",
-                desc: "Solve PVC: find any cover of size <= k instead of the minimum.",
+                desc: "Solve PVC: find any cover of size <= k instead of the minimum \
+                       (incompatible with --weighted).",
+            },
+            FlagHelp {
+                flag: "--weighted",
+                desc: "Minimize the cover's total vertex weight (weighted MVC) instead \
+                       of its size, using the instance's weight channel (DIMACS n-lines \
+                       or a spec's :w= suffix; unweighted inputs count every vertex \
+                       as weight 1). Works under every policy; prep runs only \
+                       weight-sound rules.",
             },
             FlagHelp {
                 flag: "--deadline <secs>",
@@ -152,8 +163,15 @@ const COMMANDS: &[CmdHelp] = &[
                 desc: "Pipeline stages to enable (default: all).",
             },
             FlagHelp {
+                flag: "--weighted",
+                desc: "Preserve the weighted optimum: degree-1/2 shortcuts gain weight \
+                       gates, and weight-unsound stages (crown, highdeg) are skipped \
+                       with a note in the report.",
+            },
+            FlagHelp {
                 flag: "--out <file>",
-                desc: "Write the kernel (disjoint union of components) as DIMACS.",
+                desc: "Write the kernel (disjoint union of components) as DIMACS \
+                       (weighted kernels keep their n-lines).",
             },
             FlagHelp {
                 flag: "--format <dimacs|edgelist>",
@@ -173,6 +191,12 @@ const COMMANDS: &[CmdHelp] = &[
             FlagHelp {
                 flag: "--seed <s>",
                 desc: "Generator seed (default 42).",
+            },
+            FlagHelp {
+                flag: "--weights <uniform[:max]|unit|degree>",
+                desc: "Attach a vertex-weight channel (written as DIMACS n-lines): \
+                       uniform random in 1..=max (default max 10, seeded like the \
+                       graph), all-1, or degree+1.",
             },
             FlagHelp {
                 flag: "--out <file>",
@@ -232,8 +256,9 @@ fn help_text() -> String {
         "parvc — parallel vertex cover suite \
          (branch-and-reduce on a simulated GPU)\n\n\
          An <instance> is a file (DIMACS .dimacs/.clq/.col or an edge list) \
-         or a generator\nspec `family:arg1:arg2[...][@seed]`, \
-         e.g. gnp:200:0.05@7 or components:120000:6000:0.3.\n\n",
+         or a generator\nspec `family:arg1:arg2[...][@seed][:w=<weights>]`, \
+         e.g. gnp:200:0.05@7,\ncomponents:120000:6000:0.3, or the \
+         vertex-weighted gnp:200:0.05@7:w=uniform.\n\n",
     );
     for c in COMMANDS {
         out.push_str(&c.render_text());
@@ -251,8 +276,9 @@ fn help_markdown() -> String {
          do not edit by hand.\n\n\
          An `<instance>` argument is either a **file** (DIMACS \
          `.dimacs`/`.clq`/`.col`, or a whitespace edge list) or a generator \
-         **spec** `family:arg1:arg2[...][@seed]`, e.g. `gnp:200:0.05@7` or \
-         `components:120000:6000:0.3`.\n",
+         **spec** `family:arg1:arg2[...][@seed][:w=<weights>]`, e.g. \
+         `gnp:200:0.05@7`, `components:120000:6000:0.3`, or the \
+         vertex-weighted `gnp:200:0.05@7:w=uniform`.\n",
     );
     for c in COMMANDS {
         out.push_str(&format!("\n## `{}`\n\n{}\n\n", c.usage, c.summary));
@@ -268,6 +294,7 @@ fn help_markdown() -> String {
     out
 }
 
+#[derive(Debug, Default, PartialEq, Eq)]
 struct Flags {
     positional: Vec<String>,
     options: std::collections::BTreeMap<String, String>,
@@ -283,26 +310,22 @@ struct Flags {
 /// `--flag=value` forms, and a numeric argument right after an
 /// optional-value switch (the space-separated form the `=` syntax
 /// exists to disambiguate) are all rejected rather than silently
-/// ignored.
+/// ignored. Returns the usage error as `Err` so the parser is
+/// property-testable; the subcommands exit(2) on it.
 fn parse_flags(
     args: &[String],
     value_flags: &[&str],
     opt_value_flags: &[&str],
     switch_flags: &[&str],
-) -> Flags {
-    let mut flags = Flags {
-        positional: Vec::new(),
-        options: Default::default(),
-        switches: Default::default(),
-    };
+) -> Result<Flags, String> {
+    let mut flags = Flags::default();
     let mut it = args.iter().peekable();
     while let Some(a) = it.next() {
         if let Some(name) = a.strip_prefix("--") {
             // `--flag=value` form: inline value wins over lookahead.
             if let Some((name, value)) = name.split_once('=') {
                 if !value_flags.contains(&name) && !opt_value_flags.contains(&name) {
-                    eprintln!("--{name} does not take an =value");
-                    std::process::exit(2);
+                    return Err(format!("--{name} does not take an =value"));
                 }
                 flags.options.insert(name.to_string(), value.to_string());
                 continue;
@@ -310,10 +333,7 @@ fn parse_flags(
             if value_flags.contains(&name) {
                 let v = it
                     .next()
-                    .unwrap_or_else(|| {
-                        eprintln!("--{name} requires a value");
-                        std::process::exit(2);
-                    })
+                    .ok_or_else(|| format!("--{name} requires a value"))?
                     .clone();
                 flags.options.insert(name.to_string(), v);
             } else if opt_value_flags.contains(&name) {
@@ -323,22 +343,33 @@ fn parse_flags(
                 // of silently treating it as the instance path.
                 if let Some(next) = it.peek() {
                     if next.parse::<f64>().is_ok() {
-                        eprintln!("--{name} takes its value as --{name}={next}");
-                        std::process::exit(2);
+                        return Err(format!("--{name} takes its value as --{name}={next}"));
                     }
                 }
                 flags.switches.insert(name.to_string());
             } else if switch_flags.contains(&name) {
                 flags.switches.insert(name.to_string());
             } else {
-                eprintln!("unknown flag --{name}");
-                std::process::exit(2);
+                return Err(format!("unknown flag --{name}"));
             }
         } else {
             flags.positional.push(a.clone());
         }
     }
-    flags
+    Ok(flags)
+}
+
+/// [`parse_flags`] with the CLI's exit-on-usage-error behaviour.
+fn parse_flags_or_exit(
+    args: &[String],
+    value_flags: &[&str],
+    opt_value_flags: &[&str],
+    switch_flags: &[&str],
+) -> Flags {
+    parse_flags(args, value_flags, opt_value_flags, switch_flags).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 /// Builds the graph a positional `<instance>` argument names: a
@@ -352,10 +383,16 @@ fn load_instance(spec: &str, format: Option<&str>) -> CsrGraph {
     }
 }
 
-/// Parses `family:arg1:arg2[...][@seed]` into a generated graph, or
-/// `None` if the leading segment is not a generator family — a file
-/// path may legitimately contain `:` or `@`, so nothing is rejected
-/// before the family name matches.
+/// Parses `family:arg1:arg2[...][@seed][:w=<weights>]` into a
+/// generated graph, or `None` if the leading segment is not a
+/// generator family — a file path may legitimately contain `:` or
+/// `@`, so nothing is rejected before the family name matches.
+///
+/// The optional `:w=` suffix attaches a vertex-weight channel
+/// (`uniform[:max]` for random weights in `1..=max` with max
+/// defaulting to 10, `unit` for all-1, `degree` for `d(v)+1`), turning
+/// the instance into a weighted MVC input, e.g.
+/// `gnp:200:0.05@7:w=uniform`.
 fn parse_gen_spec(spec: &str) -> Option<CsrGraph> {
     const FAMILIES: [&str; 9] = [
         "phat",
@@ -368,7 +405,13 @@ fn parse_gen_spec(spec: &str) -> Option<CsrGraph> {
         "bipartite",
         "grid",
     ];
-    let (family, rest) = spec.split_once(':')?;
+    // Split a trailing weight channel off first: it may follow the
+    // seed (`...@7:w=uniform`) or the last family argument.
+    let (core, wspec) = match spec.split_once(":w=") {
+        Some((core, w)) => (core, Some(w)),
+        None => (spec, None),
+    };
+    let (family, rest) = core.split_once(':')?;
     if !FAMILIES.contains(&family) {
         return None;
     }
@@ -397,7 +440,55 @@ fn parse_gen_spec(spec: &str) -> Option<CsrGraph> {
             std::process::exit(2);
         })
     };
-    Some(generate_family(family, seed, &arg))
+    let g = generate_family(family, seed, &arg);
+    Some(match wspec {
+        Some(w) => attach_weights(g, w, seed),
+        None => g,
+    })
+}
+
+/// Attaches the weight channel a `w=` spec or `--weights` flag names:
+/// `uniform[:max]` (random in `1..=max`, default max 10, seeded like
+/// the generator), `unit` (all-1), or `degree` (`d(v)+1`).
+fn attach_weights(g: CsrGraph, spec: &str, seed: u64) -> CsrGraph {
+    let (kind, param) = match spec.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (spec, None),
+    };
+    match (kind, param) {
+        ("uniform", max) => {
+            let max: u64 = max.map_or(10, |m| {
+                m.parse().unwrap_or_else(|_| {
+                    eprintln!("bad uniform weight bound '{m}'");
+                    std::process::exit(2);
+                })
+            });
+            if max == 0 {
+                eprintln!("uniform weight bound must be >= 1 (weights are >= 1)");
+                std::process::exit(2);
+            }
+            // Keep n·max within the i64::MAX total-weight cap the
+            // graph layer enforces.
+            let cap = i64::MAX as u64 / u64::from(g.num_vertices().max(1));
+            if max > cap {
+                eprintln!(
+                    "uniform weight bound {max} too large for {} vertices (max {cap})",
+                    g.num_vertices()
+                );
+                std::process::exit(2);
+            }
+            gen::with_uniform_weights(g, max, seed)
+        }
+        ("unit", None) => {
+            let n = g.num_vertices() as usize;
+            g.with_weights(vec![1; n]).expect("unit weights are valid")
+        }
+        ("degree", None) => gen::with_degree_weights(g),
+        _ => {
+            eprintln!("unknown weight spec '{spec}' (uniform[:max]|unit|degree)");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The shared family dispatch used by `generate` and the spec syntax.
@@ -476,7 +567,7 @@ fn parse_prep_rules(list: Option<&String>) -> PrepConfig {
 }
 
 fn cmd_solve(args: &[String]) {
-    let flags = parse_flags(
+    let flags = parse_flags_or_exit(
         args,
         &[
             "policy",
@@ -489,7 +580,7 @@ fn cmd_solve(args: &[String]) {
             "prep-rules",
         ],
         &["component-branching"],
-        &["extensions", "prep"],
+        &["extensions", "prep", "weighted"],
     );
     let Some(path) = flags.positional.first() else {
         eprintln!("solve: missing instance (file or generator spec)");
@@ -545,11 +636,30 @@ fn cmd_solve(args: &[String]) {
     if flags.switches.contains("prep") || flags.options.contains_key("prep-rules") {
         builder = builder.preprocess(parse_prep_rules(flags.options.get("prep-rules")));
     }
+    let weighted = flags.switches.contains("weighted");
+    if weighted {
+        builder = builder.weighted();
+    }
     let solver = builder.build();
 
-    eprintln!("instance: |V|={}, |E|={}", g.num_vertices(), g.num_edges());
+    eprintln!(
+        "instance: |V|={}, |E|={}{}",
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_weighted() {
+            ", vertex-weighted"
+        } else if weighted {
+            ", unit weights"
+        } else {
+            ""
+        }
+    );
     match flags.options.get("k") {
         Some(k) => {
+            if weighted {
+                eprintln!("--weighted applies to MVC; PVC (--k) is a cardinality question");
+                std::process::exit(2);
+            }
             let k: u32 = k.parse().expect("--k takes an integer");
             let r = solver.solve_pvc(&g, k);
             match &r.cover {
@@ -570,10 +680,23 @@ fn cmd_solve(args: &[String]) {
         None => {
             let r = solver.solve_mvc(&g);
             assert!(is_vertex_cover(&g, &r.cover));
-            if r.stats.timed_out {
-                println!("best cover found (NOT proven minimum): {}", r.size);
-            } else {
-                println!("minimum vertex cover: {}", r.size);
+            match (weighted, r.stats.timed_out) {
+                (true, false) => {
+                    println!(
+                        "minimum weight vertex cover: weight {} ({} vertices)",
+                        r.weight, r.size
+                    );
+                }
+                (true, true) => {
+                    println!(
+                        "best cover found (NOT proven minimum): weight {} ({} vertices)",
+                        r.weight, r.size
+                    );
+                }
+                (false, false) => println!("minimum vertex cover: {}", r.size),
+                (false, true) => {
+                    println!("best cover found (NOT proven minimum): {}", r.size)
+                }
             }
             println!("{:?}", r.cover);
             eprintln!(
@@ -603,13 +726,14 @@ fn cmd_solve(args: &[String]) {
 }
 
 fn cmd_prep(args: &[String]) {
-    let flags = parse_flags(args, &["format", "out", "rules"], &[], &[]);
+    let flags = parse_flags_or_exit(args, &["format", "out", "rules"], &[], &["weighted"]);
     let Some(path) = flags.positional.first() else {
         eprintln!("prep: missing instance (file or generator spec)");
         std::process::exit(2);
     };
     let g = load_instance(path, flags.options.get("format").map(String::as_str));
-    let cfg = parse_prep_rules(flags.options.get("rules"));
+    let mut cfg = parse_prep_rules(flags.options.get("rules"));
+    cfg.weighted = flags.switches.contains("weighted");
     let start = std::time::Instant::now();
     let kernel = preprocess(&g, &cfg);
     let elapsed = start.elapsed();
@@ -624,10 +748,16 @@ fn cmd_prep(args: &[String]) {
         "rule", "covered", "excluded", "passes"
     );
     for r in &s.rules {
-        println!(
-            "{:<16} {:>10} {:>10} {:>7}",
-            r.name, r.covered, r.excluded, r.passes
-        );
+        match r.note {
+            Some(note) => println!(
+                "{:<16} {:>10} {:>10} {:>7}  [{note}]",
+                r.name, "-", "-", "-"
+            ),
+            None => println!(
+                "{:<16} {:>10} {:>10} {:>7}",
+                r.name, r.covered, r.excluded, r.passes
+            ),
+        }
     }
     println!(
         "kernel:   |V|={} |E|={} in {} components (largest {})",
@@ -645,10 +775,19 @@ fn cmd_prep(args: &[String]) {
     if kernel.is_fully_reduced() {
         let cover = kernel.lift(&[]);
         assert!(is_vertex_cover(&g, &cover));
-        println!(
-            "fully reduced: preprocessing alone proves the minimum vertex cover is {}",
-            cover.len()
-        );
+        if cfg.weighted {
+            println!(
+                "fully reduced: preprocessing alone proves the minimum weight vertex cover \
+                 is {} ({} vertices)",
+                g.cover_weight(&cover),
+                cover.len()
+            );
+        } else {
+            println!(
+                "fully reduced: preprocessing alone proves the minimum vertex cover is {}",
+                cover.len()
+            );
+        }
     }
     if let Some(out) = flags.options.get("out") {
         let file = std::fs::File::create(out).expect("cannot create output file");
@@ -663,7 +802,7 @@ fn cmd_prep(args: &[String]) {
 }
 
 fn cmd_generate(args: &[String]) {
-    let flags = parse_flags(args, &["seed", "out"], &[], &[]);
+    let flags = parse_flags_or_exit(args, &["seed", "out", "weights"], &[], &[]);
     let seed: u64 = flags
         .options
         .get("seed")
@@ -683,7 +822,10 @@ fn cmd_generate(args: &[String]) {
             .parse()
             .expect("numeric argument")
     };
-    let g = generate_family(family, seed, &get);
+    let mut g = generate_family(family, seed, &get);
+    if let Some(w) = flags.options.get("weights") {
+        g = attach_weights(g, w, seed);
+    }
     match flags.options.get("out") {
         Some(path) => {
             let file = std::fs::File::create(path).expect("cannot create output file");
@@ -701,7 +843,7 @@ fn cmd_generate(args: &[String]) {
 }
 
 fn cmd_analyze(args: &[String]) {
-    let flags = parse_flags(args, &["format"], &[], &[]);
+    let flags = parse_flags_or_exit(args, &["format"], &[], &[]);
     let Some(path) = flags.positional.first() else {
         eprintln!("analyze: missing instance (file or generator spec)");
         std::process::exit(2);
@@ -758,6 +900,204 @@ fn cmd_demo() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
+
+    /// The `solve` subcommand's flag tables — the richest surface
+    /// (value flags, an optional-value flag, and switches including
+    /// the new `--weighted`), shared by the fuzz properties below.
+    const SOLVE_VALUE: &[&str] = &[
+        "policy",
+        "algorithm",
+        "k",
+        "deadline",
+        "format",
+        "blocks",
+        "threads",
+        "prep-rules",
+    ];
+    const SOLVE_OPT: &[&str] = &["component-branching"];
+    const SOLVE_SWITCH: &[&str] = &["extensions", "prep", "weighted"];
+
+    fn solve_flags(args: &[String]) -> Result<Flags, String> {
+        parse_flags(args, SOLVE_VALUE, SOLVE_OPT, SOLVE_SWITCH)
+    }
+
+    const LOWER: &[u8] = b"abcdefghijklmnopqrstuvwxyz";
+    const ALNUM: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789.";
+
+    /// A 1–8 character word over `charset` (the shim has no regex
+    /// string strategies).
+    fn arb_word(charset: &'static [u8]) -> impl Strategy<Value = String> {
+        proptest::collection::vec(0usize..charset.len(), 1..9)
+            .prop_map(move |ix| ix.into_iter().map(|i| charset[i] as char).collect())
+    }
+
+    /// An arbitrary argv token: known flags in all forms, unknown
+    /// flags, `=`-values, positionals, and junk.
+    fn arb_token() -> impl Strategy<Value = String> {
+        prop_oneof![
+            Just("--policy".to_string()),
+            Just("--weighted".to_string()),
+            Just("--prep".to_string()),
+            Just("--component-branching".to_string()),
+            Just("--component-branching=4".to_string()),
+            Just("--k=3".to_string()),
+            Just("--k".to_string()),
+            Just("--deadline=0.5".to_string()),
+            Just("--weighted=yes".to_string()),
+            Just("--bogus".to_string()),
+            Just("--prep=on".to_string()),
+            Just("steal".to_string()),
+            Just("gnp:20:0.2@7".to_string()),
+            Just("12".to_string()),
+            Just("0.5".to_string()),
+            Just("graph.dimacs".to_string()),
+            Just("--".to_string()),
+            Just(String::new()),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Total: any argv either parses or reports a usage error —
+        /// no panic, and accepted output is structurally consistent
+        /// with the flag tables.
+        #[test]
+        fn parse_flags_is_total_and_consistent(
+            args in proptest::collection::vec(arb_token(), 0..8)
+        ) {
+            match solve_flags(&args) {
+                Err(e) => prop_assert!(!e.is_empty(), "empty usage error"),
+                Ok(f) => {
+                    for key in f.options.keys() {
+                        prop_assert!(
+                            SOLVE_VALUE.contains(&key.as_str())
+                                || SOLVE_OPT.contains(&key.as_str()),
+                            "option {key} not in the flag tables"
+                        );
+                    }
+                    for s in &f.switches {
+                        prop_assert!(
+                            SOLVE_SWITCH.contains(&s.as_str())
+                                || SOLVE_OPT.contains(&s.as_str()),
+                            "switch {s} not in the flag tables"
+                        );
+                    }
+                    for p in &f.positional {
+                        prop_assert!(!p.starts_with("--") || p == "--");
+                    }
+                    // Nothing is invented: every positional appeared in
+                    // the input verbatim.
+                    for p in &f.positional {
+                        prop_assert!(args.contains(p));
+                    }
+                }
+            }
+        }
+
+        /// `--flag=value` round-trips into `options` for every value
+        /// flag and optional-value flag, regardless of surrounding
+        /// noise positionals.
+        #[test]
+        fn inline_values_land_in_options(
+            idx in 0usize..9,
+            value in arb_word(ALNUM),
+            prefix in proptest::collection::vec(Just("x".to_string()), 0..3),
+        ) {
+            let all: Vec<&str> = SOLVE_VALUE
+                .iter()
+                .chain(SOLVE_OPT.iter())
+                .copied()
+                .collect();
+            let name = all[idx % all.len()];
+            let mut args = prefix.clone();
+            args.push(format!("--{name}={value}"));
+            let f = solve_flags(&args).expect("inline value form must parse");
+            prop_assert_eq!(f.options.get(name), Some(&value));
+            prop_assert_eq!(f.positional.len(), prefix.len());
+        }
+
+        /// Unknown flags are always rejected, in both bare and
+        /// `=value` forms.
+        #[test]
+        fn unknown_flags_are_rejected(name in arb_word(LOWER), value in arb_word(ALNUM)) {
+            let known = SOLVE_VALUE.contains(&name.as_str())
+                || SOLVE_OPT.contains(&name.as_str())
+                || SOLVE_SWITCH.contains(&name.as_str());
+            if !known {
+                prop_assert!(solve_flags(&[format!("--{name}")]).is_err());
+                prop_assert!(solve_flags(&[format!("--{name}={value}")]).is_err());
+            }
+        }
+
+        /// A value flag as the last token always errors (missing
+        /// value), and a switch taking `=value` always errors.
+        #[test]
+        fn malformed_forms_error(idx in 0usize..8, sw in 0usize..3) {
+            let name = SOLVE_VALUE[idx % SOLVE_VALUE.len()];
+            prop_assert!(solve_flags(&[format!("--{name}")]).is_err());
+            let switch = SOLVE_SWITCH[sw % SOLVE_SWITCH.len()];
+            prop_assert!(
+                solve_flags(&[format!("--{switch}=1")]).is_err(),
+                "--{switch} must not take an =value"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_interactions_parse_as_documented() {
+        // --weighted composes with the rest of the solve surface.
+        let args: Vec<String> = ["--weighted", "--policy", "steal", "--prep", "gnp:20:0.2@7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let f = solve_flags(&args).unwrap();
+        assert!(f.switches.contains("weighted"));
+        assert!(f.switches.contains("prep"));
+        assert_eq!(f.options.get("policy"), Some(&"steal".to_string()));
+        assert_eq!(f.positional, vec!["gnp:20:0.2@7".to_string()]);
+
+        // --weighted is a bare switch: the =value form is a usage error.
+        assert!(solve_flags(&["--weighted=1".to_string()]).is_err());
+
+        // An optional-value switch still demands the `=` form for a
+        // numeric follower, even with --weighted in front.
+        let err = solve_flags(&[
+            "--weighted".to_string(),
+            "--component-branching".to_string(),
+            "4".to_string(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("component-branching=4"), "got: {err}");
+    }
+
+    #[test]
+    fn weighted_gen_specs_attach_the_channel() {
+        let g = parse_gen_spec("gnp:20:0.2@7:w=uniform").expect("known family");
+        assert!(g.is_weighted());
+        assert_eq!(g.num_vertices(), 20);
+        assert!((1..=10).contains(&g.weight(0)));
+        // Same core spec without the channel: identical structure.
+        let plain = parse_gen_spec("gnp:20:0.2@7").unwrap();
+        assert_eq!(plain, g.clone().without_weights());
+
+        let caps = parse_gen_spec("gnp:20:0.2@7:w=uniform:3").unwrap();
+        assert!(caps
+            .weights()
+            .unwrap()
+            .iter()
+            .all(|&w| (1..=3).contains(&w)));
+
+        let unit = parse_gen_spec("grid:3:4:w=unit").unwrap();
+        assert_eq!(unit.weights(), Some(&[1u64; 12][..]));
+
+        let deg = parse_gen_spec("grid:2:2:w=degree").unwrap();
+        assert_eq!(deg.weight(0), 3); // corner: degree 2 + 1
+
+        // Unknown families still fall through to file handling.
+        assert!(parse_gen_spec("notafamily:1:2:w=uniform").is_none());
+    }
 
     /// `docs/cli.md` is the committed output of `parvc help --markdown`.
     /// If this fails, regenerate it:

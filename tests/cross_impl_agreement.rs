@@ -1,9 +1,10 @@
 //! Cross-policy agreement: every scheduling policy of the engine —
 //! Sequential, StackOnly, Hybrid, WorkStealing — must produce
-//! identical MVC sizes (and consistent PVC answers) on randomized
-//! instances, all validated against the brute-force oracle.
+//! identical MVC sizes (and consistent PVC answers, and identical
+//! weighted-MVC weights) on randomized instances, all validated
+//! against the brute-force oracles.
 
-use parvc::core::brute::brute_force_mvc;
+use parvc::core::brute::{brute_force_mvc, weighted_brute_force};
 use parvc::core::{is_vertex_cover, Algorithm, PrepConfig, Solver};
 use parvc::graph::{gen, CsrGraph};
 use proptest::prelude::*;
@@ -76,6 +77,25 @@ proptest! {
             } else {
                 prop_assert!(r.cover.is_none(), "{} found an impossible cover", name);
             }
+        }
+    }
+
+    /// Weighted agreement on arbitrary graphs: every policy matches
+    /// the weighted oracle, using Sequential as the cross-check.
+    #[test]
+    fn weighted_mode_agrees_across_policies(g in arb_graph(), wseed in 0u64..1000) {
+        let g = gen::with_uniform_weights(g, 10, wseed);
+        let (opt, _) = weighted_brute_force(&g);
+        for (name, solver) in solvers() {
+            let solver = Solver::builder()
+                .algorithm(solver.algorithm())
+                .grid_limit(Some(6))
+                .weighted()
+                .build();
+            let r = solver.solve_mvc(&g);
+            prop_assert_eq!(r.weight, opt, "{} disagrees with the weighted oracle", name);
+            prop_assert!(is_vertex_cover(&g, &r.cover), "{} returned a non-cover", name);
+            prop_assert_eq!(r.weight, g.cover_weight(&r.cover), "{} weight/cover mismatch", name);
         }
     }
 
@@ -175,6 +195,59 @@ fn agreement_on_every_named_family() {
                 is_vertex_cover(&g, &r.cover),
                 "{impl_name} non-cover on {name}"
             );
+        }
+    }
+}
+
+/// The mode-separation regression: a graph whose weighted optimum
+/// differs from its unweighted one in *both* objective and witness
+/// size, so a solver that silently runs the wrong mode cannot pass
+/// either assertion. Two expensive bridged hubs, each with cheap
+/// leaves: cardinality takes both hubs (size 2, weight 40); weight
+/// keeps one hub for the bridge and swaps the other for its four
+/// leaves (size 5, weight 24).
+#[test]
+fn weighted_optimum_differs_from_unweighted_on_the_regression_instance() {
+    let mut edges: Vec<(u32, u32)> = (1..5).map(|v| (0, v)).collect(); // hub 0
+    edges.extend((6..10).map(|v| (5, v))); // hub 5
+    edges.push((0, 5)); // bridge between the hubs
+    let g = CsrGraph::from_edges(10, &edges)
+        .unwrap()
+        .with_weights(vec![20, 1, 1, 1, 1, 20, 1, 1, 1, 1])
+        .unwrap();
+    let (w_opt, _) = weighted_brute_force(&g);
+    let (c_opt, _) = brute_force_mvc(&g);
+    assert_eq!(c_opt, 2, "cardinality: the two hubs");
+    assert_eq!(
+        w_opt, 24,
+        "weight: one hub for the bridge + the other's leaves"
+    );
+    assert_ne!(
+        w_opt, c_opt as u64,
+        "the construction must separate the modes"
+    );
+
+    for (name, solver) in solvers() {
+        let algorithm = solver.algorithm();
+        let cardinality = solver.solve_mvc(&g);
+        assert_eq!(cardinality.size, c_opt, "{name} (cardinality)");
+        assert_eq!(cardinality.weight, 40, "{name}: two weight-20 hubs");
+
+        for prep in [false, true] {
+            let mut b = Solver::builder()
+                .algorithm(algorithm)
+                .grid_limit(Some(6))
+                .weighted();
+            if prep {
+                b = b.preprocess(PrepConfig::default());
+            }
+            let weighted = b.build().solve_mvc(&g);
+            assert_eq!(weighted.weight, w_opt, "{name} (weighted, prep={prep})");
+            assert!(
+                weighted.size > cardinality.size,
+                "{name}: the weighted witness must be the bigger cover"
+            );
+            assert!(is_vertex_cover(&g, &weighted.cover), "{name}");
         }
     }
 }

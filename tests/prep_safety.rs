@@ -18,7 +18,7 @@ fn rule_subsets() -> Vec<PrepConfig> {
             crown: mask & 2 != 0,
             high_degree: mask & 4 != 0,
             split_components: mask & 8 != 0,
-            max_rounds: 64,
+            ..PrepConfig::default()
         })
         .collect()
 }

@@ -6,7 +6,7 @@
 //! `parvc-prep`'s up-front decomposition, can catch it).
 
 use parvc::core::bound::SearchBound;
-use parvc::core::brute::brute_force_mvc;
+use parvc::core::brute::{brute_force_mvc, weighted_brute_force};
 use parvc::core::greedy::greedy_mvc;
 use parvc::core::ops::Kernel;
 use parvc::core::split::SplitParams;
@@ -77,6 +77,42 @@ proptest! {
                     "{} (split={}) non-cover on {}", name, split, family
                 );
                 prop_assert_eq!(r.cover.len() as u32, r.size);
+            }
+        }
+    }
+
+    /// Weighted MVC through component-sum nodes: split-on and
+    /// split-off must agree with the weighted oracle under every
+    /// policy — the budgeted sub-searches, sibling budgets, and
+    /// combine step all run in weight units.
+    #[test]
+    fn weighted_split_on_and_off_agree_with_the_oracle(
+        (family, g) in arb_corpus_graph(),
+        wseed in 0u64..1000,
+    ) {
+        let g = gen::with_uniform_weights(g, 10, wseed);
+        let (opt, _) = weighted_brute_force(&g);
+        for (name, algorithm) in policies() {
+            for split in [false, true] {
+                let mut b = Solver::builder()
+                    .algorithm(algorithm)
+                    .grid_limit(Some(6))
+                    .weighted();
+                if split {
+                    b = b.component_branching_params(SplitParams {
+                        min_live: 4,
+                        max_depth: 16,
+                    });
+                }
+                let r = b.build().solve_mvc(&g);
+                prop_assert_eq!(
+                    r.weight, opt,
+                    "{} (weighted, split={}) vs oracle on {}", name, split, family
+                );
+                prop_assert!(
+                    is_vertex_cover(&g, &r.cover),
+                    "{} (weighted, split={}) non-cover on {}", name, split, family
+                );
             }
         }
     }
@@ -185,6 +221,47 @@ fn disconnection_at_depth_two_is_caught_by_in_search_split() {
         "no split taken although the graph disconnects at depth 2"
     );
     assert!(splits.components >= 2 * splits.taken);
+}
+
+/// The weighted split regression: two expensive-hub communities
+/// joined by one bridge — the weighted optimum differs from the
+/// unweighted one (so a sub-search silently running cardinality
+/// arithmetic cannot pass), the residual disconnects once branching
+/// cuts the bridge, and every policy must stay weight-exact with
+/// splitting on and off.
+#[test]
+fn weighted_split_regression_where_the_optima_differ() {
+    // Hub 0 over leaves 1..5, hub 6 over leaves 7..11, bridge 0-6.
+    let mut edges: Vec<(u32, u32)> = (1..6).map(|v| (0, v)).collect();
+    edges.extend((7..12).map(|v| (6, v)));
+    edges.push((0, 6));
+    let g = CsrGraph::from_edges(12, &edges)
+        .unwrap()
+        .with_weights(vec![30, 1, 1, 1, 1, 1, 30, 1, 1, 1, 1, 1])
+        .unwrap();
+    let (w_opt, _) = weighted_brute_force(&g);
+    let (c_opt, _) = brute_force_mvc(&g);
+    assert_eq!(c_opt, 2, "cardinality: the two hubs");
+    assert_eq!(w_opt, 35, "weight: one hub for the bridge + five leaves");
+    assert_ne!(w_opt, c_opt as u64);
+
+    for (name, algorithm) in policies() {
+        for split in [false, true] {
+            let mut b = Solver::builder()
+                .algorithm(algorithm)
+                .grid_limit(Some(6))
+                .weighted();
+            if split {
+                b = b.component_branching_params(SplitParams {
+                    min_live: 4,
+                    max_depth: 16,
+                });
+            }
+            let r = b.build().solve_mvc(&g);
+            assert_eq!(r.weight, w_opt, "{name} (weighted, split={split})");
+            assert!(is_vertex_cover(&g, &r.cover), "{name}");
+        }
+    }
 }
 
 /// ComponentSteal on a graph that never disconnects degrades to plain
