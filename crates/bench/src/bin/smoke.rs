@@ -1,0 +1,213 @@
+//! `bench-smoke` — the CI perf-regression gate.
+//!
+//! Runs a downsized, **deterministic** slice of the `components`
+//! benchmark (every policy at one block, no deadline, fixed seeds —
+//! identical tree-node counts on every run), emits a JSON report, and
+//! compares it against the checked-in baseline
+//! `bench/baselines/components.json`:
+//!
+//! * any policy exploring **more tree nodes** than the baseline on any
+//!   instance fails the gate (exit 1);
+//! * a changed cover size fails immediately (that is a correctness
+//!   bug, not a regression);
+//! * improvements print a note — refresh the baseline by re-running
+//!   with `--json bench/baselines/components.json` and committing.
+//!
+//! ```text
+//! cargo run --release -p parvc-bench --bin smoke -- \
+//!     --json bench-report.json --baseline bench/baselines/components.json
+//! ```
+
+use parvc_bench::json::{obj, parse, Value};
+use parvc_core::{Algorithm, MvcResult, Solver, SplitParams};
+use parvc_graph::{gen, CsrGraph};
+
+/// The downsized corpus: component-structured instances small enough
+/// for exhaustive (no-deadline) solves in seconds, seeded so every run
+/// explores the identical tree.
+fn corpus() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("components", gen::sparse_components(120, 12, 0.5, 3)),
+        ("components_wide", gen::sparse_components(96, 8, 0.42, 11)),
+        ("grid", gen::grid2d(6, 6)),
+        ("ba", gen::barabasi_albert(70, 2, 7)),
+        ("gnp_sparse", gen::gnp(34, 0.12, 5)),
+        // A dense complement instance with a four-digit tree: gates
+        // raw search regressions, not just the split machinery.
+        ("phat_dense", gen::p_hat_complement(40, 2, 5)),
+    ]
+}
+
+/// Every scheduling policy, pinned to one block so parallel policies
+/// run deterministically.
+fn policies() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("seq", Algorithm::Sequential),
+        ("stack", Algorithm::StackOnly { start_depth: 4 }),
+        ("hybrid", Algorithm::Hybrid),
+        ("steal", Algorithm::WorkStealing),
+        ("batch", Algorithm::Batched),
+        ("compsteal", Algorithm::ComponentSteal),
+    ]
+}
+
+fn solve(algorithm: Algorithm, g: &CsrGraph) -> MvcResult {
+    Solver::builder()
+        .algorithm(algorithm)
+        .grid_limit(Some(1))
+        .component_branching_params(SplitParams::with_min_live(4))
+        .build()
+        .solve_mvc(g)
+}
+
+fn main() {
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+        };
+        match flag.as_str() {
+            "--json" => json_out = Some(value("path")),
+            "--baseline" => baseline = Some(value("path")),
+            "--help" | "-h" => {
+                eprintln!("options: --json <report path>  --baseline <baseline path>");
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+
+    let mut instances: Vec<Value> = Vec::new();
+    for (name, g) in corpus() {
+        eprintln!("[smoke] {name} ({} vertices)...", g.num_vertices());
+        let mut rows: Vec<Value> = Vec::new();
+        let mut size: Option<u32> = None;
+        for (policy, algorithm) in policies() {
+            let r = solve(algorithm, &g);
+            assert!(
+                parvc_core::is_vertex_cover(&g, &r.cover),
+                "{name}/{policy}: returned a non-cover"
+            );
+            match size {
+                None => size = Some(r.size),
+                Some(s) => assert_eq!(
+                    r.size, s,
+                    "{name}: policy {policy} disagrees on the cover size"
+                ),
+            }
+            let splits = r.stats.report.split_totals();
+            rows.push(obj(vec![
+                ("policy", Value::Str(policy.into())),
+                ("tree_nodes", Value::Num(r.stats.tree_nodes)),
+                ("split_checks", Value::Num(splits.checks)),
+                ("splits_taken", Value::Num(splits.taken)),
+                ("split_check_work", Value::Num(splits.check_work)),
+            ]));
+        }
+        instances.push(obj(vec![
+            ("name", Value::Str(name.into())),
+            ("size", Value::Num(u64::from(size.expect("solved")))),
+            ("policies", Value::Arr(rows)),
+        ]));
+    }
+    let report = obj(vec![
+        ("schema", Value::Num(1)),
+        ("bench", Value::Str("components-smoke".into())),
+        ("instances", Value::Arr(instances)),
+    ]);
+    let text = report.to_pretty();
+    print!("{text}");
+    if let Some(path) = &json_out {
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[smoke] report written to {path}");
+    }
+    if let Some(path) = &baseline {
+        let base_text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let base = parse(&base_text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let regressions = compare(&base, &report);
+        if regressions > 0 {
+            eprintln!("[smoke] FAILED: {regressions} regression(s) against {path}");
+            std::process::exit(1);
+        }
+        eprintln!("[smoke] ok: no tree-node regressions against {path}");
+    }
+}
+
+/// Compares `current` against `base`, printing one line per finding.
+/// Returns the number of gate-failing regressions.
+fn compare(base: &Value, current: &Value) -> u32 {
+    let field = |v: &Value, key: &str| -> u64 {
+        v.get(key)
+            .and_then(Value::num)
+            .unwrap_or_else(|| panic!("report row missing numeric field '{key}'"))
+    };
+    let find_instance = |doc: &Value, name: &str| -> Option<Value> {
+        doc.get("instances")?
+            .arr()?
+            .iter()
+            .find(|i| i.get("name").and_then(Value::str) == Some(name))
+            .cloned()
+    };
+    let mut regressions = 0u32;
+    for base_inst in base
+        .get("instances")
+        .and_then(Value::arr)
+        .expect("baseline has instances")
+    {
+        let name = base_inst
+            .get("name")
+            .and_then(Value::str)
+            .expect("baseline instance has a name");
+        let Some(cur_inst) = find_instance(current, name) else {
+            eprintln!("[smoke] REGRESSION {name}: instance missing from the current report");
+            regressions += 1;
+            continue;
+        };
+        if field(base_inst, "size") != field(&cur_inst, "size") {
+            eprintln!(
+                "[smoke] REGRESSION {name}: cover size changed {} -> {} (correctness!)",
+                field(base_inst, "size"),
+                field(&cur_inst, "size")
+            );
+            regressions += 1;
+            continue;
+        }
+        for base_row in base_inst
+            .get("policies")
+            .and_then(Value::arr)
+            .expect("baseline instance has policies")
+        {
+            let policy = base_row
+                .get("policy")
+                .and_then(Value::str)
+                .expect("baseline row has a policy");
+            let Some(cur_row) = cur_inst
+                .get("policies")
+                .and_then(Value::arr)
+                .and_then(|rows| {
+                    rows.iter()
+                        .find(|r| r.get("policy").and_then(Value::str) == Some(policy))
+                })
+            else {
+                eprintln!("[smoke] REGRESSION {name}/{policy}: policy missing");
+                regressions += 1;
+                continue;
+            };
+            let (was, now) = (field(base_row, "tree_nodes"), field(cur_row, "tree_nodes"));
+            if now > was {
+                eprintln!("[smoke] REGRESSION {name}/{policy}: tree nodes {was} -> {now}");
+                regressions += 1;
+            } else if now < was {
+                eprintln!(
+                    "[smoke] improvement {name}/{policy}: tree nodes {was} -> {now} \
+                     (refresh the baseline to lock it in)"
+                );
+            }
+        }
+    }
+    regressions
+}

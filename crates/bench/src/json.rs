@@ -1,0 +1,301 @@
+//! A minimal JSON reader/writer for the bench-smoke regression gate.
+//!
+//! The smoke report and its checked-in baseline
+//! (`bench/baselines/components.json`) need structured round-tripping
+//! without pulling serde into the offline-shimmed workspace, so this
+//! module implements exactly the JSON subset the reports use: objects,
+//! arrays, strings (escape-free ASCII), unsigned integers, booleans,
+//! and null. Parsing is a recursive-descent pass over bytes; writing
+//! is pretty-printed with two-space indentation so baselines diff
+//! cleanly in review.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value (the subset the bench reports use).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the reports only emit counters).
+    Num(u64),
+    /// A string without escapes.
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Value>),
+    /// An object; `BTreeMap` keeps writing deterministic.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object's field `key`, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn num(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serializes with two-space pretty-printing and a trailing
+    /// newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "\"{s}\"");
+            }
+            Value::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    let _ = write!(out, "{pad}  ");
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}]");
+            }
+            Value::Obj(map) => {
+                if map.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in map.iter().enumerate() {
+                    let _ = write!(out, "{pad}  \"{k}\": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < map.len() { ",\n" } else { "\n" });
+                }
+                let _ = write!(out, "{pad}}}");
+            }
+        }
+    }
+}
+
+/// Convenience: an object from key/value pairs.
+pub fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Parses a JSON document (the subset above). Returns a descriptive
+/// error with a byte offset on malformed input.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", b as char, pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Obj(map));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                expect(bytes, pos, b':')?;
+                let value = parse_value(bytes, pos)?;
+                map.insert(key, value);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+        Some(b't') if bytes[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Value::Bool(true))
+        }
+        Some(b'f') if bytes[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Value::Bool(false))
+        }
+        Some(b'n') if bytes[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Value::Null)
+        }
+        Some(c) if c.is_ascii_digit() => {
+            let start = *pos;
+            while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are UTF-8");
+            text.parse()
+                .map(Value::Num)
+                .map_err(|e| format!("bad number '{text}': {e}"))
+        }
+        Some(c) => Err(format!("unexpected byte '{}' at {}", *c as char, pos)),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let start = *pos;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                let s = std::str::from_utf8(&bytes[start..*pos])
+                    .map_err(|e| format!("invalid UTF-8 in string: {e}"))?
+                    .to_string();
+                *pos += 1;
+                return Ok(s);
+            }
+            b'\\' => return Err(format!("escape sequences unsupported (byte {pos})")),
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_report_shape() {
+        let v = obj(vec![
+            ("schema", Value::Num(1)),
+            (
+                "instances",
+                Value::Arr(vec![obj(vec![
+                    ("name", Value::Str("components".into())),
+                    (
+                        "policies",
+                        Value::Arr(vec![obj(vec![
+                            ("policy", Value::Str("seq".into())),
+                            ("tree_nodes", Value::Num(1234)),
+                            ("split_checks", Value::Num(56)),
+                            ("splits_taken", Value::Num(7)),
+                        ])]),
+                    ),
+                ])]),
+            ),
+        ]);
+        let text = v.to_pretty();
+        let back = parse(&text).expect("own output must parse");
+        assert_eq!(back, v);
+        assert_eq!(
+            back.get("instances").unwrap().arr().unwrap()[0]
+                .get("name")
+                .unwrap()
+                .str(),
+            Some("components")
+        );
+    }
+
+    #[test]
+    fn parses_hand_written_documents() {
+        let v = parse("{ \"a\": [1, 2, 3], \"b\": { \"c\": true, \"d\": null } }").unwrap();
+        assert_eq!(v.get("a").unwrap().arr().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, ]").is_err());
+        assert!(parse("\"unterminated").is_err());
+        assert!(parse("{\"a\": 1} trailing").is_err());
+        assert!(parse("12x").is_err());
+    }
+}

@@ -1,6 +1,9 @@
 //! Report generators: one function per table/figure of the paper.
 
-use parvc_core::{is_vertex_cover, Algorithm, Extensions, PrepConfig, Solver};
+use parvc_core::{
+    is_vertex_cover, Algorithm, Extensions, PrepConfig, Solver, SplitBackend, SplitBound,
+    SplitParams,
+};
 use parvc_graph::CsrGraph;
 use parvc_simgpu::counters::{Activity, SmLoad};
 use parvc_simgpu::occupancy::{candidate_block_sizes, LaunchRequest};
@@ -432,11 +435,16 @@ pub fn massive(args: &BenchArgs) {
 /// instance (the latter through the prep pipeline, whose kernel
 /// components are themselves re-split in-search).
 ///
-/// Three arms per instance: the WorkStealing policy with splitting
+/// Four arms per instance: the WorkStealing policy with splitting
 /// off, the same policy with splitting on (inline component-sum
-/// nodes), and the ComponentSteal policy (components donated to the
-/// steal pool). All three must agree on the cover size; the headline
-/// column is tree nodes explored relative to split-off.
+/// nodes, the default union-find backend + LP sibling bounds), the
+/// same with the PR 3 baseline machinery (from-scratch BFS checks,
+/// matching bounds), and the ComponentSteal policy (components donated
+/// to the steal pool). All arms must agree on the cover size; the
+/// headline columns are tree nodes explored relative to split-off and
+/// the split-check cost (`check work` = vertex reads + adjacency
+/// entries traversed by the connectivity backend), where union-find
+/// must beat the BFS baseline on `massive_components`.
 pub fn components_report(args: &BenchArgs) {
     println!(
         "\n=== Component branching: split-on vs split-off (budget {:.1}s/solve) ===",
@@ -470,13 +478,17 @@ pub fn components_report(args: &BenchArgs) {
         "time(s)",
         "splits",
         "comps",
+        "check work",
         "nodes vs off",
     ]);
     for (name, graph, prep) in &corpus {
         eprintln!("[components] {name} ...");
-        let arm = |imp: Impl, split: bool| {
+        let arm = |imp: Impl, split: Option<SplitParams>| {
             let solver = solver_with(imp, args, |mut b| {
-                b = b.component_branching(split);
+                b = match split {
+                    Some(params) => b.component_branching_params(params),
+                    None => b.component_branching(false),
+                };
                 if *prep {
                     b = b.preprocess(PrepConfig::default());
                 }
@@ -484,10 +496,24 @@ pub fn components_report(args: &BenchArgs) {
             });
             solver.solve_mvc(graph)
         };
+        // The PR 3 baseline machinery: from-scratch BFS connectivity,
+        // matching sibling bounds.
+        let bfs_params = SplitParams {
+            backend: SplitBackend::Bfs,
+            bound: SplitBound::Matching,
+            ..SplitParams::default()
+        };
         let runs = [
-            ("split-off", arm(Impl::WorkStealing, false)),
-            ("split-on", arm(Impl::WorkStealing, true)),
-            ("compsteal", arm(Impl::ComponentSteal, true)),
+            ("split-off", arm(Impl::WorkStealing, None)),
+            (
+                "split-on",
+                arm(Impl::WorkStealing, Some(SplitParams::default())),
+            ),
+            ("split-bfs", arm(Impl::WorkStealing, Some(bfs_params))),
+            (
+                "compsteal",
+                arm(Impl::ComponentSteal, Some(SplitParams::default())),
+            ),
         ];
         let baseline_nodes = runs[0].1.stats.tree_nodes.max(1);
         for (label, r) in &runs {
@@ -506,6 +532,7 @@ pub fn components_report(args: &BenchArgs) {
                 fmt_seconds(r.stats.seconds(), r.stats.timed_out),
                 splits.taken.to_string(),
                 splits.components.to_string(),
+                splits.check_work.to_string(),
                 format!("{:.2}x", r.stats.tree_nodes as f64 / baseline_nodes as f64),
             ]);
         }
@@ -529,6 +556,21 @@ pub fn components_report(args: &BenchArgs) {
                     runs[0].1.stats.tree_nodes,
                 );
             }
+            // The tentpole cost property: the incremental union-find
+            // backend does strictly less connectivity work than the
+            // from-scratch BFS on the massive component-structured
+            // instance.
+            if *name == "massive_components" {
+                let uf = runs[1].1.stats.report.split_totals();
+                let bfs = runs[2].1.stats.report.split_totals();
+                assert!(
+                    uf.check_work < bfs.check_work,
+                    "{name}: union-find must do strictly less split-check work \
+                     than the BFS baseline ({} >= {})",
+                    uf.check_work,
+                    bfs.check_work,
+                );
+            }
         } else {
             eprintln!("[components] {name}: budget hit — agreement checks skipped");
         }
@@ -540,7 +582,8 @@ pub fn components_report(args: &BenchArgs) {
         .collect();
     println!(
         "(splits = component-sum nodes taken; comps = sub-searches spawned; \
-         size histogram buckets: {})",
+         check work = vertex reads + adjacency entries traversed by the \
+         connectivity backend; size histogram buckets: {})",
         hist_note.join(", ")
     );
 }

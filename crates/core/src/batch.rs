@@ -1,0 +1,165 @@
+//! The Batched sub-tree hand-off scheme — Hybrid's worklist with
+//! donations amortized `k` at a time — as a [`SchedulePolicy`].
+//!
+//! The Hybrid policy pays one queue negotiation per donated child; on
+//! shallow, bushy trees (many branchings, little depth) that queue
+//! traffic dominates the §IV-C accounting. This policy instead lets
+//! branched children accumulate on the block's local stack and, when
+//! the worklist is hungry and the stack holds more than `k` spare
+//! nodes, hands off a **batch of k sub-trees in one negotiation** —
+//! one queue operation's synchronization cost buys `k` transfers.
+//!
+//! Mechanically it is the Hybrid policy with the donation decision
+//! moved from "every dispose" to "every k-th surplus": `dispose`
+//! always pushes locally, then flushes a batch while the worklist sits
+//! below the threshold. Acquisition is unchanged (local stack first,
+//! then the worklist's §IV-C wait loop), so the termination protocol
+//! is inherited as-is.
+
+use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::runtime::BlockCtx;
+use parvc_worklist::{LocalStack, PopOutcome, WorkerHandle, Worklist};
+
+use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
+use crate::hybrid::HybridParams;
+use crate::ops::Kernel;
+use crate::shared::BoundSrc;
+use crate::TreeNode;
+
+/// How many children a batch hands off in one queue negotiation.
+pub const DEFAULT_BATCH: usize = 8;
+
+/// Shared state: the §IV-C worklist, the donation threshold, and the
+/// batch size.
+pub struct BatchFactory {
+    worklist: Worklist<TreeNode>,
+    threshold: usize,
+    batch: usize,
+}
+
+impl BatchFactory {
+    /// A fresh factory (one per launch). `batch` is clamped to ≥ 1.
+    pub fn new(params: &HybridParams, batch: usize) -> Self {
+        let mut worklist = Worklist::with_capacity(params.worklist_capacity);
+        worklist.set_poll_sleep(params.poll_sleep);
+        BatchFactory {
+            worklist,
+            threshold: params.threshold_entries(),
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl PolicyFactory for BatchFactory {
+    fn seed(&self, root: TreeNode) {
+        self.worklist.seed(root);
+    }
+
+    fn block_policy<'s>(
+        &'s self,
+        _ctx: BlockCtx,
+        depth_bound: usize,
+    ) -> Box<dyn SchedulePolicy + 's> {
+        Box::new(BatchPolicy {
+            worklist: &self.worklist,
+            handle: self.worklist.handle(),
+            threshold: self.threshold,
+            batch: self.batch,
+            stack: LocalStack::with_depth_bound(depth_bound),
+        })
+    }
+}
+
+/// One block's view: local stack first, batched hand-offs to the
+/// worklist when it runs hungry.
+pub struct BatchPolicy<'a> {
+    worklist: &'a Worklist<TreeNode>,
+    handle: WorkerHandle<'a, TreeNode>,
+    threshold: usize,
+    batch: usize,
+    stack: LocalStack<TreeNode>,
+}
+
+impl SchedulePolicy for BatchPolicy<'_> {
+    fn next(
+        &mut self,
+        kernel: &Kernel<'_>,
+        _bound: BoundSrc<'_>,
+        counters: &mut BlockCounters,
+    ) -> Option<TreeNode> {
+        if let Some(n) = self.stack.pop() {
+            kernel.charge_node_copy(n.len(), Activity::PopFromStack, counters);
+            return Some(n);
+        }
+        let (outcome, pop_stats) = self.handle.pop_with_stats();
+        counters.charge(
+            Activity::RemoveFromWorklist,
+            pop_stats.attempts * kernel.cost.queue_op + pop_stats.sleeps * kernel.cost.poll_sleep,
+        );
+        match outcome {
+            PopOutcome::Item(n) => {
+                counters.nodes_from_worklist += 1;
+                kernel.charge_node_copy(n.len(), Activity::RemoveFromWorklist, counters);
+                Some(n)
+            }
+            PopOutcome::Done => None,
+        }
+    }
+
+    fn dispose(&mut self, child: TreeNode, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        kernel.charge_node_copy(child.len(), Activity::PushToStack, counters);
+        self.push_local(child, counters);
+        // Hand off a batch while the worklist is hungry and the stack
+        // holds more than one batch of spare work (the block keeps at
+        // least one node's worth of look-ahead for itself).
+        if self.handle.len_hint() < self.threshold && self.stack.len() > self.batch {
+            // One negotiation amortized across the whole batch — the
+            // point of the scheme.
+            counters.charge(Activity::AddToWorklist, kernel.cost.queue_op);
+            for _ in 0..self.batch {
+                let Some(node) = self.stack.pop() else {
+                    break;
+                };
+                let len = node.len();
+                match self.handle.add(node) {
+                    Ok(()) => {
+                        counters.nodes_donated += 1;
+                        kernel.charge_node_copy(len, Activity::AddToWorklist, counters);
+                    }
+                    Err(back) => {
+                        // Queue filled mid-batch: keep the rest local
+                        // (never drop work).
+                        counters.donations_bounced += 1;
+                        self.push_local(back, counters);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_exit(&mut self, cause: ExitCause, kernel: &Kernel<'_>, counters: &mut BlockCounters) {
+        match cause {
+            ExitCause::Aborted => {
+                self.worklist.signal_done();
+                counters.charge(Activity::Terminate, kernel.cost.atomic_op);
+            }
+            ExitCause::Exhausted => {
+                counters.charge(Activity::Terminate, kernel.cost.queue_op);
+            }
+            ExitCause::SolutionFound => {
+                self.worklist.signal_done();
+            }
+        }
+        counters.max_stack_depth = counters.max_stack_depth.max(self.stack.high_water() as u64);
+    }
+}
+
+impl BatchPolicy<'_> {
+    fn push_local(&mut self, node: TreeNode, counters: &mut BlockCounters) {
+        self.stack.push(node).unwrap_or_else(|_| {
+            panic!("stack depth bound violated (bound {})", self.stack.bound())
+        });
+        counters.max_stack_depth = counters.max_stack_depth.max(self.stack.len() as u64);
+    }
+}

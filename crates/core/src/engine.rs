@@ -31,6 +31,7 @@ use parvc_simgpu::counters::{Activity, BlockCounters};
 use parvc_simgpu::runtime::{run_blocks, BlockCtx};
 use parvc_simgpu::{CostModel, DeviceSpec, LaunchConfig};
 
+use crate::connect::Connectivity;
 use crate::extensions::Extensions;
 use crate::ops::Kernel;
 use crate::shared::{
@@ -203,6 +204,11 @@ pub fn drive_block(
     counters: &mut BlockCounters,
 ) {
     let mut current: Option<TreeNode> = None;
+    // The block's incremental connectivity tracker (the union-find
+    // split backend): stays warm along in-place descents, falls back
+    // to a rebuild when a policy-acquired node jumps elsewhere in the
+    // tree. Unused (and never updated) by the BFS backend.
+    let mut conn = Connectivity::new();
     loop {
         if bound.should_abort() {
             policy.on_exit(ExitCause::Aborted, kernel, counters);
@@ -238,6 +244,7 @@ pub fn drive_block(
                 kernel,
                 &node,
                 params,
+                &mut conn,
                 counters,
                 bound.bound().is_weighted(),
             ) {

@@ -16,7 +16,7 @@
 //!   is a thin policy over this one engine; the weighted variant
 //!   ([`SolverBuilder::weighted`]) changes only the bound arithmetic
 //!   and the reduction rules' inclusion gates to weight units (see
-//!   [`bound::SearchBound::WeightedMvc`]), so all five policies solve
+//!   [`bound::SearchBound::WeightedMvc`]), so every policy solves
 //!   it unchanged.
 //! * [`sequential`], [`stackonly`], [`hybrid`] — the paper's three
 //!   code versions as policies: the CPU baseline (Figure 1), prior
@@ -24,12 +24,17 @@
 //!   stacks plus a threshold-gated global worklist (Figure 4).
 //! * [`stealing`] — a fourth policy beyond the paper: per-block
 //!   work-stealing deques, demonstrating the engine's extension seam.
+//! * [`batch`] — batched sub-tree hand-off ([`Algorithm::Batched`]):
+//!   Hybrid's worklist with donations amortized `k` children per
+//!   queue negotiation.
+//! * [`connect`] — the incremental union-find residual-connectivity
+//!   tracker behind [`split`]'s default backend.
 //! * [`split`] — in-search component branching (arXiv 2512.18334):
 //!   when reductions disconnect the intermediate graph, the node
 //!   becomes a *component-sum node* whose per-component optima are
 //!   summed by independent budgeted sub-searches. Available under every
 //!   policy via [`SolverBuilder::component_branching`].
-//! * [`compsteal`] — the fifth policy,
+//! * [`compsteal`] — the component-donating policy,
 //!   [`Algorithm::ComponentSteal`]: work stealing where adopted
 //!   component-sum nodes donate whole components to the steal pool.
 //! * [`Solver`] — the public façade: pick an [`Algorithm`], a
@@ -50,9 +55,11 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bound;
 pub mod brute;
 pub mod compsteal;
+pub mod connect;
 pub mod engine;
 pub mod extensions;
 pub mod greedy;
@@ -70,11 +77,12 @@ mod stats;
 pub mod stealing;
 pub mod verify;
 
+pub use connect::Connectivity;
 pub use engine::{Engine, ExitCause, PolicyFactory, SchedulePolicy, SearchMode, SearchOutcome};
 pub use extensions::Extensions;
 pub use node::{TreeNode, REMOVED};
 pub use parvc_prep::{PrepConfig, PrepStats};
 pub use solver::{Algorithm, Solver, SolverBuilder};
-pub use split::{PendingSplit, SplitParams, SubInstance};
+pub use split::{PendingSplit, SplitBackend, SplitBound, SplitParams, SubInstance};
 pub use stats::{MisResult, MvcResult, PvcResult, SolveStats};
 pub use verify::{is_independent_set, is_vertex_cover};

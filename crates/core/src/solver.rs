@@ -18,6 +18,7 @@ use parvc_simgpu::counters::{BlockCounters, LaunchReport};
 use parvc_simgpu::occupancy::{select_launch, LaunchRequest};
 use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
 
+use crate::batch::{BatchFactory, DEFAULT_BATCH};
 use crate::compsteal::CompStealFactory;
 use crate::engine::{Engine, PolicyFactory, SearchMode, SearchOutcome};
 use crate::extensions::Extensions;
@@ -53,6 +54,10 @@ pub enum Algorithm {
     /// Per-block deques with steal-based balancing (beyond the paper;
     /// see [`crate::stealing`]).
     WorkStealing,
+    /// Hybrid's worklist with donations amortized in batches of `k`
+    /// children per queue negotiation (see [`crate::batch`]) — the
+    /// ROADMAP's *batched sub-tree hand-off* follow-on.
+    Batched,
     /// Work stealing where adopted component-sum nodes donate **whole
     /// components** to the steal pool — the natural work unit of
     /// arXiv 2512.18334 (see [`crate::compsteal`]). Implies in-search
@@ -68,6 +73,7 @@ impl std::fmt::Display for Algorithm {
             Algorithm::StackOnly { start_depth } => write!(f, "StackOnly(d={start_depth})"),
             Algorithm::Hybrid => write!(f, "Hybrid"),
             Algorithm::WorkStealing => write!(f, "WorkStealing"),
+            Algorithm::Batched => write!(f, "Batched"),
             Algorithm::ComponentSteal => write!(f, "ComponentSteal"),
         }
     }
@@ -113,6 +119,7 @@ pub struct SolverBuilder {
     record_trace: bool,
     prep: Option<PrepConfig>,
     weighted: bool,
+    batch_size: usize,
     /// Whether the caller explicitly configured component branching
     /// (so `build()` can tell "disabled on purpose" from "never set"
     /// when ComponentSteal implies a default).
@@ -138,6 +145,7 @@ impl Default for SolverBuilder {
             record_trace: false,
             prep: None,
             weighted: false,
+            batch_size: DEFAULT_BATCH,
             split_configured: false,
         }
     }
@@ -287,6 +295,13 @@ impl SolverBuilder {
         self
     }
 
+    /// Children handed off per queue negotiation by the
+    /// [`Algorithm::Batched`] policy (default 8; clamped to >= 1).
+    pub fn batch_size(mut self, k: usize) -> Self {
+        self.batch_size = k.max(1);
+        self
+    }
+
     /// Enables the domination reduction rule.
     pub fn domination_rule(mut self, on: bool) -> Self {
         self.ext.domination_rule = on;
@@ -382,7 +397,7 @@ impl Solver {
             num_vertices: g.num_vertices(),
             stack_depth,
             worklist_entries: match self.cfg.algorithm {
-                Algorithm::Hybrid => self.cfg.hybrid.worklist_capacity as u64,
+                Algorithm::Hybrid | Algorithm::Batched => self.cfg.hybrid.worklist_capacity as u64,
                 _ => 0,
             },
             force_variant: self.cfg.force_variant,
@@ -686,6 +701,9 @@ impl Solver {
                 Box::new(StackOnlyFactory::new(StackOnlyParams { start_depth }))
             }
             Algorithm::Hybrid => Box::new(HybridFactory::new(&self.cfg.hybrid)),
+            Algorithm::Batched => {
+                Box::new(BatchFactory::new(&self.cfg.hybrid, self.cfg.batch_size))
+            }
             Algorithm::WorkStealing => {
                 let workers = launch.as_ref().map_or(1, |l| l.grid_blocks);
                 Box::new(StealFactory::new(
@@ -769,6 +787,10 @@ mod tests {
                 .build(),
             Solver::builder()
                 .algorithm(Algorithm::WorkStealing)
+                .grid_limit(Some(8))
+                .build(),
+            Solver::builder()
+                .algorithm(Algorithm::Batched)
                 .grid_limit(Some(8))
                 .build(),
             Solver::builder()

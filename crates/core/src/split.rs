@@ -51,9 +51,41 @@ use parvc_graph::{matching, ops, CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
 
 use crate::bound::SearchBound;
+use crate::connect::Connectivity;
 use crate::greedy::{greedy_mvc, greedy_weighted_mvc};
 use crate::ops::Kernel;
 use crate::TreeNode;
+
+/// Which connectivity backend decides whether a residual disconnected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitBackend {
+    /// The incremental union-find tracker ([`crate::connect`]):
+    /// localized re-scans of the deleted vertices' neighborhoods,
+    /// with a full rebuild only when the traversal jumps to an
+    /// unrelated node. The default.
+    #[default]
+    UnionFind,
+    /// A from-scratch BFS over the live residual at every check — the
+    /// PR 3 baseline, kept as the reference the union-find backend is
+    /// property-tested and cost-compared against.
+    Bfs,
+}
+
+/// Which lower bound budgets the per-component sub-searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitBound {
+    /// The LP / Nemhauser–Trotter relaxation
+    /// ([`parvc_prep::lp_lower_bound`]): dominates the matching bound
+    /// on every graph, so sibling budgets are at least as tight and
+    /// budgeted sub-searches prune at least as early. The default.
+    /// Weighted traversals fall back to the weight-sound matching
+    /// bound (the unweighted LP says nothing about cover *weight*).
+    #[default]
+    Lp,
+    /// A greedy maximal matching (min-weight endpoint sum in weighted
+    /// searches) — the PR 3 baseline.
+    Matching,
+}
 
 /// Tuning knobs for in-search component branching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,6 +98,10 @@ pub struct SplitParams {
     /// (a backstop against pathological recursion on chain-like
     /// graphs; each level strictly shrinks the graph).
     pub max_depth: u32,
+    /// Connectivity backend (default: incremental union-find).
+    pub backend: SplitBackend,
+    /// Per-component lower bound for sibling budgets (default: LP).
+    pub bound: SplitBound,
 }
 
 impl Default for SplitParams {
@@ -73,6 +109,8 @@ impl Default for SplitParams {
         SplitParams {
             min_live: 8,
             max_depth: 32,
+            backend: SplitBackend::default(),
+            bound: SplitBound::default(),
         }
     }
 }
@@ -134,42 +172,65 @@ pub enum SplitVerdict {
     Pruned,
 }
 
-/// Checks whether `node`'s residual graph (live vertices with degree
-/// ≥ 1) is disconnected and, when it is, extracts the components.
-///
-/// Returns `None` when the trigger does not fire, the residual is
-/// connected, or fewer than two non-trivial components remain.
-pub(crate) fn detect_components(
-    kernel: &Kernel<'_>,
-    node: &TreeNode,
-    params: SplitParams,
-    counters: &mut BlockCounters,
-    weighted: bool,
-) -> Option<Vec<SubInstance>> {
-    // Cheap trigger first: a bare counting pass, no allocation, so the
-    // tiny residuals the trigger exists for skip at degree-array-scan
-    // cost only.
+/// Whether the split trigger fires: at least [`SplitParams::min_live`]
+/// live (degree ≥ 1) vertices remain. A bare counting pass, no
+/// allocation, so the tiny residuals the trigger exists for skip at
+/// degree-array-scan cost only.
+fn trigger(node: &TreeNode, params: SplitParams) -> bool {
     let mut live_count = 0u32;
     for v in 0..node.len() {
         if node.degree(v) > 0 {
             live_count += 1;
         }
     }
-    if live_count < params.min_live {
-        return None;
-    }
-    let live: Vec<VertexId> = (0..node.len()).filter(|&v| node.degree(v) > 0).collect();
+    live_count >= params.min_live
+}
+
+/// Component labels of `node`'s residual, from the configured backend.
+/// `labels[v] == u32::MAX` marks a dead vertex. Records the check and
+/// its work in `counters.splits` and charges the cooperative-scan
+/// cycles. `count` may come back without full labels on the BFS fast
+/// path (first component covers everything ⇒ `count == 1`).
+fn component_labels(
+    kernel: &Kernel<'_>,
+    node: &TreeNode,
+    params: SplitParams,
+    conn: &mut Connectivity,
+    counters: &mut BlockCounters,
+) -> (u32, Vec<u32>) {
     counters.splits.checks += 1;
-    // One cooperative scan of the degree array plus a BFS touching
-    // every live adjacency once.
+    let (count, labels, work) = match params.backend {
+        SplitBackend::UnionFind => {
+            let (count, work) = conn.update(kernel.graph, |v| node.degree(v));
+            counters.splits.uf_rebuilds += conn.take_rebuilds();
+            let labels = if count >= 2 {
+                (0..node.len())
+                    .map(|v| conn.label(v).unwrap_or(u32::MAX))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            (count, labels, work)
+        }
+        SplitBackend::Bfs => bfs_labels(kernel, node),
+    };
+    counters.splits.check_work += work;
     counters.charge(
         Activity::ComponentSplit,
-        kernel.cost.parallel_op(
-            node.len() as u64 + 2 * node.num_edges(),
-            kernel.block_size,
-            kernel.variant,
-        ),
+        kernel
+            .cost
+            .parallel_op(work, kernel.block_size, kernel.variant),
     );
+    (count, labels)
+}
+
+/// The from-scratch BFS baseline: one pass over the degree array plus
+/// a BFS touching every live adjacency once, early-exiting when the
+/// first component already covers every live vertex. Returns
+/// `(count, labels, work)`.
+fn bfs_labels(kernel: &Kernel<'_>, node: &TreeNode) -> (u32, Vec<u32>, u64) {
+    let live: Vec<VertexId> = (0..node.len()).filter(|&v| node.degree(v) > 0).collect();
+    let mut work = node.len() as u64;
     let mut comp = vec![u32::MAX; node.len() as usize];
     let mut count = 0u32;
     let mut queue: Vec<VertexId> = Vec::new();
@@ -181,6 +242,7 @@ pub(crate) fn detect_components(
         queue.push(start);
         let mut visited = 1usize;
         while let Some(v) = queue.pop() {
+            work += kernel.graph.neighbors(v).len() as u64;
             for &w in kernel.graph.neighbors(v) {
                 if node.degree(w) > 0 && comp[w as usize] == u32::MAX {
                     comp[w as usize] = count;
@@ -192,33 +254,94 @@ pub(crate) fn detect_components(
         // Fast path: the first BFS reached every live vertex — the
         // residual is still connected, nothing to split.
         if count == 0 && visited == live.len() {
-            return None;
+            return (1, comp, work);
         }
         count += 1;
     }
+    (count, comp, work)
+}
+
+/// Whether `node`'s residual graph has disconnected — the cheap probe
+/// [`StackOnly::descend`](crate::stackonly) uses to stop a root
+/// re-descent at a component-sum node without paying for extraction.
+/// Respects the [`SplitParams::min_live`] trigger and records the
+/// check exactly like [`detect_components`].
+pub(crate) fn residual_disconnected(
+    kernel: &Kernel<'_>,
+    node: &TreeNode,
+    params: SplitParams,
+    conn: &mut Connectivity,
+    counters: &mut BlockCounters,
+) -> bool {
+    if !trigger(node, params) {
+        return false;
+    }
+    let (count, _) = component_labels(kernel, node, params, conn, counters);
+    count >= 2
+}
+
+/// Checks whether `node`'s residual graph (live vertices with degree
+/// ≥ 1) is disconnected and, when it is, extracts the components.
+///
+/// `conn` is the caller's incremental connectivity tracker (used by
+/// the [`SplitBackend::UnionFind`] backend; the BFS baseline ignores
+/// it). Returns `None` when the trigger does not fire, the residual is
+/// connected, or fewer than two non-trivial components remain.
+///
+/// Public so policy authors and the backend-agreement property tests
+/// can drive the split machinery directly; the engine calls it for
+/// every policy from `drive_block`.
+pub fn detect_components(
+    kernel: &Kernel<'_>,
+    node: &TreeNode,
+    params: SplitParams,
+    conn: &mut Connectivity,
+    counters: &mut BlockCounters,
+    weighted: bool,
+) -> Option<Vec<SubInstance>> {
+    if !trigger(node, params) {
+        return None;
+    }
+    let (count, labels) = component_labels(kernel, node, params, conn, counters);
     if count < 2 {
         return None;
     }
-    let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); count as usize];
-    for &v in &live {
-        members[comp[v as usize] as usize].push(v);
+    // Group members by label, components ordered by their smallest
+    // vertex id and members ascending — the same canonical order under
+    // either backend (pinned by the backend-agreement property test).
+    let mut groups: Vec<(u32, Vec<VertexId>)> = Vec::new();
+    for v in 0..node.len() {
+        let l = labels[v as usize];
+        if l == u32::MAX {
+            continue;
+        }
+        match groups.iter_mut().find(|(x, _)| *x == l) {
+            Some((_, m)) => m.push(v),
+            None => groups.push((l, vec![v])),
+        }
     }
-    let comps: Vec<SubInstance> = members
+    let live_total: u64 = groups.iter().map(|(_, m)| m.len() as u64).sum();
+    let comps: Vec<SubInstance> = groups
         .into_iter()
+        .map(|(_, m)| m)
         .filter(|m| m.len() > 1)
         .map(|m| {
             let (graph, _) = ops::induced_subgraph(kernel.graph, &m);
             let (greedy, lower_bound) = if weighted {
+                // The unweighted LP certifies nothing about cover
+                // weight; the min-weight matching bound is the
+                // weight-sound budget under either `SplitBound`.
                 (
                     greedy_weighted_mvc(&graph),
                     matching::min_weight_matching_bound(&graph),
                 )
             } else {
                 let (size, cover) = greedy_mvc(&graph);
-                (
-                    (size as u64, cover),
-                    matching::greedy_maximal_matching(&graph).len() as u64,
-                )
+                let lb = match params.bound {
+                    SplitBound::Lp => parvc_prep::lp_lower_bound(&graph),
+                    SplitBound::Matching => matching::greedy_maximal_matching(&graph).len() as u64,
+                };
+                ((size as u64, cover), lb)
             };
             SubInstance {
                 graph,
@@ -236,7 +359,7 @@ pub(crate) fn detect_components(
     counters.charge(
         Activity::ComponentSplit,
         kernel.cost.parallel_op(
-            2 * node.num_edges() + live.len() as u64,
+            2 * node.num_edges() + live_total,
             kernel.block_size,
             kernel.variant,
         ),
@@ -349,6 +472,10 @@ pub(crate) fn solve_bounded(
             }
         }
     };
+    // This sub-search runs on its own (component) graph, so it owns
+    // its own connectivity tracker; jumps between stack pops fall back
+    // to a rebuild automatically.
+    let mut conn = Connectivity::new();
     let mut stack = vec![TreeNode::root(kernel.graph)];
     while let Some(mut node) = stack.pop() {
         if abort() {
@@ -363,7 +490,9 @@ pub(crate) fn solve_bounded(
         }
         if depth > 0 {
             if let Some(params) = kernel.ext.component_branching {
-                if let Some(comps) = detect_components(kernel, &node, params, counters, weighted) {
+                if let Some(comps) =
+                    detect_components(kernel, &node, params, &mut conn, counters, weighted)
+                {
                     if let SplitVerdict::Solved(combined) =
                         solve_split(kernel, &node, bound, &comps, abort, counters, depth - 1)
                     {
@@ -441,12 +570,22 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        let comps = detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false)
-            .expect("two components");
+        let comps = detect_components(
+            &k,
+            &node,
+            SplitParams::with_min_live(4),
+            &mut Connectivity::new(),
+            &mut c,
+            false,
+        )
+        .expect("two components");
         assert_eq!(comps.len(), 2);
         assert_eq!(comps[0].old_ids, vec![0, 1, 2]);
         assert_eq!(comps[1].old_ids, vec![3, 4, 5]);
-        assert_eq!(comps[0].lower_bound, 1);
+        // The default LP bound certifies 2 on a triangle (LP optimum
+        // 3/2, rounded up) — exactly the optimum, where the matching
+        // bound only reaches 1.
+        assert_eq!(comps[0].lower_bound, 2);
         assert_eq!(c.splits.taken, 1);
         assert_eq!(c.splits.components, 2);
     }
@@ -458,12 +597,26 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        assert!(
-            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false).is_none()
-        );
+        assert!(detect_components(
+            &k,
+            &node,
+            SplitParams::with_min_live(4),
+            &mut Connectivity::new(),
+            &mut c,
+            false
+        )
+        .is_none());
         assert_eq!(c.splits.checks, 1, "connected graphs still pay the check");
         assert!(
-            detect_components(&k, &node, SplitParams::with_min_live(9), &mut c, false).is_none(),
+            detect_components(
+                &k,
+                &node,
+                SplitParams::with_min_live(9),
+                &mut Connectivity::new(),
+                &mut c,
+                false
+            )
+            .is_none(),
             "below the trigger the check must not run"
         );
         assert_eq!(c.splits.checks, 1);
@@ -478,8 +631,15 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        let comps =
-            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false).unwrap();
+        let comps = detect_components(
+            &k,
+            &node,
+            SplitParams::with_min_live(4),
+            &mut Connectivity::new(),
+            &mut c,
+            false,
+        )
+        .unwrap();
         let verdict = solve_split(
             &k,
             &node,
@@ -505,8 +665,15 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        let comps =
-            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, false).unwrap();
+        let comps = detect_components(
+            &k,
+            &node,
+            SplitParams::with_min_live(4),
+            &mut Connectivity::new(),
+            &mut c,
+            false,
+        )
+        .unwrap();
         // Optimum is 4 (2 per triangle); best = 4 demands ≤ 3 total.
         assert!(matches!(
             solve_split(
@@ -621,8 +788,15 @@ mod tests {
         let k = kernel(&g, &cost);
         let node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        let comps =
-            detect_components(&k, &node, SplitParams::with_min_live(4), &mut c, true).unwrap();
+        let comps = detect_components(
+            &k,
+            &node,
+            SplitParams::with_min_live(4),
+            &mut Connectivity::new(),
+            &mut c,
+            true,
+        )
+        .unwrap();
         assert_eq!(comps.len(), 2);
         // Relabeled weights mirror the parent's.
         for comp in &comps {

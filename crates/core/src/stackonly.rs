@@ -10,6 +10,17 @@
 //! traverse the sub-tree depth-first with a per-block local stack.
 //! There is no donation: a block stuck with a monster sub-tree keeps
 //! it to the end, which is exactly the load imbalance Figure 5 shows.
+//!
+//! **Component branching** (see [`crate::split`]): the re-descent is
+//! where StackOnly used to multiply disconnected residuals — a split
+//! at level `l` left `2^(start_depth − l)` sub-tree indices each
+//! re-branching across the same independent components. With the
+//! split hook enabled, `descend` now probes connectivity after each
+//! level's reduction fixpoint and stops at the first component-sum
+//! node: the index whose remaining branch bits are all zero *owns* the
+//! truncated node (the same single-owner convention as dead paths) and
+//! returns it as its sub-tree root, where the engine's ordinary split
+//! machinery takes over; every other index skips it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -17,10 +28,11 @@ use parvc_simgpu::counters::{Activity, BlockCounters};
 use parvc_simgpu::runtime::BlockCtx;
 use parvc_worklist::LocalStack;
 
+use crate::connect::Connectivity;
 use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
 use crate::ops::Kernel;
 use crate::shared::BoundSrc;
-use crate::TreeNode;
+use crate::{split, TreeNode};
 
 /// StackOnly tuning: the sub-tree starting depth. The paper tries
 /// {8, 12, 16} and reports the best.
@@ -68,6 +80,7 @@ impl PolicyFactory for StackOnlyFactory {
             num_subtrees: 1u64 << self.params.start_depth,
             start_depth: self.params.start_depth,
             stack: LocalStack::with_depth_bound(depth_bound),
+            conn: Connectivity::new(),
         })
     }
 }
@@ -78,6 +91,10 @@ pub struct StackOnlyPolicy<'a> {
     num_subtrees: u64,
     start_depth: u32,
     stack: LocalStack<TreeNode>,
+    /// Connectivity tracker for the descent's split probes (each
+    /// descent restarts from the root, so the first probe rebuilds and
+    /// the rest of the path updates incrementally).
+    conn: Connectivity,
 }
 
 impl SchedulePolicy for StackOnlyPolicy<'_> {
@@ -101,7 +118,14 @@ impl SchedulePolicy for StackOnlyPolicy<'_> {
             if idx >= self.num_subtrees {
                 return None;
             }
-            if let Some(node) = descend(kernel, bound, idx, self.start_depth, counters) {
+            if let Some(node) = descend(
+                kernel,
+                bound,
+                idx,
+                self.start_depth,
+                &mut self.conn,
+                counters,
+            ) {
                 return Some(node);
             }
         }
@@ -127,11 +151,19 @@ impl SchedulePolicy for StackOnlyPolicy<'_> {
 /// early — in which case only the block whose remaining index bits are
 /// all zero "owns" the truncated node (processes its solution, if any),
 /// so dead paths are counted exactly once.
+///
+/// With component branching enabled, a node whose residual
+/// disconnected mid-descent truncates the path the same way: the
+/// owning index returns it as its sub-tree root (the engine's split
+/// machinery solves it as a component-sum node), every other index
+/// skips it — so the components below are explored once instead of
+/// once per surviving index suffix.
 fn descend(
     kernel: &Kernel<'_>,
     bound: BoundSrc<'_>,
     idx: u64,
     start_depth: u32,
+    conn: &mut Connectivity,
     counters: &mut BlockCounters,
 ) -> Option<TreeNode> {
     let mut node = TreeNode::root(kernel.graph);
@@ -141,6 +173,11 @@ fn descend(
         kernel.reduce(&mut node, bound.bound(), counters);
         if kernel.prune(&node, bound.bound()) {
             return None;
+        }
+        if let Some(params) = kernel.ext.component_branching {
+            if split::residual_disconnected(kernel, &node, params, conn, counters) {
+                return owns.then_some(node);
+            }
         }
         let Some(vmax) = kernel.find_max_degree(&node, counters) else {
             if owns {

@@ -55,7 +55,49 @@ pub use kernel::{Kernel, LiftTrace, ReducedInstance};
 pub use rules::{CrownRule, HighDegreeRule, LowDegreeRule, ReduceRule, RuleStats};
 pub use state::{PrepState, VertexState};
 
-use parvc_graph::CsrGraph;
+use parvc_graph::{matching, CsrGraph, GraphBuilder};
+
+/// The LP / Nemhauser–Trotter lower bound on `g`'s minimum vertex
+/// cover: the optimum of the half-integral LP relaxation, rounded up.
+///
+/// This is the same machinery [`CrownRule`] uses to kernelize —
+/// a minimum vertex cover of the bipartite *double cover* of `g`
+/// (computed exactly through the Kőnig construction in
+/// [`parvc_graph::matching`]) has twice the LP optimum's size — but
+/// exposed as a standalone bound for callers that need a tighter
+/// lower bound than a maximal matching: the in-search component
+/// branching of `parvc-core` uses it to budget sibling sub-searches
+/// (`SplitBound::Lp`).
+///
+/// Dominates the maximal-matching bound on every graph (any matching
+/// is a feasible dual solution of the LP), at the cost of a
+/// Hopcroft–Karp run on the doubled instance. Cardinality-only: for
+/// vertex-weighted objectives use
+/// [`parvc_graph::matching::min_weight_matching_bound`], which is
+/// weight-sound.
+///
+/// ```
+/// use parvc_graph::gen;
+/// use parvc_prep::lp_lower_bound;
+///
+/// // C5: the LP optimum is 5/2 (all-half), so the bound rounds to 3
+/// // — exactly the MVC — where a maximal matching only certifies 2.
+/// assert_eq!(lp_lower_bound(&gen::cycle(5)), 3);
+/// ```
+pub fn lp_lower_bound(g: &CsrGraph) -> u64 {
+    if g.num_edges() == 0 {
+        return 0;
+    }
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::with_capacity(2 * n, (g.num_edges() * 2) as usize);
+    for (u, v) in g.edges() {
+        b.add_edge(u, n + v).expect("double-cover ids in range");
+        b.add_edge(v, n + u).expect("double-cover ids in range");
+    }
+    let double_cover = b.build();
+    let cover = matching::konig_cover(&double_cover).expect("double cover is bipartite");
+    (cover.len() as u64).div_ceil(2)
+}
 
 /// Which pipeline stages run, and how long the fixpoint may iterate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -454,6 +496,32 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lp_bound_sandwiches_between_matching_and_optimum() {
+        for seed in 0..8 {
+            let g = gen::gnp(14, 0.3, seed);
+            let lp = lp_lower_bound(&g);
+            let matching = parvc_graph::matching::greedy_maximal_matching(&g).len() as u64;
+            let opt = brute_opt(&g) as u64;
+            assert!(
+                lp >= matching,
+                "seed {seed}: LP bound {lp} below matching bound {matching}"
+            );
+            assert!(
+                lp <= opt,
+                "seed {seed}: LP bound {lp} exceeds optimum {opt}"
+            );
+        }
+        // Odd cycles are the classic case where LP strictly beats
+        // matching: ceil(n/2) vs floor(n/2).
+        assert_eq!(lp_lower_bound(&gen::cycle(7)), 4);
+        assert_eq!(
+            parvc_graph::matching::greedy_maximal_matching(&gen::cycle(7)).len(),
+            3
+        );
+        assert_eq!(lp_lower_bound(&CsrGraph::from_edges(5, &[]).unwrap()), 0);
     }
 
     #[test]

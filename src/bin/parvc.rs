@@ -4,9 +4,10 @@
 //! binary renders into `docs/cli.md` with `parvc help --markdown`).
 //!
 //! ```text
-//! parvc solve   [--policy seq|stack|hybrid|steal|compsteal]
+//! parvc solve   [--policy seq|stack|hybrid|steal|batch|compsteal]
 //!               [--threads <n>] [--k <k>] [--deadline <s>]
 //!               [--extensions] [--component-branching[=<min-live>]]
+//!               [--split-bound lp|matching] [--split-backend uf|bfs]
 //!               [--prep] [--prep-rules d012,crown,highdeg,split]
 //!               [--weighted] [--format dimacs|edgelist] <instance>
 //! parvc prep    [--rules d012,crown,highdeg,split] [--weighted]
@@ -33,7 +34,7 @@
 use std::io::BufReader;
 use std::time::Duration;
 
-use parvc::core::split::SplitParams;
+use parvc::core::split::{SplitBackend, SplitBound, SplitParams};
 use parvc::graph::{analysis, gen, io, kcore, matching, ops};
 use parvc::prelude::*;
 use parvc::prep::{preprocess, PrepConfig};
@@ -94,11 +95,13 @@ const COMMANDS: &[CmdHelp] = &[
                   vertex cover) on a file or generator-spec instance.",
         flags: &[
             FlagHelp {
-                flag: "--policy <seq|stack|hybrid|steal|compsteal>",
+                flag: "--policy <seq|stack|hybrid|steal|batch|compsteal>",
                 desc: "Scheduling policy driving the branch-and-reduce engine \
-                       (default hybrid; --algorithm is an alias). `compsteal` \
-                       donates whole components of disconnected residuals to \
-                       the steal pool and implies --component-branching.",
+                       (default hybrid; --algorithm is an alias). `batch` \
+                       donates sub-trees to the worklist in amortized batches; \
+                       `compsteal` donates whole components of disconnected \
+                       residuals to the steal pool and implies \
+                       --component-branching.",
             },
             FlagHelp {
                 flag: "--threads <n>",
@@ -129,6 +132,21 @@ const COMMANDS: &[CmdHelp] = &[
                        residual graph; optional value = live-vertex count \
                        below which the connectivity check is skipped \
                        (default 8).",
+            },
+            FlagHelp {
+                flag: "--split-bound <lp|matching>",
+                desc: "Lower bound budgeting the per-component sub-searches of \
+                       a split: the LP/Nemhauser-Trotter relaxation (default; \
+                       weighted solves fall back to the weight-sound matching \
+                       bound) or a greedy maximal matching. Implies \
+                       --component-branching.",
+            },
+            FlagHelp {
+                flag: "--split-backend <uf|bfs>",
+                desc: "Connectivity backend for the split check: the \
+                       incremental union-find tracker (default) or the \
+                       from-scratch BFS baseline it is benchmarked against. \
+                       Implies --component-branching.",
             },
             FlagHelp {
                 flag: "--extensions",
@@ -578,6 +596,8 @@ fn cmd_solve(args: &[String]) {
             "blocks",
             "threads",
             "prep-rules",
+            "split-bound",
+            "split-backend",
         ],
         &["component-branching"],
         &["extensions", "prep", "weighted"],
@@ -598,9 +618,10 @@ fn cmd_solve(args: &[String]) {
         Some("seq") | Some("sequential") => Algorithm::Sequential,
         Some("stack") | Some("stackonly") => Algorithm::StackOnly { start_depth: 8 },
         Some("steal") | Some("worksteal") | Some("workstealing") => Algorithm::WorkStealing,
+        Some("batch") | Some("batched") => Algorithm::Batched,
         Some("compsteal") | Some("componentsteal") => Algorithm::ComponentSteal,
         Some(other) => {
-            eprintln!("unknown policy '{other}' (seq|stack|hybrid|steal|compsteal)");
+            eprintln!("unknown policy '{other}' (seq|stack|hybrid|steal|batch|compsteal)");
             std::process::exit(2);
         }
     };
@@ -623,15 +644,46 @@ fn cmd_solve(args: &[String]) {
         builder = builder.extensions(parvc::core::Extensions::ALL);
     }
     // `--component-branching` (default trigger) or
-    // `--component-branching=<min-live>`.
-    if let Some(v) = flags.options.get("component-branching") {
-        let min_live: u32 = v.parse().unwrap_or_else(|_| {
-            eprintln!("--component-branching takes a live-vertex count, got '{v}'");
-            std::process::exit(2);
-        });
-        builder = builder.component_branching_params(SplitParams::with_min_live(min_live));
-    } else if flags.switches.contains("component-branching") {
-        builder = builder.component_branching(true);
+    // `--component-branching=<min-live>`; `--split-bound` and
+    // `--split-backend` refine the parameters and imply the switch.
+    let mut split_params: Option<SplitParams> =
+        if let Some(v) = flags.options.get("component-branching") {
+            let min_live: u32 = v.parse().unwrap_or_else(|_| {
+                eprintln!("--component-branching takes a live-vertex count, got '{v}'");
+                std::process::exit(2);
+            });
+            Some(SplitParams::with_min_live(min_live))
+        } else if flags.switches.contains("component-branching") {
+            Some(SplitParams::default())
+        } else {
+            None
+        };
+    if let Some(b) = flags.options.get("split-bound") {
+        let bound = match b.as_str() {
+            "lp" => SplitBound::Lp,
+            "matching" => SplitBound::Matching,
+            other => {
+                eprintln!("unknown split bound '{other}' (lp|matching)");
+                std::process::exit(2);
+            }
+        };
+        split_params.get_or_insert_with(SplitParams::default).bound = bound;
+    }
+    if let Some(b) = flags.options.get("split-backend") {
+        let backend = match b.as_str() {
+            "uf" | "unionfind" | "union-find" => SplitBackend::UnionFind,
+            "bfs" => SplitBackend::Bfs,
+            other => {
+                eprintln!("unknown split backend '{other}' (uf|bfs)");
+                std::process::exit(2);
+            }
+        };
+        split_params
+            .get_or_insert_with(SplitParams::default)
+            .backend = backend;
+    }
+    if let Some(params) = split_params {
+        builder = builder.component_branching_params(params);
     }
     if flags.switches.contains("prep") || flags.options.contains_key("prep-rules") {
         builder = builder.preprocess(parse_prep_rules(flags.options.get("prep-rules")));
@@ -914,6 +966,8 @@ mod tests {
         "blocks",
         "threads",
         "prep-rules",
+        "split-bound",
+        "split-backend",
     ];
     const SOLVE_OPT: &[&str] = &["component-branching"];
     const SOLVE_SWITCH: &[&str] = &["extensions", "prep", "weighted"];

@@ -1,8 +1,8 @@
 //! Cross-policy agreement: every scheduling policy of the engine —
-//! Sequential, StackOnly, Hybrid, WorkStealing — must produce
-//! identical MVC sizes (and consistent PVC answers, and identical
-//! weighted-MVC weights) on randomized instances, all validated
-//! against the brute-force oracles.
+//! Sequential, StackOnly, Hybrid, WorkStealing, Batched — must
+//! produce identical MVC sizes (and consistent PVC answers, and
+//! identical weighted-MVC weights) on randomized instances, all
+//! validated against the brute-force oracles.
 
 use parvc::core::brute::{brute_force_mvc, weighted_brute_force};
 use parvc::core::{is_vertex_cover, Algorithm, PrepConfig, Solver};
@@ -33,6 +33,13 @@ fn solvers() -> Vec<(&'static str, Solver)> {
             "worksteal",
             Solver::builder()
                 .algorithm(Algorithm::WorkStealing)
+                .grid_limit(Some(6))
+                .build(),
+        ),
+        (
+            "batch",
+            Solver::builder()
+                .algorithm(Algorithm::Batched)
                 .grid_limit(Some(6))
                 .build(),
         ),
@@ -284,6 +291,40 @@ fn hybrid_grid_sizes_agree() {
             .build();
         assert_eq!(solver.solve_mvc(&g).size, expect, "grid {grid}");
     }
+}
+
+#[test]
+fn batch_sizes_and_grids_agree() {
+    // The batched hand-off policy must stay exact across batch sizes
+    // (1 degenerates to per-child donation, large batches rarely
+    // flush) and grid widths, and its donation counters must show the
+    // batching actually engaged on a multi-block run.
+    let g = gen::barabasi_albert(70, 4, 11);
+    let expect = Solver::builder()
+        .algorithm(Algorithm::Sequential)
+        .build()
+        .solve_mvc(&g)
+        .size;
+    for batch in [1, 4, 64] {
+        for grid in [1, 4, 8] {
+            let solver = Solver::builder()
+                .algorithm(Algorithm::Batched)
+                .batch_size(batch)
+                .grid_limit(Some(grid))
+                .build();
+            let r = solver.solve_mvc(&g);
+            assert_eq!(r.size, expect, "batch {batch} grid {grid}");
+            assert!(is_vertex_cover(&g, &r.cover));
+        }
+    }
+    let r = Solver::builder()
+        .algorithm(Algorithm::Batched)
+        .batch_size(4)
+        .grid_limit(Some(8))
+        .build()
+        .solve_mvc(&g);
+    let donated: u64 = r.stats.report.blocks.iter().map(|b| b.nodes_donated).sum();
+    assert!(donated > 0, "batched policy never handed off a batch");
 }
 
 #[test]

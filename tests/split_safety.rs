@@ -9,7 +9,7 @@ use parvc::core::bound::SearchBound;
 use parvc::core::brute::{brute_force_mvc, weighted_brute_force};
 use parvc::core::greedy::greedy_mvc;
 use parvc::core::ops::Kernel;
-use parvc::core::split::SplitParams;
+use parvc::core::split::{SplitBackend, SplitBound, SplitParams};
 use parvc::core::{is_vertex_cover, Algorithm, Extensions, Solver, TreeNode};
 use parvc::graph::{gen, ops, CsrGraph};
 use parvc::simgpu::counters::{Activity, BlockCounters};
@@ -24,6 +24,7 @@ fn policies() -> Vec<(&'static str, Algorithm)> {
         ("stackonly", Algorithm::StackOnly { start_depth: 4 }),
         ("hybrid", Algorithm::Hybrid),
         ("worksteal", Algorithm::WorkStealing),
+        ("batch", Algorithm::Batched),
         ("compsteal", Algorithm::ComponentSteal),
     ]
 }
@@ -34,6 +35,7 @@ fn solver(algorithm: Algorithm, split: bool) -> Solver {
         b = b.component_branching_params(SplitParams {
             min_live: 4,
             max_depth: 16,
+            ..SplitParams::default()
         });
     }
     b.build()
@@ -102,6 +104,7 @@ proptest! {
                     b = b.component_branching_params(SplitParams {
                         min_live: 4,
                         max_depth: 16,
+                        ..SplitParams::default()
                     });
                 }
                 let r = b.build().solve_mvc(&g);
@@ -255,6 +258,7 @@ fn weighted_split_regression_where_the_optima_differ() {
                 b = b.component_branching_params(SplitParams {
                     min_live: 4,
                     max_depth: 16,
+                    ..SplitParams::default()
                 });
             }
             let r = b.build().solve_mvc(&g);
@@ -274,4 +278,221 @@ fn compsteal_without_any_split_is_sound() {
     assert_eq!(r.size, expect.size);
     assert!(is_vertex_cover(&g, &r.cover));
     assert_eq!(r.stats.report.split_totals().taken, 0);
+}
+
+/// The two connectivity backends, as full split parameter sets. The
+/// BFS arm also pins the PR 3 matching bound so the union-find arm's
+/// LP bound is exercised against it in the full-solve property.
+fn backend_params(backend: SplitBackend) -> SplitParams {
+    SplitParams {
+        min_live: 4,
+        max_depth: 16,
+        backend,
+        bound: SplitBound::Matching,
+    }
+}
+
+/// Extracts the component partition a backend reports at `node`, as
+/// `old_ids` member lists (canonically ordered by `detect_components`).
+fn components_of(
+    kernel: &Kernel<'_>,
+    node: &parvc::core::TreeNode,
+    backend: SplitBackend,
+    conn: &mut parvc::core::Connectivity,
+    weighted: bool,
+) -> Option<Vec<Vec<u32>>> {
+    let mut c = BlockCounters::new(0);
+    parvc::core::split::detect_components(
+        kernel,
+        node,
+        backend_params(backend),
+        conn,
+        &mut c,
+        weighted,
+    )
+    .map(|comps| comps.into_iter().map(|s| s.old_ids).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The union-find satellite property: at **every** node of a
+    /// branching descent — including jumps back to earlier nodes,
+    /// which cross the tracker's checkpoint and force the dirty-region
+    /// rebuild — the incremental union-find backend reports exactly
+    /// the components the from-scratch BFS reports, under cardinality
+    /// and weighted reductions alike.
+    #[test]
+    fn union_find_and_bfs_report_identical_components(
+        (family, g) in arb_corpus_graph(),
+        wseed in 0u64..1000,
+        branch_bits in 0u32..256,
+        wbit in 0u8..2,
+    ) {
+        let weighted = wbit == 1;
+        let g = if weighted {
+            gen::with_uniform_weights(g, 10, wseed)
+        } else {
+            g
+        };
+        let cost = CostModel::default();
+        let kernel = Kernel {
+            graph: &g,
+            cost: &cost,
+            block_size: 32,
+            variant: KernelVariant::SharedMem,
+            ext: Extensions::NONE,
+        };
+        let bound = if weighted {
+            SearchBound::WeightedMvc { best: u64::MAX - 1 }
+        } else {
+            SearchBound::Mvc { best: g.num_vertices() }
+        };
+        let mut c = BlockCounters::new(0);
+        let mut conn = parvc::core::Connectivity::new();
+        let mut node = TreeNode::root(&g);
+        let mut checkpoints: Vec<TreeNode> = Vec::new();
+        for level in 0..8u32 {
+            kernel.reduce(&mut node, bound, &mut c);
+            let bfs = components_of(
+                &kernel, &node, SplitBackend::Bfs,
+                &mut parvc::core::Connectivity::new(), weighted,
+            );
+            let uf = components_of(&kernel, &node, SplitBackend::UnionFind, &mut conn, weighted);
+            prop_assert_eq!(
+                &bfs, &uf,
+                "{}: backends disagree at level {} (weighted={})", family, level, weighted
+            );
+            // Jump back every third level to cross the checkpoint (the
+            // popped node resurrects vertices, forcing a rebuild).
+            if level % 3 == 2 {
+                if let Some(earlier) = checkpoints.pop() {
+                    node = earlier;
+                    continue;
+                }
+            }
+            let Some(vmax) = kernel.find_max_degree(&node, &mut c) else { break };
+            if node.degree(vmax) <= 0 {
+                break;
+            }
+            checkpoints.push(node.clone());
+            if (branch_bits >> level) & 1 == 0 {
+                kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, &mut c);
+            } else {
+                kernel.remove_neighbors(&mut node, vmax, Activity::RemoveNeighbors, &mut c);
+            }
+        }
+    }
+
+    /// Full-solve equivalence: a deterministic Sequential traversal
+    /// explores the identical tree under either backend — same
+    /// optimum, same number of checks, same splits taken — for MVC,
+    /// PVC, and weighted MVC.
+    #[test]
+    fn backends_explore_identical_trees((family, g) in arb_corpus_graph(), wseed in 0u64..1000) {
+        let solve = |backend, weighted: bool| {
+            let mut b = Solver::builder()
+                .algorithm(Algorithm::Sequential)
+                .component_branching_params(backend_params(backend));
+            if weighted {
+                b = b.weighted();
+            }
+            b.build()
+        };
+        for weighted in [false, true] {
+            let g = if weighted {
+                gen::with_uniform_weights(g.clone(), 10, wseed)
+            } else {
+                g.clone()
+            };
+            let bfs = solve(SplitBackend::Bfs, weighted).solve_mvc(&g);
+            let uf = solve(SplitBackend::UnionFind, weighted).solve_mvc(&g);
+            prop_assert_eq!(bfs.size, uf.size, "{} (weighted={})", family, weighted);
+            prop_assert_eq!(bfs.weight, uf.weight, "{} (weighted={})", family, weighted);
+            prop_assert_eq!(
+                bfs.stats.tree_nodes, uf.stats.tree_nodes,
+                "{} (weighted={}): backends explored different trees", family, weighted
+            );
+            let (sb, su) = (bfs.stats.report.split_totals(), uf.stats.report.split_totals());
+            prop_assert_eq!(sb.checks, su.checks, "{}: check counts differ", family);
+            prop_assert_eq!(sb.taken, su.taken, "{}: splits taken differ", family);
+            prop_assert_eq!(sb.components, su.components, "{}: components differ", family);
+            prop_assert!(sb.uf_rebuilds == 0, "BFS backend must not touch the tracker");
+        }
+        // PVC around the optimum, both backends.
+        let (opt, _) = brute_force_mvc(&g);
+        for k in [opt.saturating_sub(1), opt] {
+            let bfs = solve(SplitBackend::Bfs, false).solve_pvc(&g, k);
+            let uf = solve(SplitBackend::UnionFind, false).solve_pvc(&g, k);
+            prop_assert_eq!(
+                bfs.cover.is_some(), uf.cover.is_some(),
+                "{}: PVC k={} answers differ between backends", family, k
+            );
+            prop_assert_eq!(bfs.cover.is_some(), k >= opt, "{}: PVC answer wrong", family);
+        }
+    }
+
+    /// The LP sibling bound never changes the answer, only the work:
+    /// both bound choices stay exact against brute force, and the LP
+    /// arm never explores more tree nodes than the matching arm on a
+    /// deterministic Sequential traversal.
+    #[test]
+    fn lp_bound_is_exact_and_no_weaker((family, g) in arb_corpus_graph()) {
+        let (opt, _) = brute_force_mvc(&g);
+        let solve = |bound| {
+            Solver::builder()
+                .algorithm(Algorithm::Sequential)
+                .component_branching_params(SplitParams {
+                    min_live: 4,
+                    max_depth: 16,
+                    bound,
+                    ..SplitParams::default()
+                })
+                .build()
+                .solve_mvc(&g)
+        };
+        let lp = solve(SplitBound::Lp);
+        let matching = solve(SplitBound::Matching);
+        prop_assert_eq!(lp.size, opt, "{}: LP bound broke exactness", family);
+        prop_assert_eq!(matching.size, opt, "{}: matching bound broke exactness", family);
+        prop_assert!(is_vertex_cover(&g, &lp.cover), "{}: LP non-cover", family);
+        prop_assert!(
+            lp.stats.tree_nodes <= matching.stats.tree_nodes,
+            "{}: the LP bound explored more nodes ({} > {})",
+            family, lp.stats.tree_nodes, matching.stats.tree_nodes
+        );
+    }
+}
+
+/// The union-find backend must actually save connectivity work on a
+/// component-structured instance (the bench asserts this on
+/// `massive_components`; this is the same property in test size).
+#[test]
+fn union_find_does_less_check_work_than_bfs() {
+    let g = gen::sparse_components(400, 25, 0.3, 9);
+    let solve = |backend| {
+        Solver::builder()
+            .algorithm(Algorithm::Sequential)
+            .component_branching_params(SplitParams {
+                backend,
+                ..SplitParams::default()
+            })
+            .build()
+            .solve_mvc(&g)
+    };
+    let uf = solve(SplitBackend::UnionFind);
+    let bfs = solve(SplitBackend::Bfs);
+    assert_eq!(uf.size, bfs.size);
+    let (wu, wb) = (
+        uf.stats.report.split_totals(),
+        bfs.stats.report.split_totals(),
+    );
+    assert_eq!(wu.checks, wb.checks, "same tree, same checks");
+    assert!(
+        wu.check_work < wb.check_work,
+        "union-find must do strictly less work ({} >= {})",
+        wu.check_work,
+        wb.check_work
+    );
+    assert!(wu.uf_rebuilds >= 1, "the tracker must have (re)built");
 }
