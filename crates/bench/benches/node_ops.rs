@@ -28,11 +28,9 @@ fn bench_graph_ops(c: &mut Criterion) {
     let cost = CostModel::default();
     let graph = gen::p_hat_complement(300, 2, 11);
     let kernel = Kernel {
-        graph: &graph,
-        cost: &cost,
         block_size: 128,
         variant: KernelVariant::SharedMem,
-        ext: parvc_core::Extensions::NONE,
+        ..Kernel::sequential(&graph, &cost)
     };
     let root = TreeNode::root(&graph);
 

@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use parvc_core::bound::SearchBound;
 use parvc_core::ops::Kernel;
-use parvc_core::TreeNode;
+use parvc_core::{BlockScratch, TreeNode};
 use parvc_graph::gen;
 use parvc_simgpu::counters::BlockCounters;
 use parvc_simgpu::{CostModel, KernelVariant};
@@ -26,18 +26,18 @@ fn bench_reduce(c: &mut Criterion) {
         let greedy = parvc_core::greedy::greedy_mvc(graph).0;
         g.bench_with_input(BenchmarkId::from_parameter(name), graph, |b, graph| {
             let kernel = Kernel {
-                graph,
-                cost: &cost,
                 block_size: 128,
                 variant: KernelVariant::SharedMem,
-                ext: parvc_core::Extensions::NONE,
+                ..Kernel::sequential(graph, &cost)
             };
+            let mut scratch = BlockScratch::new();
             b.iter(|| {
                 let mut node = TreeNode::root(graph);
                 let mut counters = BlockCounters::new(0);
                 std::hint::black_box(kernel.reduce(
                     &mut node,
                     SearchBound::Mvc { best: greedy },
+                    &mut scratch,
                     &mut counters,
                 ));
             });

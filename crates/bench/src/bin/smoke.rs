@@ -19,7 +19,7 @@
 //! ```
 
 use parvc_bench::json::{obj, parse, Value};
-use parvc_core::{Algorithm, MvcResult, Solver, SplitParams};
+use parvc_core::{Algorithm, ExecutorSpec, MvcResult, Solver, SplitParams};
 use parvc_graph::{gen, CsrGraph};
 
 /// The downsized corpus: component-structured instances small enough
@@ -51,11 +51,12 @@ fn policies() -> Vec<(&'static str, Algorithm)> {
     ]
 }
 
-fn solve(algorithm: Algorithm, g: &CsrGraph) -> MvcResult {
+fn solve(algorithm: Algorithm, exec: ExecutorSpec, g: &CsrGraph) -> MvcResult {
     Solver::builder()
         .algorithm(algorithm)
         .grid_limit(Some(1))
         .component_branching_params(SplitParams::with_min_live(4))
+        .executor(exec)
         .build()
         .solve_mvc(g)
 }
@@ -63,6 +64,10 @@ fn solve(algorithm: Algorithm, g: &CsrGraph) -> MvcResult {
 fn main() {
     let mut json_out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    // The executor is a pure wall-clock knob: tree nodes and split
+    // counters are executor-invariant, so a pooled run gates against
+    // the same serial baseline (CI runs both arms).
+    let mut exec = ExecutorSpec::Serial;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
@@ -72,8 +77,15 @@ fn main() {
         match flag.as_str() {
             "--json" => json_out = Some(value("path")),
             "--baseline" => baseline = Some(value("path")),
+            "--exec" => {
+                exec = ExecutorSpec::parse(&value("serial|pooled[:threads]"))
+                    .unwrap_or_else(|e| panic!("--exec: {e}"))
+            }
             "--help" | "-h" => {
-                eprintln!("options: --json <report path>  --baseline <baseline path>");
+                eprintln!(
+                    "options: --json <report path>  --baseline <baseline path>  \
+                     --exec serial|pooled[:threads]"
+                );
                 std::process::exit(0);
             }
             other => panic!("unknown flag '{other}' (try --help)"),
@@ -86,7 +98,7 @@ fn main() {
         let mut rows: Vec<Value> = Vec::new();
         let mut size: Option<u32> = None;
         for (policy, algorithm) in policies() {
-            let r = solve(algorithm, &g);
+            let r = solve(algorithm, exec, &g);
             assert!(
                 parvc_core::is_vertex_cover(&g, &r.cover),
                 "{name}/{policy}: returned a non-cover"

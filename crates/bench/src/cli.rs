@@ -2,6 +2,8 @@
 
 use std::time::Duration;
 
+use parvc_core::ExecutorSpec;
+
 use crate::suite::Scale;
 
 /// Common harness options.
@@ -21,6 +23,10 @@ pub struct BenchArgs {
     pub sms: u32,
     /// StackOnly sub-tree starting depth (`--depth <n>`).
     pub start_depth: u32,
+    /// Intra-block executor for the phase-split flat passes
+    /// (`--exec serial|pooled[:threads]`). Purely a wall-clock knob:
+    /// results and model-cycle counters are executor-invariant.
+    pub exec: ExecutorSpec,
 }
 
 impl Default for BenchArgs {
@@ -32,6 +38,7 @@ impl Default for BenchArgs {
             grid: 16,
             sms: 8,
             start_depth: 8,
+            exec: ExecutorSpec::Serial,
         }
     }
 }
@@ -77,10 +84,15 @@ impl BenchArgs {
                 "--depth" => {
                     out.start_depth = value("depth").parse().expect("--depth takes a depth")
                 }
+                "--exec" => {
+                    out.exec = ExecutorSpec::parse(&value("serial|pooled[:threads]"))
+                        .unwrap_or_else(|e| panic!("--exec: {e}"))
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --scale small|paper|massive  --deadline <secs>  \
-                         --min-budget <secs>  --blocks <n>  --sms <n>  --depth <n>"
+                         --min-budget <secs>  --blocks <n>  --sms <n>  --depth <n>  \
+                         --exec serial|pooled[:threads]"
                     );
                     std::process::exit(0);
                 }

@@ -127,6 +127,7 @@ pub fn make_solver(imp: Impl, args: &BenchArgs, deadline: Option<Duration>) -> S
         .device(DeviceSpec::scaled(args.sms))
         .grid_limit(Some(args.grid))
         .deadline(deadline)
+        .executor(args.exec)
         .build()
 }
 

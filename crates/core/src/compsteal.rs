@@ -35,8 +35,10 @@ use parvc_simgpu::counters::{Activity, BlockCounters};
 use parvc_simgpu::runtime::BlockCtx;
 use parvc_worklist::{StealHandle, StealOutcome, StealPool, StealSource};
 
+use crate::connect::ConnPool;
 use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
 use crate::ops::Kernel;
+use crate::scratch::BlockScratch;
 use crate::shared::BoundSrc;
 use crate::split::{self, PendingSplit, SubInstance};
 use crate::stealing::StealParams;
@@ -96,6 +98,8 @@ impl PolicyFactory for CompStealFactory {
         Box::new(CompStealPolicy {
             pool: &self.pool,
             handle: self.pool.handle(ctx.block_id as usize),
+            conns: ConnPool::new(),
+            scratch: BlockScratch::new(),
         })
     }
 }
@@ -104,6 +108,12 @@ impl PolicyFactory for CompStealFactory {
 pub struct CompStealPolicy<'a> {
     pool: &'a StealPool<CompTask>,
     handle: StealHandle<'a, CompTask>,
+    /// Tracker-reuse pool for the per-component sub-searches this block
+    /// runs: each solved component recycles the previous one's
+    /// union-find allocations instead of growing fresh ones.
+    conns: ConnPool,
+    /// Phase scratch shared by every sub-search on this block.
+    scratch: BlockScratch,
 }
 
 impl CompStealPolicy<'_> {
@@ -112,7 +122,7 @@ impl CompStealPolicy<'_> {
     /// returns the combined component-sum solution (or `None` when any
     /// component proved the node prunable).
     fn run_component(
-        &self,
+        &mut self,
         job: &Arc<SplitJob>,
         index: usize,
         kernel: &Kernel<'_>,
@@ -167,6 +177,8 @@ impl CompStealPolicy<'_> {
                     limit as u64,
                     search.is_weighted(),
                     &mut || bound.should_abort(),
+                    &mut self.scratch,
+                    &mut self.conns,
                     counters,
                     job.max_depth,
                 )

@@ -45,6 +45,8 @@
 //! corpus for MVC, PVC, and weighted traversals.
 
 use parvc_graph::{CsrGraph, VertexId};
+use parvc_simgpu::exec::{gather_indices, ChunkSlots, ParallelExecutor};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Label of a vertex outside the residual (removed into the cover, or
 /// live but isolated — degree ≤ 0 either way).
@@ -57,6 +59,7 @@ const UNSET: u32 = u32::MAX;
 /// driver (thread block or bounded sub-search); it is purely a cache —
 /// any node may be queried at any time, and the tracker falls back to
 /// a full rebuild whenever its history does not cover the node.
+#[derive(Debug)]
 pub struct Connectivity {
     /// Component label per vertex as of the last completed check
     /// (`DEAD` = outside the residual). Labels are arbitrary `u32`s,
@@ -79,6 +82,11 @@ pub struct Connectivity {
     parent: Vec<u32>,
     /// Scratch: BFS queue.
     queue: Vec<VertexId>,
+    /// Scratch: the newly-dead vertices of the current diff scan,
+    /// reused across updates.
+    dead_buf: Vec<VertexId>,
+    /// Scratch: per-chunk gather slots for the pooled diff scan.
+    slots: ChunkSlots,
 }
 
 impl Connectivity {
@@ -94,6 +102,8 @@ impl Connectivity {
             touched: Vec::new(),
             parent: Vec::new(),
             queue: Vec::new(),
+            dead_buf: Vec::new(),
+            slots: ChunkSlots::new(),
         }
     }
 
@@ -122,7 +132,8 @@ impl Connectivity {
     pub fn update(
         &mut self,
         graph: &CsrGraph,
-        live_degree: impl Fn(VertexId) -> i32,
+        live_degree: impl Fn(VertexId) -> i32 + Sync,
+        exec: &dyn ParallelExecutor,
     ) -> (u32, u64) {
         let n = graph.num_vertices() as usize;
         let mut work = n as u64; // the diff / classification scan
@@ -130,25 +141,38 @@ impl Connectivity {
             work += self.rebuild(graph, &live_degree);
             return (self.count, work);
         }
-        // Diff the live sets. A resurrection (live now, dead at last
-        // check) means this node is not a descendant of the
-        // last-checked one: checkpoint crossed, rebuild.
-        let mut newly_dead: Vec<VertexId> = Vec::new();
-        for v in 0..n as u32 {
-            let live = live_degree(v) > 0;
-            let was_live = self.label[v as usize] != DEAD;
-            if live && !was_live {
-                work += self.rebuild(graph, &live_degree);
-                return (self.count, work);
-            }
-            if !live && was_live {
-                newly_dead.push(v);
-            }
-        }
-        if newly_dead.is_empty() {
+        // Diff the live sets: a flat classify pass over the degree
+        // array (chunked across the executor; `work` is charged as the
+        // full scan either way, so the accounting is path-invariant).
+        // A resurrection (live now, dead at last check) means this
+        // node is not a descendant of the last-checked one: checkpoint
+        // crossed, rebuild.
+        let resurrected = AtomicBool::new(false);
+        let label = &self.label;
+        gather_indices(
+            exec,
+            n,
+            &|v| {
+                let live = live_degree(v) > 0;
+                let was_live = label[v as usize] != DEAD;
+                if live && !was_live {
+                    resurrected.store(true, Ordering::Relaxed);
+                }
+                !live && was_live
+            },
+            &mut self.slots,
+            &mut self.dead_buf,
+        );
+        if resurrected.load(Ordering::Relaxed) {
+            work += self.rebuild(graph, &live_degree);
             return (self.count, work);
         }
+        if self.dead_buf.is_empty() {
+            return (self.count, work);
+        }
+        let newly_dead = std::mem::take(&mut self.dead_buf);
         work += self.remove(graph, &live_degree, &newly_dead);
+        self.dead_buf = newly_dead; // hand the buffer back for reuse
         (self.count, work)
     }
 
@@ -338,11 +362,49 @@ fn find(parent: &mut [u32], mut x: u32) -> u32 {
     x
 }
 
+/// A reuse pool of [`Connectivity`] trackers for nested sub-searches.
+///
+/// A budgeted component sub-search ([`crate::split`]) runs on its own
+/// extracted graph, so its tracker's *labels* can never be shared with
+/// the caller's — but the tracker's backing buffers (labels, union-find
+/// scratch, BFS queue, gather slots) can. Acquiring from the pool hands
+/// back an invalidated tracker whose first check rebuilds into the
+/// already-sized allocations instead of growing fresh `Vec`s, so deeply
+/// nested splits (and `ComponentSteal`'s per-component sub-searches)
+/// stop paying an allocation storm per sub-search.
+#[derive(Debug, Default)]
+pub struct ConnPool {
+    free: Vec<Connectivity>,
+}
+
+impl ConnPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        ConnPool::default()
+    }
+
+    /// A tracker for a new sub-search: recycled when one is free,
+    /// freshly built otherwise. Always invalidated — the first
+    /// connectivity check on the sub-search's graph rebuilds.
+    pub fn acquire(&mut self) -> Connectivity {
+        let mut conn = self.free.pop().unwrap_or_default();
+        conn.invalidate();
+        conn
+    }
+
+    /// Returns a tracker (and its allocations) to the pool when its
+    /// sub-search finishes.
+    pub fn release(&mut self, conn: Connectivity) {
+        self.free.push(conn);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::TreeNode;
     use parvc_graph::{gen, ops};
+    use parvc_simgpu::exec::SERIAL;
 
     /// Oracle: component count of the residual via the graph library.
     fn oracle_count(g: &CsrGraph, node: &TreeNode) -> u32 {
@@ -406,11 +468,11 @@ mod tests {
         .unwrap();
         let mut node = TreeNode::root(&g);
         let mut conn = Connectivity::new();
-        let (count, _) = conn.update(&g, |v| node.degree(v));
+        let (count, _) = conn.update(&g, |v| node.degree(v), &SERIAL);
         assert_eq!(count, 1);
         node.remove_into_cover(&g, 3);
         node.remove_into_cover(&g, 4);
-        let (count, _) = conn.update(&g, |v| node.degree(v));
+        let (count, _) = conn.update(&g, |v| node.degree(v), &SERIAL);
         assert_eq!(count, 2, "removing the bridge path must split");
         assert_eq!(tracker_partition(&g, &conn), oracle_partition(&g, &node));
     }
@@ -421,11 +483,11 @@ mod tests {
         let mut conn = Connectivity::new();
         let mut node = TreeNode::root(&g);
         node.remove_into_cover(&g, 0);
-        conn.update(&g, |v| node.degree(v));
+        conn.update(&g, |v| node.degree(v), &SERIAL);
         conn.take_rebuilds();
         // Jump to an unrelated node where vertex 0 is live again.
         let fresh = TreeNode::root(&g);
-        let (count, _) = conn.update(&g, |v| fresh.degree(v));
+        let (count, _) = conn.update(&g, |v| fresh.degree(v), &SERIAL);
         assert_eq!(count, 1);
         assert_eq!(conn.take_rebuilds(), 1, "the jump must rebuild");
     }
@@ -439,9 +501,9 @@ mod tests {
         let g = gen::grid2d(16, 16);
         let mut conn = Connectivity::new();
         let mut node = TreeNode::root(&g);
-        let (_, full) = conn.update(&g, |v| node.degree(v));
+        let (_, full) = conn.update(&g, |v| node.degree(v), &SERIAL);
         node.remove_into_cover(&g, 8 * 16 + 8); // an interior vertex
-        let (count, incr) = conn.update(&g, |v| node.degree(v));
+        let (count, incr) = conn.update(&g, |v| node.degree(v), &SERIAL);
         assert_eq!(count, 1, "a grid minus one vertex stays connected");
         assert_eq!(conn.take_rebuilds(), 1, "only the initial build");
         assert!(
@@ -466,7 +528,7 @@ mod tests {
                 if node.degree(v) >= 0 {
                     node.remove_into_cover(&g, v);
                 }
-                let (count, _) = conn.update(&g, |v| node.degree(v));
+                let (count, _) = conn.update(&g, |v| node.degree(v), &SERIAL);
                 assert_eq!(
                     count,
                     oracle_count(&g, &node),
@@ -486,15 +548,15 @@ mod tests {
         let g = CsrGraph::from_edges(4, &[]).unwrap();
         let mut conn = Connectivity::new();
         let node = TreeNode::root(&g);
-        assert_eq!(conn.update(&g, |v| node.degree(v)).0, 0);
+        assert_eq!(conn.update(&g, |v| node.degree(v), &SERIAL).0, 0);
 
         let g = gen::star(4);
         let mut node = TreeNode::root(&g);
         let mut conn = Connectivity::new();
-        assert_eq!(conn.update(&g, |v| node.degree(v)).0, 1);
+        assert_eq!(conn.update(&g, |v| node.degree(v), &SERIAL).0, 1);
         node.remove_into_cover(&g, 0); // leaves become isolated
         assert_eq!(
-            conn.update(&g, |v| node.degree(v)).0,
+            conn.update(&g, |v| node.degree(v), &SERIAL).0,
             0,
             "isolated survivors are outside the residual"
         );

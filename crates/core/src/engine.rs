@@ -28,12 +28,14 @@
 
 use parvc_graph::{CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::exec::ParallelExecutor;
 use parvc_simgpu::runtime::{run_blocks, BlockCtx};
 use parvc_simgpu::{CostModel, DeviceSpec, LaunchConfig};
 
-use crate::connect::Connectivity;
+use crate::connect::{ConnPool, Connectivity};
 use crate::extensions::Extensions;
 use crate::ops::Kernel;
+use crate::scratch::BlockScratch;
 use crate::shared::{
     BoundKind, BoundSrc, Deadline, GlobalBest, PvcFound, RawParallel, RawParallelPvc, RawWeighted,
     WeightedBest,
@@ -209,6 +211,11 @@ pub fn drive_block(
     // to a rebuild when a policy-acquired node jumps elsewhere in the
     // tree. Unused (and never updated) by the BFS backend.
     let mut conn = Connectivity::new();
+    // Per-block phase scratch and the tracker-reuse pool for nested
+    // component sub-searches: allocated once per block, reused across
+    // every tree node this block processes.
+    let mut scratch = BlockScratch::new();
+    let mut pool = ConnPool::new();
     loop {
         if bound.should_abort() {
             policy.on_exit(ExitCause::Aborted, kernel, counters);
@@ -229,8 +236,8 @@ pub fn drive_block(
 
         // The shared step: reduce, check, branch (lines 11 onward).
         counters.tree_nodes_visited += 1;
-        kernel.reduce(&mut node, bound.bound(), counters);
-        if kernel.prune(&node, bound.bound()) {
+        kernel.reduce(&mut node, bound.bound(), &mut scratch, counters);
+        if kernel.prune(&node, bound.bound(), &mut scratch) {
             continue;
         }
         // Component-sum nodes (see [`crate::split`]): when the
@@ -261,11 +268,13 @@ pub fn drive_block(
                             bound.bound(),
                             &pending.comps,
                             &mut || bound.should_abort(),
+                            &mut scratch,
+                            &mut pool,
                             counters,
                             params.max_depth,
                         );
                         if let SplitVerdict::Solved(combined) = verdict {
-                            if !kernel.prune(&combined, bound.bound())
+                            if !kernel.prune(&combined, bound.bound(), &mut scratch)
                                 && bound.on_solution(&combined)
                             {
                                 policy.on_exit(ExitCause::SolutionFound, kernel, counters);
@@ -327,6 +336,11 @@ pub struct Engine<'a> {
     pub deadline: &'a Deadline,
     /// Optional reduction/pruning extensions.
     pub ext: Extensions,
+    /// How each block's intra-block flat passes actually execute
+    /// ([`crate::ExecutorSpec`]): inline, or chunked across a worker
+    /// pool. Purely a wall-clock knob — results and counters are
+    /// executor-invariant by the `parvc_simgpu::exec` contract.
+    pub exec: &'a dyn ParallelExecutor,
 }
 
 impl Engine<'_> {
@@ -355,6 +369,7 @@ impl Engine<'_> {
     ///     cost: &cost,
     ///     deadline: &deadline,
     ///     ext: Extensions::NONE,
+    ///     exec: &parvc_simgpu::exec::SERIAL,
     /// };
     /// let mode = SearchMode::Mvc { initial: greedy_mvc(&g) };
     /// let SearchOutcome::Mvc(raw) = engine.solve(&SequentialFactory::new(), mode) else {
@@ -451,6 +466,7 @@ impl Engine<'_> {
             None => {
                 let kernel = Kernel {
                     ext: self.ext,
+                    exec: self.exec,
                     ..Kernel::sequential(self.graph, self.cost)
                 };
                 let ctx = BlockCtx {
@@ -470,6 +486,7 @@ impl Engine<'_> {
                     block_size: ctx.block_size,
                     variant: config.variant,
                     ext: self.ext,
+                    exec: self.exec,
                 };
                 let mut policy = factory.block_policy(ctx, depth_bound);
                 drive_block(&kernel, bound, policy.as_mut(), counters);
@@ -486,6 +503,7 @@ mod tests {
     use crate::sequential::SequentialFactory;
     use crate::verify::is_vertex_cover;
     use parvc_graph::gen;
+    use parvc_simgpu::exec::SERIAL;
 
     fn engine<'a>(
         g: &'a CsrGraph,
@@ -500,6 +518,7 @@ mod tests {
             cost,
             deadline,
             ext: Extensions::NONE,
+            exec: &SERIAL,
         }
     }
 

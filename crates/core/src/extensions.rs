@@ -26,6 +26,7 @@ use parvc_simgpu::counters::BlockCounters;
 
 use crate::bound::SearchBound;
 use crate::ops::Kernel;
+use crate::scratch::BlockScratch;
 use crate::split::SplitParams;
 use crate::TreeNode;
 
@@ -70,25 +71,29 @@ impl<'a> Kernel<'a> {
     /// The stopping condition, strengthened by the matching lower bound
     /// when enabled. Replaces bare `bound.prune(node)` in the traversal
     /// loops.
-    pub fn prune(&self, node: &TreeNode, bound: SearchBound) -> bool {
+    /// `scratch` provides the bound phase's endpoint flags (reused
+    /// across nodes — no allocation on the hot path).
+    pub fn prune(&self, node: &TreeNode, bound: SearchBound, scratch: &mut BlockScratch) -> bool {
         if bound.prune(node) {
             return true;
         }
         if self.ext.matching_lower_bound && !node.is_edgeless() {
             return match bound {
                 SearchBound::Mvc { best } => {
-                    node.cover_size() as u64 + self.residual_matching_bound(node) >= best as u64
+                    node.cover_size() as u64 + self.residual_matching_bound(node, scratch)
+                        >= best as u64
                 }
                 // Weight units: each matched edge needs a cover vertex
                 // costing at least its cheaper endpoint, and matched
                 // edges are disjoint, so the minima sum.
                 SearchBound::WeightedMvc { best } => {
                     node.cover_weight()
-                        .saturating_add(self.residual_weighted_matching_bound(node))
+                        .saturating_add(self.residual_weighted_matching_bound(node, scratch))
                         >= best
                 }
                 SearchBound::Pvc { k } => {
-                    node.cover_size() as u64 + self.residual_matching_bound(node) > k as u64
+                    node.cover_size() as u64 + self.residual_matching_bound(node, scratch)
+                        > k as u64
                 }
             };
         }
@@ -97,8 +102,8 @@ impl<'a> Kernel<'a> {
 
     /// Size of a greedy maximal matching of the intermediate graph —
     /// every completion of `S` needs at least this many more vertices.
-    pub fn residual_matching_bound(&self, node: &TreeNode) -> u64 {
-        let mut matched = vec![false; node.len() as usize];
+    pub fn residual_matching_bound(&self, node: &TreeNode, scratch: &mut BlockScratch) -> u64 {
+        let matched = scratch.matched_for(node.len() as usize);
         let mut size = 0u64;
         for u in 0..node.len() {
             if matched[u as usize] || node.degree(u) <= 0 {
@@ -121,8 +126,12 @@ impl<'a> Kernel<'a> {
     /// every completion of `S` pays
     /// at least the cheaper endpoint of each greedily matched residual
     /// edge (see [`parvc_graph::matching::min_weight_matching_bound`]).
-    pub fn residual_weighted_matching_bound(&self, node: &TreeNode) -> u64 {
-        let mut matched = vec![false; node.len() as usize];
+    pub fn residual_weighted_matching_bound(
+        &self,
+        node: &TreeNode,
+        scratch: &mut BlockScratch,
+    ) -> u64 {
+        let matched = scratch.matched_for(node.len() as usize);
         let mut weight = 0u64;
         for u in 0..node.len() {
             if matched[u as usize] || node.degree(u) <= 0 {
@@ -151,10 +160,11 @@ impl<'a> Kernel<'a> {
         &self,
         node: &mut TreeNode,
         weighted: bool,
+        scratch: &mut BlockScratch,
         counters: &mut BlockCounters,
     ) -> bool {
         let mut changed = false;
-        let mut mark = vec![false; node.len() as usize];
+        let mark = scratch.mark_for(node.len() as usize);
         for u in 0..node.len() {
             // Re-check liveness: earlier removals this round may have
             // touched u. Degree-0/1 vertices are handled by the cheaper
@@ -197,15 +207,13 @@ mod tests {
     use super::*;
     use crate::brute::brute_force_mvc;
     use parvc_graph::{gen, CsrGraph};
-    use parvc_simgpu::{CostModel, KernelVariant};
+    use parvc_simgpu::CostModel;
 
     fn kernel<'a>(g: &'a CsrGraph, cost: &'a CostModel, ext: Extensions) -> Kernel<'a> {
         Kernel {
-            graph: g,
-            cost,
             block_size: 32,
-            variant: KernelVariant::SharedMem,
             ext,
+            ..Kernel::sequential(g, cost)
         }
     }
 
@@ -214,12 +222,19 @@ mod tests {
         let cost = CostModel::default();
         // A perfect matching on C6 has 3 edges → bound 3 (= MVC).
         let c6 = gen::cycle(6);
+        let mut scratch = BlockScratch::new();
         let k = kernel(&c6, &cost, Extensions::NONE);
-        assert_eq!(k.residual_matching_bound(&TreeNode::root(&c6)), 3);
+        assert_eq!(
+            k.residual_matching_bound(&TreeNode::root(&c6), &mut scratch),
+            3
+        );
         // Star: one matched edge regardless of leaves.
         let star = gen::star(9);
         let k = kernel(&star, &cost, Extensions::NONE);
-        assert_eq!(k.residual_matching_bound(&TreeNode::root(&star)), 1);
+        assert_eq!(
+            k.residual_matching_bound(&TreeNode::root(&star), &mut scratch),
+            1
+        );
     }
 
     #[test]
@@ -229,7 +244,10 @@ mod tests {
         let k = kernel(&g, &cost, Extensions::NONE);
         let mut node = TreeNode::root(&g);
         node.remove_into_cover(&g, 2); // splits into two disjoint edges
-        assert_eq!(k.residual_matching_bound(&node), 2);
+        assert_eq!(
+            k.residual_matching_bound(&node, &mut BlockScratch::new()),
+            2
+        );
     }
 
     #[test]
@@ -251,7 +269,10 @@ mod tests {
                 ..Extensions::NONE
             },
         );
-        assert!(k.prune(&node, bound), "matching bound must fire");
+        assert!(
+            k.prune(&node, bound, &mut BlockScratch::new()),
+            "matching bound must fire"
+        );
     }
 
     #[test]
@@ -263,7 +284,7 @@ mod tests {
         let k = kernel(&g, &cost, Extensions::ALL);
         let mut node = TreeNode::root(&g);
         let mut c = BlockCounters::new(0);
-        assert!(k.domination_round(&mut node, false, &mut c));
+        assert!(k.domination_round(&mut node, false, &mut BlockScratch::new(), &mut c));
         assert!(node.is_removed(0));
         node.check_consistency(&g).unwrap();
     }
@@ -279,7 +300,8 @@ mod tests {
             let mut c = BlockCounters::new(0);
             // Domination applied to a fixpoint must keep the optimum:
             // opt = |S| + opt(residual).
-            while k.domination_round(&mut node, false, &mut c) {}
+            let mut scratch = BlockScratch::new();
+            while k.domination_round(&mut node, false, &mut scratch, &mut c) {}
             node.check_consistency(&g).unwrap();
             let residual: Vec<(u32, u32)> = g
                 .edges()

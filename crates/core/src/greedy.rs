@@ -11,6 +11,7 @@ use parvc_simgpu::CostModel;
 
 use crate::bound::SearchBound;
 use crate::ops::Kernel;
+use crate::scratch::BlockScratch;
 use crate::TreeNode;
 
 /// Greedy approximate minimum vertex cover: apply all reduction rules,
@@ -35,6 +36,7 @@ pub fn greedy_mvc_bounded(
     let cost = CostModel::default();
     let kernel = Kernel::sequential(g, &cost);
     let mut counters = BlockCounters::new(u32::MAX);
+    let mut scratch = BlockScratch::new();
     let mut node = TreeNode::root(g);
     // No `best` exists yet, so the high-degree rule is inert
     // (`u32::MAX` budget); degree-one and degree-two-triangle do fire.
@@ -50,7 +52,7 @@ pub fn greedy_mvc_bounded(
             }
             break;
         }
-        kernel.reduce(&mut node, bound, &mut counters);
+        kernel.reduce(&mut node, bound, &mut scratch, &mut counters);
         if node.is_edgeless() {
             break;
         }
@@ -83,6 +85,7 @@ pub fn greedy_weighted_mvc_bounded(
     let cost = CostModel::default();
     let kernel = Kernel::sequential(g, &cost);
     let mut counters = BlockCounters::new(u32::MAX);
+    let mut scratch = BlockScratch::new();
     let mut node = TreeNode::root(g);
     // The inert weighted bound: reductions run with their weight gates,
     // the high-degree rule never fires.
@@ -96,7 +99,7 @@ pub fn greedy_weighted_mvc_bounded(
             }
             break;
         }
-        kernel.reduce(&mut node, bound, &mut counters);
+        kernel.reduce(&mut node, bound, &mut scratch, &mut counters);
         if node.is_edgeless() {
             break;
         }

@@ -68,6 +68,7 @@ pub mod mis;
 mod node;
 pub mod ops;
 pub mod reduce;
+pub mod scratch;
 pub mod sequential;
 pub mod shared;
 mod solver;
@@ -77,11 +78,13 @@ mod stats;
 pub mod stealing;
 pub mod verify;
 
-pub use connect::Connectivity;
+pub use connect::{ConnPool, Connectivity};
 pub use engine::{Engine, ExitCause, PolicyFactory, SchedulePolicy, SearchMode, SearchOutcome};
 pub use extensions::Extensions;
 pub use node::{TreeNode, REMOVED};
 pub use parvc_prep::{PrepConfig, PrepStats};
+pub use parvc_simgpu::exec::ExecutorSpec;
+pub use scratch::BlockScratch;
 pub use solver::{Algorithm, Solver, SolverBuilder};
 pub use split::{PendingSplit, SplitBackend, SplitBound, SplitParams, SubInstance};
 pub use stats::{MisResult, MvcResult, PvcResult, SolveStats};

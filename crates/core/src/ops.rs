@@ -10,6 +10,7 @@
 
 use parvc_graph::{CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::exec::{ParallelExecutor, SERIAL};
 use parvc_simgpu::{CostModel, KernelVariant};
 
 use crate::extensions::Extensions;
@@ -28,6 +29,10 @@ pub struct Kernel<'a> {
     pub variant: KernelVariant,
     /// Optional pruning/reduction extensions (off = paper-faithful).
     pub ext: Extensions,
+    /// How intra-block flat passes actually execute. Purely a
+    /// wall-clock knob: charges and results are executor-invariant
+    /// (see `parvc_simgpu::exec`).
+    pub exec: &'a dyn ParallelExecutor,
 }
 
 impl<'a> Kernel<'a> {
@@ -42,6 +47,7 @@ impl<'a> Kernel<'a> {
             block_size: 1,
             variant: KernelVariant::SharedMem,
             ext: Extensions::NONE,
+            exec: &SERIAL,
         }
     }
 
@@ -141,11 +147,8 @@ mod tests {
 
     fn kernel<'a>(g: &'a CsrGraph, cost: &'a CostModel) -> Kernel<'a> {
         Kernel {
-            graph: g,
-            cost,
             block_size: 32,
-            variant: KernelVariant::SharedMem,
-            ext: Extensions::NONE,
+            ..Kernel::sequential(g, cost)
         }
     }
 
@@ -223,19 +226,13 @@ mod tests {
         let mut narrow = BlockCounters::new(0);
         let mut wide = BlockCounters::new(1);
         Kernel {
-            graph: &g,
-            cost: &cost,
             block_size: 32,
-            variant: KernelVariant::SharedMem,
-            ext: Extensions::NONE,
+            ..Kernel::sequential(&g, &cost)
         }
         .find_max_degree(&node, &mut narrow);
         Kernel {
-            graph: &g,
-            cost: &cost,
             block_size: 512,
-            variant: KernelVariant::SharedMem,
-            ext: Extensions::NONE,
+            ..Kernel::sequential(&g, &cost)
         }
         .find_max_degree(&node, &mut wide);
         assert!(

@@ -12,9 +12,11 @@
 //! is skipped, which is precisely the paper's tie-break.
 
 use parvc_simgpu::counters::{Activity, BlockCounters};
+use parvc_simgpu::exec::gather_indices;
 
 use crate::bound::SearchBound;
 use crate::ops::Kernel;
+use crate::scratch::BlockScratch;
 use crate::TreeNode;
 
 /// Statistics from one `reduce` fixpoint (how much each rule fired).
@@ -33,10 +35,19 @@ pub struct ReduceStats {
 impl<'a> Kernel<'a> {
     /// Applies all three rules until the graph stops changing
     /// (Figure 1's `reduce`, lines 14–30). Mutates `node` in place.
+    /// Each round is phase-split: a flat **classify** pass over the
+    /// degree array gathers the eligible vertices into
+    /// `scratch.candidates` (executed through the kernel's
+    /// [`ParallelExecutor`](parvc_simgpu::exec::ParallelExecutor) —
+    /// this is the reduce-fixpoint degree scan, the hottest flat pass
+    /// in the engine), then a serial **apply** pass walks the buffer
+    /// in ascending id with the liveness recheck. `scratch` holds the
+    /// per-block delta buffers, reused across rounds and tree nodes.
     pub fn reduce(
         &self,
         node: &mut TreeNode,
         bound: SearchBound,
+        scratch: &mut BlockScratch,
         counters: &mut BlockCounters,
     ) -> ReduceStats {
         let mut stats = ReduceStats::default();
@@ -46,17 +57,17 @@ impl<'a> Kernel<'a> {
             // Figure 1 applies each rule to ITS OWN fixpoint before the
             // next (the inner `while ∃v` loops), then repeats all three
             // while anything changed.
-            while self.degree_one_round(node, bound, counters, &mut stats) {
+            while self.degree_one_round(node, bound, scratch, counters, &mut stats) {
                 changed = true;
             }
-            while self.degree_two_triangle_round(node, bound, counters, &mut stats) {
+            while self.degree_two_triangle_round(node, bound, scratch, counters, &mut stats) {
                 changed = true;
             }
-            while self.high_degree_round(node, bound, counters, &mut stats) {
+            while self.high_degree_round(node, bound, scratch, counters, &mut stats) {
                 changed = true;
             }
             if self.ext.domination_rule {
-                while self.domination_round(node, bound.is_weighted(), counters) {
+                while self.domination_round(node, bound.is_weighted(), scratch, counters) {
                     changed = true;
                 }
             }
@@ -79,18 +90,27 @@ impl<'a> Kernel<'a> {
         &self,
         node: &mut TreeNode,
         bound: SearchBound,
+        scratch: &mut BlockScratch,
         counters: &mut BlockCounters,
         stats: &mut ReduceStats,
     ) -> bool {
-        // All threads scan the degree array for d(v) == 1 (one wave).
+        // Classify: all threads scan the degree array for d(v) == 1
+        // (one wave, chunked across the executor).
         counters.charge(
             Activity::DegreeOneRule,
             self.cost
                 .parallel_op(node.len() as u64, self.block_size, self.variant),
         );
-        let snapshot: Vec<u32> = (0..node.len()).filter(|&v| node.degree(v) == 1).collect();
+        gather_indices(
+            self.exec,
+            node.len() as usize,
+            &|v| node.degree(v) == 1,
+            &mut scratch.slots,
+            &mut scratch.candidates,
+        );
         let mut changed = false;
-        for v in snapshot {
+        // Apply: ascending id with recheck (the §IV-D tie-break).
+        for &v in &scratch.candidates {
             // Recheck: an earlier (smaller-id) application may have
             // removed v's neighbor or v itself — the §IV-D tie-break.
             if node.degree(v) != 1 {
@@ -121,6 +141,7 @@ impl<'a> Kernel<'a> {
         &self,
         node: &mut TreeNode,
         bound: SearchBound,
+        scratch: &mut BlockScratch,
         counters: &mut BlockCounters,
         stats: &mut ReduceStats,
     ) -> bool {
@@ -129,9 +150,15 @@ impl<'a> Kernel<'a> {
             self.cost
                 .parallel_op(node.len() as u64, self.block_size, self.variant),
         );
-        let snapshot: Vec<u32> = (0..node.len()).filter(|&v| node.degree(v) == 2).collect();
+        gather_indices(
+            self.exec,
+            node.len() as usize,
+            &|v| node.degree(v) == 2,
+            &mut scratch.slots,
+            &mut scratch.candidates,
+        );
         let mut changed = false;
-        for v in snapshot {
+        for &v in &scratch.candidates {
             if node.degree(v) != 2 {
                 continue;
             }
@@ -179,6 +206,7 @@ impl<'a> Kernel<'a> {
         &self,
         node: &mut TreeNode,
         bound: SearchBound,
+        scratch: &mut BlockScratch,
         counters: &mut BlockCounters,
         stats: &mut ReduceStats,
     ) -> bool {
@@ -190,11 +218,15 @@ impl<'a> Kernel<'a> {
         let Some(threshold) = bound.high_degree_threshold(bound.node_cost(node)) else {
             return false;
         };
-        let snapshot: Vec<u32> = (0..node.len())
-            .filter(|&v| node.degree(v) as i64 > threshold)
-            .collect();
+        gather_indices(
+            self.exec,
+            node.len() as usize,
+            &|v| node.degree(v) as i64 > threshold,
+            &mut scratch.slots,
+            &mut scratch.candidates,
+        );
         let mut changed = false;
-        for v in snapshot {
+        for &v in &scratch.candidates {
             // The budget shrinks as the rule fires; recompute like the
             // serial `while ∃v s.t. d(v) > best − |S| − 1` does.
             let Some(threshold) = bound.high_degree_threshold(bound.node_cost(node)) else {
@@ -215,20 +247,17 @@ impl<'a> Kernel<'a> {
 mod tests {
     use super::*;
     use parvc_graph::{gen, CsrGraph};
-    use parvc_simgpu::{CostModel, KernelVariant};
+    use parvc_simgpu::CostModel;
 
     fn run_reduce(g: &CsrGraph, bound: SearchBound) -> (TreeNode, ReduceStats) {
         let cost = CostModel::default();
         let k = Kernel {
-            graph: g,
-            cost: &cost,
             block_size: 32,
-            variant: KernelVariant::SharedMem,
-            ext: crate::Extensions::NONE,
+            ..Kernel::sequential(g, &cost)
         };
         let mut node = TreeNode::root(g);
         let mut c = BlockCounters::new(0);
-        let stats = k.reduce(&mut node, bound, &mut c);
+        let stats = k.reduce(&mut node, bound, &mut BlockScratch::new(), &mut c);
         node.check_consistency(g).unwrap();
         (node, stats)
     }
@@ -324,11 +353,8 @@ mod tests {
         let g = gen::complete(4);
         let cost = CostModel::default();
         let k = Kernel {
-            graph: &g,
-            cost: &cost,
             block_size: 32,
-            variant: KernelVariant::SharedMem,
-            ext: crate::Extensions::NONE,
+            ..Kernel::sequential(&g, &cost)
         };
         let mut node = TreeNode::root(&g);
         // Burn the budget: cover 2 vertices with best = 1.
@@ -336,7 +362,12 @@ mod tests {
         node.remove_into_cover(&g, 1);
         let mut c = BlockCounters::new(0);
         let before = node.cover_size();
-        k.reduce(&mut node, SearchBound::Mvc { best: 1 }, &mut c);
+        k.reduce(
+            &mut node,
+            SearchBound::Mvc { best: 1 },
+            &mut BlockScratch::new(),
+            &mut c,
+        );
         // Remaining K2 on {2,3} triggers degree-one, but high-degree
         // must not mass-remove with a negative threshold.
         assert!(node.cover_size() <= before + 1);

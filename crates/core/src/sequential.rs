@@ -100,6 +100,7 @@ mod tests {
             cost: &cost,
             deadline: &deadline,
             ext: Extensions::NONE,
+            exec: &parvc_simgpu::exec::SERIAL,
         };
         engine.solve_mvc(&SequentialFactory::new(), initial)
     }
@@ -115,6 +116,7 @@ mod tests {
             cost: &cost,
             deadline: &deadline,
             ext: Extensions::NONE,
+            exec: &parvc_simgpu::exec::SERIAL,
         };
         engine.solve_pvc(&SequentialFactory::new(), k)
     }

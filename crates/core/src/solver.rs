@@ -10,11 +10,13 @@
 //! assert_eq!(result.size, 6);
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use parvc_graph::CsrGraph;
 use parvc_prep::PrepConfig;
 use parvc_simgpu::counters::{BlockCounters, LaunchReport};
+use parvc_simgpu::exec::{ExecutorSpec, ParallelExecutor};
 use parvc_simgpu::occupancy::{select_launch, LaunchRequest};
 use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
 
@@ -120,6 +122,7 @@ pub struct SolverBuilder {
     prep: Option<PrepConfig>,
     weighted: bool,
     batch_size: usize,
+    executor: ExecutorSpec,
     /// Whether the caller explicitly configured component branching
     /// (so `build()` can tell "disabled on purpose" from "never set"
     /// when ComponentSteal implies a default).
@@ -146,6 +149,7 @@ impl Default for SolverBuilder {
             prep: None,
             weighted: false,
             batch_size: DEFAULT_BATCH,
+            executor: ExecutorSpec::default(),
             split_configured: false,
         }
     }
@@ -295,6 +299,19 @@ impl SolverBuilder {
         self
     }
 
+    /// Selects how each block's intra-block flat passes execute
+    /// (default: [`ExecutorSpec::Serial`], inline on the block's own
+    /// thread). [`ExecutorSpec::Pooled`] runs the phase-split kernels —
+    /// the reduce-fixpoint degree scan, the LP-bound BFS layers, the
+    /// connectivity diff scan — chunked across a shared worker pool.
+    /// Results, tree shape, and model-cycle counters are identical
+    /// under every executor (see `parvc_simgpu::exec`); only wall-clock
+    /// changes.
+    pub fn executor(mut self, spec: ExecutorSpec) -> Self {
+        self.executor = spec;
+        self
+    }
+
     /// Children handed off per queue negotiation by the
     /// [`Algorithm::Batched`] policy (default 8; clamped to >= 1).
     pub fn batch_size(mut self, k: usize) -> Self {
@@ -349,13 +366,20 @@ impl SolverBuilder {
         {
             self.ext.component_branching = Some(SplitParams::default());
         }
-        Solver { cfg: self }
+        Solver {
+            exec: self.executor.build(),
+            cfg: self,
+        }
     }
 }
 
 /// A configured vertex-cover solver. See [`Solver::builder`].
 pub struct Solver {
     cfg: SolverBuilder,
+    /// The built intra-block executor (shared by every launch of this
+    /// solver; the pooled backend keeps its workers warm across
+    /// solves).
+    exec: Arc<dyn ParallelExecutor>,
 }
 
 impl Solver {
@@ -728,6 +752,7 @@ impl Solver {
             cost: &self.cfg.cost,
             deadline,
             ext: self.cfg.ext,
+            exec: &*self.exec,
         };
         let outcome = engine.solve(factory.as_ref(), mode);
         (outcome, launch)
@@ -955,9 +980,7 @@ mod tests {
             let g = gen::gnp(13, 0.35, seed);
             let (opt, _) = brute_force_mvc(&g);
             for solver in solvers() {
-                let solver = Solver {
-                    cfg: solver.cfg.preprocess(PrepConfig::default()),
-                };
+                let solver = solver.cfg.preprocess(PrepConfig::default()).build();
                 let r = solver.solve_mvc(&g);
                 assert_eq!(r.size, opt, "{} seed {seed} (prep)", solver.algorithm());
                 assert!(is_vertex_cover(&g, &r.cover));
@@ -1033,9 +1056,7 @@ mod tests {
             .solve_mvc(&g)
             .size;
         for base in solvers() {
-            let solver = Solver {
-                cfg: base.cfg.component_branching(true),
-            };
+            let solver = base.cfg.component_branching(true).build();
             let r = solver.solve_mvc(&g);
             assert_eq!(r.size, opt, "{} (split on)", solver.algorithm());
             assert!(is_vertex_cover(&g, &r.cover));

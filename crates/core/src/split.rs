@@ -51,9 +51,10 @@ use parvc_graph::{matching, ops, CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
 
 use crate::bound::SearchBound;
-use crate::connect::Connectivity;
+use crate::connect::{ConnPool, Connectivity};
 use crate::greedy::{greedy_mvc, greedy_weighted_mvc};
 use crate::ops::Kernel;
+use crate::scratch::BlockScratch;
 use crate::TreeNode;
 
 /// Which connectivity backend decides whether a residual disconnected.
@@ -201,7 +202,7 @@ fn component_labels(
     counters.splits.checks += 1;
     let (count, labels, work) = match params.backend {
         SplitBackend::UnionFind => {
-            let (count, work) = conn.update(kernel.graph, |v| node.degree(v));
+            let (count, work) = conn.update(kernel.graph, |v| node.degree(v), kernel.exec);
             counters.splits.uf_rebuilds += conn.take_rebuilds();
             let labels = if count >= 2 {
                 (0..node.len())
@@ -338,7 +339,7 @@ pub fn detect_components(
             } else {
                 let (size, cover) = greedy_mvc(&graph);
                 let lb = match params.bound {
-                    SplitBound::Lp => parvc_prep::lp_lower_bound(&graph),
+                    SplitBound::Lp => parvc_prep::lp_lower_bound_exec(&graph, kernel.exec),
                     SplitBound::Matching => matching::greedy_maximal_matching(&graph).len() as u64,
                 };
                 ((size as u64, cover), lb)
@@ -393,12 +394,15 @@ pub(crate) fn remaining_budget(bound: SearchBound, spent: u64) -> Option<i64> {
 /// Sibling budgets tighten as components finish: component `i` gets
 /// `remaining − Σ_{j<i} opt_j − Σ_{j>i} lb_j`, so when every component
 /// fits, the combined cover provably beats the bound.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_split(
     kernel: &Kernel<'_>,
     parent: &TreeNode,
     bound: SearchBound,
     comps: &[SubInstance],
     abort: &mut dyn FnMut() -> bool,
+    scratch: &mut BlockScratch,
+    pool: &mut ConnPool,
     counters: &mut BlockCounters,
     depth: u32,
 ) -> SplitVerdict {
@@ -423,6 +427,8 @@ pub(crate) fn solve_split(
             limit as u64,
             bound.is_weighted(),
             abort,
+            scratch,
+            pool,
             counters,
             depth,
         ) else {
@@ -449,12 +455,15 @@ pub(crate) fn solve_split(
 /// the component-sum node). On abort the best witness so far is
 /// returned — a valid (possibly non-optimal) cover, consistent with
 /// the engine's deadline semantics.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_bounded(
     kernel: &Kernel<'_>,
     seed: (u64, Vec<VertexId>),
     limit: u64,
     weighted: bool,
     abort: &mut dyn FnMut() -> bool,
+    scratch: &mut BlockScratch,
+    pool: &mut ConnPool,
     counters: &mut BlockCounters,
     depth: u32,
 ) -> Option<(u64, Vec<VertexId>)> {
@@ -472,10 +481,11 @@ pub(crate) fn solve_bounded(
             }
         }
     };
-    // This sub-search runs on its own (component) graph, so it owns
-    // its own connectivity tracker; jumps between stack pops fall back
-    // to a rebuild automatically.
-    let mut conn = Connectivity::new();
+    // This sub-search runs on its own (component) graph, so it needs
+    // its own tracker — acquired from the caller's reuse pool, so the
+    // allocations (not the labels) survive across sub-searches; jumps
+    // between stack pops fall back to a rebuild automatically.
+    let mut conn = pool.acquire();
     let mut stack = vec![TreeNode::root(kernel.graph)];
     while let Some(mut node) = stack.pop() {
         if abort() {
@@ -484,8 +494,8 @@ pub(crate) fn solve_bounded(
         kernel.charge_node_copy(node.len(), Activity::PopFromStack, counters);
         counters.tree_nodes_visited += 1;
         let bound = make_bound(best);
-        kernel.reduce(&mut node, bound, counters);
-        if kernel.prune(&node, bound) {
+        kernel.reduce(&mut node, bound, scratch, counters);
+        if kernel.prune(&node, bound, scratch) {
             continue;
         }
         if depth > 0 {
@@ -493,9 +503,17 @@ pub(crate) fn solve_bounded(
                 if let Some(comps) =
                     detect_components(kernel, &node, params, &mut conn, counters, weighted)
                 {
-                    if let SplitVerdict::Solved(combined) =
-                        solve_split(kernel, &node, bound, &comps, abort, counters, depth - 1)
-                    {
+                    if let SplitVerdict::Solved(combined) = solve_split(
+                        kernel,
+                        &node,
+                        bound,
+                        &comps,
+                        abort,
+                        scratch,
+                        pool,
+                        counters,
+                        depth - 1,
+                    ) {
                         if bound.node_cost(&combined) < best {
                             best = bound.node_cost(&combined);
                             witness = Some(combined.cover_vertices());
@@ -530,6 +548,7 @@ pub(crate) fn solve_bounded(
         kernel.charge_node_copy(node.len(), Activity::PushToStack, counters);
         stack.push(node);
     }
+    pool.release(conn);
     witness.map(|w| {
         let cost = if weighted {
             kernel.graph.cover_weight(&w)
@@ -551,14 +570,13 @@ mod tests {
 
     fn kernel<'a>(g: &'a CsrGraph, cost: &'a CostModel) -> Kernel<'a> {
         Kernel {
-            graph: g,
-            cost,
             block_size: 32,
             variant: KernelVariant::SharedMem,
             ext: Extensions {
                 component_branching: Some(SplitParams::with_min_live(4)),
                 ..Extensions::NONE
             },
+            ..Kernel::sequential(g, cost)
         }
     }
 
@@ -646,6 +664,8 @@ mod tests {
             SearchBound::Mvc { best: 7 },
             &comps,
             &mut || false,
+            &mut BlockScratch::new(),
+            &mut ConnPool::new(),
             &mut c,
             4,
         );
@@ -682,6 +702,8 @@ mod tests {
                 SearchBound::Mvc { best: 4 },
                 &comps,
                 &mut || false,
+                &mut BlockScratch::new(),
+                &mut ConnPool::new(),
                 &mut c,
                 4,
             ),
@@ -709,6 +731,8 @@ mod tests {
                 g.num_vertices() as u64,
                 false,
                 &mut || false,
+                &mut BlockScratch::new(),
+                &mut ConnPool::new(),
                 &mut c,
                 4,
             )
@@ -723,6 +747,8 @@ mod tests {
                     opt as u64 - 1,
                     false,
                     &mut || false,
+                    &mut BlockScratch::new(),
+                    &mut ConnPool::new(),
                     &mut c,
                     4
                 )
@@ -745,6 +771,8 @@ mod tests {
                 u64::MAX - 1,
                 true,
                 &mut || false,
+                &mut BlockScratch::new(),
+                &mut ConnPool::new(),
                 &mut c,
                 4,
             )
@@ -760,6 +788,8 @@ mod tests {
                         opt - 1,
                         true,
                         &mut || false,
+                        &mut BlockScratch::new(),
+                        &mut ConnPool::new(),
                         &mut c,
                         4
                     )
@@ -813,6 +843,8 @@ mod tests {
             SearchBound::WeightedMvc { best: opt + 1 },
             &comps,
             &mut || false,
+            &mut BlockScratch::new(),
+            &mut ConnPool::new(),
             &mut c,
             4,
         );
@@ -831,6 +863,8 @@ mod tests {
                 SearchBound::WeightedMvc { best: opt },
                 &comps,
                 &mut || false,
+                &mut BlockScratch::new(),
+                &mut ConnPool::new(),
                 &mut c,
                 4,
             ),

@@ -31,6 +31,7 @@ use parvc_worklist::LocalStack;
 use crate::connect::Connectivity;
 use crate::engine::{ExitCause, PolicyFactory, SchedulePolicy};
 use crate::ops::Kernel;
+use crate::scratch::BlockScratch;
 use crate::shared::BoundSrc;
 use crate::{split, TreeNode};
 
@@ -81,6 +82,7 @@ impl PolicyFactory for StackOnlyFactory {
             start_depth: self.params.start_depth,
             stack: LocalStack::with_depth_bound(depth_bound),
             conn: Connectivity::new(),
+            scratch: BlockScratch::new(),
         })
     }
 }
@@ -95,6 +97,9 @@ pub struct StackOnlyPolicy<'a> {
     /// descent restarts from the root, so the first probe rebuilds and
     /// the rest of the path updates incrementally).
     conn: Connectivity,
+    /// Phase scratch for the descent's reduce/prune passes, reused
+    /// across every descent this block performs.
+    scratch: BlockScratch,
 }
 
 impl SchedulePolicy for StackOnlyPolicy<'_> {
@@ -124,6 +129,7 @@ impl SchedulePolicy for StackOnlyPolicy<'_> {
                 idx,
                 self.start_depth,
                 &mut self.conn,
+                &mut self.scratch,
                 counters,
             ) {
                 return Some(node);
@@ -164,14 +170,15 @@ fn descend(
     idx: u64,
     start_depth: u32,
     conn: &mut Connectivity,
+    scratch: &mut BlockScratch,
     counters: &mut BlockCounters,
 ) -> Option<TreeNode> {
     let mut node = TreeNode::root(kernel.graph);
     for level in 0..start_depth {
         let owns = (idx >> level) == 0;
         counters.tree_nodes_visited += 1;
-        kernel.reduce(&mut node, bound.bound(), counters);
-        if kernel.prune(&node, bound.bound()) {
+        kernel.reduce(&mut node, bound.bound(), scratch, counters);
+        if kernel.prune(&node, bound.bound(), scratch) {
             return None;
         }
         if let Some(params) = kernel.ext.component_branching {

@@ -48,10 +48,12 @@
 #![warn(missing_docs)]
 
 mod kernel;
+pub mod par;
 mod rules;
 mod state;
 
 pub use kernel::{Kernel, LiftTrace, ReducedInstance};
+pub use par::lp_lower_bound_exec;
 pub use rules::{CrownRule, HighDegreeRule, LowDegreeRule, ReduceRule, RuleStats};
 pub use state::{PrepState, VertexState};
 

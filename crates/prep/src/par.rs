@@ -1,0 +1,252 @@
+//! Executor-parallel Hopcroft–Karp layering and the LP bound on top
+//! of it.
+//!
+//! The in-search component branching of `parvc-core` calls
+//! [`crate::lp_lower_bound`] on every extracted component — on massive
+//! instances the Hopcroft–Karp run over the bipartite double cover is
+//! one of the three hottest flat kernels of a solve. This module
+//! re-expresses the HK *BFS layering* as frontier-array passes over
+//! the immutable CSR adjacency, dispatched through a
+//! [`ParallelExecutor`]:
+//!
+//! * **layer pass** — expand the current left-side frontier: every
+//!   `(u, v)` edge whose right endpoint is matched claims the partner
+//!   `mate[v]` for layer `d + 1` with a compare-exchange on an atomic
+//!   distance slot. Claims race benignly: every winner writes the same
+//!   layer number, so the distance array is identical under any
+//!   chunking of the frontier.
+//! * **compact pass** — gather the vertices claimed for layer `d + 1`
+//!   into the next frontier array, in ascending vertex id
+//!   ([`gather_indices`]).
+//!
+//! The augmenting-path phase stays serial — it mutates the matching —
+//! and follows the layered distances exactly like the serial
+//! Hopcroft–Karp in [`parvc_graph::matching`]. The exported bound is
+//! executor-invariant *by value*: it is `ceil(|M| / 2)` for a
+//! **maximum** matching `M` of the double cover, and maximum-matching
+//! size is unique regardless of which maximum matching a schedule
+//! happens to find.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use parvc_graph::{CsrGraph, GraphBuilder};
+use parvc_simgpu::exec::{gather_indices, ChunkSlots, ParallelExecutor};
+
+/// "Unmatched" sentinel in the mate array and "unreached" sentinel in
+/// the distance array.
+const NIL: u32 = u32::MAX;
+
+/// [`crate::lp_lower_bound`] with the Hopcroft–Karp BFS layering run
+/// as flat frontier passes on `exec`.
+///
+/// Returns exactly the serial bound for every executor: by Kőnig's
+/// theorem the serial path's minimum-vertex-cover size equals the
+/// maximum-matching size this path computes, and that size is unique.
+/// A single-threaded executor short-circuits to the serial
+/// implementation.
+pub fn lp_lower_bound_exec(g: &CsrGraph, exec: &dyn ParallelExecutor) -> u64 {
+    if g.num_edges() == 0 {
+        return 0;
+    }
+    if exec.threads() <= 1 {
+        return crate::lp_lower_bound(g);
+    }
+    let n = g.num_vertices();
+    let mut b = GraphBuilder::with_capacity(2 * n, (g.num_edges() * 2) as usize);
+    for (u, v) in g.edges() {
+        b.add_edge(u, n + v).expect("double-cover ids in range");
+        b.add_edge(v, n + u).expect("double-cover ids in range");
+    }
+    let double_cover = b.build();
+    let m = max_matching_size(&double_cover, n as usize, exec);
+    (m as u64).div_ceil(2)
+}
+
+/// Maximum-matching size of a bipartite graph whose left part is
+/// `0..n_left` and right part is `n_left..` (the double cover's
+/// layout), by Hopcroft–Karp with executor-parallel BFS layering.
+fn max_matching_size(g: &CsrGraph, n_left: usize, exec: &dyn ParallelExecutor) -> usize {
+    let mut mate: Vec<u32> = vec![NIL; g.num_vertices() as usize];
+    let dist: Vec<AtomicU32> = (0..n_left).map(|_| AtomicU32::new(NIL)).collect();
+    let mut frontier: Vec<u32> = Vec::new();
+    let mut slots = ChunkSlots::new();
+    let mut matched = 0usize;
+    loop {
+        // BFS phase: layer the left side starting from its free
+        // vertices, one frontier-array pass per layer.
+        for d in &dist {
+            d.store(NIL, Ordering::Relaxed);
+        }
+        let mate_ro: &[u32] = &mate;
+        gather_indices(
+            exec,
+            n_left,
+            &|u| mate_ro[u as usize] == NIL,
+            &mut slots,
+            &mut frontier,
+        );
+        for &u in &frontier {
+            dist[u as usize].store(0, Ordering::Relaxed);
+        }
+        let mut layer = 0u32;
+        let mut found = false;
+        while !frontier.is_empty() {
+            let reached_free = AtomicBool::new(false);
+            let frontier_ro: &[u32] = &frontier;
+            let dist_ro = &dist;
+            exec.dispatch(frontier_ro.len(), &|_, start, end| {
+                for &u in &frontier_ro[start..end] {
+                    for &v in g.neighbors(u) {
+                        let w = mate_ro[v as usize];
+                        if w == NIL {
+                            reached_free.store(true, Ordering::Relaxed);
+                        } else {
+                            // Claim v's partner for the next layer.
+                            let _ = dist_ro[w as usize].compare_exchange(
+                                NIL,
+                                layer + 1,
+                                Ordering::Relaxed,
+                                Ordering::Relaxed,
+                            );
+                        }
+                    }
+                }
+            });
+            if reached_free.load(Ordering::Relaxed) {
+                // A free right vertex is reachable at this depth:
+                // shortest augmenting length found, stop layering.
+                found = true;
+                break;
+            }
+            layer += 1;
+            gather_indices(
+                exec,
+                n_left,
+                &|u| dist[u as usize].load(Ordering::Relaxed) == layer,
+                &mut slots,
+                &mut frontier,
+            );
+        }
+        if !found {
+            return matched;
+        }
+        // Augment phase (serial, like the serial HK's DFS): follow the
+        // layered distances from every free left vertex.
+        let mut augmented = 0usize;
+        for u in 0..n_left as u32 {
+            if mate[u as usize] == NIL && try_augment(g, u, &mut mate, &dist) {
+                augmented += 1;
+            }
+        }
+        if augmented == 0 {
+            return matched;
+        }
+        matched += augmented;
+    }
+}
+
+/// One iterative DFS along strictly layer-increasing alternating paths
+/// from the free left vertex `u0`; flips the path's edges on success.
+/// Dead ends poison their distance slot so later DFS runs skip them —
+/// the standard Hopcroft–Karp phase semantics.
+fn try_augment(g: &CsrGraph, u0: u32, mate: &mut [u32], dist: &[AtomicU32]) -> bool {
+    // Frames: (left vertex, next neighbor index, chosen right vertex).
+    let mut stack: Vec<(u32, usize, u32)> = vec![(u0, 0, NIL)];
+    loop {
+        let top = stack.len() - 1;
+        let u = stack[top].0;
+        let nbrs = g.neighbors(u);
+        if stack[top].1 < nbrs.len() {
+            let v = nbrs[stack[top].1];
+            stack[top].1 += 1;
+            let w = mate[v as usize];
+            if w == NIL {
+                // Free right endpoint: flip every frame's chosen edge.
+                stack[top].2 = v;
+                for &(uu, _, vv) in &stack {
+                    mate[uu as usize] = vv;
+                    mate[vv as usize] = uu;
+                }
+                return true;
+            }
+            let du = dist[u as usize].load(Ordering::Relaxed);
+            if du != NIL && dist[w as usize].load(Ordering::Relaxed) == du + 1 {
+                stack[top].2 = v;
+                stack.push((w, 0, NIL));
+            }
+            continue;
+        }
+        // Dead end: never retry this vertex within the phase.
+        dist[u as usize].store(NIL, Ordering::Relaxed);
+        stack.pop();
+        if stack.is_empty() {
+            return false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parvc_graph::gen;
+    use parvc_simgpu::exec::{ExecutorSpec, SERIAL};
+
+    #[test]
+    fn exec_bound_matches_serial_on_random_graphs() {
+        let pooled = ExecutorSpec::Pooled { threads: Some(3) }.build();
+        for seed in 0..12 {
+            let g = gen::gnp(40, 0.12, seed);
+            let serial = crate::lp_lower_bound(&g);
+            assert_eq!(lp_lower_bound_exec(&g, &SERIAL), serial, "seed {seed}");
+            assert_eq!(lp_lower_bound_exec(&g, &*pooled), serial, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exec_bound_on_known_shapes() {
+        let pooled = ExecutorSpec::Pooled { threads: Some(2) }.build();
+        // C5: LP optimum 5/2 rounds to 3; C7: 7/2 rounds to 4.
+        assert_eq!(lp_lower_bound_exec(&gen::cycle(5), &*pooled), 3);
+        assert_eq!(lp_lower_bound_exec(&gen::cycle(7), &*pooled), 4);
+        // Edgeless: no matching, no bound.
+        let edgeless = CsrGraph::from_edges(5, &[]).unwrap();
+        assert_eq!(lp_lower_bound_exec(&edgeless, &*pooled), 0);
+        // Complete bipartite K_{3,3}: perfect matching of 3 in each
+        // cover direction doubles to 6, bound 3 = the MVC.
+        let g = CsrGraph::from_edges(
+            6,
+            &[
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+                (2, 5),
+            ],
+        )
+        .unwrap();
+        assert_eq!(lp_lower_bound_exec(&g, &*pooled), crate::lp_lower_bound(&g));
+    }
+
+    #[test]
+    fn frontier_matching_reaches_the_maximum_on_paths_and_stars() {
+        // A long path exercises multi-layer BFS phases; the HK answer
+        // must be the exact maximum matching size.
+        let pooled = ExecutorSpec::Pooled { threads: Some(4) }.build();
+        for n in [2u32, 3, 9, 16, 33] {
+            let g = gen::path(n);
+            assert_eq!(
+                lp_lower_bound_exec(&g, &*pooled),
+                crate::lp_lower_bound(&g),
+                "path({n})"
+            );
+        }
+        assert_eq!(
+            lp_lower_bound_exec(&gen::star(12), &*pooled),
+            crate::lp_lower_bound(&gen::star(12))
+        );
+    }
+}

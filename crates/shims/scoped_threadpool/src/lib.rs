@@ -1,0 +1,282 @@
+//! Offline stand-in for `scoped_threadpool`: a persistent worker pool
+//! whose [`Pool::scoped`] lets jobs borrow from the caller's stack.
+//!
+//! Workers are spawned once in [`Pool::new`] and parked on a condvar
+//! between dispatches, so a `scoped` round trip costs a lock handoff
+//! rather than a thread spawn — the property the simulated-GPU
+//! executor needs to make per-tree-node data-parallel passes pay off.
+//!
+//! A job that panics does not kill its worker: the payload is captured
+//! and re-thrown from [`Scope::join_all`] (or the scope's drop) on the
+//! dispatching thread, matching the upstream crate's propagation.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+type Thunk = Box<dyn FnOnce() + Send + 'static>;
+
+/// One queued job plus the scope it reports completion to.
+struct Job {
+    thunk: Thunk,
+    scope: Arc<ScopeState>,
+}
+
+/// Completion tracking for one `scoped` call.
+struct ScopeState {
+    /// Jobs queued or running; the scope returns when this hits zero.
+    pending: Mutex<usize>,
+    done: Condvar,
+    /// First captured panic payload, re-thrown on the scope's thread.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+}
+
+/// Shared pool state the workers drain.
+struct PoolShared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A pool holding a fixed number of persistent worker threads.
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns a pool with `n` worker threads (`n ≥ 1`).
+    pub fn new(n: u32) -> Pool {
+        assert!(n >= 1, "a pool needs at least one worker");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..n)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn thread_count(&self) -> u32 {
+        self.workers.len() as u32
+    }
+
+    /// Runs `f` with a [`Scope`] whose jobs may borrow anything that
+    /// outlives the `scoped` call. All jobs are guaranteed to have
+    /// finished before `scoped` returns (the scope joins on drop), so
+    /// the borrows can never dangle.
+    pub fn scoped<'pool, 'scope, F, R>(&'pool mut self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'pool, 'scope>) -> R,
+    {
+        let scope = Scope {
+            shared: &self.shared,
+            state: ScopeState::new(),
+            _marker: PhantomData,
+        };
+        let r = f(&scope);
+        scope.join_all();
+        r
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        lock(&self.shared.queue).shutdown = true;
+        self.shared.available.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut q = lock(&shared.queue);
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared
+                    .available
+                    .wait(q)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(job.thunk)) {
+            lock(&job.scope.panic).get_or_insert(payload);
+        }
+        let mut pending = lock(&job.scope.pending);
+        *pending -= 1;
+        if *pending == 0 {
+            job.scope.done.notify_all();
+        }
+    }
+}
+
+/// Handle for submitting borrowed jobs during one [`Pool::scoped`] call.
+pub struct Scope<'pool, 'scope> {
+    shared: &'pool PoolShared,
+    state: Arc<ScopeState>,
+    /// Ties submitted closures to `'scope` (invariant, like upstream).
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+impl<'scope> Scope<'_, 'scope> {
+    /// Queues `f` for a worker. `f` may borrow `'scope` data — the
+    /// scope cannot end before every queued job has run to completion.
+    pub fn execute<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: only the lifetime is erased. The job is queued on the
+        // pool, and both `join_all` and the scope's drop block until
+        // `pending == 0` — i.e. until a worker has finished running
+        // this closure — so every `'scope` borrow inside it strictly
+        // outlives its use.
+        let thunk: Thunk = unsafe { std::mem::transmute(boxed) };
+        *lock(&self.state.pending) += 1;
+        lock(&self.shared.queue).jobs.push_back(Job {
+            thunk,
+            scope: Arc::clone(&self.state),
+        });
+        self.shared.available.notify_one();
+    }
+
+    /// Blocks until every job queued so far has completed, re-throwing
+    /// the first captured job panic on this thread.
+    pub fn join_all(&self) {
+        let mut pending = lock(&self.state.pending);
+        while *pending > 0 {
+            pending = self
+                .state
+                .done
+                .wait(pending)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        drop(pending);
+        if let Some(payload) = lock(&self.state.panic).take() {
+            if !std::thread::panicking() {
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+impl Drop for Scope<'_, '_> {
+    fn drop(&mut self) {
+        // The safety of `execute`'s lifetime erasure: no scope ends
+        // with a job still queued or running.
+        self.join_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Pool;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_borrow_the_stack() {
+        let mut pool = Pool::new(3);
+        let mut data = vec![0u32; 64];
+        pool.scoped(|scope| {
+            for chunk in data.chunks_mut(16) {
+                scope.execute(move || {
+                    for x in chunk {
+                        *x += 1;
+                    }
+                });
+            }
+        });
+        assert!(data.iter().all(|&x| x == 1));
+    }
+
+    #[test]
+    fn scoped_returns_the_closure_value() {
+        let mut pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        let r = pool.scoped(|scope| {
+            for _ in 0..8 {
+                scope.execute(|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            42
+        });
+        assert_eq!(r, 42);
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn reusable_across_scopes() {
+        let mut pool = Pool::new(2);
+        assert_eq!(pool.thread_count(), 2);
+        let mut total = 0u64;
+        for round in 0..50u64 {
+            let partial = AtomicUsize::new(0);
+            pool.scoped(|scope| {
+                for _ in 0..4 {
+                    scope.execute(|| {
+                        partial.fetch_add(round as usize, Ordering::Relaxed);
+                    });
+                }
+            });
+            total += partial.load(Ordering::Relaxed) as u64;
+        }
+        assert_eq!(total, (0..50u64).map(|r| 4 * r).sum());
+    }
+
+    #[test]
+    fn job_panic_propagates_and_pool_survives() {
+        let mut pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scoped(|scope| {
+                scope.execute(|| panic!("job failure"));
+            });
+        }));
+        assert!(caught.is_err(), "the job panic must reach the caller");
+        // Workers must still be alive for the next dispatch.
+        let ok = AtomicUsize::new(0);
+        pool.scoped(|scope| {
+            scope.execute(|| {
+                ok.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 1);
+    }
+}

@@ -18,6 +18,11 @@
 //!   Figure 5.
 //! * [`runtime`] — thread blocks as OS threads, mapped round-robin onto
 //!   virtual SMs.
+//! * [`exec`] — the intra-block data-parallel seam: accounting always
+//!   follows the `ceil(n/B)` model above, but the flat passes behind
+//!   it can *actually execute* chunked across a worker pool
+//!   ([`PooledExec`]) instead of inline ([`SerialExec`]), with
+//!   bit-identical results and counters by construction.
 //!
 //! What is deliberately *not* modeled: warp divergence, memory
 //! coalescing, bank conflicts. The paper's performance story is about
@@ -34,10 +39,12 @@
 mod cost;
 pub mod counters;
 mod device;
+pub mod exec;
 pub mod occupancy;
 pub mod runtime;
 pub mod trace;
 
 pub use cost::CostModel;
 pub use device::DeviceSpec;
+pub use exec::{ExecutorSpec, ParallelExecutor, PooledExec, SerialExec};
 pub use occupancy::{KernelVariant, LaunchConfig};

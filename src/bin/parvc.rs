@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! parvc solve   [--policy seq|stack|hybrid|steal|batch|compsteal]
-//!               [--threads <n>] [--k <k>] [--deadline <s>]
+//!               [--threads <n>] [--exec serial|pooled[:threads]]
+//!               [--k <k>] [--deadline <s>]
 //!               [--extensions] [--component-branching[=<min-live>]]
 //!               [--split-bound lp|matching] [--split-backend uf|bfs]
 //!               [--prep] [--prep-rules d012,crown,highdeg,split]
@@ -107,6 +108,15 @@ const COMMANDS: &[CmdHelp] = &[
                 flag: "--threads <n>",
                 desc: "Cap on resident thread blocks, one OS thread each \
                        (--blocks is an alias).",
+            },
+            FlagHelp {
+                flag: "--exec <serial|pooled[:threads]>",
+                desc: "How each block's intra-block flat passes execute: inline \
+                       on the block's own thread (default) or chunked across a \
+                       shared worker pool (`pooled:<n>` pins the pool size; \
+                       plain `pooled` sizes it from available parallelism). \
+                       Purely a wall-clock knob — results, tree shape, and \
+                       model-cycle counters are identical under either.",
             },
             FlagHelp {
                 flag: "--k <k>",
@@ -595,6 +605,7 @@ fn cmd_solve(args: &[String]) {
             "format",
             "blocks",
             "threads",
+            "exec",
             "prep-rules",
             "split-bound",
             "split-backend",
@@ -639,6 +650,13 @@ fn cmd_solve(args: &[String]) {
         .or_else(|| flags.options.get("blocks"))
     {
         builder = builder.grid_limit(Some(b.parse().expect("--threads takes a count")));
+    }
+    if let Some(e) = flags.options.get("exec") {
+        let spec = ExecutorSpec::parse(e).unwrap_or_else(|err| {
+            eprintln!("--exec: {err}");
+            std::process::exit(2);
+        });
+        builder = builder.executor(spec);
     }
     if flags.switches.contains("extensions") {
         builder = builder.extensions(parvc::core::Extensions::ALL);
@@ -965,6 +983,7 @@ mod tests {
         "format",
         "blocks",
         "threads",
+        "exec",
         "prep-rules",
         "split-bound",
         "split-backend",

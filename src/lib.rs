@@ -45,7 +45,8 @@ pub use parvc_worklist as worklist;
 /// Convenience re-exports covering the common entry points.
 pub mod prelude {
     pub use parvc_core::{
-        is_vertex_cover, Algorithm, MvcResult, PrepConfig, PvcResult, Solver, SolverBuilder,
+        is_vertex_cover, Algorithm, ExecutorSpec, MvcResult, PrepConfig, PvcResult, Solver,
+        SolverBuilder,
     };
     pub use parvc_graph::{CsrGraph, GraphBuilder};
     pub use parvc_simgpu::DeviceSpec;

@@ -1,0 +1,202 @@
+//! Executor-agreement property suite: the pooled executor is a pure
+//! wall-clock knob.
+//!
+//! The phase-split kernels (reduce-fixpoint classify, LP-bound BFS
+//! layering, connectivity diff scan) promise *chunking invariance*:
+//! per-chunk partials combined in ascending chunk order equal the
+//! serial pass, and model-cycle charges are computed from instance
+//! quantities only (see `parvc_simgpu::exec`). Consequence: with the
+//! traversal pinned deterministic (`grid_limit(1)`), a solve under
+//! [`ExecutorSpec::Pooled`] must reproduce the Serial solve **bit for
+//! bit** — same cover, same tree-node count, same split counters, same
+//! device cycles — across every policy, search mode, and corpus
+//! family. Anything less means an executor leaked into the search.
+
+use parvc::core::{Algorithm, ExecutorSpec, SolveStats, Solver};
+use parvc::graph::gen;
+use parvc::graph::CsrGraph;
+use parvc::simgpu::counters::SplitCounters;
+
+fn policies() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("sequential", Algorithm::Sequential),
+        ("stackonly", Algorithm::StackOnly { start_depth: 4 }),
+        ("hybrid", Algorithm::Hybrid),
+        ("worksteal", Algorithm::WorkStealing),
+        ("batched", Algorithm::Batched),
+        ("compsteal", Algorithm::ComponentSteal),
+    ]
+}
+
+/// The four corpus families with the most dissimilar search trees,
+/// sized for exhaustive policy × mode coverage.
+fn corpus() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("gnp", gen::gnp(28, 0.16, 11)),
+        ("ba", gen::barabasi_albert(26, 2, 5)),
+        ("grid", gen::grid2d(5, 4)),
+        ("components", gen::sparse_components(48, 8, 0.5, 3)),
+    ]
+}
+
+fn solver(algorithm: Algorithm, spec: ExecutorSpec, weighted: bool) -> Solver {
+    let mut b = Solver::builder()
+        .algorithm(algorithm)
+        .grid_limit(Some(1))
+        .component_branching(true)
+        .executor(spec);
+    if weighted {
+        b = b.weighted();
+    }
+    b.build()
+}
+
+/// Everything an executor could possibly perturb, in one comparable
+/// bundle.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    size: u32,
+    weight: u64,
+    cover: Vec<u32>,
+    tree_nodes: u64,
+    device_cycles: u64,
+    splits: SplitCounters,
+}
+
+fn fingerprint(size: u32, weight: u64, cover: Vec<u32>, stats: &SolveStats) -> Fingerprint {
+    Fingerprint {
+        size,
+        weight,
+        cover,
+        tree_nodes: stats.tree_nodes,
+        device_cycles: stats.device_cycles,
+        splits: stats.report.split_totals(),
+    }
+}
+
+const POOLED: ExecutorSpec = ExecutorSpec::Pooled { threads: Some(3) };
+
+#[test]
+fn mvc_pooled_bitmatches_serial_across_policies_and_families() {
+    for (family, g) in corpus() {
+        for (name, algorithm) in policies() {
+            let serial = solver(algorithm, ExecutorSpec::Serial, false).solve_mvc(&g);
+            let pooled = solver(algorithm, POOLED, false).solve_mvc(&g);
+            assert_eq!(
+                fingerprint(serial.size, serial.weight, serial.cover, &serial.stats),
+                fingerprint(pooled.size, pooled.weight, pooled.cover, &pooled.stats),
+                "{name} on {family}: pooled MVC solve diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn weighted_pooled_bitmatches_serial_across_policies_and_families() {
+    for (family, g) in corpus() {
+        let g = gen::with_uniform_weights(g, 10, 0x5eed);
+        for (name, algorithm) in policies() {
+            let serial = solver(algorithm, ExecutorSpec::Serial, true).solve_mvc(&g);
+            let pooled = solver(algorithm, POOLED, true).solve_mvc(&g);
+            assert_eq!(
+                fingerprint(serial.size, serial.weight, serial.cover, &serial.stats),
+                fingerprint(pooled.size, pooled.weight, pooled.cover, &pooled.stats),
+                "{name} on {family}: pooled weighted solve diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn pvc_pooled_bitmatches_serial_across_policies_and_families() {
+    for (family, g) in corpus() {
+        let opt = solver(Algorithm::Sequential, ExecutorSpec::Serial, false)
+            .solve_mvc(&g)
+            .size;
+        // One satisfiable budget and one unsatisfiable: both the found
+        // and the exhausted traversal must agree.
+        for k in [opt, opt.saturating_sub(1)] {
+            for (name, algorithm) in policies() {
+                let serial = solver(algorithm, ExecutorSpec::Serial, false).solve_pvc(&g, k);
+                let pooled = solver(algorithm, POOLED, false).solve_pvc(&g, k);
+                assert_eq!(serial.found(), pooled.found(), "{name} on {family} k={k}");
+                assert_eq!(
+                    fingerprint(
+                        serial.k,
+                        0,
+                        serial.cover.clone().unwrap_or_default(),
+                        &serial.stats
+                    ),
+                    fingerprint(
+                        pooled.k,
+                        0,
+                        pooled.cover.clone().unwrap_or_default(),
+                        &pooled.stats
+                    ),
+                    "{name} on {family} k={k}: pooled PVC solve diverged from serial"
+                );
+            }
+        }
+    }
+}
+
+/// A disjoint union of small cycles: `num/2` copies of `C7` and `C8`
+/// each. Cycles resist every reduction rule (all degrees are 2), so
+/// the root node splits into `num` component sub-searches — in-search
+/// component branching at full instance scale with a bounded tree.
+fn disjoint_cycles(num: u32, len: u32) -> CsrGraph {
+    let mut edges = Vec::new();
+    let mut base = 0u32;
+    for c in 0..num {
+        let k = if c % 2 == 0 { len } else { len - 1 };
+        for i in 0..k {
+            edges.push((base + i, base + (i + 1) % k));
+        }
+        base += k;
+    }
+    CsrGraph::from_edges(base, &edges).unwrap()
+}
+
+#[test]
+fn pooled_chunked_dispatch_agrees_above_the_parallel_threshold() {
+    // Instances past MIN_PARALLEL = 4096 vertices, where the pooled
+    // executor genuinely fans flat passes across worker threads instead
+    // of short-circuiting to one inline chunk. Reduction- and
+    // split-dominated shapes keep the trees small while every classify
+    // pass dispatches.
+    let large: Vec<(&'static str, CsrGraph)> = vec![
+        ("path", gen::path(6000)),
+        ("star", gen::star(5000)),
+        ("cycles", disjoint_cycles(640, 8)),
+    ];
+    for (family, g) in &large {
+        for (name, algorithm) in [
+            ("sequential", Algorithm::Sequential),
+            ("hybrid", Algorithm::Hybrid),
+            ("compsteal", Algorithm::ComponentSteal),
+        ] {
+            let serial = solver(algorithm, ExecutorSpec::Serial, false).solve_mvc(g);
+            let pooled = solver(algorithm, POOLED, false).solve_mvc(g);
+            assert_eq!(
+                fingerprint(serial.size, serial.weight, serial.cover, &serial.stats),
+                fingerprint(pooled.size, pooled.weight, pooled.cover, &pooled.stats),
+                "{name} on large {family}: chunked dispatch diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn executor_spec_parses_cli_forms() {
+    assert_eq!(ExecutorSpec::parse("serial").unwrap(), ExecutorSpec::Serial);
+    assert_eq!(
+        ExecutorSpec::parse("pooled").unwrap(),
+        ExecutorSpec::Pooled { threads: None }
+    );
+    assert_eq!(
+        ExecutorSpec::parse("pooled:5").unwrap(),
+        ExecutorSpec::Pooled { threads: Some(5) }
+    );
+    assert!(ExecutorSpec::parse("gpu").is_err());
+    assert!(ExecutorSpec::parse("pooled:0").is_err());
+}

@@ -4,7 +4,7 @@
 use parvc::core::bound::SearchBound;
 use parvc::core::brute::brute_force_mvc;
 use parvc::core::ops::Kernel;
-use parvc::core::TreeNode;
+use parvc::core::{BlockScratch, TreeNode};
 use parvc::graph::CsrGraph;
 use parvc::simgpu::counters::BlockCounters;
 use parvc::simgpu::{CostModel, KernelVariant};
@@ -35,10 +35,10 @@ proptest! {
     #[test]
     fn reduce_preserves_optimum(g in arb_graph(13)) {
         let cost = CostModel::default();
-        let kernel = Kernel { graph: &g, cost: &cost, block_size: 32, variant: KernelVariant::SharedMem, ext: parvc::core::Extensions::NONE };
+        let kernel = Kernel { block_size: 32, variant: KernelVariant::SharedMem, ..Kernel::sequential(&g, &cost) };
         let mut node = TreeNode::root(&g);
         let mut counters = BlockCounters::new(0);
-        kernel.reduce(&mut node, SearchBound::Mvc { best: u32::MAX }, &mut counters);
+        kernel.reduce(&mut node, SearchBound::Mvc { best: u32::MAX }, &mut BlockScratch::new(), &mut counters);
         node.check_consistency(&g).expect("degree array corrupted");
 
         let (opt, _) = brute_force_mvc(&g);
@@ -51,10 +51,10 @@ proptest! {
     #[test]
     fn reduce_reaches_a_fixpoint(g in arb_graph(16)) {
         let cost = CostModel::default();
-        let kernel = Kernel { graph: &g, cost: &cost, block_size: 32, variant: KernelVariant::SharedMem, ext: parvc::core::Extensions::NONE };
+        let kernel = Kernel { block_size: 32, variant: KernelVariant::SharedMem, ..Kernel::sequential(&g, &cost) };
         let mut node = TreeNode::root(&g);
         let mut counters = BlockCounters::new(0);
-        kernel.reduce(&mut node, SearchBound::Mvc { best: u32::MAX }, &mut counters);
+        kernel.reduce(&mut node, SearchBound::Mvc { best: u32::MAX }, &mut BlockScratch::new(), &mut counters);
 
         for v in g.vertices() {
             prop_assert_ne!(node.degree(v), 1, "degree-one vertex {} survived", v);
@@ -123,15 +123,18 @@ fn high_degree_budget_shrinks_during_round() {
     let g = CsrGraph::from_edges(next, &edges).unwrap();
     let cost = CostModel::default();
     let kernel = Kernel {
-        graph: &g,
-        cost: &cost,
         block_size: 32,
         variant: KernelVariant::SharedMem,
-        ext: parvc::core::Extensions::NONE,
+        ..Kernel::sequential(&g, &cost)
     };
     let mut node = TreeNode::root(&g);
     let mut counters = BlockCounters::new(0);
-    kernel.reduce(&mut node, SearchBound::Mvc { best: 4 }, &mut counters);
+    kernel.reduce(
+        &mut node,
+        SearchBound::Mvc { best: 4 },
+        &mut BlockScratch::new(),
+        &mut counters,
+    );
     node.check_consistency(&g).unwrap();
     // The optimum is {1,2,3} (size 3): every hub covered; reductions
     // with best=4 may solve it outright or leave a kernel — but they
@@ -148,17 +151,16 @@ fn reduce_on_disconnected_components_is_independent() {
     let g = CsrGraph::from_edges(8, &[(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]).unwrap();
     let cost = CostModel::default();
     let kernel = Kernel {
-        graph: &g,
-        cost: &cost,
         block_size: 32,
         variant: KernelVariant::SharedMem,
-        ext: parvc::core::Extensions::NONE,
+        ..Kernel::sequential(&g, &cost)
     };
     let mut node = TreeNode::root(&g);
     let mut counters = BlockCounters::new(0);
     kernel.reduce(
         &mut node,
         SearchBound::Mvc { best: u32::MAX },
+        &mut BlockScratch::new(),
         &mut counters,
     );
     assert!(node.is_edgeless());

@@ -10,7 +10,7 @@ use parvc::core::brute::{brute_force_mvc, weighted_brute_force};
 use parvc::core::greedy::greedy_mvc;
 use parvc::core::ops::Kernel;
 use parvc::core::split::{SplitBackend, SplitBound, SplitParams};
-use parvc::core::{is_vertex_cover, Algorithm, Extensions, Solver, TreeNode};
+use parvc::core::{is_vertex_cover, Algorithm, Solver, TreeNode};
 use parvc::graph::{gen, ops, CsrGraph};
 use parvc::simgpu::counters::{Activity, BlockCounters};
 use parvc::simgpu::{CostModel, KernelVariant};
@@ -178,17 +178,20 @@ fn disconnection_at_depth_two_is_caught_by_in_search_split() {
     // branch — prep's up-front split can never fire here.
     let cost = CostModel::default();
     let kernel = Kernel {
-        graph: &g,
-        cost: &cost,
         block_size: 32,
         variant: KernelVariant::SharedMem,
-        ext: Extensions::NONE,
+        ..Kernel::sequential(&g, &cost)
     };
     let best = greedy_mvc(&g).0;
     let bound = SearchBound::Mvc { best };
     let mut c = BlockCounters::new(0);
     let mut root = TreeNode::root(&g);
-    kernel.reduce(&mut root, bound, &mut c);
+    kernel.reduce(
+        &mut root,
+        bound,
+        &mut parvc::core::BlockScratch::new(),
+        &mut c,
+    );
     assert!(
         residual_connected(&g, &root),
         "root must stay connected after reduction"
@@ -196,10 +199,20 @@ fn disconnection_at_depth_two_is_caught_by_in_search_split() {
     let vmax = kernel.find_max_degree(&root, &mut c).unwrap();
     let mut left = root.clone();
     kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, &mut c);
-    kernel.reduce(&mut left, bound, &mut c);
+    kernel.reduce(
+        &mut left,
+        bound,
+        &mut parvc::core::BlockScratch::new(),
+        &mut c,
+    );
     let mut right = root.clone();
     kernel.remove_vertex(&mut right, vmax, Activity::RemoveMaxVertex, &mut c);
-    kernel.reduce(&mut right, bound, &mut c);
+    kernel.reduce(
+        &mut right,
+        bound,
+        &mut parvc::core::BlockScratch::new(),
+        &mut c,
+    );
     for (label, child) in [("remove-N(vmax)", &left), ("remove-vmax", &right)] {
         assert!(
             child.is_edgeless() || residual_connected(&g, child),
@@ -337,11 +350,9 @@ proptest! {
         };
         let cost = CostModel::default();
         let kernel = Kernel {
-            graph: &g,
-            cost: &cost,
             block_size: 32,
             variant: KernelVariant::SharedMem,
-            ext: Extensions::NONE,
+            ..Kernel::sequential(&g, &cost)
         };
         let bound = if weighted {
             SearchBound::WeightedMvc { best: u64::MAX - 1 }
@@ -353,7 +364,7 @@ proptest! {
         let mut node = TreeNode::root(&g);
         let mut checkpoints: Vec<TreeNode> = Vec::new();
         for level in 0..8u32 {
-            kernel.reduce(&mut node, bound, &mut c);
+            kernel.reduce(&mut node, bound, &mut parvc::core::BlockScratch::new(), &mut c);
             let bfs = components_of(
                 &kernel, &node, SplitBackend::Bfs,
                 &mut parvc::core::Connectivity::new(), weighted,
