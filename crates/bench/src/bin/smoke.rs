@@ -17,9 +17,17 @@
 //! cargo run --release -p parvc-bench --bin smoke -- \
 //!     --json bench-report.json --baseline bench/baselines/components.json
 //! ```
+//!
+//! With `--trace-out`/`--metrics-out` every solve additionally runs
+//! with a full recording sink: the Chrome trace of one representative
+//! solve and the merged metrics across the whole matrix are written as
+//! artifacts, while the baseline compare doubles as the telemetry
+//! divergence gate (a sink that changed any tree-node count fails it).
 
 use parvc_bench::json::{obj, parse, Value};
-use parvc_core::{Algorithm, ExecutorSpec, MvcResult, Solver, SplitParams};
+use parvc_core::{
+    Algorithm, ExecutorSpec, MvcResult, Solver, SplitParams, TelemetryConfig, TelemetrySnapshot,
+};
 use parvc_graph::{gen, CsrGraph};
 
 /// The downsized corpus: component-structured instances small enough
@@ -51,19 +59,42 @@ fn policies() -> Vec<(&'static str, Algorithm)> {
     ]
 }
 
-fn solve(algorithm: Algorithm, exec: ExecutorSpec, g: &CsrGraph) -> MvcResult {
-    Solver::builder()
+fn solve(algorithm: Algorithm, exec: ExecutorSpec, telemetry: bool, g: &CsrGraph) -> MvcResult {
+    let mut b = Solver::builder()
         .algorithm(algorithm)
         .grid_limit(Some(1))
         .component_branching_params(SplitParams::with_min_live(4))
-        .executor(exec)
-        .build()
-        .solve_mvc(g)
+        .executor(exec);
+    if telemetry {
+        b = b.telemetry(TelemetryConfig::default());
+    }
+    b.build().solve_mvc(g)
+}
+
+/// Folds one solve's snapshot into the run-wide aggregate written by
+/// `--metrics-out`: counters and histogram populations are summed
+/// (they are per-solve totals), gauges keep their maximum (they are
+/// per-solve level readings, so the max is the run's high-water mark).
+fn merge_snapshot(agg: &mut TelemetrySnapshot, snap: &TelemetrySnapshot) {
+    agg.dropped_spans += snap.dropped_spans;
+    agg.push_spans(snap.spans.iter().copied());
+    for (&k, &v) in &snap.counters {
+        *agg.counters.entry(k).or_insert(0) += v;
+    }
+    for (&k, &v) in &snap.gauges {
+        let slot = agg.gauges.entry(k).or_insert(0);
+        *slot = (*slot).max(v);
+    }
+    for (&k, h) in &snap.histograms {
+        agg.histograms.entry(k).or_default().merge(h);
+    }
 }
 
 fn main() {
     let mut json_out: Option<String> = None;
     let mut baseline: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     // The executor is a pure wall-clock knob: tree nodes and split
     // counters are executor-invariant, so a pooled run gates against
     // the same serial baseline (CI runs both arms).
@@ -77,6 +108,8 @@ fn main() {
         match flag.as_str() {
             "--json" => json_out = Some(value("path")),
             "--baseline" => baseline = Some(value("path")),
+            "--trace-out" => trace_out = Some(value("path")),
+            "--metrics-out" => metrics_out = Some(value("path")),
             "--exec" => {
                 exec = ExecutorSpec::parse(&value("serial|pooled[:threads]"))
                     .unwrap_or_else(|e| panic!("--exec: {e}"))
@@ -84,6 +117,7 @@ fn main() {
             "--help" | "-h" => {
                 eprintln!(
                     "options: --json <report path>  --baseline <baseline path>  \
+                     --trace-out <chrome trace path>  --metrics-out <metrics path>  \
                      --exec serial|pooled[:threads]"
                 );
                 std::process::exit(0);
@@ -91,6 +125,12 @@ fn main() {
             other => panic!("unknown flag '{other}' (try --help)"),
         }
     }
+    // Telemetry-on runs still gate against the telemetry-off baseline:
+    // the sink must not perturb tree nodes, so any divergence in a
+    // telemetry arm fails the same compare() below.
+    let telemetry = trace_out.is_some() || metrics_out.is_some();
+    let mut agg = TelemetrySnapshot::default();
+    let mut trace_doc: Option<String> = None;
 
     let mut instances: Vec<Value> = Vec::new();
     for (name, g) in corpus() {
@@ -98,7 +138,16 @@ fn main() {
         let mut rows: Vec<Value> = Vec::new();
         let mut size: Option<u32> = None;
         for (policy, algorithm) in policies() {
-            let r = solve(algorithm, exec, &g);
+            let r = solve(algorithm, exec, telemetry, &g);
+            if let Some(snap) = &r.stats.telemetry {
+                merge_snapshot(&mut agg, snap);
+                // The trace artifact is one representative solve: the
+                // component-steal policy on the components instance
+                // exercises the richest span taxonomy.
+                if name == "components" && policy == "compsteal" {
+                    trace_doc = Some(snap.chrome_trace());
+                }
+            }
             assert!(
                 parvc_core::is_vertex_cover(&g, &r.cover),
                 "{name}/{policy}: returned a non-cover"
@@ -135,6 +184,16 @@ fn main() {
     if let Some(path) = &json_out {
         std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("[smoke] report written to {path}");
+    }
+    if let Some(path) = &trace_out {
+        let doc = trace_doc.expect("the components/compsteal solve ran");
+        std::fs::write(path, doc).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[smoke] chrome trace written to {path}");
+    }
+    if let Some(path) = &metrics_out {
+        std::fs::write(path, agg.metrics_json())
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[smoke] merged metrics written to {path}");
     }
     if let Some(path) = &baseline {
         let base_text =

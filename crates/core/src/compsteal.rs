@@ -236,6 +236,16 @@ impl SchedulePolicy for CompStealPolicy<'_> {
                     );
                     counters.nodes_from_worklist += 1;
                     counters.record_steal(victim as u32);
+                    if kernel.sink.enabled() {
+                        parvc_obs::instant(
+                            kernel.sink,
+                            "steal",
+                            "steal",
+                            counters.block_id + 1,
+                            victim as u64,
+                        );
+                        kernel.sink.counter("steal.steals", 1);
+                    }
                     task
                 }
                 StealOutcome::Done => {

@@ -29,6 +29,7 @@
 use parvc_graph::{CsrGraph, VertexId};
 use parvc_simgpu::counters::{Activity, BlockCounters};
 use parvc_simgpu::exec::ParallelExecutor;
+use parvc_simgpu::obs::ObservedExec;
 use parvc_simgpu::runtime::{run_blocks, BlockCtx};
 use parvc_simgpu::{CostModel, DeviceSpec, LaunchConfig};
 
@@ -193,6 +194,39 @@ pub trait PolicyFactory: Sync {
     ) -> Box<dyn SchedulePolicy + 's>;
 }
 
+/// Observation hooks threaded through the engine (and into every
+/// block's [`Kernel`]): the telemetry sink, the progress heartbeat,
+/// and whether blocks record their model-cycle span log. Pure
+/// observation — results, charges, and counters are identical whether
+/// these are on or [`OFF`](EngineObs::OFF) (the telemetry-safety suite
+/// pins this).
+#[derive(Clone, Copy)]
+pub struct EngineObs<'a> {
+    /// Telemetry sink for wall-clock spans and metrics.
+    pub sink: &'a dyn parvc_obs::Sink,
+    /// Progress heartbeat, ticked once per tree node.
+    pub progress: Option<&'a crate::progress::Heartbeat>,
+    /// Record per-block model-cycle span logs
+    /// ([`BlockCounters::enable_tracing`]) even on inline single-block
+    /// runs, where no [`LaunchConfig`] carries the flag.
+    pub model_trace: bool,
+}
+
+impl EngineObs<'static> {
+    /// Everything off: the no-op sink, no heartbeat, no model trace.
+    pub const OFF: EngineObs<'static> = EngineObs {
+        sink: &parvc_obs::NOOP,
+        progress: None,
+        model_trace: false,
+    };
+}
+
+impl Default for EngineObs<'static> {
+    fn default() -> Self {
+        EngineObs::OFF
+    }
+}
+
 /// One block's whole traversal: the Figure 1 / Figure 4 loop with the
 /// scheduling decisions delegated to `policy`.
 ///
@@ -236,7 +270,13 @@ pub fn drive_block(
 
         // The shared step: reduce, check, branch (lines 11 onward).
         counters.tree_nodes_visited += 1;
+        if let Some(hb) = kernel.progress {
+            hb.tick(&bound);
+        }
+        let track = counters.block_id + 1;
+        let t_reduce = parvc_obs::SpanTimer::start(kernel.sink);
         kernel.reduce(&mut node, bound.bound(), &mut scratch, counters);
+        t_reduce.finish(kernel.sink, "engine", "reduce", track, node.len() as u64);
         if kernel.prune(&node, bound.bound(), &mut scratch) {
             continue;
         }
@@ -308,10 +348,12 @@ pub fn drive_block(
 
         // Branch (lines 20–29): the remove-N(vmax) child goes to the
         // policy, the remove-vmax child continues in place.
+        let t_branch = parvc_obs::SpanTimer::start(kernel.sink);
         let mut left = node.clone();
         kernel.remove_neighbors(&mut left, vmax, Activity::RemoveNeighbors, counters);
         policy.dispose(left, kernel, counters);
         kernel.remove_vertex(&mut node, vmax, Activity::RemoveMaxVertex, counters);
+        t_branch.finish(kernel.sink, "engine", "branch", track, vmax as u64);
         current = Some(node);
     }
 }
@@ -341,6 +383,8 @@ pub struct Engine<'a> {
     /// pool. Purely a wall-clock knob — results and counters are
     /// executor-invariant by the `parvc_simgpu::exec` contract.
     pub exec: &'a dyn ParallelExecutor,
+    /// Observation hooks ([`EngineObs::OFF`] = fully silent).
+    pub obs: EngineObs<'a>,
 }
 
 impl Engine<'_> {
@@ -370,6 +414,7 @@ impl Engine<'_> {
     ///     deadline: &deadline,
     ///     ext: Extensions::NONE,
     ///     exec: &parvc_simgpu::exec::SERIAL,
+    ///     obs: parvc_core::engine::EngineObs::OFF,
     /// };
     /// let mode = SearchMode::Mvc { initial: greedy_mvc(&g) };
     /// let SearchOutcome::Mvc(raw) = engine.solve(&SequentialFactory::new(), mode) else {
@@ -462,11 +507,24 @@ impl Engine<'_> {
         depth_bound: usize,
     ) -> Vec<BlockCounters> {
         factory.seed(TreeNode::root(self.graph));
+        let obs = self.obs;
         match self.config {
             None => {
+                // Observed runs route the executor through the
+                // recording decorator; disabled runs keep the bare
+                // reference — zero extra hops on the default path.
+                let oexec;
+                let exec: &dyn ParallelExecutor = if obs.sink.enabled() {
+                    oexec = ObservedExec::new(self.exec, obs.sink, 1);
+                    &oexec
+                } else {
+                    self.exec
+                };
                 let kernel = Kernel {
                     ext: self.ext,
-                    exec: self.exec,
+                    exec,
+                    sink: obs.sink,
+                    progress: obs.progress,
                     ..Kernel::sequential(self.graph, self.cost)
                 };
                 let ctx = BlockCtx {
@@ -475,21 +533,47 @@ impl Engine<'_> {
                     block_size: 1,
                 };
                 let mut counters = BlockCounters::new(0);
+                if obs.model_trace {
+                    counters.enable_tracing();
+                }
                 let mut policy = factory.block_policy(ctx, depth_bound);
+                let t_block = parvc_obs::SpanTimer::start(obs.sink);
                 drive_block(&kernel, bound, policy.as_mut(), &mut counters);
+                t_block.finish(obs.sink, "engine", "block", 1, counters.tree_nodes_visited);
+                obs.sink
+                    .counter("engine.nodes", counters.tree_nodes_visited);
                 vec![counters]
             }
             Some(config) => run_blocks(self.device, config, |ctx, counters| {
+                let oexec;
+                let exec: &dyn ParallelExecutor = if obs.sink.enabled() {
+                    oexec = ObservedExec::new(self.exec, obs.sink, ctx.block_id + 1);
+                    &oexec
+                } else {
+                    self.exec
+                };
                 let kernel = Kernel {
                     graph: self.graph,
                     cost: self.cost,
                     block_size: ctx.block_size,
                     variant: config.variant,
                     ext: self.ext,
-                    exec: self.exec,
+                    exec,
+                    sink: obs.sink,
+                    progress: obs.progress,
                 };
                 let mut policy = factory.block_policy(ctx, depth_bound);
+                let t_block = parvc_obs::SpanTimer::start(obs.sink);
                 drive_block(&kernel, bound, policy.as_mut(), counters);
+                t_block.finish(
+                    obs.sink,
+                    "engine",
+                    "block",
+                    ctx.block_id + 1,
+                    counters.tree_nodes_visited,
+                );
+                obs.sink
+                    .counter("engine.nodes", counters.tree_nodes_visited);
             }),
         }
     }
@@ -519,6 +603,7 @@ mod tests {
             deadline,
             ext: Extensions::NONE,
             exec: &SERIAL,
+            obs: EngineObs::OFF,
         }
     }
 

@@ -67,6 +67,7 @@ pub mod hybrid;
 pub mod mis;
 mod node;
 pub mod ops;
+pub mod progress;
 pub mod reduce;
 pub mod scratch;
 pub mod sequential;
@@ -79,11 +80,15 @@ pub mod stealing;
 pub mod verify;
 
 pub use connect::{ConnPool, Connectivity};
-pub use engine::{Engine, ExitCause, PolicyFactory, SchedulePolicy, SearchMode, SearchOutcome};
+pub use engine::{
+    Engine, EngineObs, ExitCause, PolicyFactory, SchedulePolicy, SearchMode, SearchOutcome,
+};
 pub use extensions::Extensions;
 pub use node::{TreeNode, REMOVED};
+pub use parvc_obs::{RecordingSink, Sink, TelemetryConfig, TelemetrySnapshot};
 pub use parvc_prep::{PrepConfig, PrepStats};
 pub use parvc_simgpu::exec::ExecutorSpec;
+pub use progress::Heartbeat;
 pub use scratch::BlockScratch;
 pub use solver::{Algorithm, Solver, SolverBuilder};
 pub use split::{PendingSplit, SplitBackend, SplitBound, SplitParams, SubInstance};

@@ -33,6 +33,12 @@ pub struct Kernel<'a> {
     /// wall-clock knob: charges and results are executor-invariant
     /// (see `parvc_simgpu::exec`).
     pub exec: &'a dyn ParallelExecutor,
+    /// Telemetry sink ([`parvc_obs::NOOP`] by default). Observation
+    /// only: results, charges, and counters are sink-invariant.
+    pub sink: &'a dyn parvc_obs::Sink,
+    /// Wall-clock progress heartbeat, ticked once per tree node
+    /// (`None` = off).
+    pub progress: Option<&'a crate::progress::Heartbeat>,
 }
 
 impl<'a> Kernel<'a> {
@@ -48,6 +54,8 @@ impl<'a> Kernel<'a> {
             variant: KernelVariant::SharedMem,
             ext: Extensions::NONE,
             exec: &SERIAL,
+            sink: &parvc_obs::NOOP,
+            progress: None,
         }
     }
 

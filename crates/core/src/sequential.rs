@@ -101,6 +101,7 @@ mod tests {
             deadline: &deadline,
             ext: Extensions::NONE,
             exec: &parvc_simgpu::exec::SERIAL,
+            obs: crate::engine::EngineObs::OFF,
         };
         engine.solve_mvc(&SequentialFactory::new(), initial)
     }
@@ -117,6 +118,7 @@ mod tests {
             deadline: &deadline,
             ext: Extensions::NONE,
             exec: &parvc_simgpu::exec::SERIAL,
+            obs: crate::engine::EngineObs::OFF,
         };
         engine.solve_pvc(&SequentialFactory::new(), k)
     }

@@ -22,7 +22,9 @@ use parvc_simgpu::{CostModel, DeviceSpec, KernelVariant, LaunchConfig};
 
 use crate::batch::{BatchFactory, DEFAULT_BATCH};
 use crate::compsteal::CompStealFactory;
-use crate::engine::{Engine, PolicyFactory, SearchMode, SearchOutcome};
+use parvc_obs::{RecordingSink, Sink, SpanTimer};
+
+use crate::engine::{Engine, EngineObs, PolicyFactory, SearchMode, SearchOutcome};
 use crate::extensions::Extensions;
 use crate::greedy::{greedy_mvc_bounded, greedy_weighted_mvc_bounded};
 use crate::hybrid::{HybridFactory, HybridParams};
@@ -123,6 +125,8 @@ pub struct SolverBuilder {
     weighted: bool,
     batch_size: usize,
     executor: ExecutorSpec,
+    telemetry: Option<parvc_obs::TelemetryConfig>,
+    progress: Option<std::time::Duration>,
     /// Whether the caller explicitly configured component branching
     /// (so `build()` can tell "disabled on purpose" from "never set"
     /// when ComponentSteal implies a default).
@@ -150,6 +154,8 @@ impl Default for SolverBuilder {
             weighted: false,
             batch_size: DEFAULT_BATCH,
             executor: ExecutorSpec::default(),
+            telemetry: None,
+            progress: None,
             split_configured: false,
         }
     }
@@ -312,6 +318,45 @@ impl SolverBuilder {
         self
     }
 
+    /// Records structured telemetry on every solve: wall-clock spans
+    /// across prep → engine → split → executor, the metrics registry,
+    /// and (when [`TelemetryConfig::model_cycles`] is set, the
+    /// default) the per-block model-cycle span log bridged onto a
+    /// synthetic trace track. The snapshot lands in
+    /// [`SolveStats::telemetry`]; export it as Chrome trace-event JSON
+    /// or a flat metrics table. Observation only — results, tree
+    /// shape, and counters are identical with telemetry on or off.
+    ///
+    /// ```
+    /// use parvc_core::{Solver, TelemetryConfig};
+    /// use parvc_graph::gen;
+    ///
+    /// let solver = Solver::builder()
+    ///     .telemetry(TelemetryConfig::default())
+    ///     .build();
+    /// let r = solver.solve_mvc(&gen::petersen());
+    /// let snap = r.stats.telemetry.expect("telemetry was on");
+    /// assert!(snap.span_categories().contains("engine"));
+    /// let trace = snap.chrome_trace(); // open in Perfetto
+    /// assert!(trace.starts_with("{\"traceEvents\":["));
+    /// ```
+    ///
+    /// [`TelemetryConfig`]: parvc_obs::TelemetryConfig
+    /// [`TelemetryConfig::model_cycles`]: parvc_obs::TelemetryConfig::model_cycles
+    pub fn telemetry(mut self, cfg: parvc_obs::TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Prints a progress heartbeat to stderr every `interval` during
+    /// solves: best-so-far bound, tree nodes visited, and nodes/sec.
+    /// Clock checks are strided exactly like the deadline machinery's,
+    /// so the heartbeat does not perturb the search.
+    pub fn progress(mut self, interval: std::time::Duration) -> Self {
+        self.progress = Some(interval);
+        self
+    }
+
     /// Children handed off per queue negotiation by the
     /// [`Algorithm::Batched`] policy (default 8; clamped to >= 1).
     pub fn batch_size(mut self, k: usize) -> Self {
@@ -365,6 +410,11 @@ impl SolverBuilder {
             && !self.split_configured
         {
             self.ext.component_branching = Some(SplitParams::default());
+        }
+        // The synthetic model-cycle trace track is built from the
+        // per-block span logs, so asking for it implies recording them.
+        if let Some(t) = &self.telemetry {
+            self.record_trace |= t.model_cycles;
         }
         Solver {
             exec: self.executor.build(),
@@ -439,6 +489,14 @@ impl Solver {
     /// execution — enable [`SolverBuilder::preprocess`] (or use a
     /// larger [`DeviceSpec`]) for instances of that scale.
     pub fn solve_mvc(&self, g: &CsrGraph) -> MvcResult {
+        let (sink, heartbeat) = self.solve_observers();
+        let obs = SolveObs::new(sink.as_ref(), heartbeat.as_ref());
+        let mut r = self.solve_mvc_with(g, obs);
+        self.finish_telemetry(sink, &mut r.stats);
+        r
+    }
+
+    fn solve_mvc_with(&self, g: &CsrGraph, obs: SolveObs<'_>) -> MvcResult {
         let start = Instant::now();
         if g.num_edges() == 0 {
             return MvcResult {
@@ -451,7 +509,7 @@ impl Solver {
         let deadline = Deadline::new(self.cfg.deadline);
 
         if let Some(prep_cfg) = &self.cfg.prep {
-            return self.solve_mvc_prep(g, prep_cfg, start, &deadline);
+            return self.solve_mvc_prep(g, prep_cfg, start, &deadline, obs);
         }
 
         if self.cfg.weighted {
@@ -462,6 +520,7 @@ impl Solver {
                 SearchMode::WeightedMvc { initial: greedy },
                 &deadline,
                 false,
+                obs,
             );
             let raw = match outcome {
                 SearchOutcome::Weighted(raw) => raw,
@@ -481,14 +540,20 @@ impl Solver {
                     greedy_size,
                     timed_out: deadline.was_hit(),
                     prep: None,
+                    telemetry: None,
                 },
             };
         }
 
         let greedy = greedy_mvc_bounded(g, &deadline);
         let greedy_size = greedy.0;
-        let (outcome, launch) =
-            self.run_engine(g, SearchMode::Mvc { initial: greedy }, &deadline, false);
+        let (outcome, launch) = self.run_engine(
+            g,
+            SearchMode::Mvc { initial: greedy },
+            &deadline,
+            false,
+            obs,
+        );
         let raw = match outcome {
             SearchOutcome::Mvc(raw) => raw,
             _ => unreachable!("MVC mode returns an MVC outcome"),
@@ -507,6 +572,7 @@ impl Solver {
                 greedy_size,
                 timed_out: deadline.was_hit(),
                 prep: None,
+                telemetry: None,
             },
         }
     }
@@ -519,6 +585,14 @@ impl Solver {
     /// Degrades to inline execution on over-sized graphs exactly like
     /// [`solve_mvc`](Self::solve_mvc).
     pub fn solve_pvc(&self, g: &CsrGraph, k: u32) -> PvcResult {
+        let (sink, heartbeat) = self.solve_observers();
+        let obs = SolveObs::new(sink.as_ref(), heartbeat.as_ref());
+        let mut r = self.solve_pvc_with(g, k, obs);
+        self.finish_telemetry(sink, &mut r.stats);
+        r
+    }
+
+    fn solve_pvc_with(&self, g: &CsrGraph, k: u32, obs: SolveObs<'_>) -> PvcResult {
         let start = Instant::now();
 
         if g.num_edges() == 0 {
@@ -531,10 +605,10 @@ impl Solver {
         let deadline = Deadline::new(self.cfg.deadline);
 
         if let Some(prep_cfg) = &self.cfg.prep {
-            return self.solve_pvc_prep(g, prep_cfg, k, start, &deadline);
+            return self.solve_pvc_prep(g, prep_cfg, k, start, &deadline, obs);
         }
 
-        let (outcome, launch) = self.run_engine(g, SearchMode::Pvc { k }, &deadline, false);
+        let (outcome, launch) = self.run_engine(g, SearchMode::Pvc { k }, &deadline, false, obs);
         let raw = match outcome {
             SearchOutcome::Pvc(raw) => raw,
             _ => unreachable!("PVC mode returns a PVC outcome"),
@@ -552,6 +626,7 @@ impl Solver {
                 greedy_size: 0,
                 timed_out: deadline.was_hit(),
                 prep: None,
+                telemetry: None,
             },
         }
     }
@@ -568,11 +643,12 @@ impl Solver {
         prep_cfg: &PrepConfig,
         start: Instant,
         deadline: &Deadline,
+        obs: SolveObs<'_>,
     ) -> MvcResult {
         let mut prep_cfg = prep_cfg.clone();
         prep_cfg.weighted |= self.cfg.weighted;
-        let kernel = parvc_prep::preprocess(g, &prep_cfg);
-        let (sub_covers, agg) = self.solve_components(&kernel, deadline, self.cfg.weighted);
+        let kernel = parvc_prep::preprocess_traced(g, &prep_cfg, obs.sink);
+        let (sub_covers, agg) = self.solve_components(&kernel, deadline, self.cfg.weighted, obs);
         let cover = kernel.lift(&sub_covers);
         let report = self.launch_report(agg.launch.is_some(), agg.blocks);
         MvcResult {
@@ -588,6 +664,7 @@ impl Solver {
                 greedy_size: agg.greedy_total,
                 timed_out: deadline.was_hit(),
                 prep: Some(kernel.stats),
+                telemetry: None,
             },
         }
     }
@@ -603,8 +680,9 @@ impl Solver {
         k: u32,
         start: Instant,
         deadline: &Deadline,
+        obs: SolveObs<'_>,
     ) -> PvcResult {
-        let kernel = parvc_prep::preprocess(g, prep_cfg);
+        let kernel = parvc_prep::preprocess_traced(g, prep_cfg, obs.sink);
         let forced = kernel.trace.forced.len() as u32;
         if forced > k {
             let mut stats = self.trivial_stats(start, forced);
@@ -615,7 +693,7 @@ impl Solver {
                 stats,
             };
         }
-        let (sub_covers, agg) = self.solve_components(&kernel, deadline, false);
+        let (sub_covers, agg) = self.solve_components(&kernel, deadline, false, obs);
         let total = forced as u64 + sub_covers.iter().map(|c| c.len() as u64).sum::<u64>();
         let cover = (total <= k as u64).then(|| kernel.lift(&sub_covers));
         let report = self.launch_report(agg.launch.is_some(), agg.blocks);
@@ -631,6 +709,7 @@ impl Solver {
                 greedy_size: agg.greedy_total,
                 timed_out: deadline.was_hit(),
                 prep: Some(kernel.stats),
+                telemetry: None,
             },
         }
     }
@@ -645,6 +724,7 @@ impl Solver {
         kernel: &parvc_prep::Kernel,
         deadline: &Deadline,
         weighted: bool,
+        obs: SolveObs<'_>,
     ) -> (Vec<Vec<u32>>, ComponentAggregate) {
         let mut agg = ComponentAggregate {
             blocks: Vec::new(),
@@ -652,11 +732,13 @@ impl Solver {
             greedy_total: kernel.trace.forced.len() as u32,
         };
         let mut sub_covers = Vec::with_capacity(kernel.components.len());
-        for inst in &kernel.components {
+        for (idx, inst) in kernel.components.iter().enumerate() {
             if inst.graph.num_edges() == 0 {
                 sub_covers.push(Vec::new());
                 continue;
             }
+            let t_comp = SpanTimer::start(obs.sink);
+            obs.sink.counter("component.sub_searches", 1);
             let inline = inst.graph.num_vertices() < PREP_INLINE_BELOW;
             // The component graphs carry the original's vertex weights
             // through the prep relabeling, so a weighted sub-search
@@ -666,7 +748,7 @@ impl Solver {
                 let greedy = greedy_weighted_mvc_bounded(&inst.graph, deadline);
                 agg.greedy_total += greedy.1.len() as u32;
                 let mode = SearchMode::WeightedMvc { initial: greedy };
-                (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline);
+                (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline, obs);
                 best_cover = match outcome {
                     SearchOutcome::Weighted(raw) => {
                         agg.blocks.extend(raw.blocks);
@@ -678,7 +760,7 @@ impl Solver {
                 let greedy = greedy_mvc_bounded(&inst.graph, deadline);
                 agg.greedy_total += greedy.0;
                 let mode = SearchMode::Mvc { initial: greedy };
-                (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline);
+                (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline, obs);
                 best_cover = match outcome {
                     SearchOutcome::Mvc(raw) => {
                         agg.blocks.extend(raw.blocks);
@@ -691,6 +773,7 @@ impl Solver {
                 agg.launch = launch;
             }
             sub_covers.push(best_cover);
+            t_comp.finish(obs.sink, "component", "sub-search", 0, idx as u64);
         }
         (sub_covers, agg)
     }
@@ -706,6 +789,7 @@ impl Solver {
         mode: SearchMode,
         deadline: &Deadline,
         inline: bool,
+        obs: SolveObs<'_>,
     ) -> (SearchOutcome, Option<LaunchConfig>) {
         let depth_bound = mode.depth_bound(g);
         let launch = match self.cfg.algorithm {
@@ -753,6 +837,11 @@ impl Solver {
             deadline,
             ext: self.cfg.ext,
             exec: &*self.exec,
+            obs: EngineObs {
+                sink: obs.sink,
+                progress: obs.progress,
+                model_trace: self.cfg.record_trace,
+            },
         };
         let outcome = engine.solve(factory.as_ref(), mode);
         (outcome, launch)
@@ -780,6 +869,56 @@ impl Solver {
             greedy_size,
             timed_out: false,
             prep: None,
+            telemetry: None,
+        }
+    }
+
+    /// Builds the per-solve observers from the builder configuration:
+    /// a [`RecordingSink`] when telemetry was requested, a
+    /// [`Heartbeat`](crate::progress::Heartbeat) when progress
+    /// reporting was. Both `None` on the default build, keeping the
+    /// hot path on the no-op sink.
+    fn solve_observers(&self) -> (Option<RecordingSink>, Option<crate::progress::Heartbeat>) {
+        (
+            self.cfg.telemetry.as_ref().map(RecordingSink::new),
+            self.cfg.progress.map(crate::progress::Heartbeat::new),
+        )
+    }
+
+    /// Drains the recording sink (if any) into `stats.telemetry`,
+    /// bridging the per-block model-cycle span logs onto the synthetic
+    /// model lane.
+    fn finish_telemetry(&self, sink: Option<RecordingSink>, stats: &mut SolveStats) {
+        let Some(sink) = sink else { return };
+        let mut snap = sink.into_snapshot();
+        if self.cfg.telemetry.as_ref().is_some_and(|t| t.model_cycles) {
+            snap.push_spans(parvc_simgpu::obs::model_cycle_records(&stats.report.blocks));
+            let dropped: u64 = stats.report.blocks.iter().map(|b| b.trace_dropped).sum();
+            if dropped > 0 {
+                snap.gauges.insert("model.spans_dropped", dropped);
+            }
+        }
+        stats.telemetry = Some(snap);
+    }
+}
+
+/// The per-solve observation context threaded from the public entry
+/// points down to the engine: a borrowed sink (the no-op static when
+/// telemetry is off) plus the optional progress heartbeat.
+#[derive(Clone, Copy)]
+struct SolveObs<'a> {
+    sink: &'a dyn Sink,
+    progress: Option<&'a crate::progress::Heartbeat>,
+}
+
+impl<'a> SolveObs<'a> {
+    fn new(
+        sink: Option<&'a RecordingSink>,
+        progress: Option<&'a crate::progress::Heartbeat>,
+    ) -> Self {
+        SolveObs {
+            sink: sink.map_or(&parvc_obs::NOOP as &dyn Sink, |s| s as &dyn Sink),
+            progress,
         }
     }
 }

@@ -48,6 +48,7 @@
 //! decomposing.
 
 use parvc_graph::{matching, ops, CsrGraph, VertexId};
+use parvc_obs::SpanTimer;
 use parvc_simgpu::counters::{Activity, BlockCounters};
 
 use crate::bound::SearchBound;
@@ -200,10 +201,16 @@ fn component_labels(
     counters: &mut BlockCounters,
 ) -> (u32, Vec<u32>) {
     counters.splits.checks += 1;
+    kernel.sink.counter("split.checks", 1);
+    let t_detect = SpanTimer::start(kernel.sink);
     let (count, labels, work) = match params.backend {
         SplitBackend::UnionFind => {
             let (count, work) = conn.update(kernel.graph, |v| node.degree(v), kernel.exec);
-            counters.splits.uf_rebuilds += conn.take_rebuilds();
+            let rebuilds = conn.take_rebuilds();
+            counters.splits.uf_rebuilds += rebuilds;
+            if rebuilds > 0 && kernel.sink.enabled() {
+                parvc_simgpu::obs::rebuild_instant(kernel.sink, counters.block_id + 1, rebuilds);
+            }
             let labels = if count >= 2 {
                 (0..node.len())
                     .map(|v| conn.label(v).unwrap_or(u32::MAX))
@@ -221,6 +228,13 @@ fn component_labels(
         kernel
             .cost
             .parallel_op(work, kernel.block_size, kernel.variant),
+    );
+    t_detect.finish(
+        kernel.sink,
+        "split",
+        "detect",
+        counters.block_id + 1,
+        count as u64,
     );
     (count, labels)
 }
@@ -310,6 +324,7 @@ pub fn detect_components(
     // Group members by label, components ordered by their smallest
     // vertex id and members ascending — the same canonical order under
     // either backend (pinned by the backend-agreement property test).
+    let t_extract = SpanTimer::start(kernel.sink);
     let mut groups: Vec<(u32, Vec<VertexId>)> = Vec::new();
     for v in 0..node.len() {
         let l = labels[v as usize];
@@ -352,6 +367,13 @@ pub fn detect_components(
             }
         })
         .collect();
+    t_extract.finish(
+        kernel.sink,
+        "split",
+        "extract",
+        counters.block_id + 1,
+        comps.len() as u64,
+    );
     if comps.len() < 2 {
         return None;
     }
@@ -368,6 +390,14 @@ pub fn detect_components(
     counters
         .splits
         .record_split(comps.iter().map(|c| c.graph.num_vertices()));
+    if kernel.sink.enabled() {
+        kernel.sink.counter("split.taken", 1);
+        for c in &comps {
+            kernel
+                .sink
+                .observe("split.component_size", c.graph.num_vertices() as u64);
+        }
+    }
     Some(comps)
 }
 
@@ -396,6 +426,32 @@ pub(crate) fn remaining_budget(bound: SearchBound, spent: u64) -> Option<i64> {
 /// fits, the combined cover provably beats the bound.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_split(
+    kernel: &Kernel<'_>,
+    parent: &TreeNode,
+    bound: SearchBound,
+    comps: &[SubInstance],
+    abort: &mut dyn FnMut() -> bool,
+    scratch: &mut BlockScratch,
+    pool: &mut ConnPool,
+    counters: &mut BlockCounters,
+    depth: u32,
+) -> SplitVerdict {
+    let t_solve = SpanTimer::start(kernel.sink);
+    let verdict = solve_split_inner(
+        kernel, parent, bound, comps, abort, scratch, pool, counters, depth,
+    );
+    t_solve.finish(
+        kernel.sink,
+        "split",
+        "solve",
+        counters.block_id + 1,
+        comps.len() as u64,
+    );
+    verdict
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_split_inner(
     kernel: &Kernel<'_>,
     parent: &TreeNode,
     bound: SearchBound,

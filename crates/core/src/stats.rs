@@ -30,6 +30,17 @@ pub struct SolveStats {
     /// Kernelization statistics, when the solver ran with
     /// [`SolverBuilder::preprocess`](crate::SolverBuilder::preprocess).
     pub prep: Option<parvc_prep::PrepStats>,
+    /// Structured telemetry (wall-clock spans, bridged model-cycle
+    /// spans, and the metrics registry), when the solver ran with
+    /// [`SolverBuilder::telemetry`](crate::SolverBuilder::telemetry).
+    /// Export it with [`TelemetrySnapshot::chrome_trace`] /
+    /// [`TelemetrySnapshot::metrics_json`] /
+    /// [`TelemetrySnapshot::metrics_table`].
+    ///
+    /// [`TelemetrySnapshot::chrome_trace`]: parvc_obs::TelemetrySnapshot::chrome_trace
+    /// [`TelemetrySnapshot::metrics_json`]: parvc_obs::TelemetrySnapshot::metrics_json
+    /// [`TelemetrySnapshot::metrics_table`]: parvc_obs::TelemetrySnapshot::metrics_table
+    pub telemetry: Option<parvc_obs::TelemetrySnapshot>,
 }
 
 impl SolveStats {

@@ -102,6 +102,16 @@ impl SchedulePolicy for StealPolicy<'_> {
                 );
                 counters.nodes_from_worklist += 1;
                 counters.record_steal(victim as u32);
+                if kernel.sink.enabled() {
+                    parvc_obs::instant(
+                        kernel.sink,
+                        "steal",
+                        "steal",
+                        counters.block_id + 1,
+                        victim as u64,
+                    );
+                    kernel.sink.counter("steal.steals", 1);
+                }
                 kernel.charge_node_copy(n.len(), Activity::RemoveFromWorklist, counters);
                 Some(n)
             }

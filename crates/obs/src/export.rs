@@ -1,0 +1,354 @@
+//! Exporters: Chrome trace-event JSON and the flat metrics snapshot
+//! (JSON + aligned text table).
+//!
+//! The JSON here is hand-emitted, mirroring `parvc_bench::json`'s
+//! hand-rolled style from the other direction: only u64 numbers and
+//! escape-free ASCII strings, so everything this module writes parses
+//! with that crate's reader (the exporter well-formedness tests lean
+//! on this).
+
+use crate::record::TelemetrySnapshot;
+use crate::{Lane, SpanRecord};
+
+/// Strings we emit come from `&'static str` labels in this workspace;
+/// sanitize defensively so the output stays inside the escape-free
+/// subset even if a label ever grows a quote or backslash.
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        if c == '"' || c == '\\' || (c as u32) < 0x20 {
+            out.push('_');
+        } else {
+            out.push(c);
+        }
+    }
+    out.push('"');
+}
+
+fn push_kv_num(out: &mut String, key: &str, value: u64) {
+    push_str_lit(out, key);
+    out.push(':');
+    out.push_str(&value.to_string());
+}
+
+fn push_kv_str(out: &mut String, key: &str, value: &str) {
+    push_str_lit(out, key);
+    out.push(':');
+    push_str_lit(out, value);
+}
+
+/// `pid` per lane: the Chrome trace keeps wall-clock and model-cycle
+/// spans in separate trace processes so their units never mix.
+fn lane_pid(lane: Lane) -> u64 {
+    match lane {
+        Lane::Wall => 0,
+        Lane::Model => 1,
+    }
+}
+
+fn push_metadata(out: &mut String, pid: u64, tid: u64, kind: &str, name: &str) {
+    out.push('{');
+    push_kv_str(out, "ph", "M");
+    out.push(',');
+    push_kv_num(out, "pid", pid);
+    out.push(',');
+    push_kv_num(out, "tid", tid);
+    out.push(',');
+    push_kv_str(out, "name", kind);
+    out.push(',');
+    push_str_lit(out, "args");
+    out.push_str(":{");
+    push_kv_str(out, "name", name);
+    out.push_str("}}");
+}
+
+fn push_event(out: &mut String, s: &SpanRecord) {
+    out.push('{');
+    push_kv_str(out, "ph", if s.instant { "i" } else { "X" });
+    out.push(',');
+    push_kv_num(out, "pid", lane_pid(s.lane));
+    out.push(',');
+    push_kv_num(out, "tid", s.track as u64);
+    out.push(',');
+    push_kv_num(out, "ts", s.start_us);
+    out.push(',');
+    if s.instant {
+        push_kv_str(out, "s", "t");
+    } else {
+        push_kv_num(out, "dur", s.dur_us);
+    }
+    out.push(',');
+    push_kv_str(out, "cat", s.cat);
+    out.push(',');
+    push_kv_str(out, "name", s.name);
+    out.push(',');
+    push_str_lit(out, "args");
+    out.push_str(":{");
+    push_kv_num(out, "arg", s.arg);
+    out.push_str("}}");
+}
+
+impl TelemetrySnapshot {
+    /// Renders the spans as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object form), loadable in Perfetto or
+    /// `chrome://tracing`.
+    ///
+    /// Process 0 is the wall-clock lane (thread 0 = solver thread,
+    /// thread `b + 1` = block `b`); process 1 is the synthetic
+    /// model-cycle lane (thread `b` = block `b`, "ts" in cycles).
+    /// Events are sorted by (process, thread, start, longest-first) so
+    /// enclosing spans precede their children.
+    pub fn chrome_trace(&self) -> String {
+        let mut spans: Vec<&SpanRecord> = self.spans.iter().collect();
+        spans.sort_by_key(|s| (lane_pid(s.lane), s.track, s.start_us, u64::MAX - s.dur_us));
+
+        let mut out = String::with_capacity(128 + spans.len() * 96);
+        out.push_str("{\"traceEvents\":[\n");
+        let mut first = true;
+        let emit_sep = |out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+        };
+
+        // Metadata: name each process once, and each (process, thread)
+        // that carries events.
+        let mut tracks: Vec<(u64, u64)> = spans
+            .iter()
+            .map(|s| (lane_pid(s.lane), s.track as u64))
+            .collect();
+        tracks.sort_unstable();
+        tracks.dedup();
+        for &pid in &[0u64, 1] {
+            if tracks.iter().any(|&(p, _)| p == pid) {
+                emit_sep(&mut out, &mut first);
+                let pname = if pid == 0 {
+                    "wall-clock"
+                } else {
+                    "model-cycles"
+                };
+                push_metadata(&mut out, pid, 0, "process_name", pname);
+            }
+        }
+        for &(pid, tid) in &tracks {
+            let tname = match (pid, tid) {
+                (0, 0) => "solver".to_string(),
+                (0, t) => format!("block-{}", t - 1),
+                (_, t) => format!("block-{t}"),
+            };
+            emit_sep(&mut out, &mut first);
+            push_metadata(&mut out, pid, tid, "thread_name", &tname);
+        }
+
+        for s in spans {
+            emit_sep(&mut out, &mut first);
+            push_event(&mut out, s);
+        }
+        out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+        out
+    }
+
+    /// Renders the metrics registry (plus span bookkeeping) as a flat
+    /// JSON object parseable by `parvc_bench::json`.
+    pub fn metrics_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_kv_num(&mut out, "spans", self.spans.len() as u64);
+        out.push(',');
+        push_kv_num(&mut out, "dropped_spans", self.dropped_spans);
+
+        for (section, map) in [("counters", &self.counters), ("gauges", &self.gauges)] {
+            out.push(',');
+            push_str_lit(&mut out, section);
+            out.push_str(":{");
+            let mut first = true;
+            for (name, value) in map {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                push_kv_num(&mut out, name, *value);
+            }
+            out.push('}');
+        }
+
+        out.push(',');
+        push_str_lit(&mut out, "histograms");
+        out.push_str(":{");
+        let mut first = true;
+        for (name, h) in &self.histograms {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            push_str_lit(&mut out, name);
+            out.push_str(":{");
+            push_kv_num(&mut out, "count", h.count);
+            out.push(',');
+            push_kv_num(&mut out, "sum", h.sum);
+            out.push(',');
+            push_kv_num(&mut out, "mean", h.mean());
+            out.push(',');
+            push_str_lit(&mut out, "buckets");
+            out.push_str(":[");
+            for (i, b) in h.buckets.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&b.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out.push('\n');
+        out
+    }
+
+    /// Renders the metrics registry as an aligned plain-text table
+    /// (the human-readable twin of [`metrics_json`](Self::metrics_json)).
+    pub fn metrics_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0)
+            .max("dropped_spans".len());
+
+        let mut out = String::new();
+        let section = |out: &mut String, title: &str| {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(title);
+            out.push('\n');
+        };
+
+        section(&mut out, "spans");
+        out.push_str(&format!(
+            "  {:<width$}  {:>12}\n",
+            "recorded",
+            self.spans.len()
+        ));
+        out.push_str(&format!(
+            "  {:<width$}  {:>12}\n",
+            "dropped_spans", self.dropped_spans
+        ));
+
+        if !self.counters.is_empty() {
+            section(&mut out, "counters");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            section(&mut out, "gauges");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {value:>12}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            section(&mut out, "histograms");
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count={:<10} sum={:<12} mean={}\n",
+                    h.count,
+                    h.sum,
+                    h.mean()
+                ));
+                let hi = h
+                    .buckets
+                    .iter()
+                    .rposition(|&b| b != 0)
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                if hi > 0 {
+                    out.push_str(&format!("  {:<width$}  log2 buckets:", ""));
+                    for b in &h.buckets[..hi] {
+                        out.push_str(&format!(" {b}"));
+                    }
+                    out.push('\n');
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecordingSink, Sink, TelemetryConfig};
+
+    fn sample() -> TelemetrySnapshot {
+        let sink = RecordingSink::new(&TelemetryConfig::default());
+        sink.span(&SpanRecord {
+            cat: "engine",
+            name: "reduce",
+            track: 1,
+            lane: Lane::Wall,
+            start_us: 10,
+            dur_us: 5,
+            arg: 3,
+            instant: false,
+        });
+        sink.span(&SpanRecord {
+            cat: "steal",
+            name: "steal",
+            track: 2,
+            lane: Lane::Wall,
+            start_us: 4,
+            dur_us: 0,
+            arg: 0,
+            instant: true,
+        });
+        sink.counter("engine.nodes", 12);
+        sink.gauge("blocks", 2);
+        sink.observe("split.component_size", 17);
+        let mut snap = sink.into_snapshot();
+        snap.push_spans([SpanRecord {
+            cat: "model",
+            name: "ReduceDeg1",
+            track: 0,
+            lane: Lane::Model,
+            start_us: 0,
+            dur_us: 100,
+            arg: 0,
+            instant: false,
+        }]);
+        snap
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let trace = sample().chrome_trace();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"ph\":\"M\""));
+        assert!(trace.contains("\"name\":\"wall-clock\""));
+        assert!(trace.contains("\"name\":\"model-cycles\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        assert!(trace.contains("\"ph\":\"i\""));
+        assert!(trace.contains("\"name\":\"block-0\""));
+    }
+
+    #[test]
+    fn string_sanitizer_strips_escapes() {
+        let mut out = String::new();
+        push_str_lit(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a_b_c_d\"");
+    }
+
+    #[test]
+    fn metrics_json_and_table() {
+        let snap = sample();
+        let json = snap.metrics_json();
+        assert!(json.contains("\"engine.nodes\":12"));
+        assert!(json.contains("\"split.component_size\""));
+        let table = snap.metrics_table();
+        assert!(table.contains("engine.nodes"));
+        assert!(table.contains("log2 buckets:"));
+    }
+}

@@ -1,0 +1,263 @@
+//! # parvc-obs — structured solve telemetry
+//!
+//! The simulator already attributes **model cycles** to activities
+//! (`parvc_simgpu::counters`, the paper's Figure 6 instrumentation).
+//! This crate adds the *wall-clock, cross-layer* half: spans over real
+//! time (prep rule passes, component sub-searches, engine node phases,
+//! split detect/extract/solve, executor dispatches) and a metrics
+//! registry (counters, gauges, log2-bucketed histograms), recorded
+//! through an object-safe [`Sink`] and exported as Chrome trace-event
+//! JSON ([`TelemetrySnapshot::chrome_trace`], loadable in Perfetto /
+//! `chrome://tracing`) or a flat metrics snapshot
+//! ([`TelemetrySnapshot::metrics_json`] /
+//! [`TelemetrySnapshot::metrics_table`]).
+//!
+//! ## The zero-cost-when-disabled rule
+//!
+//! Instrumented code holds a `&dyn Sink` that defaults to [`NOOP`].
+//! Every recording helper checks [`Sink::enabled`] **before** touching
+//! a clock, allocating, or locking — with the no-op sink the entire
+//! telemetry layer costs one non-inlined bool call per span site.
+//! Telemetry must never perturb results or model-cycle counters; the
+//! workspace pins that with an off-vs-on bit-match property suite
+//! (`tests/telemetry_safety.rs`).
+//!
+//! ## Units and tracks
+//!
+//! Wall-clock spans carry microseconds since the recording sink's
+//! epoch, on [`Lane::Wall`]. Model-cycle spans (bridged from
+//! `BlockCounters` traces by `parvc_simgpu`) reuse the same record
+//! type on [`Lane::Model`] with cycle counts in the time fields; the
+//! Chrome exporter keeps the two lanes as separate trace processes so
+//! the units never mix. `track` is the per-lane thread id: track 0 is
+//! the calling (solver) thread, track `b + 1` is block `b`.
+//!
+//! This crate is dependency-free and serde-free by design: the JSON it
+//! emits stays inside the same hand-rolled subset `parvc_bench::json`
+//! parses (u64 numbers, escape-free ASCII strings), which the exporter
+//! round-trip tests rely on.
+
+#![warn(missing_docs)]
+
+mod export;
+mod metrics;
+mod record;
+
+pub use metrics::{Histogram, Metrics, HIST_BUCKETS};
+pub use record::{RecordingSink, TelemetrySnapshot};
+
+/// Which clock a span's time fields are on — its trace "process".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Lane {
+    /// Real time, microseconds since the recording sink's epoch.
+    Wall,
+    /// Simulated device time, model cycles since block start (bridged
+    /// from `parvc_simgpu::counters::Span` logs).
+    Model,
+}
+
+/// One recorded span or instant event. All-`Copy` with `&'static str`
+/// labels, so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Category (the span taxonomy: `"prep"`, `"engine"`, `"split"`,
+    /// `"component"`, `"dispatch"`, `"steal"`, `"model"`, …).
+    pub cat: &'static str,
+    /// Event name within the category.
+    pub name: &'static str,
+    /// Per-lane thread id: 0 = the calling (solver) thread, `b + 1` =
+    /// block `b` on [`Lane::Wall`]; block id directly on
+    /// [`Lane::Model`].
+    pub track: u32,
+    /// Which clock [`start_us`](Self::start_us) /
+    /// [`dur_us`](Self::dur_us) are on.
+    pub lane: Lane,
+    /// Start time: µs since epoch (wall) or cycles since block start
+    /// (model).
+    pub start_us: u64,
+    /// Duration in the lane's unit; 0 for instants.
+    pub dur_us: u64,
+    /// One free numeric payload (item count, component index, …).
+    pub arg: u64,
+    /// Instant event (a point, not an interval).
+    pub instant: bool,
+}
+
+/// An object-safe telemetry sink. Every method has a no-op default, so
+/// implementors opt into exactly what they record; `&dyn Sink` is
+/// `Send + Sync` (the same span sites run on every block thread).
+pub trait Sink: Sync {
+    /// Whether recording is on. Span sites check this **before**
+    /// reading clocks or building records — the zero-cost gate.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Microseconds since this sink's epoch (0 when disabled).
+    fn now_us(&self) -> u64 {
+        0
+    }
+
+    /// Records a span or instant.
+    fn span(&self, _record: &SpanRecord) {}
+
+    /// Adds `delta` to the monotonic counter `name`.
+    fn counter(&self, _name: &'static str, _delta: u64) {}
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    fn gauge(&self, _name: &'static str, _value: u64) {}
+
+    /// Records `value` into the histogram `name`.
+    fn observe(&self, _name: &'static str, _value: u64) {}
+}
+
+/// The always-available disabled sink.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {}
+
+/// The default `&'static dyn Sink`: every instrumented struct points
+/// here until a recording sink is threaded in.
+pub static NOOP: NoopSink = NoopSink;
+
+/// A guard that captures the start time of a wall-clock span — only
+/// when the sink is enabled, so the disabled path never reads a clock.
+///
+/// ```
+/// use parvc_obs::{RecordingSink, Sink, SpanTimer, TelemetryConfig};
+///
+/// let sink = RecordingSink::new(&TelemetryConfig::default());
+/// let t = SpanTimer::start(&sink);
+/// // ... the work being measured ...
+/// t.finish(&sink, "engine", "reduce", 1, 0);
+/// assert_eq!(sink.into_snapshot().spans.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+#[must_use = "a span timer records nothing until finish() is called"]
+pub struct SpanTimer {
+    start_us: u64,
+    armed: bool,
+}
+
+impl SpanTimer {
+    /// Starts a span now (a no-op against a disabled sink).
+    pub fn start(sink: &dyn Sink) -> Self {
+        if sink.enabled() {
+            SpanTimer {
+                start_us: sink.now_us(),
+                armed: true,
+            }
+        } else {
+            SpanTimer {
+                start_us: 0,
+                armed: false,
+            }
+        }
+    }
+
+    /// Ends the span and records it on `track` with payload `arg`.
+    pub fn finish(
+        self,
+        sink: &dyn Sink,
+        cat: &'static str,
+        name: &'static str,
+        track: u32,
+        arg: u64,
+    ) {
+        if self.armed {
+            let end = sink.now_us();
+            sink.span(&SpanRecord {
+                cat,
+                name,
+                track,
+                lane: Lane::Wall,
+                start_us: self.start_us,
+                dur_us: end.saturating_sub(self.start_us),
+                arg,
+                instant: false,
+            });
+        }
+    }
+}
+
+/// Records a point-in-time event (steals, checkpoint rebuilds, …).
+pub fn instant(sink: &dyn Sink, cat: &'static str, name: &'static str, track: u32, arg: u64) {
+    if sink.enabled() {
+        let now = sink.now_us();
+        sink.span(&SpanRecord {
+            cat,
+            name,
+            track,
+            lane: Lane::Wall,
+            start_us: now,
+            dur_us: 0,
+            arg,
+            instant: true,
+        });
+    }
+}
+
+/// What a [`RecordingSink`] records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Record wall-clock spans.
+    pub spans: bool,
+    /// Record counters/gauges/histograms.
+    pub metrics: bool,
+    /// Hard cap on retained spans (per-node spans on a pathological
+    /// run would otherwise grow without bound); excess spans are
+    /// counted in [`TelemetrySnapshot::dropped_spans`].
+    pub max_spans: usize,
+    /// Also ask the solver to record the model-cycle span log
+    /// (`BlockCounters` tracing), bridged into the snapshot as the
+    /// synthetic [`Lane::Model`] track.
+    pub model_cycles: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            spans: true,
+            metrics: true,
+            max_spans: 1 << 20,
+            model_cycles: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_is_disabled_and_inert() {
+        assert!(!NOOP.enabled());
+        assert_eq!(NOOP.now_us(), 0);
+        // All recording calls are no-ops (nothing to observe, but they
+        // must not panic).
+        NOOP.counter("x", 1);
+        NOOP.gauge("x", 1);
+        NOOP.observe("x", 1);
+        let t = SpanTimer::start(&NOOP);
+        assert!(!t.armed);
+        t.finish(&NOOP, "c", "n", 0, 0);
+        instant(&NOOP, "c", "n", 0, 0);
+    }
+
+    #[test]
+    fn timer_records_nonnegative_duration() {
+        let sink = RecordingSink::new(&TelemetryConfig::default());
+        let t = SpanTimer::start(&sink);
+        t.finish(&sink, "engine", "reduce", 3, 42);
+        instant(&sink, "steal", "steal", 2, 7);
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.spans[0].cat, "engine");
+        assert_eq!(snap.spans[0].track, 3);
+        assert_eq!(snap.spans[0].arg, 42);
+        assert!(!snap.spans[0].instant);
+        assert!(snap.spans[1].instant);
+        assert_eq!(snap.spans[1].dur_us, 0);
+    }
+}

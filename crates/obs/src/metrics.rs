@@ -1,0 +1,155 @@
+//! The metrics registry: monotonic counters, gauges, and u64
+//! histograms with fixed log2 buckets, behind coarse mutexes.
+//!
+//! Keys are `&'static str` so recording never allocates; the maps only
+//! grow by one entry the first time a name is seen. Everything is
+//! plain `std::sync` — this crate stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Number of log2 buckets in a [`Histogram`]. Bucket `i` counts values
+/// `v` with `floor(log2(max(v, 1))) == i`, with everything `>= 2^15`
+/// clamped into the last bucket — the same fixed-bucket idiom as
+/// `SplitCounters::size_hist`, just wider.
+pub const HIST_BUCKETS: usize = 16;
+
+/// A u64 histogram with [`HIST_BUCKETS`] fixed log2 buckets plus a
+/// running count and sum.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Histogram {
+    /// `buckets[i]` counts recorded values in `[2^i, 2^(i+1))` (bucket
+    /// 0 also holds zeros; the last bucket holds everything above).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values (saturating).
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let b = (64 - value.max(1).leading_zeros() as usize - 1).min(HIST_BUCKETS - 1);
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// Mean of the recorded values, rounded down (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// The shared registry a recording sink writes into. Counter, gauge,
+/// and histogram namespaces are independent (the same name may exist
+/// in all three).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<&'static str, u64>>,
+    gauges: Mutex<BTreeMap<&'static str, u64>>,
+    hists: Mutex<BTreeMap<&'static str, Histogram>>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Adds `delta` to the monotonic counter `name`.
+    pub fn counter(&self, name: &'static str, delta: u64) {
+        let mut map = self.counters.lock().unwrap();
+        *map.entry(name).or_insert(0) += delta;
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge(&self, name: &'static str, value: u64) {
+        self.gauges.lock().unwrap().insert(name, value);
+    }
+
+    /// Records `value` into the histogram `name`.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        let mut map = self.hists.lock().unwrap();
+        map.entry(name).or_default().record(value);
+    }
+
+    /// Drains the registry into plain owned maps
+    /// (counters, gauges, histograms).
+    #[allow(clippy::type_complexity)]
+    pub fn take(
+        &self,
+    ) -> (
+        BTreeMap<&'static str, u64>,
+        BTreeMap<&'static str, u64>,
+        BTreeMap<&'static str, Histogram>,
+    ) {
+        (
+            std::mem::take(&mut *self.counters.lock().unwrap()),
+            std::mem::take(&mut *self.gauges.lock().unwrap()),
+            std::mem::take(&mut *self.hists.lock().unwrap()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut h = Histogram::default();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(1024); // bucket 10
+        h.record(u64::MAX); // clamped to last bucket
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[1], 2);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets[HIST_BUCKETS - 1], 1);
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, u64::MAX); // saturated
+    }
+
+    #[test]
+    fn histogram_merge_and_mean() {
+        let mut a = Histogram::default();
+        a.record(4);
+        a.record(8);
+        let mut b = Histogram::default();
+        b.record(6);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 18);
+        assert_eq!(a.mean(), 6);
+    }
+
+    #[test]
+    fn registry_namespaces_are_independent() {
+        let m = Metrics::new();
+        m.counter("x", 2);
+        m.counter("x", 3);
+        m.gauge("x", 7);
+        m.gauge("x", 9);
+        m.observe("x", 5);
+        let (c, g, h) = m.take();
+        assert_eq!(c["x"], 5);
+        assert_eq!(g["x"], 9);
+        assert_eq!(h["x"].count, 1);
+        // take() drains
+        let (c2, ..) = m.take();
+        assert!(c2.is_empty());
+    }
+}

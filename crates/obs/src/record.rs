@@ -1,0 +1,194 @@
+//! The in-memory recording sink and the snapshot it produces.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::metrics::{Histogram, Metrics};
+use crate::{Lane, Sink, SpanRecord, TelemetryConfig};
+
+/// A [`Sink`] that records spans into a capped in-memory buffer and
+/// metrics into a [`Metrics`] registry. One epoch (`Instant`) per sink;
+/// all wall-clock spans are microseconds since it.
+#[derive(Debug)]
+pub struct RecordingSink {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    record_spans: bool,
+    record_metrics: bool,
+    max_spans: usize,
+    dropped: AtomicU64,
+    metrics: Metrics,
+}
+
+impl RecordingSink {
+    /// A sink recording what `cfg` asks for, with its epoch at "now".
+    pub fn new(cfg: &TelemetryConfig) -> Self {
+        RecordingSink {
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            record_spans: cfg.spans,
+            record_metrics: cfg.metrics,
+            max_spans: cfg.max_spans,
+            dropped: AtomicU64::new(0),
+            metrics: Metrics::new(),
+        }
+    }
+
+    /// Consumes the sink into an exportable [`TelemetrySnapshot`].
+    pub fn into_snapshot(self) -> TelemetrySnapshot {
+        let (counters, gauges, histograms) = self.metrics.take();
+        TelemetrySnapshot {
+            spans: self.spans.into_inner().unwrap(),
+            dropped_spans: self.dropped.load(Ordering::Relaxed),
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+impl Sink for RecordingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    fn span(&self, record: &SpanRecord) {
+        if !self.record_spans {
+            return;
+        }
+        let mut spans = self.spans.lock().unwrap();
+        if spans.len() < self.max_spans {
+            spans.push(*record);
+        } else {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn counter(&self, name: &'static str, delta: u64) {
+        if self.record_metrics {
+            self.metrics.counter(name, delta);
+        }
+    }
+
+    fn gauge(&self, name: &'static str, value: u64) {
+        if self.record_metrics {
+            self.metrics.gauge(name, value);
+        }
+    }
+
+    fn observe(&self, name: &'static str, value: u64) {
+        if self.record_metrics {
+            self.metrics.observe(name, value);
+        }
+    }
+}
+
+/// Everything one solve recorded, detached from any locks — the value
+/// stored in `SolveStats::telemetry` and fed to the exporters.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetrySnapshot {
+    /// All retained spans (wall-clock and bridged model-cycle).
+    pub spans: Vec<SpanRecord>,
+    /// Spans discarded once the `max_spans` cap was hit.
+    pub dropped_spans: u64,
+    /// Final monotonic counter values.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Final gauge values.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Final histograms.
+    pub histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl TelemetrySnapshot {
+    /// Appends spans (used by the solver to merge the bridged
+    /// model-cycle lane after the launch finishes).
+    pub fn push_spans(&mut self, records: impl IntoIterator<Item = SpanRecord>) {
+        self.spans.extend(records);
+    }
+
+    /// The distinct span categories present, per lane-agnostic name.
+    pub fn span_categories(&self) -> BTreeSet<&'static str> {
+        self.spans.iter().map(|s| s.cat).collect()
+    }
+
+    /// Whether any span sits on the model-cycle lane.
+    pub fn has_model_lane(&self) -> bool {
+        self.spans.iter().any(|s| s.lane == Lane::Model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let cfg = TelemetryConfig {
+            max_spans: 2,
+            ..TelemetryConfig::default()
+        };
+        let sink = RecordingSink::new(&cfg);
+        for i in 0..5 {
+            sink.span(&SpanRecord {
+                cat: "engine",
+                name: "reduce",
+                track: 0,
+                lane: Lane::Wall,
+                start_us: i,
+                dur_us: 1,
+                arg: 0,
+                instant: false,
+            });
+        }
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        assert_eq!(snap.dropped_spans, 3);
+    }
+
+    #[test]
+    fn spans_off_metrics_on() {
+        let cfg = TelemetryConfig {
+            spans: false,
+            ..TelemetryConfig::default()
+        };
+        let sink = RecordingSink::new(&cfg);
+        assert!(sink.enabled());
+        crate::instant(&sink, "steal", "steal", 1, 0);
+        sink.counter("steals", 1);
+        let snap = sink.into_snapshot();
+        assert!(snap.spans.is_empty());
+        assert_eq!(snap.counters["steals"], 1);
+    }
+
+    #[test]
+    fn now_is_monotone() {
+        let sink = RecordingSink::new(&TelemetryConfig::default());
+        let a = sink.now_us();
+        let b = sink.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn categories_and_model_lane() {
+        let mut snap = TelemetrySnapshot::default();
+        assert!(!snap.has_model_lane());
+        snap.push_spans([SpanRecord {
+            cat: "model",
+            name: "ReduceDeg1",
+            track: 0,
+            lane: Lane::Model,
+            start_us: 0,
+            dur_us: 10,
+            arg: 0,
+            instant: false,
+        }]);
+        assert!(snap.has_model_lane());
+        assert!(snap.span_categories().contains("model"));
+    }
+}

@@ -227,6 +227,16 @@ impl PrepStats {
 /// assert!(g.edges().all(|(u, v)| cover.contains(&u) || cover.contains(&v)));
 /// ```
 pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
+    preprocess_traced(g, cfg, &parvc_obs::NOOP)
+}
+
+/// [`preprocess`] with a telemetry sink: records one `"prep"` span per
+/// rule pass (named after the rule) plus the whole-pipeline span, a
+/// `"split"` span around the residual component split, and the
+/// headline reduction numbers as gauges. With the no-op sink this is
+/// exactly [`preprocess`].
+pub fn preprocess_traced(g: &CsrGraph, cfg: &PrepConfig, sink: &dyn parvc_obs::Sink) -> Kernel {
+    let t_all = parvc_obs::SpanTimer::start(sink);
     let mut st = PrepState::new(g);
     // Rules whose safety argument only holds for the cardinality
     // objective are *skipped* in weighted mode, each leaving a noted
@@ -266,9 +276,12 @@ pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
         let mut changed = false;
         for (rule, stats) in rules.iter_mut().zip(rule_stats.iter_mut()) {
             stats.passes += 1;
+            let before = stats.eliminated();
+            let t_pass = parvc_obs::SpanTimer::start(sink);
             if rule.apply(&mut st, stats) {
                 changed = true;
             }
+            t_pass.finish(sink, "prep", rule.name(), 0, stats.eliminated() - before);
         }
         if !changed || rounds >= cfg.max_rounds {
             break;
@@ -278,7 +291,9 @@ pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
     debug_assert!(st.check_consistency().is_ok());
 
     let live = st.live_ids();
+    let t_split = parvc_obs::SpanTimer::start(sink);
     let components = kernel::split_residual(g, &live, cfg.split_components);
+    t_split.finish(sink, "split", "split-residual", 0, components.len() as u64);
     let (forced, excluded) = st.into_decisions();
     let kernel_vertices: u32 = components.iter().map(|c| c.graph.num_vertices()).sum();
     let kernel_edges: u64 = components.iter().map(|c| c.graph.num_edges()).sum();
@@ -298,6 +313,16 @@ pub fn preprocess(g: &CsrGraph, cfg: &PrepConfig) -> Kernel {
         rounds,
         rules: rule_stats,
     };
+    t_all.finish(sink, "prep", "preprocess", 0, stats.kernel_vertices as u64);
+    if sink.enabled() {
+        sink.gauge("prep.rounds", rounds as u64);
+        sink.gauge("prep.forced", stats.forced as u64);
+        sink.gauge("prep.excluded", stats.excluded as u64);
+        sink.gauge("prep.components", stats.components as u64);
+        for c in &components {
+            sink.observe("prep.component_size", c.graph.num_vertices() as u64);
+        }
+    }
     Kernel {
         components,
         trace: LiftTrace {

@@ -193,6 +193,14 @@ pub struct Span {
     pub cycles: u64,
 }
 
+/// Hard cap on a block's span log. Tracing pushes ~24 bytes per
+/// charge, and a long solve charges billions of times — without a cap
+/// the log (not the search) becomes the memory bound. The prefix is
+/// kept (enough for [`crate::trace::render_launch`] and the
+/// Chrome-trace model lane) and everything past it is counted in
+/// [`BlockCounters::trace_dropped`].
+pub const MODEL_TRACE_CAP: usize = 1 << 14;
+
 /// Per-block instrumentation, owned exclusively by the block's thread.
 #[derive(Debug, Clone)]
 pub struct BlockCounters {
@@ -200,8 +208,11 @@ pub struct BlockCounters {
     pub block_id: u32,
     /// Model cycles per activity, indexed by `Activity as usize`.
     cycles: [u64; Activity::ALL.len()],
-    /// Span log, populated when tracing is enabled.
+    /// Span log, populated when tracing is enabled (prefix only, up to
+    /// [`MODEL_TRACE_CAP`] spans).
     trace: Option<Vec<Span>>,
+    /// Spans dropped once the log hit [`MODEL_TRACE_CAP`].
+    pub trace_dropped: u64,
     /// Tree nodes this block visited (the Figure 5 load metric).
     pub tree_nodes_visited: u64,
     /// Nodes this block donated to the global worklist.
@@ -228,6 +239,7 @@ impl BlockCounters {
             block_id,
             cycles: [0; Activity::ALL.len()],
             trace: None,
+            trace_dropped: 0,
             tree_nodes_visited: 0,
             nodes_donated: 0,
             nodes_from_worklist: 0,
@@ -260,12 +272,16 @@ impl BlockCounters {
     pub fn charge(&mut self, activity: Activity, cycles: u64) {
         if let Some(trace) = &mut self.trace {
             if cycles > 0 {
-                let start_cycle = self.cycles.iter().sum();
-                trace.push(Span {
-                    activity,
-                    start_cycle,
-                    cycles,
-                });
+                if trace.len() < MODEL_TRACE_CAP {
+                    let start_cycle = self.cycles.iter().sum();
+                    trace.push(Span {
+                        activity,
+                        start_cycle,
+                        cycles,
+                    });
+                } else {
+                    self.trace_dropped += 1;
+                }
             }
         }
         self.cycles[activity as usize] += cycles;

@@ -40,6 +40,7 @@ mod cost;
 pub mod counters;
 mod device;
 pub mod exec;
+pub mod obs;
 pub mod occupancy;
 pub mod runtime;
 pub mod trace;

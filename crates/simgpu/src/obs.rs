@@ -1,0 +1,204 @@
+//! Bridges between the simulator and the `parvc-obs` telemetry layer:
+//! an executor wrapper that records dispatch spans, and the converter
+//! that lifts [`BlockCounters`]
+//! model-cycle traces onto the snapshot's synthetic model lane.
+
+use parvc_obs::{instant, Lane, Sink, SpanRecord, SpanTimer};
+
+use crate::counters::BlockCounters;
+use crate::exec::ParallelExecutor;
+
+/// A [`ParallelExecutor`] decorator that records every real fan-out as
+/// a `"dispatch"`-category span (plus dispatch counters) on its way to
+/// the wrapped executor.
+///
+/// Wrap only when the sink is enabled: the disabled solve path keeps
+/// the bare executor, so telemetry-off runs take zero extra virtual
+/// hops through the seam.
+pub struct ObservedExec<'a> {
+    inner: &'a dyn ParallelExecutor,
+    sink: &'a dyn Sink,
+    track: u32,
+}
+
+impl std::fmt::Debug for ObservedExec<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObservedExec")
+            .field("inner", &self.inner)
+            .field("track", &self.track)
+            .finish()
+    }
+}
+
+impl<'a> ObservedExec<'a> {
+    /// Wraps `inner`, attributing dispatch spans to `track` (0 = the
+    /// solver thread, `b + 1` = block `b`).
+    pub fn new(inner: &'a dyn ParallelExecutor, sink: &'a dyn Sink, track: u32) -> Self {
+        ObservedExec { inner, sink, track }
+    }
+}
+
+// SAFETY-free Sync/Send: both references are to Sync trait objects
+// (`ParallelExecutor: Send + Sync`, `Sink: Sync`), so the derive-less
+// auto impls already hold; nothing manual needed.
+
+impl ParallelExecutor for ObservedExec<'_> {
+    fn threads(&self) -> usize {
+        self.inner.threads()
+    }
+
+    fn chunks_for(&self, n: usize) -> usize {
+        self.inner.chunks_for(n)
+    }
+
+    fn dispatch(&self, n: usize, task: &(dyn Fn(usize, usize, usize) + Sync)) {
+        let chunks = self.inner.chunks_for(n);
+        let t = SpanTimer::start(self.sink);
+        self.inner.dispatch(n, task);
+        t.finish(
+            self.sink,
+            "dispatch",
+            if chunks > 1 { "fan-out" } else { "inline" },
+            self.track,
+            n as u64,
+        );
+        self.sink.counter("exec.dispatches", 1);
+        self.sink.counter("exec.dispatch_items", n as u64);
+        if chunks > 1 {
+            self.sink.counter("exec.fan_outs", 1);
+            self.sink.observe("exec.chunks", chunks as u64);
+        }
+    }
+}
+
+/// Records a checkpoint-rebuild instant (the component-steal policy's
+/// union-find rebuild after adopting donated work) against `track`.
+pub fn rebuild_instant(sink: &dyn Sink, track: u32, size: u64) {
+    instant(sink, "steal", "checkpoint-rebuild", track, size);
+    sink.counter("steal.rebuilds", 1);
+}
+
+/// Converts per-block model-cycle span logs (recorded by
+/// [`BlockCounters::enable_tracing`]) into [`Lane::Model`] records for
+/// the Chrome exporter's synthetic model-cycle process. Blocks without
+/// a trace contribute nothing.
+///
+/// A component-split solve reports one `BlockCounters` set per
+/// sub-search, each with its cycle clock restarted at 0 and block ids
+/// reused. Sub-searches run sequentially, so when a block id repeats
+/// the later log is laid end-to-end after the earlier one (offset by
+/// the earlier block's total cycles) — track `b` stays one
+/// well-nested timeline per block rather than a pile of overlapping
+/// clocks.
+pub fn model_cycle_records(blocks: &[BlockCounters]) -> Vec<SpanRecord> {
+    let mut out = Vec::new();
+    let mut offsets: std::collections::BTreeMap<u32, u64> = Default::default();
+    for b in blocks {
+        let base = offsets.entry(b.block_id).or_insert(0);
+        if let Some(trace) = b.trace() {
+            for s in trace {
+                if s.cycles == 0 {
+                    continue;
+                }
+                out.push(SpanRecord {
+                    cat: "model",
+                    name: s.activity.label(),
+                    track: b.block_id,
+                    lane: Lane::Model,
+                    start_us: *base + s.start_cycle,
+                    dur_us: s.cycles,
+                    arg: 0,
+                    instant: false,
+                });
+            }
+        }
+        *base += b.total_cycles();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counters::Activity;
+    use crate::exec::{PooledExec, SERIAL};
+    use parvc_obs::{RecordingSink, TelemetryConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn observed_exec_delegates_and_records() {
+        let sink = RecordingSink::new(&TelemetryConfig::default());
+        let obs = ObservedExec::new(&SERIAL, &sink, 3);
+        assert_eq!(obs.threads(), 1);
+        assert_eq!(obs.chunks_for(1 << 20), 1);
+        let count = AtomicUsize::new(0);
+        obs.dispatch(100, &|_, s, e| {
+            count.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].cat, "dispatch");
+        assert_eq!(snap.spans[0].name, "inline");
+        assert_eq!(snap.spans[0].track, 3);
+        assert_eq!(snap.spans[0].arg, 100);
+        assert_eq!(snap.counters["exec.dispatches"], 1);
+        assert!(!snap.counters.contains_key("exec.fan_outs"));
+    }
+
+    #[test]
+    fn observed_pooled_fan_out_counts_chunks() {
+        let inner = PooledExec::new(3);
+        let sink = RecordingSink::new(&TelemetryConfig::default());
+        let obs = ObservedExec::new(&inner, &sink, 1);
+        let n = 50_000;
+        let count = AtomicUsize::new(0);
+        obs.dispatch(n, &|_, s, e| {
+            count.fetch_add(e - s, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), n);
+        let snap = sink.into_snapshot();
+        assert_eq!(snap.spans[0].name, "fan-out");
+        assert_eq!(snap.counters["exec.fan_outs"], 1);
+        assert!(snap.histograms["exec.chunks"].count == 1);
+    }
+
+    #[test]
+    fn model_records_skip_untraced_and_zero_spans() {
+        let mut a = BlockCounters::new(0);
+        a.enable_tracing();
+        a.charge(Activity::DegreeOneRule, 10);
+        a.charge(Activity::FindMaxDegree, 0); // dropped by charge()
+        a.charge(Activity::RemoveMaxVertex, 5);
+        let b = BlockCounters::new(1); // no trace
+        let recs = model_cycle_records(&[a, b]);
+        assert_eq!(recs.len(), 2);
+        assert!(recs.iter().all(|r| r.lane == Lane::Model && r.track == 0));
+        assert_eq!(recs[0].name, Activity::DegreeOneRule.label());
+        assert_eq!(recs[0].start_us, 0);
+        assert_eq!(recs[0].dur_us, 10);
+        assert_eq!(recs[1].start_us, 10);
+    }
+
+    #[test]
+    fn repeated_block_ids_tile_sequentially_on_one_track() {
+        // Two sub-searches, both reporting as block 0 with restarted
+        // cycle clocks: the second log must land after the first.
+        let mut a = BlockCounters::new(0);
+        a.enable_tracing();
+        a.charge(Activity::DegreeOneRule, 10);
+        a.charge(Activity::RemoveMaxVertex, 5);
+        let mut b = BlockCounters::new(0);
+        b.enable_tracing();
+        b.charge(Activity::FindMaxDegree, 7);
+        let recs = model_cycle_records(&[a, b]);
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|r| r.track == 0));
+        assert_eq!(recs[2].start_us, 15, "second log offset by first's total");
+        assert_eq!(recs[2].dur_us, 7);
+        // No overlap: each span starts at or after the previous end.
+        for w in recs.windows(2) {
+            assert!(w[1].start_us >= w[0].start_us + w[0].dur_us);
+        }
+    }
+}

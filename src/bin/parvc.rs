@@ -174,6 +174,33 @@ const COMMANDS: &[CmdHelp] = &[
                        default: all stages).",
             },
             FlagHelp {
+                flag: "--trace-out <file>",
+                desc: "Record structured telemetry and write a Chrome trace-event \
+                       JSON timeline (open in Perfetto or chrome://tracing): \
+                       wall-clock spans per block/worker plus a synthetic \
+                       model-cycle track converted from the per-block span logs.",
+            },
+            FlagHelp {
+                flag: "--metrics-out <file>",
+                desc: "Write the flat metrics snapshot (counters, gauges, \
+                       log2-bucket histograms) as JSON; an aligned text table \
+                       of the same snapshot goes to stderr. Implies telemetry \
+                       recording like --trace-out.",
+            },
+            FlagHelp {
+                flag: "--timeline[=<width>]",
+                desc: "Render the per-block model-cycle activity timeline to \
+                       stderr after the solve (optional value = columns, \
+                       default 100).",
+            },
+            FlagHelp {
+                flag: "--progress[=<secs>]",
+                desc: "Print a heartbeat to stderr while solving — best-so-far \
+                       bound, tree nodes, nodes/sec — every <secs> seconds \
+                       (default 5). Clock checks ride the deadline machinery's \
+                       stride, so the hot loop stays unchanged.",
+            },
+            FlagHelp {
                 flag: "--format <dimacs|edgelist>",
                 desc: "Instance file format (default: inferred from the extension).",
             },
@@ -453,7 +480,9 @@ fn parse_gen_spec(spec: &str) -> Option<CsrGraph> {
         ),
         None => (rest, 42u64),
     };
-    let parts = body.split(':');
+    // Numeric arguments separate with `:` or `,` interchangeably
+    // (`gnp:2000:0.002@1` == `gnp:2000,0.002@1`).
+    let parts = body.split([':', ',']);
     let args: Vec<f64> = parts
         .map(|t| {
             t.parse().unwrap_or_else(|_| {
@@ -609,8 +638,10 @@ fn cmd_solve(args: &[String]) {
             "prep-rules",
             "split-bound",
             "split-backend",
+            "trace-out",
+            "metrics-out",
         ],
-        &["component-branching"],
+        &["component-branching", "timeline", "progress"],
         &["extensions", "prep", "weighted"],
     );
     let Some(path) = flags.positional.first() else {
@@ -710,6 +741,36 @@ fn cmd_solve(args: &[String]) {
     if weighted {
         builder = builder.weighted();
     }
+    // Observability: --trace-out / --metrics-out turn on the recording
+    // sink (zero overhead otherwise), --timeline needs the model-cycle
+    // span logs, --progress attaches the heartbeat.
+    let trace_out = flags.options.get("trace-out").cloned();
+    let metrics_out = flags.options.get("metrics-out").cloned();
+    if trace_out.is_some() || metrics_out.is_some() {
+        builder = builder.telemetry(parvc::core::TelemetryConfig::default());
+    }
+    let timeline: Option<usize> = if let Some(w) = flags.options.get("timeline") {
+        Some(w.parse().unwrap_or_else(|_| {
+            eprintln!("--timeline takes a column count, got '{w}'");
+            std::process::exit(2);
+        }))
+    } else if flags.switches.contains("timeline") {
+        Some(100)
+    } else {
+        None
+    };
+    if timeline.is_some() {
+        builder = builder.record_trace(true);
+    }
+    if let Some(p) = flags.options.get("progress") {
+        let secs: f64 = p.parse().unwrap_or_else(|_| {
+            eprintln!("--progress takes seconds, got '{p}'");
+            std::process::exit(2);
+        });
+        builder = builder.progress(Duration::from_secs_f64(secs));
+    } else if flags.switches.contains("progress") {
+        builder = builder.progress(Duration::from_secs(5));
+    }
     let solver = builder.build();
 
     eprintln!(
@@ -746,6 +807,7 @@ fn cmd_solve(args: &[String]) {
                 r.stats.tree_nodes,
                 r.stats.seconds()
             );
+            emit_observability(&r.stats, trace_out.as_ref(), metrics_out.as_ref(), timeline);
         }
         None => {
             let r = solver.solve_mvc(&g);
@@ -791,7 +853,46 @@ fn cmd_solve(args: &[String]) {
                     splits.taken, splits.checks, splits.components
                 );
             }
+            emit_observability(&r.stats, trace_out.as_ref(), metrics_out.as_ref(), timeline);
         }
+    }
+}
+
+/// Writes the post-solve observability outputs `cmd_solve`'s flags
+/// requested: the Chrome trace and flat metrics snapshot drained from
+/// `stats.telemetry`, plus the per-block model-cycle activity timeline.
+fn emit_observability(
+    stats: &parvc::core::SolveStats,
+    trace_out: Option<&String>,
+    metrics_out: Option<&String>,
+    timeline: Option<usize>,
+) {
+    let write = |path: &String, contents: String| {
+        std::fs::write(path, contents).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+    };
+    if let Some(snap) = &stats.telemetry {
+        if let Some(path) = trace_out {
+            write(path, snap.chrome_trace());
+            eprintln!(
+                "wrote Chrome trace ({} spans) to {path} — open in Perfetto \
+                 or chrome://tracing",
+                snap.spans.len()
+            );
+        }
+        if let Some(path) = metrics_out {
+            write(path, snap.metrics_json());
+            eprint!("{}", snap.metrics_table());
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+    }
+    if let Some(width) = timeline {
+        eprint!(
+            "{}",
+            parvc::simgpu::trace::render_launch(&stats.report.blocks, width)
+        );
     }
 }
 
@@ -987,8 +1088,10 @@ mod tests {
         "prep-rules",
         "split-bound",
         "split-backend",
+        "trace-out",
+        "metrics-out",
     ];
-    const SOLVE_OPT: &[&str] = &["component-branching"];
+    const SOLVE_OPT: &[&str] = &["component-branching", "timeline", "progress"];
     const SOLVE_SWITCH: &[&str] = &["extensions", "prep", "weighted"];
 
     fn solve_flags(args: &[String]) -> Result<Flags, String> {
@@ -1170,6 +1273,15 @@ mod tests {
 
         // Unknown families still fall through to file handling.
         assert!(parse_gen_spec("notafamily:1:2:w=uniform").is_none());
+    }
+
+    /// `,` and `:` are interchangeable between a spec's numeric
+    /// arguments.
+    #[test]
+    fn comma_separated_specs_match_colon_form() {
+        let colon = parse_gen_spec("gnp:20:0.2@7").unwrap();
+        let comma = parse_gen_spec("gnp:20,0.2@7").unwrap();
+        assert_eq!(colon, comma);
     }
 
     /// `docs/cli.md` is the committed output of `parvc help --markdown`.

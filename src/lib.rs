@@ -38,6 +38,7 @@
 
 pub use parvc_core as core;
 pub use parvc_graph as graph;
+pub use parvc_obs as obs;
 pub use parvc_prep as prep;
 pub use parvc_simgpu as simgpu;
 pub use parvc_worklist as worklist;

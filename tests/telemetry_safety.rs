@@ -1,0 +1,194 @@
+//! Telemetry non-interference property suite.
+//!
+//! The observability layer's core contract (`crates/obs`): a sink
+//! *observes* the solve, it never steers it. Spans and metrics are
+//! recorded strictly after the observed operation completes, the
+//! heartbeat only reads shared atomics, and the `ObservedExec`
+//! decorator delegates every scheduling decision to the wrapped
+//! executor. Consequence: with the traversal pinned deterministic
+//! (`grid_limit(1)`, like the executor-agreement suite), a solve with
+//! a full recording sink attached must reproduce the telemetry-off
+//! solve **bit for bit** — same cover, same tree shape, same
+//! per-block `BlockCounters` and `SplitCounters` — across every
+//! policy, with and without preprocessing, under both executors.
+
+use parvc::core::{Algorithm, ExecutorSpec, MvcResult, Solver, SolverBuilder, TelemetryConfig};
+use parvc::graph::gen;
+use parvc::graph::CsrGraph;
+use parvc::prep::PrepConfig;
+use parvc::simgpu::counters::{Activity, BlockCounters, SplitCounters};
+
+fn policies() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("sequential", Algorithm::Sequential),
+        ("stackonly", Algorithm::StackOnly { start_depth: 4 }),
+        ("hybrid", Algorithm::Hybrid),
+        ("worksteal", Algorithm::WorkStealing),
+        ("batched", Algorithm::Batched),
+        ("compsteal", Algorithm::ComponentSteal),
+    ]
+}
+
+fn corpus() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        ("gnp", gen::gnp(26, 0.17, 9)),
+        ("components", gen::sparse_components(48, 8, 0.5, 3)),
+    ]
+}
+
+/// `BlockCounters` has no `PartialEq` (the span log is not part of its
+/// identity), so identity is asserted on an exhaustive projection:
+/// every public counter plus the full per-activity cycle vector.
+#[derive(Debug, PartialEq)]
+struct BlockFingerprint {
+    block_id: u32,
+    cycles: Vec<u64>,
+    tree_nodes_visited: u64,
+    nodes_donated: u64,
+    nodes_from_worklist: u64,
+    donations_bounced: u64,
+    max_stack_depth: u64,
+    steals_by_victim: Vec<(u32, u64)>,
+    splits: SplitCounters,
+}
+
+fn block_fingerprint(c: &BlockCounters) -> BlockFingerprint {
+    BlockFingerprint {
+        block_id: c.block_id,
+        cycles: Activity::ALL.iter().map(|&a| c.cycles(a)).collect(),
+        tree_nodes_visited: c.tree_nodes_visited,
+        nodes_donated: c.nodes_donated,
+        nodes_from_worklist: c.nodes_from_worklist,
+        donations_bounced: c.donations_bounced,
+        max_stack_depth: c.max_stack_depth,
+        steals_by_victim: c.steals_by_victim.iter().map(|(&k, &v)| (k, v)).collect(),
+        splits: c.splits.clone(),
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct SolveFingerprint {
+    size: u32,
+    weight: u64,
+    cover: Vec<u32>,
+    tree_nodes: u64,
+    device_cycles: u64,
+    blocks: Vec<BlockFingerprint>,
+}
+
+fn fingerprint(r: &MvcResult) -> SolveFingerprint {
+    SolveFingerprint {
+        size: r.size,
+        weight: r.weight,
+        cover: r.cover.clone(),
+        tree_nodes: r.stats.tree_nodes,
+        device_cycles: r.stats.device_cycles,
+        blocks: r
+            .stats
+            .report
+            .blocks
+            .iter()
+            .map(block_fingerprint)
+            .collect(),
+    }
+}
+
+fn builder(algorithm: Algorithm, exec: ExecutorSpec, prep: bool) -> SolverBuilder {
+    let mut b = Solver::builder()
+        .algorithm(algorithm)
+        .grid_limit(Some(1))
+        .component_branching(true)
+        .executor(exec);
+    if prep {
+        b = b.preprocess(PrepConfig::default());
+    }
+    b
+}
+
+/// The full matrix: 6 policies × prep on/off × serial/pooled, each
+/// compared telemetry-off vs telemetry-on with the default (full)
+/// recording configuration.
+#[test]
+fn full_sink_never_perturbs_the_solve() {
+    let execs = [
+        ("serial", ExecutorSpec::Serial),
+        ("pooled", ExecutorSpec::Pooled { threads: Some(3) }),
+    ];
+    for (gname, g) in corpus() {
+        for (pname, algorithm) in policies() {
+            for prep in [false, true] {
+                for (ename, exec) in execs {
+                    let ctx = format!("{gname}/{pname}/prep={prep}/{ename}");
+                    let off = builder(algorithm, exec, prep).build().solve_mvc(&g);
+                    let on = builder(algorithm, exec, prep)
+                        .telemetry(TelemetryConfig::default())
+                        .build()
+                        .solve_mvc(&g);
+                    assert!(off.stats.telemetry.is_none(), "{ctx}: phantom snapshot");
+                    assert!(on.stats.telemetry.is_some(), "{ctx}: missing snapshot");
+                    assert_eq!(fingerprint(&off), fingerprint(&on), "{ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// The recording run's snapshot is substantive, not an empty shell:
+/// engine spans and node counters always appear, and the preprocessed
+/// arm adds the prep/component taxonomy.
+#[test]
+fn recording_runs_capture_the_span_taxonomy() {
+    let g = gen::sparse_components(48, 8, 0.5, 3);
+    let r = builder(Algorithm::Hybrid, ExecutorSpec::Serial, true)
+        .telemetry(TelemetryConfig::default())
+        .build()
+        .solve_mvc(&g);
+    let snap = r.stats.telemetry.as_ref().expect("telemetry was on");
+    let cats = snap.span_categories();
+    for cat in ["prep", "component", "engine"] {
+        assert!(cats.contains(cat), "missing category {cat}: {cats:?}");
+    }
+    assert!(snap.has_model_lane(), "model-cycle track missing");
+    assert_eq!(
+        snap.counters.get("engine.nodes").copied(),
+        Some(r.stats.tree_nodes),
+        "engine.nodes must agree with the report's tree-node total"
+    );
+}
+
+/// The heartbeat counts every tick without touching the search (its
+/// printing is interval-gated; a huge interval keeps stderr silent),
+/// so a progress-enabled solve is bit-identical too.
+#[test]
+fn progress_heartbeat_never_perturbs_the_solve() {
+    let g = gen::gnp(26, 0.17, 9);
+    for (pname, algorithm) in policies() {
+        let plain = builder(algorithm, ExecutorSpec::Serial, false)
+            .build()
+            .solve_mvc(&g);
+        let beating = builder(algorithm, ExecutorSpec::Serial, false)
+            .progress(std::time::Duration::from_secs(3600))
+            .build()
+            .solve_mvc(&g);
+        assert_eq!(fingerprint(&plain), fingerprint(&beating), "{pname}");
+    }
+}
+
+/// Dispatch-seam spans appear exactly when the pooled executor fans
+/// out: the serial executor never crosses the seam (flat passes run
+/// inline below the parallel cutoff), and `ObservedExec` must not
+/// invent work the executor didn't do.
+#[test]
+fn dispatch_spans_follow_the_executor() {
+    let g = gen::gnp(26, 0.17, 9);
+    let serial = builder(Algorithm::Hybrid, ExecutorSpec::Serial, false)
+        .telemetry(TelemetryConfig::default())
+        .build()
+        .solve_mvc(&g);
+    let snap = serial.stats.telemetry.as_ref().unwrap();
+    assert_eq!(
+        snap.counters.get("exec.dispatches"),
+        None,
+        "serial flat passes must not cross the dispatch seam"
+    );
+}
