@@ -1,0 +1,267 @@
+//! `resolve-smoke` — the CI gate for incremental re-solve.
+//!
+//! Runs a downsized, **deterministic** dynamic-graph slice: every
+//! policy (one block, fixed seeds) solves each instance, applies a
+//! seeded `gen::edit_script` batch through `Solver::resolve`, and is
+//! checked against a from-scratch solve of the edited graph. The JSON
+//! report records the initial and re-solve tree-node counts plus the
+//! reuse accounting, and is compared against the checked-in baseline
+//! `bench/baselines/resolve.json`:
+//!
+//! * more tree nodes than the baseline on any instance (initial or
+//!   re-solve) fails the gate (exit 1);
+//! * a changed optimum or changed reuse accounting fails immediately
+//!   (correctness / invalidation bugs, not perf regressions);
+//! * improvements print a note — refresh by re-running with
+//!   `--json bench/baselines/resolve.json` and committing.
+//!
+//! ```text
+//! cargo run --release -p parvc-bench --bin resolve_smoke -- \
+//!     --json resolve-report.json --baseline bench/baselines/resolve.json
+//! ```
+
+use parvc_bench::json::{obj, parse, Value};
+use parvc_core::{Algorithm, ExecutorSpec, Solver, SplitParams};
+use parvc_graph::{gen, CsrGraph, EditScript};
+
+/// Component-structured instances (where reuse pays) plus one
+/// single-component graph (where resolve degenerates to a full
+/// re-solve — gating that path too). Each carries a seeded edit
+/// script: deterministic ops, ~half inserts so scripts both merge and
+/// split components.
+fn corpus() -> Vec<(&'static str, CsrGraph, EditScript)> {
+    let mk = |name, g: CsrGraph, ops, seed| {
+        let edits = gen::edit_script(&g, ops, 0.5, seed);
+        (name, g, edits)
+    };
+    vec![
+        mk(
+            "components",
+            gen::sparse_components(120, 12, 0.5, 3),
+            12,
+            0xd1,
+        ),
+        mk(
+            "components_wide",
+            gen::sparse_components(96, 8, 0.42, 11),
+            10,
+            0xd2,
+        ),
+        mk("grid", gen::grid2d(6, 6), 8, 0xd3),
+        mk("gnp_sparse", gen::gnp(34, 0.12, 5), 8, 0xd4),
+    ]
+}
+
+/// Every scheduling policy, pinned to one block so parallel policies
+/// run deterministically.
+fn policies() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("seq", Algorithm::Sequential),
+        ("stack", Algorithm::StackOnly { start_depth: 4 }),
+        ("hybrid", Algorithm::Hybrid),
+        ("steal", Algorithm::WorkStealing),
+        ("batch", Algorithm::Batched),
+        ("compsteal", Algorithm::ComponentSteal),
+    ]
+}
+
+fn solver(algorithm: Algorithm, exec: ExecutorSpec) -> Solver {
+    Solver::builder()
+        .algorithm(algorithm)
+        .grid_limit(Some(1))
+        .component_branching_params(SplitParams::with_min_live(4))
+        .executor(exec)
+        .build()
+}
+
+fn main() {
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut exec = ExecutorSpec::Serial;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+        };
+        match flag.as_str() {
+            "--json" => json_out = Some(value("path")),
+            "--baseline" => baseline = Some(value("path")),
+            "--exec" => {
+                exec = ExecutorSpec::parse(&value("serial|pooled[:threads]"))
+                    .unwrap_or_else(|e| panic!("--exec: {e}"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --json <report path>  --baseline <baseline path>  \
+                     --exec serial|pooled[:threads]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+
+    let mut instances: Vec<Value> = Vec::new();
+    for (name, g, edits) in corpus() {
+        eprintln!(
+            "[resolve-smoke] {name} ({} vertices, {} edit ops)...",
+            g.num_vertices(),
+            edits.len()
+        );
+        let mut rows: Vec<Value> = Vec::new();
+        let mut size: Option<u32> = None;
+        for (policy, algorithm) in policies() {
+            let s = solver(algorithm, exec);
+            let initial = s.solve_mvc(&g);
+            let r = s
+                .resolve(&g, &initial, &edits)
+                .unwrap_or_else(|e| panic!("{name}/{policy}: script must apply: {e}"));
+            let scratch = s.solve_mvc(&r.graph);
+            assert!(
+                parvc_core::is_vertex_cover(&r.graph, &r.result.cover),
+                "{name}/{policy}: resolve returned a non-cover"
+            );
+            assert_eq!(
+                r.result.size, scratch.size,
+                "{name}/{policy}: incremental and from-scratch optima disagree"
+            );
+            match size {
+                None => size = Some(r.result.size),
+                Some(s) => assert_eq!(
+                    r.result.size, s,
+                    "{name}: policy {policy} disagrees on the resolved size"
+                ),
+            }
+            rows.push(obj(vec![
+                ("policy", Value::Str(policy.into())),
+                ("initial_tree_nodes", Value::Num(initial.stats.tree_nodes)),
+                ("resolve_tree_nodes", Value::Num(r.stats.resolve_tree_nodes)),
+                (
+                    "components_reused",
+                    Value::Num(u64::from(r.stats.components_reused)),
+                ),
+                (
+                    "components_invalidated",
+                    Value::Num(u64::from(r.stats.components_invalidated)),
+                ),
+                ("warm_skips", Value::Num(u64::from(r.stats.warm_skips))),
+            ]));
+        }
+        instances.push(obj(vec![
+            ("name", Value::Str(name.into())),
+            ("size", Value::Num(u64::from(size.expect("solved")))),
+            ("policies", Value::Arr(rows)),
+        ]));
+    }
+    let report = obj(vec![
+        ("schema", Value::Num(1)),
+        ("bench", Value::Str("resolve-smoke".into())),
+        ("instances", Value::Arr(instances)),
+    ]);
+    let text = report.to_pretty();
+    print!("{text}");
+    if let Some(path) = &json_out {
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[resolve-smoke] report written to {path}");
+    }
+    if let Some(path) = &baseline {
+        let base_text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let base = parse(&base_text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let regressions = compare(&base, &report);
+        if regressions > 0 {
+            eprintln!("[resolve-smoke] FAILED: {regressions} regression(s) against {path}");
+            std::process::exit(1);
+        }
+        eprintln!("[resolve-smoke] ok: no regressions against {path}");
+    }
+}
+
+/// Compares `current` against `base`. Tree-node counts gate as perf
+/// (more = regression, fewer = improvement note); the optimum and the
+/// reuse accounting gate as correctness (any change fails).
+fn compare(base: &Value, current: &Value) -> u32 {
+    let field = |v: &Value, key: &str| -> u64 {
+        v.get(key)
+            .and_then(Value::num)
+            .unwrap_or_else(|| panic!("report row missing numeric field '{key}'"))
+    };
+    let find_instance = |doc: &Value, name: &str| -> Option<Value> {
+        doc.get("instances")?
+            .arr()?
+            .iter()
+            .find(|i| i.get("name").and_then(Value::str) == Some(name))
+            .cloned()
+    };
+    let mut regressions = 0u32;
+    for base_inst in base
+        .get("instances")
+        .and_then(Value::arr)
+        .expect("baseline has instances")
+    {
+        let name = base_inst
+            .get("name")
+            .and_then(Value::str)
+            .expect("baseline instance has a name");
+        let Some(cur_inst) = find_instance(current, name) else {
+            eprintln!("[resolve-smoke] REGRESSION {name}: instance missing from the report");
+            regressions += 1;
+            continue;
+        };
+        if field(base_inst, "size") != field(&cur_inst, "size") {
+            eprintln!(
+                "[resolve-smoke] REGRESSION {name}: resolved size changed {} -> {} (correctness!)",
+                field(base_inst, "size"),
+                field(&cur_inst, "size")
+            );
+            regressions += 1;
+            continue;
+        }
+        for base_row in base_inst
+            .get("policies")
+            .and_then(Value::arr)
+            .expect("baseline instance has policies")
+        {
+            let policy = base_row
+                .get("policy")
+                .and_then(Value::str)
+                .expect("baseline row has a policy");
+            let Some(cur_row) = cur_inst
+                .get("policies")
+                .and_then(Value::arr)
+                .and_then(|rows| {
+                    rows.iter()
+                        .find(|r| r.get("policy").and_then(Value::str) == Some(policy))
+                })
+            else {
+                eprintln!("[resolve-smoke] REGRESSION {name}/{policy}: policy missing");
+                regressions += 1;
+                continue;
+            };
+            for key in ["components_reused", "components_invalidated", "warm_skips"] {
+                let (was, now) = (field(base_row, key), field(cur_row, key));
+                if was != now {
+                    eprintln!(
+                        "[resolve-smoke] REGRESSION {name}/{policy}: {key} changed \
+                         {was} -> {now} (invalidation accounting!)"
+                    );
+                    regressions += 1;
+                }
+            }
+            for key in ["initial_tree_nodes", "resolve_tree_nodes"] {
+                let (was, now) = (field(base_row, key), field(cur_row, key));
+                if now > was {
+                    eprintln!("[resolve-smoke] REGRESSION {name}/{policy}: {key} {was} -> {now}");
+                    regressions += 1;
+                } else if now < was {
+                    eprintln!(
+                        "[resolve-smoke] improvement {name}/{policy}: {key} {was} -> {now} \
+                         (refresh the baseline to lock it in)"
+                    );
+                }
+            }
+        }
+    }
+    regressions
+}

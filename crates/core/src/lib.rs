@@ -45,6 +45,10 @@
 //!   kernelization + component-decomposition pipeline up front and
 //!   schedules each kernel component as an independent engine
 //!   sub-search under any of the policies.
+//! * [`resolve`] — incremental re-solve for dynamic graphs: apply an
+//!   [`parvc_graph::EditScript`] batch, keep every untouched
+//!   component's cached optimum, and re-solve only the dirty region
+//!   under warm bounds seeded from the previous result.
 //! * [`greedy`] (the initial bounds, cardinality and weighted),
 //!   [`brute`] (the test oracles, including
 //!   [`brute::weighted_brute_force`]), [`verify`] (solution checking).
@@ -69,6 +73,7 @@ mod node;
 pub mod ops;
 pub mod progress;
 pub mod reduce;
+pub mod resolve;
 pub mod scratch;
 pub mod sequential;
 pub mod shared;
@@ -89,6 +94,7 @@ pub use parvc_obs::{RecordingSink, Sink, TelemetryConfig, TelemetrySnapshot};
 pub use parvc_prep::{PrepConfig, PrepStats};
 pub use parvc_simgpu::exec::ExecutorSpec;
 pub use progress::Heartbeat;
+pub use resolve::{ResolveSession, ResolveStats, Resolved};
 pub use scratch::BlockScratch;
 pub use solver::{Algorithm, Solver, SolverBuilder};
 pub use split::{PendingSplit, SplitBackend, SplitBound, SplitParams, SubInstance};

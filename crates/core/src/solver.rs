@@ -122,7 +122,7 @@ pub struct SolverBuilder {
     ext: Extensions,
     record_trace: bool,
     prep: Option<PrepConfig>,
-    weighted: bool,
+    pub(crate) weighted: bool,
     batch_size: usize,
     executor: ExecutorSpec,
     telemetry: Option<parvc_obs::TelemetryConfig>,
@@ -425,7 +425,7 @@ impl SolverBuilder {
 
 /// A configured vertex-cover solver. See [`Solver::builder`].
 pub struct Solver {
-    cfg: SolverBuilder,
+    pub(crate) cfg: SolverBuilder,
     /// The built intra-block executor (shared by every launch of this
     /// solver; the pooled backend keeps its workers warm across
     /// solves).
@@ -491,12 +491,27 @@ impl Solver {
     pub fn solve_mvc(&self, g: &CsrGraph) -> MvcResult {
         let (sink, heartbeat) = self.solve_observers();
         let obs = SolveObs::new(sink.as_ref(), heartbeat.as_ref());
-        let mut r = self.solve_mvc_with(g, obs);
+        let mut r = self.solve_mvc_with(g, None, obs);
         self.finish_telemetry(sink, &mut r.stats);
         r
     }
 
-    fn solve_mvc_with(&self, g: &CsrGraph, obs: SolveObs<'_>) -> MvcResult {
+    /// [`solve_mvc`](Self::solve_mvc) with caller-supplied observers
+    /// and an optional **warm incumbent**: a valid cover of `g` (the
+    /// incremental re-solve driver's patched previous cover) that
+    /// replaces the greedy seed when its objective is better, so the
+    /// search starts with the tight upper bound churn usually leaves
+    /// intact. The kernelized path ignores the seed (prep relabels the
+    /// instance under the warm cover's feet); callers that need the
+    /// guarantee take the min with their warm cover afterwards.
+    /// [`SolveStats::greedy_size`] always reports the greedy's own
+    /// size, so the stat stays comparable across warm and cold solves.
+    pub(crate) fn solve_mvc_with(
+        &self,
+        g: &CsrGraph,
+        warm: Option<&[u32]>,
+        obs: SolveObs<'_>,
+    ) -> MvcResult {
         let start = Instant::now();
         if g.num_edges() == 0 {
             return MvcResult {
@@ -513,8 +528,14 @@ impl Solver {
         }
 
         if self.cfg.weighted {
-            let greedy = greedy_weighted_mvc_bounded(g, &deadline);
+            let mut greedy = greedy_weighted_mvc_bounded(g, &deadline);
             let greedy_size = greedy.1.len() as u32;
+            if let Some(seed) = warm {
+                let seed_weight = g.cover_weight(seed);
+                if seed_weight < greedy.0 {
+                    greedy = (seed_weight, seed.to_vec());
+                }
+            }
             let (outcome, launch) = self.run_engine(
                 g,
                 SearchMode::WeightedMvc { initial: greedy },
@@ -545,8 +566,13 @@ impl Solver {
             };
         }
 
-        let greedy = greedy_mvc_bounded(g, &deadline);
+        let mut greedy = greedy_mvc_bounded(g, &deadline);
         let greedy_size = greedy.0;
+        if let Some(seed) = warm {
+            if (seed.len() as u32) < greedy.0 {
+                greedy = (seed.len() as u32, seed.to_vec());
+            }
+        }
         let (outcome, launch) = self.run_engine(
             g,
             SearchMode::Mvc { initial: greedy },
@@ -859,7 +885,7 @@ impl Solver {
         }
     }
 
-    fn trivial_stats(&self, start: Instant, greedy_size: u32) -> SolveStats {
+    pub(crate) fn trivial_stats(&self, start: Instant, greedy_size: u32) -> SolveStats {
         SolveStats {
             wall_time: start.elapsed(),
             tree_nodes: 0,
@@ -878,7 +904,9 @@ impl Solver {
     /// [`Heartbeat`](crate::progress::Heartbeat) when progress
     /// reporting was. Both `None` on the default build, keeping the
     /// hot path on the no-op sink.
-    fn solve_observers(&self) -> (Option<RecordingSink>, Option<crate::progress::Heartbeat>) {
+    pub(crate) fn solve_observers(
+        &self,
+    ) -> (Option<RecordingSink>, Option<crate::progress::Heartbeat>) {
         (
             self.cfg.telemetry.as_ref().map(RecordingSink::new),
             self.cfg.progress.map(crate::progress::Heartbeat::new),
@@ -888,7 +916,7 @@ impl Solver {
     /// Drains the recording sink (if any) into `stats.telemetry`,
     /// bridging the per-block model-cycle span logs onto the synthetic
     /// model lane.
-    fn finish_telemetry(&self, sink: Option<RecordingSink>, stats: &mut SolveStats) {
+    pub(crate) fn finish_telemetry(&self, sink: Option<RecordingSink>, stats: &mut SolveStats) {
         let Some(sink) = sink else { return };
         let mut snap = sink.into_snapshot();
         if self.cfg.telemetry.as_ref().is_some_and(|t| t.model_cycles) {
@@ -906,13 +934,13 @@ impl Solver {
 /// points down to the engine: a borrowed sink (the no-op static when
 /// telemetry is off) plus the optional progress heartbeat.
 #[derive(Clone, Copy)]
-struct SolveObs<'a> {
-    sink: &'a dyn Sink,
-    progress: Option<&'a crate::progress::Heartbeat>,
+pub(crate) struct SolveObs<'a> {
+    pub(crate) sink: &'a dyn Sink,
+    pub(crate) progress: Option<&'a crate::progress::Heartbeat>,
 }
 
 impl<'a> SolveObs<'a> {
-    fn new(
+    pub(crate) fn new(
         sink: Option<&'a RecordingSink>,
         progress: Option<&'a crate::progress::Heartbeat>,
     ) -> Self {

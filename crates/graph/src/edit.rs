@@ -1,0 +1,583 @@
+//! Edit scripts — batched graph deltas for the dynamic-graph pipeline.
+//!
+//! A [`CsrGraph`] is immutable by design (built once, shared read-only
+//! by every thread block), so "the graph changed" is modeled as a
+//! value: an [`EditScript`] is an ordered batch of vertex/edge
+//! insertions and deletions that [`EditScript::apply`] validates
+//! against a graph and materializes as a **new** `CsrGraph`. The
+//! incremental re-solve driver (`parvc_core::resolve`) consumes the
+//! same script to compute which components the batch dirtied, so the
+//! edit semantics here are the contract the invalidation rules lean on:
+//!
+//! * **Vertex ids are stable.** [`Edit::DeleteVertex`] drops the
+//!   vertex's incident edges and leaves the id behind as an isolated
+//!   vertex (isolated vertices never appear in an optimal cover, so
+//!   this is observationally equivalent to removal while keeping every
+//!   surviving vertex's id — and its cached component label — intact).
+//!   [`Edit::InsertVertex`] appends at the next free id.
+//! * **Ops are sequential and strict.** Each op is validated against
+//!   the graph state produced by the ops before it: inserting an edge
+//!   that exists, deleting one that doesn't, referencing an
+//!   out-of-range vertex, a self-loop, or a zero vertex weight is an
+//!   [`EditError`], not a silent no-op — the fuzz generator
+//!   ([`crate::gen::edit_script`]) promises scripts that always apply
+//!   cleanly, and the property suites lean on strictness to catch
+//!   generator bugs.
+//! * **Weights are preserved.** Applying to a weighted graph keeps its
+//!   weight channel; inserting a vertex with weight ≥ 2 into an
+//!   unweighted graph promotes the result to weighted (existing
+//!   vertices keep weight 1).
+//!
+//! Scripts round-trip through a line-oriented text format
+//! ([`EditScript::parse`] / [`EditScript::to_text`]) so the CLI's
+//! `parvc resolve --edits <file>` can replay recorded churn:
+//!
+//! ```text
+//! # one op per line; blank lines and #-comments are skipped
+//! +e 3 17     # insert edge {3, 17}
+//! -e 0 5      # delete edge {0, 5}
+//! +v 4        # insert a vertex of weight 4 (id = current |V|)
+//! -v 12       # delete vertex 12 (drops its incident edges)
+//! ```
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::{CsrGraph, VertexId};
+
+/// One graph delta. Edge endpoints are unordered (`{u, v}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Edit {
+    /// Append a new vertex (id = the vertex count at this point of the
+    /// script) with the given weight (must be ≥ 1).
+    InsertVertex {
+        /// The new vertex's weight (1 on unweighted graphs).
+        weight: u64,
+    },
+    /// Drop every edge incident to the vertex, leaving the id behind
+    /// as an isolated vertex (ids stay stable; see the module docs).
+    DeleteVertex(VertexId),
+    /// Insert the edge `{u, v}`; it must not already exist.
+    InsertEdge(VertexId, VertexId),
+    /// Delete the edge `{u, v}`; it must exist.
+    DeleteEdge(VertexId, VertexId),
+}
+
+/// Why an [`EditScript`] failed to validate or apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// An op referenced a vertex id `>= |V|` at its point in the script.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The vertex count at that point of the script.
+        num_vertices: u32,
+    },
+    /// An edge op named the same vertex twice.
+    SelfLoop(
+        /// The repeated endpoint.
+        VertexId,
+    ),
+    /// [`Edit::InsertEdge`] on an edge that already exists.
+    DuplicateEdge(VertexId, VertexId),
+    /// [`Edit::DeleteEdge`] on an edge that does not exist.
+    MissingEdge(VertexId, VertexId),
+    /// [`Edit::InsertVertex`] with weight 0 (the weighted solvers
+    /// require every weight ≥ 1).
+    ZeroWeight,
+    /// The script text could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// Rebuilding the edited graph failed (e.g. the weight total
+    /// overflowed the graph layer's `i64::MAX` cap).
+    Graph(crate::GraphError),
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(f, "vertex {vertex} out of range (|V| = {num_vertices})"),
+            EditError::SelfLoop(v) => write!(f, "self loop on vertex {v}"),
+            EditError::DuplicateEdge(u, v) => write!(f, "edge {{{u}, {v}}} already exists"),
+            EditError::MissingEdge(u, v) => write!(f, "edge {{{u}, {v}}} does not exist"),
+            EditError::ZeroWeight => write!(f, "inserted vertex weight must be >= 1"),
+            EditError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            EditError::Graph(e) => write!(f, "rebuild failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+impl From<crate::GraphError> for EditError {
+    fn from(e: crate::GraphError) -> Self {
+        EditError::Graph(e)
+    }
+}
+
+/// Aggregate facts about a script against a specific base graph —
+/// everything the re-solve driver's warm bounds need, computed in one
+/// sequential pass (see [`EditScript::summary`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EditSummary {
+    /// Edges inserted.
+    pub edge_inserts: u32,
+    /// Edges deleted by explicit [`Edit::DeleteEdge`] ops.
+    pub edge_deletes: u32,
+    /// Vertices appended.
+    pub vertex_inserts: u32,
+    /// Vertices deleted (isolated in place).
+    pub vertex_deletes: u32,
+    /// How much a minimum cover's **cardinality** can have dropped:
+    /// one per deletion op (deleting an edge lowers the optimum by at
+    /// most 1; deleting a vertex, with all its incident edges, by at
+    /// most 1 — the deleted vertex itself).
+    pub slack_cardinality: u64,
+    /// How much a minimum cover's **weight** can have dropped: per
+    /// deleted edge the lighter endpoint's weight (a cover of the
+    /// smaller graph plus that endpoint covers the larger one), per
+    /// deleted vertex its own weight.
+    pub slack_weight: u64,
+}
+
+/// An ordered batch of graph deltas. See the module docs for the
+/// semantics each op carries.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditScript {
+    ops: Vec<Edit>,
+}
+
+/// Normalizes an edge op's endpoints and validates range/self-loop.
+fn check_edge(u: VertexId, v: VertexId, n: u32) -> Result<(VertexId, VertexId), EditError> {
+    if u == v {
+        return Err(EditError::SelfLoop(u));
+    }
+    for w in [u, v] {
+        if w >= n {
+            return Err(EditError::VertexOutOfRange {
+                vertex: w,
+                num_vertices: n,
+            });
+        }
+    }
+    Ok((u.min(v), u.max(v)))
+}
+
+impl EditScript {
+    /// An empty script.
+    pub fn new() -> Self {
+        EditScript::default()
+    }
+
+    /// Builds a script from ops (validation happens at apply time,
+    /// against the graph the script is applied to).
+    pub fn from_ops(ops: Vec<Edit>) -> Self {
+        EditScript { ops }
+    }
+
+    /// Appends an op.
+    pub fn push(&mut self, op: Edit) {
+        self.ops.push(op);
+    }
+
+    /// The ops, in application order.
+    pub fn ops(&self) -> &[Edit] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script has no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Validates the script against `g` and materializes the edited
+    /// graph. Ops apply in order, each against the state the previous
+    /// ops produced; the first invalid op aborts with its
+    /// [`EditError`]. `g` itself is never modified.
+    pub fn apply(&self, g: &CsrGraph) -> Result<CsrGraph, EditError> {
+        let mut n = g.num_vertices();
+        let mut edges: BTreeSet<(VertexId, VertexId)> = g.edges().collect();
+        let mut weights: Vec<u64> = match g.weights() {
+            Some(w) => w.to_vec(),
+            None => vec![1; n as usize],
+        };
+        let mut weighted = g.is_weighted();
+        for op in &self.ops {
+            match *op {
+                Edit::InsertVertex { weight } => {
+                    if weight == 0 {
+                        return Err(EditError::ZeroWeight);
+                    }
+                    weighted |= weight != 1;
+                    weights.push(weight);
+                    n += 1;
+                }
+                Edit::DeleteVertex(v) => {
+                    if v >= n {
+                        return Err(EditError::VertexOutOfRange {
+                            vertex: v,
+                            num_vertices: n,
+                        });
+                    }
+                    edges.retain(|&(a, b)| a != v && b != v);
+                }
+                Edit::InsertEdge(u, v) => {
+                    let e = check_edge(u, v, n)?;
+                    if !edges.insert(e) {
+                        return Err(EditError::DuplicateEdge(e.0, e.1));
+                    }
+                }
+                Edit::DeleteEdge(u, v) => {
+                    let e = check_edge(u, v, n)?;
+                    if !edges.remove(&e) {
+                        return Err(EditError::MissingEdge(e.0, e.1));
+                    }
+                }
+            }
+        }
+        let edge_vec: Vec<(VertexId, VertexId)> = edges.into_iter().collect();
+        let out = CsrGraph::from_edges(n, &edge_vec)?;
+        Ok(if weighted {
+            out.with_weights(weights)?
+        } else {
+            out
+        })
+    }
+
+    /// Every **pre-existing** vertex of the base graph (id `<
+    /// n_before`) any op touches: edge endpoints, deleted vertices.
+    /// Vertices the script itself appended are excluded — they had no
+    /// component in the base graph to dirty. Sorted, deduplicated.
+    pub fn touched_existing(&self, n_before: u32) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = Vec::new();
+        for op in &self.ops {
+            match *op {
+                Edit::InsertVertex { .. } => {}
+                Edit::DeleteVertex(v) => out.push(v),
+                Edit::InsertEdge(u, v) | Edit::DeleteEdge(u, v) => {
+                    out.push(u);
+                    out.push(v);
+                }
+            }
+        }
+        out.retain(|&v| v < n_before);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// One sequential pass computing the op counts and the deletion
+    /// slack the warm lower bound subtracts (see [`EditSummary`]).
+    /// Endpoint weights come from `g`'s weight channel, extended by
+    /// the script's own vertex insertions; unweighted graphs count
+    /// every vertex as weight 1.
+    pub fn summary(&self, g: &CsrGraph) -> EditSummary {
+        let mut s = EditSummary::default();
+        let mut weights: Vec<u64> = match g.weights() {
+            Some(w) => w.to_vec(),
+            None => vec![1; g.num_vertices() as usize],
+        };
+        // Live incident-edge sets are not tracked here; a DeleteVertex
+        // op's slack is its own weight regardless of current degree
+        // (removing v and its edges lowers the optimum by at most
+        // w(v): any cover of the smaller graph plus v covers the
+        // larger one).
+        for op in &self.ops {
+            match *op {
+                Edit::InsertVertex { weight } => {
+                    weights.push(weight);
+                    s.vertex_inserts += 1;
+                }
+                Edit::DeleteVertex(v) => {
+                    s.vertex_deletes += 1;
+                    s.slack_cardinality += 1;
+                    s.slack_weight += weights.get(v as usize).copied().unwrap_or(1);
+                }
+                Edit::InsertEdge(..) => s.edge_inserts += 1,
+                Edit::DeleteEdge(u, v) => {
+                    s.edge_deletes += 1;
+                    s.slack_cardinality += 1;
+                    let wu = weights.get(u as usize).copied().unwrap_or(1);
+                    let wv = weights.get(v as usize).copied().unwrap_or(1);
+                    s.slack_weight += wu.min(wv);
+                }
+            }
+        }
+        s
+    }
+
+    /// Parses the line-oriented text format (see the module docs):
+    /// `+e u v`, `-e u v`, `+v weight`, `-v vertex`, with blank lines
+    /// and `#` comments skipped.
+    pub fn parse(text: &str) -> Result<EditScript, EditError> {
+        let mut ops = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = idx + 1;
+            let body = raw.split('#').next().unwrap_or("").trim();
+            if body.is_empty() {
+                continue;
+            }
+            let mut tok = body.split_whitespace();
+            let kind = tok.next().expect("non-empty line has a first token");
+            let mut num = |what: &str| -> Result<u64, EditError> {
+                let t = tok.next().ok_or_else(|| EditError::Parse {
+                    line,
+                    message: format!("'{kind}' needs a {what}"),
+                })?;
+                t.parse().map_err(|_| EditError::Parse {
+                    line,
+                    message: format!("bad {what} '{t}'"),
+                })
+            };
+            let op = match kind {
+                "+e" => Edit::InsertEdge(num("vertex")? as VertexId, num("vertex")? as VertexId),
+                "-e" => Edit::DeleteEdge(num("vertex")? as VertexId, num("vertex")? as VertexId),
+                "+v" => Edit::InsertVertex {
+                    weight: num("weight")?,
+                },
+                "-v" => Edit::DeleteVertex(num("vertex")? as VertexId),
+                other => {
+                    return Err(EditError::Parse {
+                        line,
+                        message: format!("unknown op '{other}' (+e|-e|+v|-v)"),
+                    })
+                }
+            };
+            if let Some(extra) = tok.next() {
+                return Err(EditError::Parse {
+                    line,
+                    message: format!("trailing token '{extra}'"),
+                });
+            }
+            ops.push(op);
+        }
+        Ok(EditScript { ops })
+    }
+
+    /// Renders the script in the text format [`parse`](Self::parse)
+    /// reads (round-trips exactly).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            match *op {
+                Edit::InsertVertex { weight } => out.push_str(&format!("+v {weight}\n")),
+                Edit::DeleteVertex(v) => out.push_str(&format!("-v {v}\n")),
+                Edit::InsertEdge(u, v) => out.push_str(&format!("+e {u} {v}\n")),
+                Edit::DeleteEdge(u, v) => out.push_str(&format!("-e {u} {v}\n")),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn path4() -> CsrGraph {
+        // 0 - 1 - 2 - 3
+        CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn apply_inserts_and_deletes_edges() {
+        let g = path4();
+        let s = EditScript::from_ops(vec![
+            Edit::DeleteEdge(1, 2),
+            Edit::InsertEdge(0, 3),
+            Edit::InsertEdge(2, 0),
+        ]);
+        let h = s.apply(&g).unwrap();
+        assert_eq!(h.num_vertices(), 4);
+        assert!(!h.has_edge(1, 2));
+        assert!(h.has_edge(0, 3));
+        assert!(h.has_edge(0, 2));
+        assert!(h.has_edge(0, 1), "untouched edges survive");
+        // The base graph is untouched.
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn delete_vertex_isolates_in_place() {
+        let g = path4();
+        let s = EditScript::from_ops(vec![Edit::DeleteVertex(1)]);
+        let h = s.apply(&g).unwrap();
+        assert_eq!(h.num_vertices(), 4, "ids stay stable");
+        assert_eq!(h.degree(1), 0);
+        assert_eq!(h.num_edges(), 1); // only {2, 3} survives
+    }
+
+    #[test]
+    fn insert_vertex_appends_and_promotes_weights() {
+        let g = path4();
+        let s = EditScript::from_ops(vec![
+            Edit::InsertVertex { weight: 5 },
+            Edit::InsertEdge(4, 0),
+        ]);
+        let h = s.apply(&g).unwrap();
+        assert_eq!(h.num_vertices(), 5);
+        assert!(h.is_weighted(), "weight 5 promotes the channel");
+        assert_eq!(h.weight(4), 5);
+        assert_eq!(h.weight(0), 1, "existing vertices default to 1");
+        assert!(h.has_edge(0, 4));
+
+        // Weight-1 inserts keep an unweighted graph unweighted.
+        let s1 = EditScript::from_ops(vec![Edit::InsertVertex { weight: 1 }]);
+        assert!(!s1.apply(&g).unwrap().is_weighted());
+    }
+
+    #[test]
+    fn weighted_base_graph_keeps_its_channel() {
+        let g = path4().with_weights(vec![7, 2, 3, 9]).unwrap();
+        let s = EditScript::from_ops(vec![
+            Edit::InsertVertex { weight: 1 },
+            Edit::DeleteEdge(0, 1),
+        ]);
+        let h = s.apply(&g).unwrap();
+        assert!(h.is_weighted());
+        assert_eq!(h.weights().unwrap(), &[7, 2, 3, 9, 1]);
+    }
+
+    #[test]
+    fn strict_validation_rejects_bad_ops() {
+        let g = path4();
+        let dup = EditScript::from_ops(vec![Edit::InsertEdge(1, 0)]);
+        assert_eq!(dup.apply(&g).unwrap_err(), EditError::DuplicateEdge(0, 1));
+        let missing = EditScript::from_ops(vec![Edit::DeleteEdge(0, 3)]);
+        assert_eq!(missing.apply(&g).unwrap_err(), EditError::MissingEdge(0, 3));
+        let range = EditScript::from_ops(vec![Edit::InsertEdge(0, 4)]);
+        assert!(matches!(
+            range.apply(&g).unwrap_err(),
+            EditError::VertexOutOfRange { vertex: 4, .. }
+        ));
+        let loops = EditScript::from_ops(vec![Edit::InsertEdge(2, 2)]);
+        assert_eq!(loops.apply(&g).unwrap_err(), EditError::SelfLoop(2));
+        let zero = EditScript::from_ops(vec![Edit::InsertVertex { weight: 0 }]);
+        assert_eq!(zero.apply(&g).unwrap_err(), EditError::ZeroWeight);
+        // Sequential semantics: delete-then-insert of the same edge is
+        // legal, insert-then-insert is not.
+        let cycle = EditScript::from_ops(vec![Edit::DeleteEdge(0, 1), Edit::InsertEdge(0, 1)]);
+        assert!(cycle.apply(&g).is_ok());
+    }
+
+    #[test]
+    fn ops_validate_against_the_evolving_state() {
+        let g = path4();
+        // Vertex 4 exists only after the insert that creates it.
+        let s = EditScript::from_ops(vec![
+            Edit::InsertVertex { weight: 1 },
+            Edit::InsertEdge(4, 1),
+            Edit::DeleteVertex(4),
+        ]);
+        let h = s.apply(&g).unwrap();
+        assert_eq!(h.num_vertices(), 5);
+        assert_eq!(h.degree(4), 0);
+    }
+
+    #[test]
+    fn touched_existing_excludes_appended_vertices() {
+        let s = EditScript::from_ops(vec![
+            Edit::InsertVertex { weight: 1 }, // id 4
+            Edit::InsertEdge(4, 2),
+            Edit::DeleteEdge(0, 1),
+            Edit::DeleteVertex(3),
+        ]);
+        assert_eq!(s.touched_existing(4), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn summary_counts_and_slack() {
+        let g = path4().with_weights(vec![7, 2, 3, 9]).unwrap();
+        let s = EditScript::from_ops(vec![
+            Edit::DeleteEdge(0, 1), // slack_w += min(7, 2) = 2
+            Edit::InsertEdge(0, 2),
+            Edit::DeleteVertex(3), // slack_w += 9
+            Edit::InsertVertex { weight: 4 },
+        ]);
+        let sum = s.summary(&g);
+        assert_eq!(sum.edge_inserts, 1);
+        assert_eq!(sum.edge_deletes, 1);
+        assert_eq!(sum.vertex_inserts, 1);
+        assert_eq!(sum.vertex_deletes, 1);
+        assert_eq!(sum.slack_cardinality, 2);
+        assert_eq!(sum.slack_weight, 11);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let s = EditScript::from_ops(vec![
+            Edit::InsertEdge(3, 17),
+            Edit::DeleteEdge(0, 5),
+            Edit::InsertVertex { weight: 4 },
+            Edit::DeleteVertex(12),
+        ]);
+        let text = s.to_text();
+        assert_eq!(EditScript::parse(&text).unwrap(), s);
+        // Comments and blanks are tolerated.
+        let annotated = format!("# churn batch\n\n{text}\n  # done\n");
+        assert_eq!(EditScript::parse(&annotated).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(matches!(
+            EditScript::parse("+e 1").unwrap_err(),
+            EditError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            EditScript::parse("+e 1 2 3").unwrap_err(),
+            EditError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            EditScript::parse("xx 1 2").unwrap_err(),
+            EditError::Parse { line: 1, .. }
+        ));
+        assert!(matches!(
+            EditScript::parse("+e 1 two").unwrap_err(),
+            EditError::Parse { line: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn apply_on_generated_graph_matches_edge_arithmetic() {
+        let g = gen::gnp(30, 0.2, 11);
+        let before = g.num_edges();
+        // Delete two known edges, insert two known non-edges.
+        let mut del = Vec::new();
+        for (u, v) in g.edges() {
+            del.push(Edit::DeleteEdge(u, v));
+            if del.len() == 2 {
+                break;
+            }
+        }
+        let mut ins = Vec::new();
+        'outer: for u in 0..30 {
+            for v in (u + 1)..30 {
+                if !g.has_edge(u, v) {
+                    ins.push(Edit::InsertEdge(u, v));
+                    if ins.len() == 2 {
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let mut ops = del;
+        ops.extend(ins);
+        let h = EditScript::from_ops(ops).apply(&g).unwrap();
+        assert_eq!(h.num_edges(), before);
+        h.validate().unwrap();
+    }
+}

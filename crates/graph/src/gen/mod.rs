@@ -16,11 +16,13 @@
 //! | Sister Cities | [`sparse_components`] |
 //! | PACE 2019 `vc-exact_*` | [`pace_like`] |
 
+mod edit_script;
 mod named;
 mod random;
 mod structured;
 mod weights;
 
+pub use edit_script::edit_script;
 pub use named::{complete, cycle, grid2d, paper_example, path, petersen, star};
 pub use random::{bipartite_gnp, gnp, p_hat, p_hat_complement};
 pub use structured::{

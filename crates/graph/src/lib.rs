@@ -12,6 +12,10 @@
 //!   SNAP-style sparse graphs, PACE-2019-style exact-track instances).
 //! * [`ops`] — whole-graph operations (complement, induced subgraph,
 //!   connected components, relabeling).
+//! * [`EditScript`] — validated batches of vertex/edge insertions and
+//!   deletions, the delta representation behind the incremental
+//!   re-solve pipeline (`parvc_core::resolve`), with a seeded fuzz
+//!   generator at [`gen::edit_script`].
 //! * [`io`] — DIMACS and edge-list parsing/serialization so real instances
 //!   can be dropped into the benchmark suite.
 //! * [`analysis`] — degree statistics used to classify instances into the
@@ -25,6 +29,7 @@
 pub mod analysis;
 mod builder;
 mod csr;
+mod edit;
 mod error;
 pub mod gen;
 pub mod io;
@@ -34,6 +39,7 @@ pub mod ops;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use edit::{Edit, EditError, EditScript, EditSummary};
 pub use error::GraphError;
 
 /// Vertex identifier. Graphs in this suite comfortably fit in `u32`

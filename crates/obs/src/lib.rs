@@ -61,7 +61,8 @@ pub enum Lane {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpanRecord {
     /// Category (the span taxonomy: `"prep"`, `"engine"`, `"split"`,
-    /// `"component"`, `"dispatch"`, `"steal"`, `"model"`, …).
+    /// `"component"`, `"dispatch"`, `"steal"`, `"model"`,
+    /// `"resolve"`, …).
     pub cat: &'static str,
     /// Event name within the category.
     pub name: &'static str,

@@ -11,6 +11,10 @@
 //!               [--split-bound lp|matching] [--split-backend uf|bfs]
 //!               [--prep] [--prep-rules d012,crown,highdeg,split]
 //!               [--weighted] [--format dimacs|edgelist] <instance>
+//! parvc resolve --edits <script-file|gen:<ops>[:<frac>][@seed]>
+//!               [--policy ...] [--threads <n>] [--exec ...]
+//!               [--deadline <s>] [--prep] [--weighted]
+//!               [--format dimacs|edgelist] <instance>
 //! parvc prep    [--rules d012,crown,highdeg,split] [--weighted]
 //!               [--out <file>] [--format dimacs|edgelist] <instance>
 //! parvc generate <family> <args...> [--seed <s>]
@@ -52,6 +56,7 @@ fn main() {
     }
     match cmd {
         Some("solve") => cmd_solve(&args[1..]),
+        Some("resolve") => cmd_resolve(&args[1..]),
         Some("prep") => cmd_prep(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -206,6 +211,79 @@ const COMMANDS: &[CmdHelp] = &[
             },
         ],
         example: "parvc solve components:120000:6000:0.3 --policy steal --prep",
+    },
+    CmdHelp {
+        name: "resolve",
+        usage: "parvc resolve --edits <script|spec> [options] <instance>",
+        summary: "Solve an instance, apply a batch of edge/vertex insert+delete \
+                  edits, and incrementally re-solve: components the batch never \
+                  touches keep their cached optima, and only the dirty region is \
+                  re-searched under warm bounds seeded from the previous result.",
+        flags: &[
+            FlagHelp {
+                flag: "--edits <file|gen:<ops>[:<frac>][@seed]>",
+                desc: "The edit batch (required): a script file (one op per \
+                       line — `+e u v`, `-e u v`, `+v weight`, `-v vertex`, \
+                       `#` comments) or a seeded generator spec — \
+                       `gen:16` for 16 ops at the default 0.5 insert \
+                       fraction, `gen:16:0.8@7` to skew toward inserts \
+                       with seed 7.",
+            },
+            FlagHelp {
+                flag: "--policy <seq|stack|hybrid|steal|batch|compsteal>",
+                desc: "Scheduling policy for the dirty-region re-solve (default \
+                       hybrid) — any policy works; the reuse logic is \
+                       policy-independent.",
+            },
+            FlagHelp {
+                flag: "--threads <n>",
+                desc: "Cap on resident thread blocks, one OS thread each \
+                       (--blocks is an alias).",
+            },
+            FlagHelp {
+                flag: "--exec <serial|pooled[:threads]>",
+                desc: "Intra-block executor for both the initial solve and the \
+                       re-solve (see `parvc solve --exec`).",
+            },
+            FlagHelp {
+                flag: "--deadline <secs>",
+                desc: "Wall-clock budget per solve; a timed-out result is not \
+                       exact, so the following resolve falls back to a full \
+                       re-solve instead of reusing its components.",
+            },
+            FlagHelp {
+                flag: "--weighted",
+                desc: "Minimize cover weight instead of size; warm bounds run \
+                       in weight units.",
+            },
+            FlagHelp {
+                flag: "--prep",
+                desc: "Kernelize the dirty region before re-searching it (the \
+                       warm upper bound still caps the result).",
+            },
+            FlagHelp {
+                flag: "--prep-rules <d012,crown,highdeg,split>",
+                desc: "Comma-separated prep stages to enable (implies --prep; \
+                       default: all stages).",
+            },
+            FlagHelp {
+                flag: "--trace-out <file>",
+                desc: "Record telemetry across solve + resolve and write the \
+                       re-solve's Chrome trace-event JSON (includes the \
+                       `resolve` span category: patch, sub-solve, total).",
+            },
+            FlagHelp {
+                flag: "--metrics-out <file>",
+                desc: "Write the re-solve's flat metrics snapshot as JSON \
+                       (includes the resolve.* reuse counters); the aligned \
+                       text table goes to stderr.",
+            },
+            FlagHelp {
+                flag: "--format <dimacs|edgelist>",
+                desc: "Instance file format (default: inferred from the extension).",
+            },
+        ],
+        example: "parvc resolve components:1200:60:0.3 --edits gen:12:0.5@7 --policy steal --prep",
     },
     CmdHelp {
         name: "prep",
@@ -896,6 +974,208 @@ fn emit_observability(
     }
 }
 
+/// Parses the `--edits` value: a `gen:<ops>[:<insert_frac>][@seed]`
+/// generator spec (seeded against the loaded instance) or a script
+/// file in the `EditScript` text format.
+fn load_edits(spec: &str, g: &CsrGraph) -> parvc::graph::EditScript {
+    if let Some(body) = spec.strip_prefix("gen:") {
+        let (body, seed) = match body.split_once('@') {
+            Some((b, s)) => (
+                b,
+                s.parse().unwrap_or_else(|_| {
+                    eprintln!("bad seed '{s}' in edit spec '{spec}'");
+                    std::process::exit(2);
+                }),
+            ),
+            None => (body, 42u64),
+        };
+        let mut parts = body.split(':');
+        let ops: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("edit spec '{spec}': expected gen:<ops>[:<insert_frac>][@seed]");
+                std::process::exit(2);
+            });
+        let frac: f64 = match parts.next() {
+            Some(t) => t.parse().unwrap_or_else(|_| {
+                eprintln!("bad insert fraction '{t}' in edit spec '{spec}'");
+                std::process::exit(2);
+            }),
+            None => 0.5,
+        };
+        return gen::edit_script(g, ops, frac, seed);
+    }
+    let text = std::fs::read_to_string(spec).unwrap_or_else(|e| {
+        eprintln!("cannot read edit script {spec}: {e}");
+        std::process::exit(1);
+    });
+    parvc::graph::EditScript::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse edit script {spec}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn cmd_resolve(args: &[String]) {
+    let flags = parse_flags_or_exit(
+        args,
+        &[
+            "edits",
+            "policy",
+            "algorithm",
+            "deadline",
+            "format",
+            "blocks",
+            "threads",
+            "exec",
+            "prep-rules",
+            "trace-out",
+            "metrics-out",
+        ],
+        &[],
+        &["prep", "weighted"],
+    );
+    let Some(path) = flags.positional.first() else {
+        eprintln!("resolve: missing instance (file or generator spec)");
+        std::process::exit(2);
+    };
+    let Some(edit_spec) = flags.options.get("edits") else {
+        eprintln!("resolve: --edits <script-file|gen:<ops>[:<frac>][@seed]> is required");
+        std::process::exit(2);
+    };
+    let g = load_instance(path, flags.options.get("format").map(String::as_str));
+    let edits = load_edits(edit_spec, &g);
+
+    let policy = flags
+        .options
+        .get("policy")
+        .or_else(|| flags.options.get("algorithm"));
+    let algorithm = match policy.map(String::as_str) {
+        None | Some("hybrid") => Algorithm::Hybrid,
+        Some("seq") | Some("sequential") => Algorithm::Sequential,
+        Some("stack") | Some("stackonly") => Algorithm::StackOnly { start_depth: 8 },
+        Some("steal") | Some("worksteal") | Some("workstealing") => Algorithm::WorkStealing,
+        Some("batch") | Some("batched") => Algorithm::Batched,
+        Some("compsteal") | Some("componentsteal") => Algorithm::ComponentSteal,
+        Some(other) => {
+            eprintln!("unknown policy '{other}' (seq|stack|hybrid|steal|batch|compsteal)");
+            std::process::exit(2);
+        }
+    };
+    let mut builder = Solver::builder().algorithm(algorithm);
+    if let Some(d) = flags.options.get("deadline") {
+        builder = builder.deadline(Some(Duration::from_secs_f64(
+            d.parse().expect("--deadline takes seconds"),
+        )));
+    }
+    if let Some(b) = flags
+        .options
+        .get("threads")
+        .or_else(|| flags.options.get("blocks"))
+    {
+        builder = builder.grid_limit(Some(b.parse().expect("--threads takes a count")));
+    }
+    if let Some(e) = flags.options.get("exec") {
+        let spec = ExecutorSpec::parse(e).unwrap_or_else(|err| {
+            eprintln!("--exec: {err}");
+            std::process::exit(2);
+        });
+        builder = builder.executor(spec);
+    }
+    if flags.switches.contains("prep") || flags.options.contains_key("prep-rules") {
+        builder = builder.preprocess(parse_prep_rules(flags.options.get("prep-rules")));
+    }
+    let weighted = flags.switches.contains("weighted");
+    if weighted {
+        builder = builder.weighted();
+    }
+    let trace_out = flags.options.get("trace-out").cloned();
+    let metrics_out = flags.options.get("metrics-out").cloned();
+    if trace_out.is_some() || metrics_out.is_some() {
+        builder = builder.telemetry(parvc::core::TelemetryConfig::default());
+    }
+    let solver = builder.build();
+
+    eprintln!(
+        "instance: |V|={}, |E|={}{}",
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_weighted() {
+            ", vertex-weighted"
+        } else {
+            ""
+        }
+    );
+    let initial = solver.solve_mvc(&g);
+    assert!(is_vertex_cover(&g, &initial.cover));
+    if weighted {
+        println!(
+            "initial optimum: weight {} ({} vertices), {} tree nodes",
+            initial.weight, initial.size, initial.stats.tree_nodes
+        );
+    } else {
+        println!(
+            "initial optimum: {}, {} tree nodes",
+            initial.size, initial.stats.tree_nodes
+        );
+    }
+    let summary = edits.summary(&g);
+    eprintln!(
+        "edit batch: {} ops (+e {}, -e {}, +v {}, -v {})",
+        edits.len(),
+        summary.edge_inserts,
+        summary.edge_deletes,
+        summary.vertex_inserts,
+        summary.vertex_deletes
+    );
+    let r = solver.resolve(&g, &initial, &edits).unwrap_or_else(|e| {
+        eprintln!("resolve: edit script does not apply: {e}");
+        std::process::exit(1);
+    });
+    assert!(is_vertex_cover(&r.graph, &r.result.cover));
+    match (weighted, r.result.stats.timed_out) {
+        (true, false) => println!(
+            "resolved optimum: weight {} ({} vertices)",
+            r.result.weight, r.result.size
+        ),
+        (true, true) => println!(
+            "best resolved cover (NOT proven minimum): weight {} ({} vertices)",
+            r.result.weight, r.result.size
+        ),
+        (false, false) => println!("resolved optimum: {}", r.result.size),
+        (false, true) => println!(
+            "best resolved cover (NOT proven minimum): {}",
+            r.result.size
+        ),
+    }
+    println!("{:?}", r.result.cover);
+    let s = &r.stats;
+    eprintln!(
+        "components: {} total, {} reused, {} invalidated, {} re-solved",
+        s.components_total, s.components_reused, s.components_invalidated, s.components_resolved
+    );
+    eprintln!(
+        "warm bounds: {} ({} re-solve tree nodes vs {} initially); \
+         union-find label builds: {}",
+        if s.warm_skips > 0 {
+            "met — search skipped"
+        } else if s.warm_bound_hits > 0 {
+            "seed was already optimal"
+        } else {
+            "search improved on the seed"
+        },
+        s.resolve_tree_nodes,
+        initial.stats.tree_nodes,
+        s.uf_rebuilds
+    );
+    emit_observability(
+        &r.result.stats,
+        trace_out.as_ref(),
+        metrics_out.as_ref(),
+        None,
+    );
+}
+
 fn cmd_prep(args: &[String]) {
     let flags = parse_flags_or_exit(args, &["format", "out", "rules"], &[], &["weighted"]);
     let Some(path) = flags.positional.first() else {
@@ -1305,7 +1585,7 @@ mod tests {
         let documented: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
         assert_eq!(
             documented,
-            vec!["solve", "prep", "generate", "analyze", "demo", "help"]
+            vec!["solve", "resolve", "prep", "generate", "analyze", "demo", "help"]
         );
         for c in COMMANDS {
             assert!(c.usage.starts_with("parvc "), "{}: bad usage line", c.name);
