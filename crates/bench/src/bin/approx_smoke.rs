@@ -1,0 +1,266 @@
+//! `approx-smoke` — the CI gate for the approximate seeding tier.
+//!
+//! Runs a downsized, **deterministic** weighted slice: every policy
+//! (one block, fixed seeds) solves each instance twice — once seeded
+//! by the greedy heuristics, once by the bounded 2-approximation tier
+//! (primal-dual cover + dual-strengthened split budgets) — and the two
+//! optima must agree. The JSON report records tree-node counts per
+//! seed and is compared against the checked-in baseline
+//! `bench/baselines/approx.json`:
+//!
+//! * a changed optimum fails immediately (correctness, not perf);
+//! * more tree nodes than the baseline on any cell fails the gate
+//!   (exit 1);
+//! * the approx seed must never visit more tree nodes than the greedy
+//!   seed on the same cell, and must strictly improve somewhere —
+//!   that is the bound actually paying for itself, asserted inline;
+//! * improvements print a note — refresh by re-running with
+//!   `--json bench/baselines/approx.json` and committing.
+//!
+//! ```text
+//! cargo run --release -p parvc-bench --bin approx_smoke -- \
+//!     --json approx-report.json --baseline bench/baselines/approx.json
+//! ```
+
+use parvc_bench::json::{obj, parse, Value};
+use parvc_core::{Algorithm, ExecutorSpec, SeedStrategy, Solver, SplitParams};
+use parvc_graph::{gen, CsrGraph};
+
+/// Component-structured weighted instances. Degree-correlated weights
+/// (hubs expensive) are where the primal-dual dual pulls ahead of the
+/// pure matching bound, so split budgets tighten; uniform weights gate
+/// the no-worse direction.
+fn corpus() -> Vec<(&'static str, CsrGraph)> {
+    vec![
+        (
+            "components_deg",
+            gen::with_degree_weights(gen::sparse_components(120, 12, 0.5, 3)),
+        ),
+        (
+            "components_uni",
+            gen::with_uniform_weights(gen::sparse_components(96, 8, 0.42, 23), 9, 3),
+        ),
+        (
+            "ba_deg",
+            gen::with_degree_weights(gen::barabasi_albert(60, 2, 3)),
+        ),
+        (
+            "grid_uni",
+            gen::with_uniform_weights(gen::grid2d(6, 6), 5, 0xa2),
+        ),
+        ("gnp_deg", gen::with_degree_weights(gen::gnp(36, 0.15, 16))),
+        (
+            "gnp_uni",
+            gen::with_uniform_weights(gen::gnp(40, 0.1, 26), 20, 26 ^ 0x77),
+        ),
+    ]
+}
+
+/// Every scheduling policy, pinned to one block so parallel policies
+/// run deterministically.
+fn policies() -> Vec<(&'static str, Algorithm)> {
+    vec![
+        ("seq", Algorithm::Sequential),
+        ("stack", Algorithm::StackOnly { start_depth: 4 }),
+        ("hybrid", Algorithm::Hybrid),
+        ("steal", Algorithm::WorkStealing),
+        ("batch", Algorithm::Batched),
+        ("compsteal", Algorithm::ComponentSteal),
+    ]
+}
+
+fn solver(algorithm: Algorithm, seed: SeedStrategy, exec: ExecutorSpec) -> Solver {
+    Solver::builder()
+        .algorithm(algorithm)
+        .weighted()
+        .seed(seed)
+        .grid_limit(Some(1))
+        .component_branching_params(SplitParams::with_min_live(4))
+        .executor(exec)
+        .build()
+}
+
+fn main() {
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut exec = ExecutorSpec::Serial;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+        };
+        match flag.as_str() {
+            "--json" => json_out = Some(value("path")),
+            "--baseline" => baseline = Some(value("path")),
+            "--exec" => {
+                exec = ExecutorSpec::parse(&value("serial|pooled[:threads]"))
+                    .unwrap_or_else(|e| panic!("--exec: {e}"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --json <report path>  --baseline <baseline path>  \
+                     --exec serial|pooled[:threads]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+
+    let mut instances: Vec<Value> = Vec::new();
+    let mut strict_improvements = 0u32;
+    for (name, g) in corpus() {
+        eprintln!(
+            "[approx-smoke] {name} ({} vertices, {} edges)...",
+            g.num_vertices(),
+            g.num_edges()
+        );
+        let mut rows: Vec<Value> = Vec::new();
+        let mut weight: Option<u64> = None;
+        for (policy, algorithm) in policies() {
+            let greedy = solver(algorithm, SeedStrategy::Greedy, exec).solve_mvc(&g);
+            let approx = solver(algorithm, SeedStrategy::Approx, exec).solve_mvc(&g);
+            assert!(
+                parvc_core::is_vertex_cover(&g, &approx.cover),
+                "{name}/{policy}: approx-seeded solve returned a non-cover"
+            );
+            assert_eq!(
+                greedy.weight, approx.weight,
+                "{name}/{policy}: seeds disagree on the optimum weight"
+            );
+            match weight {
+                None => weight = Some(approx.weight),
+                Some(w) => assert_eq!(
+                    approx.weight, w,
+                    "{name}: policy {policy} disagrees on the optimum weight"
+                ),
+            }
+            let (gn, an) = (greedy.stats.tree_nodes, approx.stats.tree_nodes);
+            assert!(
+                an <= gn,
+                "{name}/{policy}: approx seed visited more tree nodes \
+                 ({an}) than the greedy seed ({gn})"
+            );
+            if an < gn {
+                strict_improvements += 1;
+            }
+            rows.push(obj(vec![
+                ("policy", Value::Str(policy.into())),
+                ("greedy_tree_nodes", Value::Num(gn)),
+                ("approx_tree_nodes", Value::Num(an)),
+            ]));
+        }
+        instances.push(obj(vec![
+            ("name", Value::Str(name.into())),
+            ("weight", Value::Num(weight.expect("solved"))),
+            ("policies", Value::Arr(rows)),
+        ]));
+    }
+    assert!(
+        strict_improvements > 0,
+        "the approx seed never strictly beat the greedy seed anywhere — \
+         the bounded tier is not pulling its weight on this corpus"
+    );
+    eprintln!("[approx-smoke] approx seed strictly improved {strict_improvements} cell(s)");
+    let report = obj(vec![
+        ("schema", Value::Num(1)),
+        ("bench", Value::Str("approx-smoke".into())),
+        ("instances", Value::Arr(instances)),
+    ]);
+    let text = report.to_pretty();
+    print!("{text}");
+    if let Some(path) = &json_out {
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[approx-smoke] report written to {path}");
+    }
+    if let Some(path) = &baseline {
+        let base_text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let base = parse(&base_text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let regressions = compare(&base, &report);
+        if regressions > 0 {
+            eprintln!("[approx-smoke] FAILED: {regressions} regression(s) against {path}");
+            std::process::exit(1);
+        }
+        eprintln!("[approx-smoke] ok: no regressions against {path}");
+    }
+}
+
+/// Compares `current` against `base`. Tree-node counts gate as perf
+/// (more = regression, fewer = improvement note); the optimum weight
+/// gates as correctness (any change fails).
+fn compare(base: &Value, current: &Value) -> u32 {
+    let field = |v: &Value, key: &str| -> u64 {
+        v.get(key)
+            .and_then(Value::num)
+            .unwrap_or_else(|| panic!("report row missing numeric field '{key}'"))
+    };
+    let find_instance = |doc: &Value, name: &str| -> Option<Value> {
+        doc.get("instances")?
+            .arr()?
+            .iter()
+            .find(|i| i.get("name").and_then(Value::str) == Some(name))
+            .cloned()
+    };
+    let mut regressions = 0u32;
+    for base_inst in base
+        .get("instances")
+        .and_then(Value::arr)
+        .expect("baseline has instances")
+    {
+        let name = base_inst
+            .get("name")
+            .and_then(Value::str)
+            .expect("baseline instance has a name");
+        let Some(cur_inst) = find_instance(current, name) else {
+            eprintln!("[approx-smoke] REGRESSION {name}: instance missing from the report");
+            regressions += 1;
+            continue;
+        };
+        if field(base_inst, "weight") != field(&cur_inst, "weight") {
+            eprintln!(
+                "[approx-smoke] REGRESSION {name}: optimum weight changed {} -> {} (correctness!)",
+                field(base_inst, "weight"),
+                field(&cur_inst, "weight")
+            );
+            regressions += 1;
+            continue;
+        }
+        for base_row in base_inst
+            .get("policies")
+            .and_then(Value::arr)
+            .expect("baseline instance has policies")
+        {
+            let policy = base_row
+                .get("policy")
+                .and_then(Value::str)
+                .expect("baseline row has a policy");
+            let Some(cur_row) = cur_inst
+                .get("policies")
+                .and_then(Value::arr)
+                .and_then(|rows| {
+                    rows.iter()
+                        .find(|r| r.get("policy").and_then(Value::str) == Some(policy))
+                })
+            else {
+                eprintln!("[approx-smoke] REGRESSION {name}/{policy}: policy missing");
+                regressions += 1;
+                continue;
+            };
+            for key in ["greedy_tree_nodes", "approx_tree_nodes"] {
+                let (was, now) = (field(base_row, key), field(cur_row, key));
+                if now > was {
+                    eprintln!("[approx-smoke] REGRESSION {name}/{policy}: {key} {was} -> {now}");
+                    regressions += 1;
+                } else if now < was {
+                    eprintln!(
+                        "[approx-smoke] improvement {name}/{policy}: {key} {was} -> {now} \
+                         (refresh the baseline to lock it in)"
+                    );
+                }
+            }
+        }
+    }
+    regressions
+}

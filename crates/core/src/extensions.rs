@@ -47,6 +47,12 @@ pub struct Extensions {
     /// [`SolverBuilder::component_branching`](crate::SolverBuilder::component_branching)
     /// or the `ComponentSteal` policy).
     pub component_branching: Option<SplitParams>,
+    /// Which algorithm produces the initial upper bounds — the solve
+    /// launch seed and `split`'s per-component sub-instance budgets
+    /// (see [`crate::approx`]). Not part of [`Extensions::ALL`]:
+    /// seeding changes where the search *starts*, not how nodes are
+    /// strengthened.
+    pub seed_strategy: crate::approx::SeedStrategy,
 }
 
 impl Extensions {
@@ -55,6 +61,7 @@ impl Extensions {
         domination_rule: false,
         matching_lower_bound: false,
         component_branching: None,
+        seed_strategy: crate::approx::SeedStrategy::Greedy,
     };
 
     /// Both reduction/pruning extensions on (component branching stays
@@ -64,6 +71,7 @@ impl Extensions {
         domination_rule: true,
         matching_lower_bound: true,
         component_branching: None,
+        seed_strategy: crate::approx::SeedStrategy::Greedy,
     };
 }
 

@@ -25,8 +25,10 @@ pub fn greedy_mvc(g: &CsrGraph) -> (u32, Vec<VertexId>) {
 /// [`greedy_mvc`] under a wall-clock budget. The greedy loop is
 /// `O(best · |V|)`, which on `Scale::Massive` instances can exceed the
 /// whole solve budget before the engine even launches; when `deadline`
-/// expires mid-loop the remaining positive-degree vertices are swept
-/// into the cover wholesale — still a valid cover, just a weak bound —
+/// expires mid-loop the residual graph is finished in linear time with
+/// the endpoints of a maximal matching (`finish_with_matching`) — a
+/// valid cover whose residual part stays within 2× of the residual
+/// optimum, instead of the old "sweep every live vertex" fallback —
 /// and the solve reports `timed_out` through the deadline's sticky
 /// flag.
 pub fn greedy_mvc_bounded(
@@ -43,13 +45,7 @@ pub fn greedy_mvc_bounded(
     let bound = SearchBound::Mvc { best: u32::MAX };
     loop {
         if deadline.expired() {
-            // Budget spent: cover every remaining live edge by taking
-            // its (currently) positive-degree endpoints.
-            for v in g.vertices() {
-                if node.degree(v) > 0 {
-                    node.remove_into_cover(g, v);
-                }
-            }
+            finish_with_matching(g, &mut node);
             break;
         }
         kernel.reduce(&mut node, bound, &mut scratch, &mut counters);
@@ -76,8 +72,9 @@ pub fn greedy_weighted_mvc(g: &CsrGraph) -> (u64, Vec<VertexId>) {
 
 /// [`greedy_weighted_mvc`] under a wall-clock budget, with the same
 /// expiry semantics as [`greedy_mvc_bounded`]: on deadline the
-/// remaining positive-degree vertices are swept into the cover — still
-/// valid, just a weak bound.
+/// residual graph is covered by maximal-matching endpoints
+/// (`finish_with_matching`) rather than by sweeping every live
+/// vertex into the cover.
 pub fn greedy_weighted_mvc_bounded(
     g: &CsrGraph,
     deadline: &crate::shared::Deadline,
@@ -92,11 +89,7 @@ pub fn greedy_weighted_mvc_bounded(
     let bound = SearchBound::WeightedMvc { best: u64::MAX };
     loop {
         if deadline.expired() {
-            for v in g.vertices() {
-                if node.degree(v) > 0 {
-                    node.remove_into_cover(g, v);
-                }
-            }
+            finish_with_matching(g, &mut node);
             break;
         }
         kernel.reduce(&mut node, bound, &mut scratch, &mut counters);
@@ -120,11 +113,38 @@ pub fn greedy_weighted_mvc_bounded(
     (node.cover_weight(), node.cover_vertices())
 }
 
+/// Deadline-expiry fallback: cover the residual graph with the
+/// endpoints of a greedy maximal matching of its live edges,
+/// `O(|V| + |E|)`. Every live edge has a matched endpoint afterwards
+/// (maximality), so the node ends edgeless and the cover verifies; the
+/// residual part is at most 2× the residual optimum — the old fallback
+/// ("take every positive-degree vertex") had no bound at all.
+fn finish_with_matching(g: &CsrGraph, node: &mut TreeNode) {
+    for u in g.vertices() {
+        if node.degree(u) <= 0 {
+            continue;
+        }
+        let Some(v) = node.live_neighbor(g, u) else {
+            continue;
+        };
+        node.remove_into_cover(g, u);
+        node.remove_into_cover(g, v);
+    }
+}
+
 /// The classic maximal-matching 2-approximation (Gavril/Yannakakis):
 /// both endpoints of every edge of a maximal matching. Guaranteed
 /// within 2× of the optimum in linear time — the paper's §I cites this
 /// approximation line of work; it also provides an independent sanity
 /// band for the exact solvers (`opt ∈ [|cover|/2, |cover|]`).
+///
+/// **Cardinality only.** The guarantee is on the cover's *size*; on
+/// weighted instances the cover *weight* can be unboundedly worse than
+/// the optimum (a matched edge may drag in an arbitrarily heavy
+/// endpoint the optimum avoids). Weighted callers want
+/// [`parvc_graph::matching::primal_dual_cover`] (wrapped by
+/// [`crate::approx::weighted_approx_cover`]), whose weight is provably
+/// within 2× of the weighted optimum.
 pub fn two_approx_mvc(g: &CsrGraph) -> Vec<VertexId> {
     let matching = parvc_graph::matching::greedy_maximal_matching(g);
     let mut cover = Vec::with_capacity(matching.len() * 2);
@@ -254,6 +274,58 @@ mod tests {
         let g = parvc_graph::CsrGraph::from_edges(16, &edges).unwrap();
         assert_eq!(two_approx_mvc(&g).len(), 16);
         assert_eq!(brute_force_mvc(&g).0, 8);
+    }
+
+    #[test]
+    fn expired_deadline_yields_matching_endpoints_not_everything() {
+        use std::time::Duration;
+        // A pre-expired deadline: the old fallback swept all six star
+        // vertices into the cover; the matching fallback takes the two
+        // endpoints of the single matched edge.
+        let g = gen::star(6);
+        let deadline = crate::shared::Deadline::new(Some(Duration::ZERO));
+        let (size, cover) = greedy_mvc_bounded(&g, &deadline);
+        assert!(deadline.was_hit());
+        assert!(is_vertex_cover(&g, &cover), "timed-out seed must verify");
+        assert_eq!(size, 2, "one matched edge, two endpoints");
+
+        let w = gen::star(6).with_weights(vec![100, 1, 1, 1, 1, 1]).unwrap();
+        let deadline = crate::shared::Deadline::new(Some(Duration::ZERO));
+        let (weight, cover) = greedy_weighted_mvc_bounded(&w, &deadline);
+        assert!(is_vertex_cover(&w, &cover), "timed-out seed must verify");
+        assert_eq!(weight, 101, "hub + one leaf, not all 105");
+    }
+
+    #[test]
+    fn expired_deadline_stays_within_twice_the_optimum() {
+        use std::time::Duration;
+        for seed in 0..6 {
+            let g = gen::gnp(14, 0.3, seed + 70);
+            let deadline = crate::shared::Deadline::new(Some(Duration::ZERO));
+            let (size, cover) = greedy_mvc_bounded(&g, &deadline);
+            assert!(is_vertex_cover(&g, &cover), "seed {seed}");
+            let (opt, _) = brute_force_mvc(&g);
+            assert!(size <= 2 * opt, "seed {seed}: {size} > 2 x {opt}");
+        }
+    }
+
+    #[test]
+    fn two_approx_weight_is_unbounded_but_primal_dual_is_not() {
+        // Satellite regression: a single edge with a huge-weight
+        // endpoint. `two_approx_mvc` takes both endpoints (weight
+        // 1_000_001 vs optimum 1 — the cardinality guarantee says
+        // nothing about weight); the primal-dual cover stays in band.
+        let g = parvc_graph::CsrGraph::from_edges(2, &[(0, 1)])
+            .unwrap()
+            .with_weights(vec![1_000_000, 1])
+            .unwrap();
+        let card = two_approx_mvc(&g);
+        assert_eq!(g.cover_weight(&card), 1_000_001, "weight-blind by design");
+        let (opt, _) = crate::brute::weighted_brute_force(&g);
+        assert_eq!(opt, 1);
+        let pd = parvc_graph::matching::primal_dual_cover(&g);
+        assert_eq!(pd.cover, vec![1], "the cheap endpoint is tight first");
+        assert!(pd.weight <= 2 * opt);
     }
 
     #[test]

@@ -49,6 +49,11 @@
 //!   [`parvc_graph::EditScript`] batch, keep every untouched
 //!   component's cached optimum, and re-solve only the dirty region
 //!   under warm bounds seeded from the previous result.
+//! * [`approx`] — the ultra-fast approximate tier: round-compressed
+//!   maximal matching through the executor seam and the primal-dual
+//!   weighted cover, both provably within 2× of the optimum and both
+//!   carrying a lower-bound certificate. Selectable as the solve seed
+//!   via [`SolverBuilder::seed`].
 //! * [`greedy`] (the initial bounds, cardinality and weighted),
 //!   [`brute`] (the test oracles, including
 //!   [`brute::weighted_brute_force`]), [`verify`] (solution checking).
@@ -59,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod approx;
 pub mod batch;
 pub mod bound;
 pub mod brute;
@@ -84,6 +90,7 @@ mod stats;
 pub mod stealing;
 pub mod verify;
 
+pub use approx::{ApproxCover, SeedStrategy};
 pub use connect::{ConnPool, Connectivity};
 pub use engine::{
     Engine, EngineObs, ExitCause, PolicyFactory, SchedulePolicy, SearchMode, SearchOutcome,

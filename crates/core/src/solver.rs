@@ -364,6 +364,19 @@ impl SolverBuilder {
         self
     }
 
+    /// Selects the initial-bound algorithm (default
+    /// [`SeedStrategy::Greedy`](crate::approx::SeedStrategy::Greedy)):
+    /// the reduction-driven greedy seeds, or
+    /// [`SeedStrategy::Approx`](crate::approx::SeedStrategy::Approx) —
+    /// the linear-time 2-approximation
+    /// tier ([`crate::approx`]), whose covers come with a matching /
+    /// primal-dual lower-bound certificate. The seed only moves the
+    /// search's starting upper bound; the optimum is unaffected.
+    pub fn seed(mut self, strategy: crate::approx::SeedStrategy) -> Self {
+        self.ext.seed_strategy = strategy;
+        self
+    }
+
     /// Enables the domination reduction rule.
     pub fn domination_rule(mut self, on: bool) -> Self {
         self.ext.domination_rule = on;
@@ -528,7 +541,7 @@ impl Solver {
         }
 
         if self.cfg.weighted {
-            let mut greedy = greedy_weighted_mvc_bounded(g, &deadline);
+            let mut greedy = self.seed_weighted(g, &deadline);
             let greedy_size = greedy.1.len() as u32;
             if let Some(seed) = warm {
                 let seed_weight = g.cover_weight(seed);
@@ -566,7 +579,7 @@ impl Solver {
             };
         }
 
-        let mut greedy = greedy_mvc_bounded(g, &deadline);
+        let mut greedy = self.seed_unweighted(g, &deadline);
         let greedy_size = greedy.0;
         if let Some(seed) = warm {
             if (seed.len() as u32) < greedy.0 {
@@ -740,6 +753,51 @@ impl Solver {
         }
     }
 
+    /// The launch seed under the configured
+    /// [`SeedStrategy`](crate::approx::SeedStrategy): `(size, cover)`
+    /// in cardinality mode. The approx tier ignores the deadline — it
+    /// is `O(|V| + |E|)` per round with a bounded round count, the
+    /// very property that makes it the massive-instance seed. It still
+    /// runs the greedy sweep and keeps the better of the two covers:
+    /// the certificate caps the result at twice the optimum, and
+    /// taking a minimum only tightens it, so the approx strategy never
+    /// starts from a worse incumbent than greedy would.
+    fn seed_unweighted(&self, g: &CsrGraph, deadline: &Deadline) -> (u32, Vec<u32>) {
+        match self.cfg.ext.seed_strategy {
+            crate::approx::SeedStrategy::Greedy => greedy_mvc_bounded(g, deadline),
+            crate::approx::SeedStrategy::Approx => {
+                let mut counters = parvc_simgpu::counters::BlockCounters::new(u32::MAX);
+                let a = crate::approx::matching_cover_exec(g, &*self.exec, &mut counters);
+                let (gsize, gcover) = greedy_mvc_bounded(g, deadline);
+                if u64::from(gsize) < a.cost {
+                    (gsize, gcover)
+                } else {
+                    (a.cost as u32, a.cover)
+                }
+            }
+        }
+    }
+
+    /// Weighted twin of [`seed_unweighted`](Self::seed_unweighted):
+    /// `(weight, cover)`, with the approx tier running the primal-dual
+    /// pass (again keeping the greedy cover when it happens to be
+    /// lighter — the 2× band is a ceiling, not a target).
+    fn seed_weighted(&self, g: &CsrGraph, deadline: &Deadline) -> (u64, Vec<u32>) {
+        match self.cfg.ext.seed_strategy {
+            crate::approx::SeedStrategy::Greedy => greedy_weighted_mvc_bounded(g, deadline),
+            crate::approx::SeedStrategy::Approx => {
+                let mut counters = parvc_simgpu::counters::BlockCounters::new(u32::MAX);
+                let a = crate::approx::weighted_approx_cover(g, &mut counters);
+                let (gweight, gcover) = greedy_weighted_mvc_bounded(g, deadline);
+                if gweight < a.cost {
+                    (gweight, gcover)
+                } else {
+                    (a.cost, a.cover)
+                }
+            }
+        }
+    }
+
     /// Solves every kernel component's MVC under the shared deadline —
     /// the budget coordination that makes the per-component bests sum
     /// into a global bound. Components below [`PREP_INLINE_BELOW`]
@@ -771,7 +829,7 @@ impl Solver {
             // minimizes exactly the lifted objective.
             let (outcome, launch, best_cover);
             if weighted {
-                let greedy = greedy_weighted_mvc_bounded(&inst.graph, deadline);
+                let greedy = self.seed_weighted(&inst.graph, deadline);
                 agg.greedy_total += greedy.1.len() as u32;
                 let mode = SearchMode::WeightedMvc { initial: greedy };
                 (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline, obs);
@@ -783,7 +841,7 @@ impl Solver {
                     _ => unreachable!("weighted mode returns a weighted outcome"),
                 };
             } else {
-                let greedy = greedy_mvc_bounded(&inst.graph, deadline);
+                let greedy = self.seed_unweighted(&inst.graph, deadline);
                 agg.greedy_total += greedy.0;
                 let mode = SearchMode::Mvc { initial: greedy };
                 (outcome, launch) = self.run_engine(&inst.graph, mode, deadline, inline, obs);

@@ -80,8 +80,9 @@ pub enum SplitBound {
     /// ([`parvc_prep::lp_lower_bound`]): dominates the matching bound
     /// on every graph, so sibling budgets are at least as tight and
     /// budgeted sub-searches prune at least as early. The default.
-    /// Weighted traversals fall back to the weight-sound matching
-    /// bound (the unweighted LP says nothing about cover *weight*).
+    /// Weighted traversals use [`parvc_prep::weighted_lower_bound`] —
+    /// the better of the min-weight matching bound and the primal-dual
+    /// LP dual (the unweighted LP says nothing about cover *weight*).
     #[default]
     Lp,
     /// A greedy maximal matching (min-weight endpoint sum in weighted
@@ -143,13 +144,16 @@ pub struct SubInstance {
     /// `old_ids[new_id]` = the vertex's id in the graph the split
     /// happened on.
     pub old_ids: Vec<VertexId>,
-    /// Greedy cover of the component — the sub-search's initial upper
-    /// bound and its fallback witness. `(cost, witness)` in the
+    /// Seed cover of the component (greedy or approx, per
+    /// [`crate::Extensions::seed_strategy`]) — the sub-search's initial
+    /// upper bound and its fallback witness. `(cost, witness)` in the
     /// search's units.
     pub greedy: (u64, Vec<VertexId>),
-    /// Matching lower bound on the component's optimum (min-weight
-    /// endpoint sum in weighted searches); the sibling budgets are
-    /// derived from these.
+    /// Lower bound on the component's optimum — [`SplitBound`]'s
+    /// choice in cardinality searches,
+    /// [`parvc_prep::weighted_lower_bound`] (matching ∨ primal-dual
+    /// dual) in weighted ones; the sibling budgets are derived from
+    /// these.
     pub lower_bound: u64,
 }
 
@@ -343,16 +347,40 @@ pub fn detect_components(
         .filter(|m| m.len() > 1)
         .map(|m| {
             let (graph, _) = ops::induced_subgraph(kernel.graph, &m);
+            let approx_seed = kernel.ext.seed_strategy == crate::approx::SeedStrategy::Approx;
             let (greedy, lower_bound) = if weighted {
+                // The approx strategy keeps whichever of the bounded
+                // cover and the greedy sweep is lighter: the 2×
+                // certificate survives a minimum, and the sibling
+                // budgets it feeds must never loosen vs greedy.
+                let seed = if approx_seed {
+                    let a = crate::approx::weighted_approx_cover(&graph, counters);
+                    let (gw, gc) = greedy_weighted_mvc(&graph);
+                    if gw < a.cost {
+                        (gw, gc)
+                    } else {
+                        (a.cost, a.cover)
+                    }
+                } else {
+                    greedy_weighted_mvc(&graph)
+                };
                 // The unweighted LP certifies nothing about cover
-                // weight; the min-weight matching bound is the
-                // weight-sound budget under either `SplitBound`.
-                (
-                    greedy_weighted_mvc(&graph),
-                    matching::min_weight_matching_bound(&graph),
-                )
+                // weight; the weight-sound budget under either
+                // `SplitBound` is the better of the min-weight
+                // matching bound and the primal-dual LP dual.
+                (seed, parvc_prep::weighted_lower_bound(&graph))
             } else {
-                let (size, cover) = greedy_mvc(&graph);
+                let (size, cover) = if approx_seed {
+                    let a = crate::approx::matching_cover_exec(&graph, kernel.exec, counters);
+                    let (gs, gc) = greedy_mvc(&graph);
+                    if u64::from(gs) < a.cost {
+                        (gs, gc)
+                    } else {
+                        (a.cost as u32, a.cover)
+                    }
+                } else {
+                    greedy_mvc(&graph)
+                };
                 let lb = match params.bound {
                     SplitBound::Lp => parvc_prep::lp_lower_bound_exec(&graph, kernel.exec),
                     SplitBound::Matching => matching::greedy_maximal_matching(&graph).len() as u64,
@@ -926,6 +954,64 @@ mod tests {
             ),
             SplitVerdict::Pruned
         ));
+    }
+
+    /// Satellite regression: the weighted sibling budgets use
+    /// `max(matching, dual)`, and on shapes where the dual is strictly
+    /// tighter it prunes the component-sum node *before* any
+    /// sub-search runs — counter-pinned via `tree_nodes_visited`.
+    #[test]
+    fn weighted_split_prunes_on_the_dual_alone() {
+        // Two P3 components 0-1-2 and 3-4-5, weights (1,2,1) each:
+        // per-component optimum 2, matching bound 1, primal-dual dual
+        // 2. With best = 4 the budget is 3; under dual bounds the
+        // first component's limit is 3 − 2 = 1 < lb 2 → pruned with
+        // zero nodes searched. Matching-only bounds (limit 2 ≥ 1)
+        // would have to run the sub-searches to discover this.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)])
+            .unwrap()
+            .with_weights(vec![1, 2, 1, 1, 2, 1])
+            .unwrap();
+        let cost = CostModel::default();
+        let k = kernel(&g, &cost);
+        let node = TreeNode::root(&g);
+        let mut c = BlockCounters::new(0);
+        let comps = detect_components(
+            &k,
+            &node,
+            SplitParams::with_min_live(4),
+            &mut Connectivity::new(),
+            &mut c,
+            true,
+        )
+        .expect("two path components");
+        assert_eq!(comps.len(), 2);
+        for comp in &comps {
+            assert_eq!(
+                parvc_graph::matching::min_weight_matching_bound(&comp.graph),
+                1,
+                "the matching bound alone certifies only 1"
+            );
+            assert_eq!(comp.lower_bound, 2, "the dual certifies the optimum");
+        }
+        assert!(matches!(
+            solve_split(
+                &k,
+                &node,
+                SearchBound::WeightedMvc { best: 4 },
+                &comps,
+                &mut || false,
+                &mut BlockScratch::new(),
+                &mut ConnPool::new(),
+                &mut c,
+                4,
+            ),
+            SplitVerdict::Pruned
+        ));
+        assert_eq!(
+            c.tree_nodes_visited, 0,
+            "the dual bound must prune before any sub-search node"
+        );
     }
 
     #[test]

@@ -46,6 +46,157 @@ pub fn min_weight_matching_bound(g: &CsrGraph) -> u64 {
         .sum()
 }
 
+/// The primal-dual weighted vertex cover result: a cover whose weight
+/// is at most `2 × dual`, and a dual value that lower-bounds *every*
+/// vertex cover's weight. See [`primal_dual_cover`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimalDual {
+    /// Cover vertices, ascending.
+    pub cover: Vec<VertexId>,
+    /// Total weight of `cover` (its length on unweighted graphs).
+    pub weight: u64,
+    /// The dual objective `Σ y_e` — a valid lower bound on the minimum
+    /// weight vertex cover, always `≥ weight / 2`.
+    pub dual: u64,
+}
+
+/// Bar-Yehuda–Even primal-dual 2-approximation for *weighted* vertex
+/// cover, `O(|V| + |E|)`.
+///
+/// Each vertex starts with residual capacity `weight(v)`. One pass
+/// over the edges raises each edge's dual `y_e = min(res(u), res(v))`,
+/// paying it out of both endpoints; a vertex whose residual hits zero
+/// is *tight* and enters the cover. Soundness:
+///
+/// * every edge drives one endpoint tight, so the tight set covers;
+/// * a tight vertex's weight equals the sum of its incident duals, so
+///   `weight(cover) ≤ Σ_{v tight} Σ_{e ∋ v} y_e ≤ 2·Σ y_e = 2·dual`;
+/// * `{y_e}` is feasible for the covering LP, so `dual ≤ OPT` by weak
+///   duality — making `dual` a lower bound that can strictly dominate
+///   [`min_weight_matching_bound`] (e.g. odd paths with a heavy
+///   middle), and `weight ≤ 2·dual ≤ 2·OPT`.
+///
+/// A final sequential prune drops redundant cover vertices (all
+/// neighbors already covered), scanning in decreasing weight with
+/// vertex-id tie-break so the result is deterministic.
+pub fn primal_dual_cover(g: &CsrGraph) -> PrimalDual {
+    let n = g.num_vertices() as usize;
+    let mut residual: Vec<u64> = (0..n as u32).map(|v| g.weight(v)).collect();
+    let mut dual: u64 = 0;
+    for (u, v) in g.edges() {
+        let y = residual[u as usize].min(residual[v as usize]);
+        if y > 0 {
+            residual[u as usize] -= y;
+            residual[v as usize] -= y;
+            dual += y;
+        }
+    }
+    let mut in_cover: Vec<bool> = residual.iter().map(|&r| r == 0).collect();
+    let mut order: Vec<VertexId> = (0..n as u32).filter(|&v| in_cover[v as usize]).collect();
+    order.sort_by(|&a, &b| g.weight(b).cmp(&g.weight(a)).then(a.cmp(&b)));
+    for v in order {
+        if g.neighbors(v).iter().all(|&u| in_cover[u as usize]) {
+            in_cover[v as usize] = false;
+        }
+    }
+    let cover: Vec<VertexId> = (0..n as u32).filter(|&v| in_cover[v as usize]).collect();
+    let weight = g.cover_weight(&cover);
+    PrimalDual {
+        cover,
+        weight,
+        dual,
+    }
+}
+
+/// A maximal matching built by synchronous handshake rounds, plus the
+/// round count — the serial reference for the executor-parallel round
+/// matching in `parvc-core`. See [`handshake_matching`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundMatching {
+    /// Matched edges `(u, v)` with `u < v`, in match order.
+    pub matching: Vec<(VertexId, VertexId)>,
+    /// Synchronous rounds executed (including a final compressed
+    /// sweep, if any).
+    pub rounds: u32,
+    /// Whether the tail was collapsed into one serial sweep.
+    pub compressed: bool,
+}
+
+/// Round-based maximal matching (serial reference semantics).
+///
+/// Each round runs two passes over the vertices: every unmatched
+/// vertex *picks* its minimum-id unmatched neighbor, then mutual picks
+/// (`pick[pick[v]] == v`) match. Progress: the globally minimal
+/// unmatched vertex with an unmatched neighbor always handshakes — its
+/// pick `v` can have no unmatched neighbor smaller than it, so
+/// `pick[v]` points back — hence every round matches at least one
+/// edge. When fewer than `compress_below` vertices remain active
+/// (unmatched with an unmatched neighbor), the tail rounds are
+/// *compressed* into one deterministic serial greedy sweep — the
+/// low-degree endgame where synchronous rounds stop paying.
+///
+/// The executor-parallel twin (`parvc_core::approx`) must bit-match
+/// this function — same matching, same round count — under any
+/// executor; tests cross-check the two.
+pub fn handshake_matching(g: &CsrGraph, compress_below: usize) -> RoundMatching {
+    const NIL: u32 = u32::MAX;
+    let n = g.num_vertices() as usize;
+    let mut matched = vec![false; n];
+    let mut pick = vec![NIL; n];
+    let mut matching = Vec::new();
+    let mut rounds = 0u32;
+    let mut compressed = false;
+    loop {
+        let active = (0..n as u32)
+            .filter(|&v| {
+                !matched[v as usize] && g.neighbors(v).iter().any(|&u| !matched[u as usize])
+            })
+            .count();
+        if active == 0 {
+            break;
+        }
+        rounds += 1;
+        if active < compress_below {
+            for u in 0..n as u32 {
+                if matched[u as usize] {
+                    continue;
+                }
+                if let Some(&v) = g.neighbors(u).iter().find(|&&v| !matched[v as usize]) {
+                    matched[u as usize] = true;
+                    matched[v as usize] = true;
+                    matching.push((u, v));
+                }
+            }
+            compressed = true;
+            break;
+        }
+        for v in 0..n as u32 {
+            pick[v as usize] = if matched[v as usize] {
+                NIL
+            } else {
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .find(|&u| !matched[u as usize])
+                    .unwrap_or(NIL)
+            };
+        }
+        for v in 0..n as u32 {
+            let u = pick[v as usize];
+            if u != NIL && v < u && pick[u as usize] == v {
+                matched[v as usize] = true;
+                matched[u as usize] = true;
+                matching.push((v, u));
+            }
+        }
+    }
+    RoundMatching {
+        matching,
+        rounds,
+        compressed,
+    }
+}
+
 /// A proper 2-coloring of `g` (`colors[v] ∈ {false, true}`), or `None`
 /// if `g` has an odd cycle (is not bipartite). Isolated vertices get
 /// `false`.
@@ -348,6 +499,126 @@ mod tests {
                 "seed {seed}: greedy {greedy} > exact cover {exact}"
             );
         }
+    }
+
+    fn is_cover(g: &CsrGraph, cover: &[VertexId]) -> bool {
+        let mut inc = vec![false; g.num_vertices() as usize];
+        for &v in cover {
+            inc[v as usize] = true;
+        }
+        g.edges().all(|(u, v)| inc[u as usize] || inc[v as usize])
+    }
+
+    #[test]
+    fn primal_dual_is_a_cover_within_twice_its_dual() {
+        for seed in 0..8 {
+            let g = gen::with_uniform_weights(gen::gnp(36, 0.14, seed), 9, seed ^ 0x51);
+            let pd = primal_dual_cover(&g);
+            assert!(is_cover(&g, &pd.cover), "seed {seed}");
+            assert_eq!(pd.weight, g.cover_weight(&pd.cover), "seed {seed}");
+            assert!(pd.weight <= 2 * pd.dual, "seed {seed}: 2x band broken");
+            // The dual never undercuts the matching bound's role as a
+            // sound LB certificate: both must sit under the cover.
+            assert!(pd.dual <= pd.weight, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn primal_dual_dual_can_dominate_the_matching_bound() {
+        // Path 0-1-2 with weights (1, 2, 1): one matched edge gives
+        // min-weight bound 1, but the duals y01 = y12 = 1 sum to 2 —
+        // exactly the optimum ({1} or {0,2}, both weigh 2).
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)])
+            .unwrap()
+            .with_weights(vec![1, 2, 1])
+            .unwrap();
+        assert_eq!(min_weight_matching_bound(&g), 1);
+        let pd = primal_dual_cover(&g);
+        assert_eq!(pd.dual, 2, "both edges raise a unit dual");
+        assert!(is_cover(&g, &pd.cover));
+        assert!(pd.weight <= 2 * pd.dual);
+    }
+
+    #[test]
+    fn primal_dual_takes_the_leaves_of_an_expensive_hub() {
+        // Star with a heavy hub: tight leaves are the optimum; the
+        // prune must not drop them for the hub.
+        let g = gen::star(6).with_weights(vec![100, 1, 1, 1, 1, 1]).unwrap();
+        let pd = primal_dual_cover(&g);
+        assert_eq!(pd.cover, vec![1, 2, 3, 4, 5]);
+        assert_eq!(pd.weight, 5);
+        assert_eq!(pd.dual, 5);
+    }
+
+    #[test]
+    fn primal_dual_prunes_redundant_tight_vertices() {
+        // An edge with equal weights drives both endpoints tight; the
+        // prune keeps only one (the heavier-or-lower-id goes first and
+        // is dropped while its partner still covers).
+        let g = CsrGraph::from_edges(2, &[(0, 1)])
+            .unwrap()
+            .with_weights(vec![3, 3])
+            .unwrap();
+        let pd = primal_dual_cover(&g);
+        assert_eq!(pd.cover.len(), 1, "one endpoint suffices");
+        assert_eq!(pd.weight, 3);
+    }
+
+    #[test]
+    fn primal_dual_on_unweighted_graphs_is_a_plain_two_approx() {
+        for seed in 0..6 {
+            let g = gen::gnp(30, 0.15, seed);
+            let pd = primal_dual_cover(&g);
+            assert!(is_cover(&g, &pd.cover), "seed {seed}");
+            assert!(pd.weight <= 2 * pd.dual, "seed {seed}");
+            assert!(
+                pd.dual >= greedy_maximal_matching(&g).len() as u64,
+                "seed {seed}: on unit weights every maximal-matching \
+                 edge contributes a unit dual"
+            );
+        }
+    }
+
+    #[test]
+    fn handshake_matching_is_maximal_and_bounded_rounds() {
+        for seed in 0..6 {
+            for compress in [0, 8, usize::MAX] {
+                let g = gen::gnp(60, 0.1, seed);
+                let rm = handshake_matching(&g, compress);
+                let mut matched = [false; 60];
+                for &(u, v) in &rm.matching {
+                    assert!(u < v, "seed {seed}: pair order");
+                    assert!(g.has_edge(u, v), "seed {seed}");
+                    assert!(!matched[u as usize] && !matched[v as usize], "seed {seed}");
+                    matched[u as usize] = true;
+                    matched[v as usize] = true;
+                }
+                for (u, v) in g.edges() {
+                    assert!(
+                        matched[u as usize] || matched[v as usize],
+                        "seed {seed}: edge {u}-{v} extendable"
+                    );
+                }
+                assert!(rm.rounds as usize <= 60 / 2 + 1, "seed {seed}");
+                if compress == usize::MAX && g.num_edges() > 0 {
+                    assert!(rm.compressed, "everything compresses at usize::MAX");
+                    assert_eq!(rm.rounds, 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn handshake_compression_changes_rounds_not_maximality() {
+        let g = gen::barabasi_albert(200, 2, 7);
+        let full = handshake_matching(&g, 0);
+        let squeezed = handshake_matching(&g, 64);
+        assert!(!full.compressed);
+        assert!(squeezed.compressed);
+        assert!(squeezed.rounds <= full.rounds);
+        // Both are maximal matchings, so both 2x covers of each other.
+        assert!(squeezed.matching.len() <= 2 * full.matching.len());
+        assert!(full.matching.len() <= 2 * squeezed.matching.len());
     }
 
     #[test]

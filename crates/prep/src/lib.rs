@@ -101,6 +101,37 @@ pub fn lp_lower_bound(g: &CsrGraph) -> u64 {
     (cover.len() as u64).div_ceil(2)
 }
 
+/// The weight-sound lower bound on `g`'s minimum **weight** vertex
+/// cover: the better of the min-weight matching bound and the
+/// primal-dual LP dual value
+/// ([`parvc_graph::matching::primal_dual_cover`]).
+///
+/// Both are sound (a matching's cheaper endpoints must be paid; the
+/// dual is feasible for the covering LP, so weak duality bounds every
+/// cover), so their maximum is too. The dual strictly wins whenever
+/// edges outside the matching can still raise duals (e.g. paths with a
+/// heavy middle); taking the max keeps the bound no worse than the old
+/// matching-only budget on every instance. The in-search component
+/// branching budgets weighted sibling sub-searches with this bound
+/// under either `SplitBound`.
+///
+/// ```
+/// use parvc_graph::{matching, CsrGraph};
+/// use parvc_prep::weighted_lower_bound;
+///
+/// // Path 0-1-2, weights (1, 2, 1): the matching bound certifies 1,
+/// // the primal-dual dual certifies the true optimum 2.
+/// let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)])
+///     .unwrap()
+///     .with_weights(vec![1, 2, 1])
+///     .unwrap();
+/// assert_eq!(matching::min_weight_matching_bound(&g), 1);
+/// assert_eq!(weighted_lower_bound(&g), 2);
+/// ```
+pub fn weighted_lower_bound(g: &CsrGraph) -> u64 {
+    matching::min_weight_matching_bound(g).max(matching::primal_dual_cover(g).dual)
+}
+
 /// Which pipeline stages run, and how long the fixpoint may iterate.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PrepConfig {

@@ -41,12 +41,16 @@ pub enum Activity {
     /// and, when it fires, extracting the per-component sub-instances
     /// (beyond the paper — see `parvc_core::split`).
     ComponentSplit,
+    /// The approximate tier's round-matching passes: per-round pick /
+    /// handshake scans and the compressed serial tail (see
+    /// `parvc_core::approx`).
+    ApproxMatching,
 }
 
 impl Activity {
     /// All activities: Figure 6's eleven in presentation order, plus
-    /// the component-split extension.
-    pub const ALL: [Activity; 12] = [
+    /// the component-split and approximate-tier extensions.
+    pub const ALL: [Activity; 13] = [
         Activity::AddToWorklist,
         Activity::RemoveFromWorklist,
         Activity::PushToStack,
@@ -59,6 +63,7 @@ impl Activity {
         Activity::RemoveMaxVertex,
         Activity::RemoveNeighbors,
         Activity::ComponentSplit,
+        Activity::ApproxMatching,
     ];
 
     /// Display label matching the paper's legend.
@@ -76,6 +81,7 @@ impl Activity {
             Activity::RemoveMaxVertex => "Remove max-degree vertex",
             Activity::RemoveNeighbors => "Remove neighbors of max-degree vertex",
             Activity::ComponentSplit => "Component split check/extract",
+            Activity::ApproxMatching => "Approx matching rounds",
         }
     }
 
@@ -87,7 +93,8 @@ impl Activity {
             | Activity::PushToStack
             | Activity::PopFromStack
             | Activity::Terminate
-            | Activity::ComponentSplit => ActivityFamily::WorkDistribution,
+            | Activity::ComponentSplit
+            | Activity::ApproxMatching => ActivityFamily::WorkDistribution,
             Activity::DegreeOneRule
             | Activity::DegreeTwoTriangleRule
             | Activity::HighDegreeRule => ActivityFamily::Reducing,
@@ -554,6 +561,6 @@ mod tests {
                 Branching => counts[2] += 1,
             }
         }
-        assert_eq!(counts, [6, 3, 3]);
+        assert_eq!(counts, [7, 3, 3]);
     }
 }

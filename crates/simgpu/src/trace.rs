@@ -27,6 +27,7 @@ pub fn activity_char(a: Activity) -> char {
         Activity::RemoveMaxVertex => 'x',
         Activity::RemoveNeighbors => 'n',
         Activity::ComponentSplit => 'c',
+        Activity::ApproxMatching => 'M',
     }
 }
 

@@ -10,10 +10,13 @@
 //!               [--extensions] [--component-branching[=<min-live>]]
 //!               [--split-bound lp|matching] [--split-backend uf|bfs]
 //!               [--prep] [--prep-rules d012,crown,highdeg,split]
-//!               [--weighted] [--format dimacs|edgelist] <instance>
+//!               [--weighted] [--seed greedy|approx]
+//!               [--format dimacs|edgelist] <instance>
 //! parvc resolve --edits <script-file|gen:<ops>[:<frac>][@seed]>
 //!               [--policy ...] [--threads <n>] [--exec ...]
 //!               [--deadline <s>] [--prep] [--weighted]
+//!               [--format dimacs|edgelist] <instance>
+//! parvc approx  [--weighted] [--exec serial|pooled[:threads]]
 //!               [--format dimacs|edgelist] <instance>
 //! parvc prep    [--rules d012,crown,highdeg,split] [--weighted]
 //!               [--out <file>] [--format dimacs|edgelist] <instance>
@@ -57,6 +60,7 @@ fn main() {
     match cmd {
         Some("solve") => cmd_solve(&args[1..]),
         Some("resolve") => cmd_resolve(&args[1..]),
+        Some("approx") => cmd_approx(&args[1..]),
         Some("prep") => cmd_prep(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -135,6 +139,15 @@ const COMMANDS: &[CmdHelp] = &[
                        or a spec's :w= suffix; unweighted inputs count every vertex \
                        as weight 1). Works under every policy; prep runs only \
                        weight-sound rules.",
+            },
+            FlagHelp {
+                flag: "--seed <greedy|approx>",
+                desc: "Initial incumbent: the reduction-driven greedy sweep \
+                       (default) or the provably 2x-bounded approximate tier — \
+                       round-compressed maximal matching, or the primal-dual \
+                       cover under --weighted — which keeps whichever of the \
+                       bounded and greedy covers is better, so it never starts \
+                       the search from a worse bound.",
             },
             FlagHelp {
                 flag: "--deadline <secs>",
@@ -284,6 +297,34 @@ const COMMANDS: &[CmdHelp] = &[
             },
         ],
         example: "parvc resolve components:1200:60:0.3 --edits gen:12:0.5@7 --policy steal --prep",
+    },
+    CmdHelp {
+        name: "approx",
+        usage: "parvc approx [options] <instance>",
+        summary: "Run the approximate tier alone: a cover provably within \
+                  twice the optimum plus a matching/dual lower-bound \
+                  certificate, in near-linear time — the answer for \
+                  instances too large to solve exactly.",
+        flags: &[
+            FlagHelp {
+                flag: "--weighted",
+                desc: "Bound cover weight instead of size: the Bar-Yehuda–Even \
+                       primal-dual pass, whose dual is a certified weighted \
+                       lower bound. Default: round-compressed maximal matching \
+                       endpoints with the matching size as the certificate.",
+            },
+            FlagHelp {
+                flag: "--exec <serial|pooled[:threads]>",
+                desc: "Executor for the per-round matching passes (see `parvc \
+                       solve --exec`); rounds and the reported cover are \
+                       identical under either.",
+            },
+            FlagHelp {
+                flag: "--format <dimacs|edgelist>",
+                desc: "Instance file format (default: inferred from the extension).",
+            },
+        ],
+        example: "parvc approx ba:150000:2@7 --exec pooled",
     },
     CmdHelp {
         name: "prep",
@@ -716,6 +757,7 @@ fn cmd_solve(args: &[String]) {
             "prep-rules",
             "split-bound",
             "split-backend",
+            "seed",
             "trace-out",
             "metrics-out",
         ],
@@ -769,6 +811,13 @@ fn cmd_solve(args: &[String]) {
     }
     if flags.switches.contains("extensions") {
         builder = builder.extensions(parvc::core::Extensions::ALL);
+    }
+    if let Some(s) = flags.options.get("seed") {
+        let strategy = parvc::core::SeedStrategy::parse(s).unwrap_or_else(|err| {
+            eprintln!("--seed: {err}");
+            std::process::exit(2);
+        });
+        builder = builder.seed(strategy);
     }
     // `--component-branching` (default trigger) or
     // `--component-branching=<min-live>`; `--split-bound` and
@@ -1176,6 +1225,70 @@ fn cmd_resolve(args: &[String]) {
     );
 }
 
+fn cmd_approx(args: &[String]) {
+    let flags = parse_flags_or_exit(args, &["exec", "format"], &[], &["weighted"]);
+    let Some(path) = flags.positional.first() else {
+        eprintln!("approx: missing instance (file or generator spec)");
+        std::process::exit(2);
+    };
+    let g = load_instance(path, flags.options.get("format").map(String::as_str));
+    let exec = match flags.options.get("exec") {
+        Some(e) => ExecutorSpec::parse(e)
+            .unwrap_or_else(|err| {
+                eprintln!("--exec: {err}");
+                std::process::exit(2);
+            })
+            .build(),
+        None => ExecutorSpec::Serial.build(),
+    };
+    let weighted = flags.switches.contains("weighted");
+    eprintln!(
+        "instance: |V|={}, |E|={}{}",
+        g.num_vertices(),
+        g.num_edges(),
+        if g.is_weighted() {
+            ", vertex-weighted"
+        } else if weighted {
+            ", unit weights"
+        } else {
+            ""
+        }
+    );
+    let mut counters = parvc::simgpu::counters::BlockCounters::new(0);
+    let start = std::time::Instant::now();
+    let a = parvc::core::approx::approx_cover(&g, weighted, &*exec, &mut counters);
+    let elapsed = start.elapsed();
+    assert!(is_vertex_cover(&g, &a.cover));
+    if weighted {
+        println!(
+            "2-approximate cover: weight {} ({} vertices)",
+            a.cost,
+            a.cover.len()
+        );
+        println!(
+            "primal-dual certificate: optimum weight in [{}, {}]",
+            a.lower_bound, a.cost
+        );
+    } else {
+        println!("2-approximate cover: {} vertices", a.cost);
+        println!(
+            "matching certificate: optimum size in [{}, {}]",
+            a.lower_bound, a.cost
+        );
+    }
+    println!("{:?}", a.cover);
+    eprintln!(
+        "{} matching round(s){}, {:.3}s",
+        a.rounds,
+        if a.compressed {
+            " (low-degree tail compressed serially)"
+        } else {
+            ""
+        },
+        elapsed.as_secs_f64()
+    );
+}
+
 fn cmd_prep(args: &[String]) {
     let flags = parse_flags_or_exit(args, &["format", "out", "rules"], &[], &["weighted"]);
     let Some(path) = flags.positional.first() else {
@@ -1368,6 +1481,7 @@ mod tests {
         "prep-rules",
         "split-bound",
         "split-backend",
+        "seed",
         "trace-out",
         "metrics-out",
     ];
@@ -1585,7 +1699,7 @@ mod tests {
         let documented: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
         assert_eq!(
             documented,
-            vec!["solve", "resolve", "prep", "generate", "analyze", "demo", "help"]
+            vec!["solve", "resolve", "approx", "prep", "generate", "analyze", "demo", "help"]
         );
         for c in COMMANDS {
             assert!(c.usage.starts_with("parvc "), "{}: bad usage line", c.name);
