@@ -71,6 +71,52 @@ impl Value {
         out
     }
 
+    /// Serializes onto a single line with no whitespace and **no**
+    /// trailing newline — the response format of the `parvc serve`
+    /// line protocol, where one request line is answered by exactly
+    /// one response line.
+    pub fn to_line(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Num(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Value::Str(s) => {
+                let _ = write!(out, "\"{s}\"");
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{k}\":");
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         match self {
@@ -280,6 +326,25 @@ mod tests {
                 .unwrap()
                 .str(),
             Some("components")
+        );
+    }
+
+    #[test]
+    fn compact_line_round_trips() {
+        let v = obj(vec![
+            ("ok", Value::Bool(true)),
+            ("cover", Value::Arr(vec![Value::Num(0), Value::Num(2)])),
+            ("verb", Value::Str("solve".into())),
+            ("empty", obj(vec![])),
+            ("none", Value::Null),
+        ]);
+        let line = v.to_line();
+        assert!(!line.contains('\n'), "one response = one line");
+        assert!(!line.contains("  "), "no pretty padding");
+        assert_eq!(parse(&line).unwrap(), v);
+        assert_eq!(
+            line,
+            "{\"cover\":[0,2],\"empty\":{},\"none\":null,\"ok\":true,\"verb\":\"solve\"}"
         );
     }
 

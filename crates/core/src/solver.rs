@@ -456,6 +456,21 @@ impl Solver {
         self.cfg.algorithm
     }
 
+    /// A solver with this solver's exact configuration but a different
+    /// wall-clock budget, **sharing the built executor** (the pooled
+    /// backend's warm workers are reused, not respawned). This is the
+    /// per-request deadline hook the serving tier rides: one solver is
+    /// configured at startup and each request that carries its own
+    /// budget derives a view instead of rebuilding.
+    pub fn with_deadline(&self, limit: Option<std::time::Duration>) -> Solver {
+        let mut cfg = self.cfg.clone();
+        cfg.deadline = limit;
+        Solver {
+            cfg,
+            exec: Arc::clone(&self.exec),
+        }
+    }
+
     /// The launch configuration this solver would use for `g` with the
     /// given search-depth bound (exposed for the evaluation harness).
     pub fn plan_launch(&self, g: &CsrGraph, stack_depth: u32) -> LaunchConfig {
@@ -884,8 +899,19 @@ impl Solver {
             // single-block inline execution instead of failing the
             // whole solve (the occupancy-aware memory planner is
             // follow-on work; the kernelized path avoids this entirely
-            // by shrinking the instance first).
-            _ => self.try_plan_launch(g, depth_bound as u32).ok(),
+            // by shrinking the instance first). The degrade is counted
+            // so operators see it: the serving tier surfaces
+            // `engine.oversize_inline` in `STATS`, and the gauge keeps
+            // the size of the last offender visible in metrics dumps.
+            _ => match self.try_plan_launch(g, depth_bound as u32) {
+                Ok(cfg) => Some(cfg),
+                Err(_) => {
+                    obs.sink.counter("engine.oversize_inline", 1);
+                    obs.sink
+                        .gauge("engine.oversize_last_vertices", u64::from(g.num_vertices()));
+                    None
+                }
+            },
         };
         let factory: Box<dyn PolicyFactory> = match self.cfg.algorithm {
             Algorithm::Sequential => Box::new(SequentialFactory::new()),
@@ -1378,5 +1404,72 @@ mod tests {
                 assert_eq!(solver.solve_mvc(&g).size, opt, "{algorithm} variant {v}");
             }
         }
+    }
+
+    #[test]
+    fn with_deadline_shares_executor_and_changes_budget_only() {
+        let g = gen::gnp(13, 0.3, 9);
+        let base = Solver::builder().algorithm(Algorithm::Hybrid).build();
+        let derived = base.with_deadline(Some(std::time::Duration::from_secs(30)));
+        assert!(
+            Arc::ptr_eq(&base.exec, &derived.exec),
+            "derived solver must reuse the built executor"
+        );
+        assert_eq!(base.cfg.deadline, None);
+        assert_eq!(
+            derived.cfg.deadline,
+            Some(std::time::Duration::from_secs(30))
+        );
+        // Same configuration otherwise: identical outcomes.
+        assert_eq!(base.solve_mvc(&g).size, derived.solve_mvc(&g).size);
+        // Clearing the budget again round-trips.
+        assert_eq!(derived.with_deadline(None).cfg.deadline, None);
+    }
+
+    #[test]
+    fn oversize_degrade_is_counted() {
+        // An instance whose per-block stack state exceeds the tiny
+        // device's global memory (stack bytes grow with n·depth, so a
+        // 600-vertex cycle oversizes the 1 MiB device while staying
+        // trivially reducible): the §III-C degrade path must run
+        // inline AND surface the operator-visible counter.
+        let g = gen::cycle(600);
+        let solver = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .device(parvc_simgpu::DeviceSpec::test_tiny())
+            .telemetry(parvc_obs::TelemetryConfig {
+                spans: false,
+                metrics: true,
+                ..Default::default()
+            })
+            .build();
+        let r = solver.solve_mvc(&g);
+        assert!(is_vertex_cover(&g, &r.cover));
+        assert!(
+            r.stats.launch.is_none(),
+            "oversize instance must degrade to inline execution"
+        );
+        let snap = r.stats.telemetry.as_ref().expect("telemetry requested");
+        assert!(
+            snap.counters.get("engine.oversize_inline").copied() >= Some(1),
+            "degrade path must be counted; got {:?}",
+            snap.counters
+        );
+        assert!(snap.gauges.contains_key("engine.oversize_last_vertices"));
+
+        // A device that fits the instance must NOT count a degrade.
+        let fits = Solver::builder()
+            .algorithm(Algorithm::Hybrid)
+            .grid_limit(Some(4))
+            .telemetry(parvc_obs::TelemetryConfig {
+                spans: false,
+                metrics: true,
+                ..Default::default()
+            })
+            .build();
+        let r2 = fits.solve_mvc(&g);
+        let snap2 = r2.stats.telemetry.as_ref().unwrap();
+        assert!(!snap2.counters.contains_key("engine.oversize_inline"));
+        assert_eq!(r2.size, r.size, "degraded solve stays exact");
     }
 }

@@ -250,6 +250,69 @@ impl CsrGraph {
         Ok(())
     }
 
+    /// Content hash of the instance: a 64-bit FNV-1a digest over the
+    /// canonical CSR arrays (`row_ptr`, `col_idx`) and the optional
+    /// weight channel.
+    ///
+    /// Because construction canonicalizes the structure (sorted,
+    /// deduplicated adjacency; edges stored symmetrically), two graphs
+    /// describing the same instance hash identically regardless of how
+    /// they were built — from an edge list, a DIMACS file, or a
+    /// generator spec. The serving tier uses this as the **cache key**
+    /// for the persisted result cache (`parvc serve`): repeat traffic
+    /// for the same content is answered from cache without re-solving.
+    ///
+    /// The hash is a stable function of the content only (no pointer or
+    /// build-order dependence), so it is safe to persist across runs.
+    /// Equal hashes are treated as equal instances; at 64 bits,
+    /// accidental collisions are negligible for cache sizing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use parvc_graph::CsrGraph;
+    /// // Same instance, different construction order: one cache key.
+    /// let a = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// let b = CsrGraph::from_edges(3, &[(2, 1), (0, 1), (1, 0)]).unwrap();
+    /// assert_eq!(a.content_hash(), b.content_hash());
+    ///
+    /// // The weight channel is part of the instance, so weighting the
+    /// // same structure yields a distinct key.
+    /// let w = a.clone().with_weights(vec![2, 1, 1]).unwrap();
+    /// assert_ne!(a.content_hash(), w.content_hash());
+    /// ```
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        // A leading tag keeps the digest versioned: changing the layout
+        // below must change every key, invalidating stale disk caches.
+        eat(0x7061_7276_6373_7231); // "parvcsr1"
+        eat(self.num_vertices() as u64);
+        for &p in &self.row_ptr {
+            eat(p as u64);
+        }
+        for &v in &self.col_idx {
+            eat(v as u64);
+        }
+        match &self.weights {
+            None => eat(0),
+            Some(w) => {
+                eat(1);
+                for &x in w.iter() {
+                    eat(x);
+                }
+            }
+        }
+        h
+    }
+
     /// Approximate heap footprint in bytes — the quantity the paper's
     /// memory-capacity reasoning (§III-C) cares about.
     pub fn memory_bytes(&self) -> usize {
@@ -397,6 +460,24 @@ mod tests {
         let g = triangle();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn content_hash_is_content_only() {
+        let g = triangle();
+        // Stable across clones and rebuilds with shuffled input order.
+        assert_eq!(g.content_hash(), g.clone().content_hash());
+        let shuffled = CsrGraph::from_edges(3, &[(2, 0), (1, 0), (2, 1), (0, 1)]).unwrap();
+        assert_eq!(g.content_hash(), shuffled.content_hash());
+        // Sensitive to structure, vertex count, and weights.
+        let path = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_ne!(g.content_hash(), path.content_hash());
+        let padded = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_ne!(g.content_hash(), padded.content_hash());
+        let weighted = g.clone().with_weights(vec![1, 1, 1]).unwrap();
+        assert_ne!(g.content_hash(), weighted.content_hash());
+        let reweighted = g.clone().with_weights(vec![1, 1, 2]).unwrap();
+        assert_ne!(weighted.content_hash(), reweighted.content_hash());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 mod edit_script;
 mod named;
 mod random;
+pub mod spec;
 mod structured;
 mod weights;
 

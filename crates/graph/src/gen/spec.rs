@@ -1,0 +1,210 @@
+//! The generator-spec grammar: `family:arg1:arg2[...][@seed][:w=<weights>]`.
+//!
+//! One string names a deterministic instance — `gnp:200:0.05@7:w=uniform`
+//! is a 200-vertex G(n,p) graph at p = 0.05 under seed 7 with uniform
+//! random vertex weights. The grammar is shared by every front end that
+//! accepts instances (the `parvc` CLI's positional `<instance>`
+//! arguments, the `parvc serve` `LOAD` verb, and the bench bins), so a
+//! spec that works in one place works everywhere and hashes to the same
+//! [`CsrGraph::content_hash`] cache key.
+//!
+//! Everything here returns `Result` instead of exiting: callers that
+//! talk to a terminal print the message and exit, callers that talk to
+//! a socket turn it into an error line.
+
+use crate::gen;
+use crate::CsrGraph;
+
+/// Generator family names the spec grammar recognizes. A leading
+/// segment outside this list means "not a spec" (probably a file path).
+pub const FAMILIES: &[&str] = &[
+    "phat",
+    "gnp",
+    "ba",
+    "ws",
+    "geometric",
+    "pace",
+    "components",
+    "bipartite",
+    "grid",
+];
+
+/// Default seed when a spec carries no `@seed` suffix.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// Parses `family:arg1:arg2[...][@seed][:w=<weights>]` into a generated
+/// graph.
+///
+/// Returns `Ok(None)` when the leading segment is not a generator
+/// family — a file path may legitimately contain `:` or `@`, so nothing
+/// is rejected before the family name matches. Returns `Err` for a
+/// recognized family with malformed arguments.
+///
+/// Numeric arguments separate with `:` or `,` interchangeably
+/// (`gnp:2000:0.002@1` == `gnp:2000,0.002@1`). The optional `:w=`
+/// suffix attaches a vertex-weight channel (see [`attach_weights`]),
+/// turning the instance into a weighted MVC input.
+pub fn parse(spec: &str) -> Result<Option<CsrGraph>, String> {
+    // Split a trailing weight channel off first: it may follow the
+    // seed (`...@7:w=uniform`) or the last family argument.
+    let (core, wspec) = match spec.split_once(":w=") {
+        Some((core, w)) => (core, Some(w)),
+        None => (spec, None),
+    };
+    let Some((family, rest)) = core.split_once(':') else {
+        return Ok(None);
+    };
+    if !FAMILIES.contains(&family) {
+        return Ok(None);
+    }
+    let (body, seed) = match rest.split_once('@') {
+        Some((body, s)) => (
+            body,
+            s.parse()
+                .map_err(|_| format!("bad seed '{s}' in spec '{spec}'"))?,
+        ),
+        None => (rest, DEFAULT_SEED),
+    };
+    let args = body
+        .split([':', ','])
+        .map(|t| {
+            t.parse()
+                .map_err(|_| format!("bad numeric argument '{t}' in spec '{spec}'"))
+        })
+        .collect::<Result<Vec<f64>, String>>()?;
+    let g = generate(family, seed, &args).map_err(|e| format!("spec '{spec}': {e}"))?;
+    Ok(Some(match wspec {
+        Some(w) => attach_weights(g, w, seed)?,
+        None => g,
+    }))
+}
+
+/// The family dispatch shared by the spec grammar and `parvc generate`:
+/// builds `family` from its positional numeric arguments under `seed`.
+pub fn generate(family: &str, seed: u64, args: &[f64]) -> Result<CsrGraph, String> {
+    let arg = |i: usize| -> Result<f64, String> {
+        args.get(i)
+            .copied()
+            .ok_or_else(|| format!("family {family} needs more arguments"))
+    };
+    Ok(match family {
+        "phat" => gen::p_hat_complement(arg(0)? as u32, arg(1)? as u8, seed),
+        "gnp" => gen::gnp(arg(0)? as u32, arg(1)?, seed),
+        "ba" => gen::barabasi_albert(arg(0)? as u32, arg(1)? as u32, seed),
+        "ws" => gen::watts_strogatz(arg(0)? as u32, arg(1)? as u32, arg(2)?, seed),
+        "geometric" => gen::random_geometric(arg(0)? as u32, arg(1)?, seed),
+        "pace" => gen::pace_like(arg(0)? as u32, arg(1)? as u32, seed),
+        "components" => gen::sparse_components(arg(0)? as u32, arg(1)? as u32, arg(2)?, seed),
+        "bipartite" => gen::bipartite_gnp(arg(0)? as u32, arg(1)? as u32, arg(2)?, seed),
+        "grid" => gen::grid2d(arg(0)? as u32, arg(1)? as u32),
+        other => return Err(format!("unknown family '{other}'")),
+    })
+}
+
+/// Attaches the weight channel a `w=` suffix or `--weights` flag names:
+/// `uniform[:max]` (random in `1..=max`, default max 10, seeded like
+/// the generator), `unit` (all-1), or `degree` (`d(v)+1`).
+pub fn attach_weights(g: CsrGraph, spec: &str, seed: u64) -> Result<CsrGraph, String> {
+    let (kind, param) = match spec.split_once(':') {
+        Some((k, p)) => (k, Some(p)),
+        None => (spec, None),
+    };
+    match (kind, param) {
+        ("uniform", max) => {
+            let max: u64 = match max {
+                Some(m) => m
+                    .parse()
+                    .map_err(|_| format!("bad uniform weight bound '{m}'"))?,
+                None => 10,
+            };
+            if max == 0 {
+                return Err("uniform weight bound must be >= 1 (weights are >= 1)".into());
+            }
+            // Keep n·max within the i64::MAX total-weight cap the
+            // graph layer enforces.
+            let cap = i64::MAX as u64 / u64::from(g.num_vertices().max(1));
+            if max > cap {
+                return Err(format!(
+                    "uniform weight bound {max} too large for {} vertices (max {cap})",
+                    g.num_vertices()
+                ));
+            }
+            Ok(gen::with_uniform_weights(g, max, seed))
+        }
+        ("unit", None) => {
+            let n = g.num_vertices() as usize;
+            Ok(g.with_weights(vec![1; n]).expect("unit weights are valid"))
+        }
+        ("degree", None) => Ok(gen::with_degree_weights(g)),
+        _ => Err(format!(
+            "unknown weight spec '{spec}' (uniform[:max]|unit|degree)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn non_family_is_none() {
+        assert_eq!(parse("graphs/foo.dimacs").unwrap(), None);
+        assert_eq!(parse("no-colon-at-all").unwrap(), None);
+        assert_eq!(parse("unknownfam:10:0.5").unwrap(), None);
+    }
+
+    #[test]
+    fn spec_round_trips_and_seeds() {
+        let a = parse("gnp:40:0.1@7").unwrap().unwrap();
+        let b = parse("gnp:40,0.1@7").unwrap().unwrap();
+        assert_eq!(a, b, "`:` and `,` separators are interchangeable");
+        let default_seed = parse("gnp:40:0.1").unwrap().unwrap();
+        let explicit = parse(&format!("gnp:40:0.1@{DEFAULT_SEED}"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(default_seed, explicit);
+        assert_ne!(a, explicit, "seed changes the instance");
+    }
+
+    #[test]
+    fn weight_suffix_attaches() {
+        let g = parse("grid:4:4:w=degree").unwrap().unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.weight(0), 3); // corner: degree 2 + 1
+        let u = parse("gnp:20:0.2@3:w=uniform:5").unwrap().unwrap();
+        assert!(u.weights().unwrap().iter().all(|&w| (1..=5).contains(&w)));
+        let unit = parse("gnp:20:0.2@3:w=unit").unwrap().unwrap();
+        assert!(unit.weights().unwrap().iter().all(|&w| w == 1));
+    }
+
+    #[test]
+    fn errors_are_reported_not_fatal() {
+        assert!(parse("gnp:40:0.1@nope").unwrap_err().contains("bad seed"));
+        assert!(parse("gnp:forty:0.1").unwrap_err().contains("numeric"));
+        assert!(parse("gnp:40").unwrap_err().contains("more arguments"));
+        assert!(parse("gnp:40:0.1:w=bogus")
+            .unwrap_err()
+            .contains("weight spec"));
+        assert!(attach_weights(gen::grid2d(2, 2), "uniform:0", 1).is_err());
+    }
+
+    #[test]
+    fn every_family_parses() {
+        for spec in [
+            "phat:30:2@1",
+            "gnp:30:0.2@1",
+            "ba:30:2@1",
+            "ws:30:4:0.1@1",
+            "geometric:30:0.3@1",
+            "pace:30:4@1",
+            "components:60:6:0.4@1",
+            "bipartite:10:12:0.3@1",
+            "grid:5:6",
+        ] {
+            let g = parse(spec)
+                .unwrap()
+                .unwrap_or_else(|| panic!("{spec} not a spec?"));
+            assert!(g.num_vertices() > 0, "{spec}");
+        }
+    }
+}

@@ -62,7 +62,8 @@ pub enum Lane {
 pub struct SpanRecord {
     /// Category (the span taxonomy: `"prep"`, `"engine"`, `"split"`,
     /// `"component"`, `"dispatch"`, `"steal"`, `"model"`,
-    /// `"resolve"`, …).
+    /// `"resolve"`, `"serve"` — one span per serving-tier request —
+    /// …).
     pub cat: &'static str,
     /// Event name within the category.
     pub name: &'static str,

@@ -1,0 +1,278 @@
+//! `serve-load` — the CI gate for the serving tier.
+//!
+//! Replays a **deterministic** mixed workload (exact solves, weighted
+//! solves, approx certificates, incremental re-solves, repeated
+//! instances) against an in-process [`Server`] and reports request
+//! latency (p50/p99), throughput, cache hit rate, and shed behavior.
+//! A second pass runs with the admission high-water mark forced to 0,
+//! so every exact solve is shed: each shed answer must be a valid
+//! cover with `cost ≤ 2 × lower_bound` (the certificate the operator
+//! is promised under overload) — asserted inline against the
+//! re-generated instance.
+//!
+//! The JSON report is compared against the checked-in baseline
+//! `bench/baselines/serve.json`:
+//!
+//! * a changed optimum on any check fails (correctness, not perf);
+//! * changed cache hit/miss totals or shed counts fail — the workload
+//!   is deterministic, so these are exact;
+//! * latency and throughput are informational only (they vary by
+//!   machine) and are never gated.
+//!
+//! ```text
+//! cargo run --release -p parvc-serve --bin serve_load -- \
+//!     --json serve-report.json --baseline bench/baselines/serve.json
+//! ```
+
+use std::time::Instant;
+
+use parvc_bench::json::{obj, parse, Value};
+use parvc_graph::gen::spec;
+use parvc_serve::{ServeConfig, Server};
+
+/// The replayed request stream: `rounds` passes over three instances
+/// (`a` and `w` share structure, `w` carries degree weights; `b` takes
+/// an edit stream), with repeats designed to hit the cache and a
+/// certificate request mixed in. Every seed is pinned.
+fn workload(rounds: u64) -> Vec<String> {
+    let mut lines = vec![
+        "LOAD a gnp:60:0.08@5".to_string(),
+        "LOAD b components:90:10:0.45@3".to_string(),
+        "LOAD w gnp:60:0.08@5:w=degree".to_string(),
+    ];
+    for round in 0..rounds {
+        lines.push("SOLVE a".to_string());
+        lines.push("SOLVE b".to_string());
+        lines.push("SOLVE w --weighted".to_string());
+        lines.push("SOLVE a --approx".to_string());
+        if round % 2 == 1 {
+            // Advance b and re-ask: the re-solve primes the cache for
+            // the post-edit graph, so the SOLVE right after must hit.
+            lines.push(format!("RESOLVE b --edits gen:3@{round}"));
+            lines.push("SOLVE b".to_string());
+        }
+    }
+    lines.push("STATS".to_string());
+    lines
+}
+
+fn num(v: &Value, key: &str) -> u64 {
+    v.get(key)
+        .and_then(Value::num)
+        .unwrap_or_else(|| panic!("response missing numeric field '{key}': {v:?}"))
+}
+
+fn is_true(v: &Value, key: &str) -> bool {
+    matches!(v.get(key), Some(Value::Bool(true)))
+}
+
+fn main() {
+    let mut json_out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut rounds = 6u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{flag} requires a {what} argument"))
+        };
+        match flag.as_str() {
+            "--json" => json_out = Some(value("path")),
+            "--baseline" => baseline = Some(value("path")),
+            "--rounds" => {
+                rounds = value("count")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--rounds: {e}"))
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "options: --json <report path>  --baseline <baseline path>  --rounds <count>"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag '{other}' (try --help)"),
+        }
+    }
+
+    // ---- phase 1: mixed workload, cache on, no overload ----------
+    let server = Server::new(ServeConfig::default());
+    let lines = workload(rounds);
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(lines.len());
+    let mut last_cost = std::collections::BTreeMap::new();
+    let started = Instant::now();
+    for line in &lines {
+        let t0 = Instant::now();
+        let response = server
+            .handle(line)
+            .unwrap_or_else(|| panic!("no response for '{line}'"));
+        latencies_us.push(t0.elapsed().as_micros() as u64);
+        let doc = parse(&response).unwrap_or_else(|e| panic!("bad response for '{line}': {e}"));
+        assert!(is_true(&doc, "ok"), "request '{line}' failed: {response}");
+        if let Some(name) = line.strip_prefix("SOLVE ") {
+            let name = name.split_whitespace().next().unwrap();
+            if !line.contains("--approx") {
+                last_cost.insert(name.to_string(), num(&doc, "cost"));
+            }
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = parse(&server.handle("STATS").unwrap()).expect("STATS parses");
+    let cache = stats.get("cache").expect("STATS has a cache object");
+    let (hits, misses) = (num(cache, "hits"), num(cache, "misses"));
+    assert!(
+        hits > 0,
+        "deterministic workload with repeats produced zero cache hits"
+    );
+    assert_eq!(
+        num(&stats, "sheds"),
+        0,
+        "single-threaded workload under default high-water shed requests"
+    );
+
+    latencies_us.sort_unstable();
+    let pct = |p: usize| latencies_us[(latencies_us.len() - 1) * p / 100];
+    let throughput = (lines.len() as f64 / elapsed.as_secs_f64()) as u64;
+    eprintln!(
+        "[serve-load] {} requests in {:?}: p50 {}us p99 {}us, ~{throughput} req/s, \
+         cache {hits} hits / {misses} misses",
+        lines.len(),
+        elapsed,
+        pct(50),
+        pct(99),
+    );
+
+    // ---- phase 2: forced overload, every exact solve shed --------
+    let shed_server = Server::new(ServeConfig {
+        high_water: 0,
+        ..ServeConfig::default()
+    });
+    let shed_spec = "gnp:50:0.1@11";
+    let shed_graph = spec::parse(shed_spec)
+        .expect("shed spec parses")
+        .expect("shed spec is a generator");
+    assert!(is_true(
+        &parse(&shed_server.handle(&format!("LOAD s {shed_spec}")).unwrap()).unwrap(),
+        "ok"
+    ));
+    let mut sheds = 0u64;
+    for _ in 0..3 {
+        let doc = parse(&shed_server.handle("SOLVE s").unwrap()).expect("shed response parses");
+        assert!(is_true(&doc, "degraded"), "overloaded solve was not shed");
+        assert!(is_true(&doc, "certified"));
+        let (cost, lb) = (num(&doc, "cost"), num(&doc, "lower_bound"));
+        assert!(
+            cost <= 2 * lb,
+            "shed certificate broke its bound: cost {cost} > 2 x {lb}"
+        );
+        let cover: Vec<u32> = doc
+            .get("cover")
+            .and_then(Value::arr)
+            .expect("shed response carries the cover")
+            .iter()
+            .filter_map(Value::num)
+            .map(|v| v as u32)
+            .collect();
+        assert!(
+            parvc_core::is_vertex_cover(&shed_graph, &cover),
+            "shed certificate is not a vertex cover"
+        );
+        sheds += 1;
+    }
+    let shed_stats = parse(&shed_server.handle("STATS").unwrap()).unwrap();
+    assert_eq!(num(&shed_stats, "sheds"), sheds, "STATS undercounts sheds");
+    eprintln!("[serve-load] {sheds} forced sheds, every certificate within 2x and valid");
+
+    // ---- report --------------------------------------------------
+    let checks: Vec<Value> = last_cost
+        .iter()
+        .map(|(name, cost)| {
+            obj(vec![
+                ("name", Value::Str(name.clone())),
+                ("cost", Value::Num(*cost)),
+            ])
+        })
+        .collect();
+    let report = obj(vec![
+        ("schema", Value::Num(1)),
+        ("bench", Value::Str("serve-load".into())),
+        ("requests", Value::Num(lines.len() as u64 + 1)),
+        ("cache_hits", Value::Num(hits)),
+        ("cache_misses", Value::Num(misses)),
+        ("sheds", Value::Num(sheds)),
+        ("checks", Value::Arr(checks)),
+        (
+            "latency_us",
+            obj(vec![
+                ("p50", Value::Num(pct(50))),
+                ("p99", Value::Num(pct(99))),
+            ]),
+        ),
+        ("throughput_rps", Value::Num(throughput)),
+    ]);
+    let text = report.to_pretty();
+    print!("{text}");
+    if let Some(path) = &json_out {
+        std::fs::write(path, &text).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        eprintln!("[serve-load] report written to {path}");
+    }
+    if let Some(path) = &baseline {
+        let base_text =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let base = parse(&base_text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+        let regressions = compare(&base, &report);
+        if regressions > 0 {
+            eprintln!("[serve-load] FAILED: {regressions} regression(s) against {path}");
+            std::process::exit(1);
+        }
+        eprintln!("[serve-load] ok: no regressions against {path}");
+    }
+}
+
+/// Compares the deterministic fields only: cache totals and shed count
+/// must match exactly (the workload is pinned), and every check's
+/// optimum must be unchanged (correctness). Latency and throughput are
+/// machine-dependent and never gated.
+fn compare(base: &Value, current: &Value) -> u32 {
+    let mut regressions = 0u32;
+    for key in ["requests", "cache_hits", "cache_misses", "sheds"] {
+        let (was, now) = (num(base, key), num(current, key));
+        if was != now {
+            eprintln!("[serve-load] REGRESSION: {key} changed {was} -> {now} (deterministic!)");
+            regressions += 1;
+        }
+    }
+    let find = |doc: &Value, name: &str| -> Option<u64> {
+        doc.get("checks")?
+            .arr()?
+            .iter()
+            .find(|c| c.get("name").and_then(Value::str) == Some(name))
+            .map(|c| num(c, "cost"))
+    };
+    for check in base
+        .get("checks")
+        .and_then(Value::arr)
+        .expect("baseline has checks")
+    {
+        let name = check
+            .get("name")
+            .and_then(Value::str)
+            .expect("baseline check has a name");
+        match find(current, name) {
+            None => {
+                eprintln!("[serve-load] REGRESSION {name}: check missing from the report");
+                regressions += 1;
+            }
+            Some(now) => {
+                let was = num(check, "cost");
+                if was != now {
+                    eprintln!(
+                        "[serve-load] REGRESSION {name}: optimum changed {was} -> {now} \
+                         (correctness!)"
+                    );
+                    regressions += 1;
+                }
+            }
+        }
+    }
+    regressions
+}

@@ -61,6 +61,7 @@ fn main() {
         Some("solve") => cmd_solve(&args[1..]),
         Some("resolve") => cmd_resolve(&args[1..]),
         Some("approx") => cmd_approx(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("prep") => cmd_prep(&args[1..]),
         Some("generate") => cmd_generate(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
@@ -327,6 +328,75 @@ const COMMANDS: &[CmdHelp] = &[
         example: "parvc approx ba:150000:2@7 --exec pooled",
     },
     CmdHelp {
+        name: "serve",
+        usage: "parvc serve [options]",
+        summary: "Run the solver as a long-running service: newline-delimited \
+                  requests (LOAD / SOLVE / RESOLVE / STATS / EVICT) over TCP, \
+                  multiplexed across a bounded worker pool, backed by a \
+                  content-keyed LRU result cache and per-instance incremental \
+                  re-solve sessions. Past the admission high-water mark, SOLVE \
+                  traffic is shed to certified 2-approximate answers instead \
+                  of queueing. Protocol reference: docs/serve.md; operator's \
+                  guide: docs/operations.md.",
+        flags: &[
+            FlagHelp {
+                flag: "--listen <host:port>",
+                desc: "Bind address for the TCP front end (default \
+                       127.0.0.1:7070).",
+            },
+            FlagHelp {
+                flag: "--workers <n>",
+                desc: "Connections serviced concurrently — the worker-pool \
+                       bound (default 4).",
+            },
+            FlagHelp {
+                flag: "--high-water <n>",
+                desc: "In-flight exact solves beyond which SOLVE requests are \
+                       shed to the 2-approximation certificate (default 4; \
+                       0 sheds everything — cache hits are still served).",
+            },
+            FlagHelp {
+                flag: "--deadline <secs>",
+                desc: "Default wall-clock budget per exact solve; a request's \
+                       own --deadline overrides it.",
+            },
+            FlagHelp {
+                flag: "--cache-capacity <n>",
+                desc: "Result-cache capacity in entries, LRU past it \
+                       (default 128).",
+            },
+            FlagHelp {
+                flag: "--cache-file <path>",
+                desc: "Persist the result cache to this JSON file: loaded at \
+                       startup, rewritten on every insert or eviction, so a \
+                       restarted server answers yesterday's traffic from disk.",
+            },
+            FlagHelp {
+                flag: "--policy <seq|stack|hybrid|steal|batch|compsteal>",
+                desc: "Scheduling policy for exact solves (default hybrid; \
+                       see `parvc solve --policy`).",
+            },
+            FlagHelp {
+                flag: "--exec <serial|pooled[:threads]>",
+                desc: "Intra-block executor for exact solves (see `parvc \
+                       solve --exec`).",
+            },
+            FlagHelp {
+                flag: "--no-prep",
+                desc: "Skip kernelization + component decomposition in front \
+                       of exact solves (on by default when serving).",
+            },
+            FlagHelp {
+                flag: "--script <file>",
+                desc: "Offline mode: replay request lines from <file> (`-` \
+                       for stdin) against an in-process server, print one \
+                       response line per request to stdout, and exit — no \
+                       socket is opened.",
+            },
+        ],
+        example: "parvc serve --listen 127.0.0.1:7070 --cache-file parvc-cache.json",
+    },
+    CmdHelp {
         name: "prep",
         usage: "parvc prep [options] <instance>",
         summary: "Run the kernelization pipeline alone and report per-rule \
@@ -568,58 +638,9 @@ fn load_instance(spec: &str, format: Option<&str>) -> CsrGraph {
 /// the instance into a weighted MVC input, e.g.
 /// `gnp:200:0.05@7:w=uniform`.
 fn parse_gen_spec(spec: &str) -> Option<CsrGraph> {
-    const FAMILIES: [&str; 9] = [
-        "phat",
-        "gnp",
-        "ba",
-        "ws",
-        "geometric",
-        "pace",
-        "components",
-        "bipartite",
-        "grid",
-    ];
-    // Split a trailing weight channel off first: it may follow the
-    // seed (`...@7:w=uniform`) or the last family argument.
-    let (core, wspec) = match spec.split_once(":w=") {
-        Some((core, w)) => (core, Some(w)),
-        None => (spec, None),
-    };
-    let (family, rest) = core.split_once(':')?;
-    if !FAMILIES.contains(&family) {
-        return None;
-    }
-    let (body, seed) = match rest.split_once('@') {
-        Some((body, s)) => (
-            body,
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("bad seed '{s}' in spec '{spec}'");
-                std::process::exit(2);
-            }),
-        ),
-        None => (rest, 42u64),
-    };
-    // Numeric arguments separate with `:` or `,` interchangeably
-    // (`gnp:2000:0.002@1` == `gnp:2000,0.002@1`).
-    let parts = body.split([':', ',']);
-    let args: Vec<f64> = parts
-        .map(|t| {
-            t.parse().unwrap_or_else(|_| {
-                eprintln!("bad numeric argument '{t}' in spec '{spec}'");
-                std::process::exit(2);
-            })
-        })
-        .collect();
-    let arg = |i: usize| -> f64 {
-        *args.get(i).unwrap_or_else(|| {
-            eprintln!("spec '{spec}': family {family} needs more arguments");
-            std::process::exit(2);
-        })
-    };
-    let g = generate_family(family, seed, &arg);
-    Some(match wspec {
-        Some(w) => attach_weights(g, w, seed),
-        None => g,
+    gen::spec::parse(spec).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
     })
 }
 
@@ -627,64 +648,18 @@ fn parse_gen_spec(spec: &str) -> Option<CsrGraph> {
 /// `uniform[:max]` (random in `1..=max`, default max 10, seeded like
 /// the generator), `unit` (all-1), or `degree` (`d(v)+1`).
 fn attach_weights(g: CsrGraph, spec: &str, seed: u64) -> CsrGraph {
-    let (kind, param) = match spec.split_once(':') {
-        Some((k, p)) => (k, Some(p)),
-        None => (spec, None),
-    };
-    match (kind, param) {
-        ("uniform", max) => {
-            let max: u64 = max.map_or(10, |m| {
-                m.parse().unwrap_or_else(|_| {
-                    eprintln!("bad uniform weight bound '{m}'");
-                    std::process::exit(2);
-                })
-            });
-            if max == 0 {
-                eprintln!("uniform weight bound must be >= 1 (weights are >= 1)");
-                std::process::exit(2);
-            }
-            // Keep n·max within the i64::MAX total-weight cap the
-            // graph layer enforces.
-            let cap = i64::MAX as u64 / u64::from(g.num_vertices().max(1));
-            if max > cap {
-                eprintln!(
-                    "uniform weight bound {max} too large for {} vertices (max {cap})",
-                    g.num_vertices()
-                );
-                std::process::exit(2);
-            }
-            gen::with_uniform_weights(g, max, seed)
-        }
-        ("unit", None) => {
-            let n = g.num_vertices() as usize;
-            g.with_weights(vec![1; n]).expect("unit weights are valid")
-        }
-        ("degree", None) => gen::with_degree_weights(g),
-        _ => {
-            eprintln!("unknown weight spec '{spec}' (uniform[:max]|unit|degree)");
-            std::process::exit(2);
-        }
-    }
+    gen::spec::attach_weights(g, spec, seed).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 /// The shared family dispatch used by `generate` and the spec syntax.
-/// `arg(i)` yields the i-th numeric argument after the family name.
-fn generate_family(family: &str, seed: u64, arg: &dyn Fn(usize) -> f64) -> CsrGraph {
-    match family {
-        "phat" => gen::p_hat_complement(arg(0) as u32, arg(1) as u8, seed),
-        "gnp" => gen::gnp(arg(0) as u32, arg(1), seed),
-        "ba" => gen::barabasi_albert(arg(0) as u32, arg(1) as u32, seed),
-        "ws" => gen::watts_strogatz(arg(0) as u32, arg(1) as u32, arg(2), seed),
-        "geometric" => gen::random_geometric(arg(0) as u32, arg(1), seed),
-        "pace" => gen::pace_like(arg(0) as u32, arg(1) as u32, seed),
-        "components" => gen::sparse_components(arg(0) as u32, arg(1) as u32, arg(2), seed),
-        "bipartite" => gen::bipartite_gnp(arg(0) as u32, arg(1) as u32, arg(2), seed),
-        "grid" => gen::grid2d(arg(0) as u32, arg(1) as u32),
-        other => {
-            eprintln!("unknown family '{other}'");
-            std::process::exit(2);
-        }
-    }
+fn generate_family(family: &str, seed: u64, args: &[f64]) -> CsrGraph {
+    gen::spec::generate(family, seed, args).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn load_graph(path: &str, format: Option<&str>) -> CsrGraph {
@@ -1289,6 +1264,114 @@ fn cmd_approx(args: &[String]) {
     );
 }
 
+fn cmd_serve(args: &[String]) {
+    let flags = parse_flags_or_exit(
+        args,
+        &[
+            "listen",
+            "workers",
+            "high-water",
+            "deadline",
+            "cache-capacity",
+            "cache-file",
+            "policy",
+            "exec",
+            "script",
+        ],
+        &[],
+        &["no-prep"],
+    );
+    let algorithm = match flags.options.get("policy").map(String::as_str) {
+        None | Some("hybrid") => Algorithm::Hybrid,
+        Some("seq") | Some("sequential") => Algorithm::Sequential,
+        Some("stack") | Some("stackonly") => Algorithm::StackOnly { start_depth: 8 },
+        Some("steal") | Some("worksteal") | Some("workstealing") => Algorithm::WorkStealing,
+        Some("batch") | Some("batched") => Algorithm::Batched,
+        Some("compsteal") | Some("componentsteal") => Algorithm::ComponentSteal,
+        Some(other) => {
+            eprintln!("unknown policy '{other}' (seq|stack|hybrid|steal|batch|compsteal)");
+            std::process::exit(2);
+        }
+    };
+    let executor = match flags.options.get("exec") {
+        Some(spec) => ExecutorSpec::parse(spec).unwrap_or_else(|e| {
+            eprintln!("--exec: {e}");
+            std::process::exit(2);
+        }),
+        None => ExecutorSpec::Serial,
+    };
+    let numeric = |name: &str, default: usize| -> usize {
+        flags.options.get(name).map_or(default, |v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} takes a non-negative integer");
+                std::process::exit(2);
+            })
+        })
+    };
+    let cfg = parvc::serve::ServeConfig {
+        algorithm,
+        executor,
+        prep: !flags.switches.contains("no-prep"),
+        grid_limit: None,
+        high_water: numeric("high-water", 4),
+        default_deadline: flags
+            .options
+            .get("deadline")
+            .map(|d| Duration::from_secs_f64(d.parse().expect("--deadline takes seconds"))),
+        cache_capacity: numeric("cache-capacity", 128),
+        cache_path: flags.options.get("cache-file").map(Into::into),
+        telemetry: false,
+    };
+    let server = parvc::serve::Server::new(cfg);
+
+    // Offline mode: replay a request script and exit.
+    if let Some(script) = flags.options.get("script") {
+        let text = if script == "-" {
+            use std::io::Read;
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot read stdin: {e}");
+                    std::process::exit(1);
+                });
+            buf
+        } else {
+            std::fs::read_to_string(script).unwrap_or_else(|e| {
+                eprintln!("cannot read {script}: {e}");
+                std::process::exit(1);
+            })
+        };
+        for line in text.lines() {
+            if let Some(response) = server.handle(line) {
+                println!("{response}");
+            }
+        }
+        return;
+    }
+
+    let listen = flags
+        .options
+        .get("listen")
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7070");
+    let listener = std::net::TcpListener::bind(listen).unwrap_or_else(|e| {
+        eprintln!("cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let workers = numeric("workers", 4) as u32;
+    eprintln!(
+        "parvc serve: listening on {listen} ({workers} workers, high-water {}, cache {} entries)",
+        server.config().high_water,
+        server.config().cache_capacity,
+    );
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    if let Err(e) = parvc::serve::serve_listener(&server, &listener, workers, &stop) {
+        eprintln!("serve: {e}");
+        std::process::exit(1);
+    }
+}
+
 fn cmd_prep(args: &[String]) {
     let flags = parse_flags_or_exit(args, &["format", "out", "rules"], &[], &["weighted"]);
     let Some(path) = flags.positional.first() else {
@@ -1377,16 +1460,16 @@ fn cmd_generate(args: &[String]) {
         eprintln!("generate: missing family");
         std::process::exit(2);
     };
-    let get = |i: usize| -> f64 {
-        p.get(i + 1)
-            .unwrap_or_else(|| {
-                eprintln!("generate: missing argument {i} for family {family}");
+    let fam_args: Vec<f64> = p[1..]
+        .iter()
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("generate: bad numeric argument '{t}' for family {family}");
                 std::process::exit(2);
             })
-            .parse()
-            .expect("numeric argument")
-    };
-    let mut g = generate_family(family, seed, &get);
+        })
+        .collect();
+    let mut g = generate_family(family, seed, &fam_args);
     if let Some(w) = flags.options.get("weights") {
         g = attach_weights(g, w, seed);
     }
@@ -1699,7 +1782,10 @@ mod tests {
         let documented: Vec<&str> = COMMANDS.iter().map(|c| c.name).collect();
         assert_eq!(
             documented,
-            vec!["solve", "resolve", "approx", "prep", "generate", "analyze", "demo", "help"]
+            vec![
+                "solve", "resolve", "approx", "serve", "prep", "generate", "analyze", "demo",
+                "help"
+            ]
         );
         for c in COMMANDS {
             assert!(c.usage.starts_with("parvc "), "{}: bad usage line", c.name);

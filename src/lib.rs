@@ -19,6 +19,9 @@
 //!   high-degree) and connected-component decomposition in front of
 //!   every policy ([`parvc_prep`]; enable with
 //!   [`SolverBuilder::preprocess`](parvc_core::SolverBuilder::preprocess)).
+//! * [`serve`] — the solver as a long-running service: the `parvc
+//!   serve` line protocol, content-keyed result cache, and admission
+//!   control ([`parvc_serve`]; protocol reference in `docs/serve.md`).
 //!
 //! ## Quickstart
 //!
@@ -40,6 +43,7 @@ pub use parvc_core as core;
 pub use parvc_graph as graph;
 pub use parvc_obs as obs;
 pub use parvc_prep as prep;
+pub use parvc_serve as serve;
 pub use parvc_simgpu as simgpu;
 pub use parvc_worklist as worklist;
 

@@ -32,7 +32,13 @@ fn relative_links(markdown: &str) -> Vec<String> {
 #[test]
 fn markdown_relative_links_resolve() {
     let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let docs = ["README.md", "ARCHITECTURE.md", "docs/cli.md"];
+    let docs = [
+        "README.md",
+        "ARCHITECTURE.md",
+        "docs/cli.md",
+        "docs/serve.md",
+        "docs/operations.md",
+    ];
     for doc in docs {
         let path = repo.join(doc);
         let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -64,6 +70,8 @@ fn front_door_documents_exist_and_are_nonempty() {
         ("README.md", "parvc"),
         ("ARCHITECTURE.md", "SchedulePolicy"),
         ("docs/cli.md", "--component-branching"),
+        ("docs/serve.md", "content_hash"),
+        ("docs/operations.md", "Perfetto"),
     ] {
         let text = std::fs::read_to_string(repo.join(doc)).expect(doc);
         assert!(text.len() > 500, "{doc} is suspiciously short");
